@@ -1,0 +1,136 @@
+// Command mwbench regenerates every table and figure of the paper's
+// evaluation, plus the extension and ablation experiments. See DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	mwbench <experiment> [args]
+//
+// Experiments:
+//
+//	table1              Table I   benchmark characteristics
+//	table2 [-verbose]   Table II  machines (+ hwloc-style trees)
+//	table3              Table III pinning-topology runtimes (machine model)
+//	fig1                Fig 1     modeled speedup on the Core i7 920
+//	fig1-native         Fig 1     wall-clock speedup on this host
+//	fig2                Fig 2     thread-to-core affinity without pinning
+//	observer            §IV-A     monitor observer effect
+//	sampling            §IV-B     sampler granularity vs ground truth
+//	threadview          §IV-C     per-thread view, truth vs sampled display
+//	imbalance           §IV       force-phase load balance per partition
+//	packing             §V-A      heap layout vs cache miss rates
+//	pollution           §V-B      temp-object heap census and pollution
+//	machine <spec>      model a custom machine (topo.ParseMachine syntax)
+//	scaling             engine complexity: O(N) LJ vs O(N²) Coulomb
+//	pme                 extension direct O(N²) vs PME crossover
+//	ablation            design-choice ablations
+//	all                 run everything above in order
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mw/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	if os.Args[1] == "all" {
+		for _, name := range []string{
+			"table1", "table2", "fig1", "fig2", "table3",
+			"observer", "sampling", "threadview", "imbalance", "packing", "pollution",
+			"scaling", "pme", "ablation",
+		} {
+			run(name, nil)
+			fmt.Println()
+		}
+		return
+	}
+	run(os.Args[1], os.Args[2:])
+}
+
+func run(name string, args []string) {
+	switch name {
+	case "table1":
+		fmt.Print(experiments.Table1())
+	case "table2":
+		fmt.Print(experiments.Table2(len(args) > 0 && args[0] == "-verbose"))
+	case "table3":
+		r, err := experiments.Table3(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "fig1":
+		r, err := experiments.Fig1(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "fig1-native":
+		r, err := experiments.Fig1Native(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "fig2":
+		fmt.Print(experiments.Fig2().Report)
+	case "observer":
+		r, err := experiments.Observer(0, 0, 0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "sampling":
+		fmt.Print(experiments.Sampling(0).Report)
+	case "threadview":
+		r, err := experiments.ThreadView(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "imbalance":
+		r, err := experiments.Imbalance(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "packing":
+		r, err := experiments.Packing(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "pollution":
+		r, err := experiments.Pollution(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "machine":
+		if len(args) < 1 {
+			fmt.Fprintln(os.Stderr, "usage: mwbench machine <spec>  (e.g. \"2x8x2,l3=16M/8,ch=6\")")
+			os.Exit(2)
+		}
+		out, err := experiments.CustomMachine(args[0])
+		fail(err)
+		fmt.Print(out)
+	case "scaling":
+		r, err := experiments.Scaling(0)
+		fail(err)
+		fmt.Print(r.Report)
+	case "pme":
+		r, err := experiments.PME()
+		fail(err)
+		fmt.Print(r.Report)
+	case "ablation":
+		r, err := experiments.Ablation(0)
+		fail(err)
+		fmt.Print(r.Report)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mwbench <experiment>
+experiments: table1 table2 table3 fig1 fig1-native fig2 observer sampling
+             threadview imbalance packing pollution scaling pme ablation all`)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

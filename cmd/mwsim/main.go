@@ -1,0 +1,189 @@
+// Command mwsim runs one of the paper's benchmark simulations (or a
+// generated LJ gas) in the parallel Molecular Workbench engine and reports
+// energies, temperature and the display refresh rate the parallelization
+// effort targeted ("MW can now sustain refresh rates as high as 32 updates
+// per second on some 1000 atom benchmarks").
+//
+// Usage:
+//
+//	mwsim -bench salt -threads 4 -ps 2
+//	mwsim -bench lj-gas -n 6 -temp 120 -steps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mw/internal/core"
+	"mw/internal/mml"
+	"mw/internal/report"
+	"mw/internal/workload"
+	"mw/internal/xyz"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "salt", "benchmark: salt, nanocar, Al-1000, lj-gas")
+		threads   = flag.Int("threads", 1, "worker threads")
+		steps     = flag.Int("steps", 0, "timesteps to run (overrides -ps)")
+		ps        = flag.Float64("ps", 1, "picoseconds to simulate")
+		partition = flag.String("partition", "cyclic", "work partition: cyclic, block, guided, dynamic")
+		queues    = flag.String("queues", "shared", "queue topology: shared, per-worker, stealing")
+		n         = flag.Int("n", 5, "lattice size for -bench lj-gas (n³ atoms)")
+		temp      = flag.Float64("temp", 120, "temperature for -bench lj-gas (K)")
+		every     = flag.Int("report-every", 0, "print diagnostics every k steps (0 = summary only)")
+		loadPath  = flag.String("load", "", "load a model file instead of a named benchmark")
+		savePath  = flag.String("save", "", "save the final state as a model file")
+		thermo    = flag.String("thermostat", "none", "temperature control: none, rescale, berendsen, langevin")
+		trajPath  = flag.String("traj", "", "write an XYZ trajectory (one frame per -report-every interval)")
+		target    = flag.Float64("target-temp", 300, "thermostat target temperature (K)")
+	)
+	flag.Parse()
+
+	var b *workload.Benchmark
+	switch {
+	case *loadPath != "":
+		m, err := mml.LoadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys, cfg, err := m.System()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b = &workload.Benchmark{Name: m.Name, Sys: sys, Cfg: cfg}
+	case *benchName == "lj-gas":
+		b = workload.LJGas(*n, *temp, true)
+	default:
+		if b = workload.ByName(*benchName); b == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (salt, nanocar, Al-1000, lj-gas)\n", *benchName)
+			os.Exit(2)
+		}
+	}
+
+	cfg := b.Cfg
+	cfg.Threads = *threads
+	switch *partition {
+	case "cyclic":
+		cfg.Partition = core.PartitionCyclic
+	case "block":
+		cfg.Partition = core.PartitionBlock
+	case "guided":
+		cfg.Partition = core.PartitionGuided
+	case "dynamic":
+		cfg.Partition = core.PartitionDynamic
+	default:
+		fmt.Fprintf(os.Stderr, "unknown partition %q\n", *partition)
+		os.Exit(2)
+	}
+	switch *thermo {
+	case "none":
+	case "rescale":
+		cfg.Thermostat = &core.VelocityRescale{T: *target}
+	case "berendsen":
+		cfg.Thermostat = &core.Berendsen{T: *target}
+	case "langevin":
+		cfg.Thermostat = &core.Langevin{T: *target}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown thermostat %q\n", *thermo)
+		os.Exit(2)
+	}
+	switch *queues {
+	case "shared":
+		cfg.Queues = core.SharedQueue
+	case "per-worker":
+		cfg.Queues = core.PerWorkerQueues
+	case "stealing":
+		cfg.Queues = core.WorkStealingQueues
+	default:
+		fmt.Fprintf(os.Stderr, "unknown queue topology %q\n", *queues)
+		os.Exit(2)
+	}
+
+	sim, err := core.New(b.Sys, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sim.Close()
+
+	nsteps := *steps
+	if nsteps <= 0 {
+		nsteps = int(*ps * 1000 / cfg.Dt)
+	}
+	ch := workload.Characterize(b.Name, b.Sys)
+	fmt.Printf("%s: %d atoms (%d charged, %d bond terms), dt=%g fs, %d threads, %s/%s\n",
+		ch.Name, ch.Atoms, ch.ChargedAtoms, ch.BondTerms, cfg.Dt, cfg.Threads,
+		cfg.Partition, cfg.Queues)
+	fmt.Printf("initial: PE=%.3f eV  KE=%.3f eV  T=%.1f K\n",
+		sim.PE(), sim.Sys.KineticEnergy(), sim.Sys.Temperature())
+
+	var traj *xyz.Writer
+	if *trajPath != "" {
+		f, err := os.Create(*trajPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traj = xyz.NewWriter(f)
+		if err := traj.WriteFrame(b.Sys, "t=0"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	if *every > 0 {
+		for done := 0; done < nsteps; {
+			k := *every
+			if done+k > nsteps {
+				k = nsteps - done
+			}
+			sim.Run(k)
+			done += k
+			fmt.Printf("step %6d  t=%7.2f ps  E=%12.4f eV  T=%7.1f K  rebuilds=%d\n",
+				done, float64(done)*cfg.Dt/1000, sim.TotalEnergy(), sim.Sys.Temperature(), sim.Rebuilds())
+			if traj != nil {
+				if err := traj.WriteFrame(b.Sys, fmt.Sprintf("t=%g fs", float64(done)*cfg.Dt)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	} else {
+		sim.Run(nsteps)
+		if traj != nil {
+			if err := traj.WriteFrame(b.Sys, "final"); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("final:   PE=%.3f eV  KE=%.3f eV  T=%.1f K\n",
+		sim.PE(), sim.Sys.KineticEnergy(), sim.Sys.Temperature())
+	fmt.Printf("simulated %.2f ps in %v — %.1f updates/s (refresh rate)\n",
+		float64(nsteps)*cfg.Dt/1000, wall.Round(time.Millisecond),
+		float64(nsteps)/wall.Seconds())
+
+	t := report.NewTable("Per-phase wall time", "Phase", "Total (ms)", "Mean/step (µs)")
+	for ph := core.PhasePredictor; ph < core.NumPhases; ph++ {
+		total := sim.PhaseWall[ph].Sum()
+		t.AddRow(ph.String(), total*1e3, total/float64(nsteps)*1e6)
+	}
+	fmt.Print(t.String())
+
+	if *savePath != "" {
+		if err := mml.SaveFile(*savePath, mml.FromSystem(b.Name, b.Sys, cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved model to %s\n", *savePath)
+	}
+}

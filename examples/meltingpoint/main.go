@@ -1,0 +1,92 @@
+// Meltingpoint: a small science workflow on top of the engine — ramp an
+// argon crystal through its melting transition with a Berendsen thermostat
+// and locate the transition from the diffusion signal (mean squared
+// displacement). This is the kind of student experiment Molecular Workbench
+// was built for, run headless through the library API with the analysis
+// package doing the observing.
+//
+//	go run ./examples/meltingpoint
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mw/internal/analysis"
+	"mw/internal/atom"
+	"mw/internal/core"
+	"mw/internal/report"
+	"mw/internal/vec"
+)
+
+// argonCrystal builds a periodic fcc-like argon lattice near its solid
+// density.
+func argonCrystal(nx int) *atom.System {
+	const a = 3.9 // Å, near the LJ minimum spacing for argon
+	s := atom.NewSystem(atom.CubicBox(float64(nx)*a, true))
+	for x := 0; x < nx; x++ {
+		for y := 0; y < nx; y++ {
+			for z := 0; z < nx; z++ {
+				s.AddAtom(atom.Ar, vec.New(
+					(float64(x)+0.5)*a, (float64(y)+0.5)*a, (float64(z)+0.5)*a),
+					vec.Zero, 0, false)
+			}
+		}
+	}
+	return s
+}
+
+func main() {
+	const (
+		equilSteps  = 300
+		sampleSteps = 800
+		dt          = 2.0
+	)
+	temps := []float64{40, 80, 120, 160, 200, 240}
+
+	t := report.NewTable("Argon melting scan (125 atoms, Berendsen thermostat)",
+		"T target (K)", "T measured (K)", "MSD (Å²)", "diffusive?")
+	var prevMSD float64
+	transition := 0.0
+	for _, T := range temps {
+		s := argonCrystal(5)
+		s.Thermalize(T, rand.New(rand.NewSource(21)))
+		sim, err := core.New(s, core.Config{
+			Dt:         dt,
+			Threads:    2,
+			Thermostat: &core.Berendsen{T: T, Tau: 100},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(equilSteps)
+		msd := analysis.NewMSD(s)
+		var m float64
+		for k := 0; k < sampleSteps; k++ {
+			sim.Step()
+			m = msd.Update(s)
+		}
+		sim.Close()
+
+		// In the solid, atoms rattle in place: MSD stays around the cage
+		// size (a few Å²). Once molten they diffuse and MSD grows without
+		// bound over the window.
+		diffusive := m > 6.0
+		mark := "solid"
+		if diffusive {
+			mark = "LIQUID"
+		}
+		t.AddRow(T, s.Temperature(), m, mark)
+		if transition == 0 && diffusive && prevMSD <= 6.0 {
+			transition = T
+		}
+		prevMSD = m
+	}
+	fmt.Print(t.String())
+	if transition > 0 {
+		fmt.Printf("\nmelting detected between the scan points around ~%.0f K\n(experimental argon: 84 K; a 125-atom periodic crystal with a truncated\nLJ potential melts in that neighbourhood, superheating slightly).\n", transition)
+	} else {
+		fmt.Println("\nno melting detected in the scanned range")
+	}
+}

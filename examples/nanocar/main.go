@@ -1,0 +1,73 @@
+// Nanocar: the paper's bond-dominated workload. The 989-atom nanocar
+// benchmark (a bonded car of 505 atoms resting on an immovable 484-atom
+// gold platform, 2277 bond terms) is driven across the platform by a weak
+// external field while the engine reports whether the parallelization goal
+// — a smooth display refresh rate on ~1000 atoms — is met.
+//
+//	go run ./examples/nanocar
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mw/internal/forces"
+	"mw/internal/vec"
+	"mw/internal/workload"
+
+	"mw/internal/core"
+)
+
+// carCenter returns the center of mass of the mobile (car) atoms.
+func carCenter(b *workload.Benchmark) vec.Vec3 {
+	var c vec.Vec3
+	n := 0
+	for i := range b.Sys.Pos {
+		if !b.Sys.Fixed[i] {
+			c = c.Add(b.Sys.Pos[i])
+			n++
+		}
+	}
+	return c.Scale(1 / float64(n))
+}
+
+func main() {
+	b := workload.Nanocar()
+	ch := workload.Characterize(b.Name, b.Sys)
+	fmt.Printf("nanocar: %d atoms (%d fixed platform), %d bond terms (%d radial, %d angles, %d torsions)\n",
+		ch.Atoms, ch.Atoms-b.Sys.NumMobile(), ch.BondTerms, ch.Radial, ch.Angles, ch.Torsions)
+
+	cfg := b.Cfg
+	cfg.Threads = 4
+	// A gentle uniform acceleration field pushes the car along +x ("the car
+	// drives on the gold platform").
+	cfg.Field = forces.Field{G: vec.New(2e-6, 0, 0)}
+
+	sim, err := core.New(b.Sys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	start := carCenter(b)
+	fmt.Printf("%8s %12s %14s %10s\n", "t (fs)", "drift x (Å)", "total E (eV)", "T (K)")
+	wall := time.Now()
+	const stepsPerFrame = 25
+	for i := 0; i <= 8; i++ {
+		fmt.Printf("%8.0f %12.4f %14.3f %10.1f\n",
+			float64(sim.StepCount())*cfg.Dt,
+			carCenter(b).X-start.X,
+			sim.TotalEnergy(),
+			b.Sys.Temperature())
+		sim.Run(stepsPerFrame)
+	}
+	elapsed := time.Since(wall)
+	rate := float64(sim.StepCount()) / elapsed.Seconds()
+	fmt.Printf("\nachieved %.1f engine updates/s on this host ", rate)
+	if rate >= 32 {
+		fmt.Println("— meets the paper's 32 updates/s display goal")
+	} else {
+		fmt.Println("— below the paper's 32 updates/s display goal")
+	}
+}

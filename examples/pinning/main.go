@@ -1,0 +1,108 @@
+// Pinning: the paper's §V-B thread-affinity study on the machine model.
+// The same LJ-dominated workload is replayed on the simulated 32-core Xeon
+// X7560 under different sched_setaffinity topologies, showing why "running
+// 8 threads on a single 8 core processor with a shared last level cache
+// performs comparably to running on 32 cores" — and rendering the Fig 2
+// style affinity heat map for a pinned vs an unpinned worker.
+//
+//	go run ./examples/pinning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mw/internal/jheap"
+	"mw/internal/machine"
+	"mw/internal/memtrace"
+	"mw/internal/report"
+	"mw/internal/sched"
+	"mw/internal/topo"
+	"mw/internal/workload"
+)
+
+func streams(b *workload.Benchmark, threads int) []memtrace.Stream {
+	opt := memtrace.Options{
+		Threads:        threads,
+		Layout:         jheap.LayoutScattered,
+		JavaTemps:      true,
+		IncludeRebuild: b.RebuildHeavy,
+		Cutoff:         b.Cfg.LJCutoff,
+		Skin:           b.Cfg.Skin,
+		Seed:           1,
+	}
+	m := memtrace.NewAddrMap(b.Sys.N(), opt)
+	return memtrace.ForcePhase(b.Sys, m, opt)
+}
+
+func perCore(mask topo.CPUMask) []topo.CPUMask {
+	cores := mask.Cores()
+	out := make([]topo.CPUMask, len(cores))
+	for i, c := range cores {
+		out[i] = topo.MaskOf(c)
+	}
+	return out
+}
+
+func main() {
+	m := topo.XeonX7560
+	fmt.Println(m.String())
+	fmt.Println()
+
+	b := workload.Al1000()
+	onePkg, err := m.CoresOnOnePackage(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spread, err := m.CoresPerPackageSpread(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("Same workload, 8 threads, different affinity (modeled Xeon X7560)",
+		"Topology", "Modeled time (ms)", "Migrations", "Remote-L3 hits")
+	for _, cfg := range []struct {
+		name string
+		aff  []topo.CPUMask
+	}{
+		{"OS scheduled (no pinning)", nil},
+		{"two cores per package " + spread.String(), perCore(spread)},
+		{"8 cores on one package " + onePkg.String(), perCore(onePkg)},
+	} {
+		r, err := machine.Run(machine.Config{
+			Machine:    m,
+			Threads:    8,
+			Affinity:   cfg.aff,
+			Background: 8, BackgroundDuty: 0.5,
+			QuantumCycles: 300_000,
+			Seed:          11,
+		}, streams(b, 8), 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(cfg.name, r.Seconds*1e3, r.Migrations, r.Stats.RemoteL3Hits)
+	}
+	fmt.Print(t.String())
+
+	// Fig 2 style: one pinned and one unpinned worker observed for a second.
+	fmt.Println()
+	s, err := sched.New(sched.Config{
+		Machine:    topo.CoreI7,
+		Threads:    2,
+		Affinity:   []topo.CPUMask{0, topo.MaskOf(2)}, // worker 0 free, worker 1 pinned
+		Background: 3,
+		Seed:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Run(1000)
+	for w, name := range []string{"unpinned worker", "worker pinned to core 2"} {
+		labels := []string{"core 0", "core 1", "core 2", "core 3"}
+		fmt.Print(report.Heatmap(
+			fmt.Sprintf("%s: %d migrations in 1 s", name, s.Migrations(w)),
+			labels, s.LoadMatrix(w, 64)))
+		fmt.Println()
+		_ = w
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small argon gas, run it through the parallel engine,
+// and watch energy conservation — the minimal end-to-end use of the public
+// engine API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mw/internal/atom"
+	"mw/internal/core"
+	"mw/internal/vec"
+)
+
+func main() {
+	// 1. Build a system: a 5×5×5 argon lattice in a periodic box.
+	const nx, spacing = 5, 4.3
+	box := atom.CubicBox(nx*spacing, true)
+	sys := atom.NewSystem(box)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < nx; y++ {
+			for z := 0; z < nx; z++ {
+				p := vec.New(
+					(float64(x)+0.5)*spacing,
+					(float64(y)+0.5)*spacing,
+					(float64(z)+0.5)*spacing,
+				)
+				sys.AddAtom(atom.Ar, p, vec.Zero, 0, false)
+			}
+		}
+	}
+	// 2. Give the atoms thermal velocities at 90 K (liquid argon range).
+	sys.Thermalize(90, rand.New(rand.NewSource(7)))
+
+	// 3. Create the simulation: 2 fs timestep, 2 worker threads.
+	sim, err := core.New(sys, core.Config{Dt: 2, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	// 4. Run and watch the conserved total energy.
+	fmt.Printf("%d argon atoms, T0 = %.0f K\n", sys.N(), sys.Temperature())
+	fmt.Printf("%8s %14s %12s %10s\n", "step", "total E (eV)", "PE (eV)", "T (K)")
+	for i := 0; i <= 10; i++ {
+		fmt.Printf("%8d %14.4f %12.4f %10.1f\n",
+			sim.StepCount(), sim.TotalEnergy(), sim.PE(), sys.Temperature())
+		sim.Run(50)
+	}
+	fmt.Printf("\nneighbor-list rebuilds: %d over %d steps\n", sim.Rebuilds(), sim.StepCount())
+}

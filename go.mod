@@ -1,0 +1,3 @@
+module mw
+
+go 1.22

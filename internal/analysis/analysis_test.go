@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mw/internal/atom"
+	"mw/internal/core"
+	"mw/internal/units"
+	"mw/internal/vec"
+	"mw/internal/workload"
+)
+
+// idealGas places non-interacting points uniformly in a periodic box.
+func idealGas(seed int64, n int, l float64) *atom.System {
+	s := atom.NewSystem(atom.CubicBox(l, true))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.AddAtom(atom.Ar, vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l), vec.Zero, 0, false)
+	}
+	return s
+}
+
+func TestRDFIdealGasIsFlat(t *testing.T) {
+	// For uniform random points, g(r) ≈ 1 at all r below L/2.
+	s := idealGas(1, 600, 20)
+	r := NewRDF(8, 16)
+	for k := 0; k < 5; k++ {
+		r.Accumulate(s)
+	}
+	rs, g := r.G()
+	if len(rs) != 16 {
+		t.Fatalf("bins = %d", len(rs))
+	}
+	for b := 2; b < len(g); b++ { // skip the smallest shells (poor statistics)
+		if math.Abs(g[b]-1) > 0.25 {
+			t.Errorf("ideal-gas g(%.2f) = %.3f, want ≈1", rs[b], g[b])
+		}
+	}
+}
+
+func TestRDFLatticePeaks(t *testing.T) {
+	// A perfect cubic lattice has a sharp peak at the lattice spacing and a
+	// gap below it.
+	const a = 4.0
+	s := atom.NewSystem(atom.CubicBox(8*a, true))
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				s.AddAtom(atom.Ar, vec.New(float64(x)*a, float64(y)*a, float64(z)*a), vec.Zero, 0, false)
+			}
+		}
+	}
+	r := NewRDF(6, 60)
+	r.Accumulate(s)
+	rs, g := r.G()
+	peakBin, gapBin := -1, -1
+	for b := range rs {
+		if math.Abs(rs[b]-a) < 0.06 {
+			peakBin = b
+		}
+		if math.Abs(rs[b]-0.6*a) < 0.06 {
+			gapBin = b
+		}
+	}
+	if peakBin < 0 || gapBin < 0 {
+		t.Fatal("bins not found")
+	}
+	if g[peakBin] < 10 {
+		t.Errorf("no lattice peak: g(a) = %v", g[peakBin])
+	}
+	if g[gapBin] != 0 {
+		t.Errorf("lattice gap not empty: g(0.6a) = %v", g[gapBin])
+	}
+}
+
+func TestRDFPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad RDF params accepted")
+		}
+	}()
+	NewRDF(0, 10)
+}
+
+func TestMSDBallisticFreeParticles(t *testing.T) {
+	// Non-interacting particles moving at constant velocity: MSD = <v²>t².
+	s := idealGas(2, 100, 50)
+	rng := rand.New(rand.NewSource(3))
+	var v2 float64
+	for i := range s.Vel {
+		s.Vel[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.01)
+		v2 += s.Vel[i].Norm2()
+	}
+	v2 /= float64(s.N())
+	m := NewMSD(s)
+	const dt = 1.0
+	var msd float64
+	for step := 1; step <= 50; step++ {
+		for i := range s.Pos {
+			s.Pos[i] = s.Box.Wrap(s.Pos[i].AddScaled(dt, s.Vel[i]))
+		}
+		msd = m.Update(s)
+	}
+	want := v2 * 50 * 50 // (vt)²
+	if math.Abs(msd-want)/want > 1e-9 {
+		t.Errorf("ballistic MSD = %v, want %v", msd, want)
+	}
+}
+
+func TestMSDUnwrapsPeriodicImages(t *testing.T) {
+	// One particle crossing the periodic boundary many times: unwrapped MSD
+	// keeps growing rather than folding back.
+	s := atom.NewSystem(atom.CubicBox(10, true))
+	s.AddAtom(atom.Ar, vec.New(5, 5, 5), vec.New(1, 0, 0), 0, false)
+	m := NewMSD(s)
+	var msd float64
+	for step := 0; step < 100; step++ {
+		s.Pos[0] = s.Box.Wrap(s.Pos[0].Add(vec.New(1, 0, 0)))
+		msd = m.Update(s)
+	}
+	if math.Abs(msd-100*100) > 1e-6 {
+		t.Errorf("unwrapped MSD = %v, want 10000", msd)
+	}
+}
+
+func TestVACFStartsAtOneAndDecorrelates(t *testing.T) {
+	b := workload.LJGas(4, 150, true)
+	sim, err := core.New(b.Sys, b.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	v := NewVACF(b.Sys)
+	if c := v.Sample(b.Sys); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("C(0) = %v, want 1", c)
+	}
+	var last float64
+	for k := 0; k < 30; k++ {
+		sim.Run(10)
+		last = v.Sample(b.Sys)
+	}
+	if math.Abs(last) >= 0.9 {
+		t.Errorf("VACF did not decay: C(end) = %v", last)
+	}
+	if len(v.Series) != 31 {
+		t.Errorf("series length %d", len(v.Series))
+	}
+}
+
+func TestPressureDiluteGasApproachesIdeal(t *testing.T) {
+	// A dilute thermalized LJ gas (atoms kept out of each other's repulsive
+	// core): P ≈ ρ k_B T within the small attractive virial correction.
+	s := atom.NewSystem(atom.CubicBox(60, true))
+	rng := rand.New(rand.NewSource(5))
+	for s.N() < 200 {
+		p := vec.New(rng.Float64()*60, rng.Float64()*60, rng.Float64()*60)
+		ok := true
+		for _, q := range s.Pos {
+			if s.Box.MinImage(q.Sub(p)).Norm() < 4.5 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.AddAtom(atom.Ar, p, vec.Zero, 0, false)
+		}
+	}
+	s.Thermalize(300, rand.New(rand.NewSource(6)))
+	lv := NewLJVirial(8, 0.5)
+	p := Pressure(s, lv)
+	ideal := float64(s.N()) / s.Box.Volume() * units.Boltzmann * s.Temperature()
+	if math.Abs(p-ideal)/ideal > 0.2 {
+		t.Errorf("dilute pressure %v vs ideal %v", p, ideal)
+	}
+}
+
+func TestPressureCompressedGasExceedsIdeal(t *testing.T) {
+	// Compress argon below σ spacing: the repulsive virial dominates and
+	// P ≫ ρkT.
+	s := atom.NewSystem(atom.CubicBox(12, true))
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			for z := 0; z < 4; z++ {
+				s.AddAtom(atom.Ar, vec.New(float64(x)*3, float64(y)*3, float64(z)*3), vec.Zero, 0, false)
+			}
+		}
+	}
+	s.Thermalize(100, rand.New(rand.NewSource(7)))
+	lv := NewLJVirial(5, 0.3)
+	p := Pressure(s, lv)
+	ideal := float64(s.N()) / s.Box.Volume() * units.Boltzmann * s.Temperature()
+	if p <= 2*ideal {
+		t.Errorf("compressed pressure %v not ≫ ideal %v", p, ideal)
+	}
+}
+
+func TestPressurePanicsOnOpenBox(t *testing.T) {
+	s := atom.NewSystem(atom.CubicBox(10, false))
+	defer func() {
+		if recover() == nil {
+			t.Error("open-box pressure accepted")
+		}
+	}()
+	Pressure(s, NewLJVirial(5, 0.3))
+}

@@ -1,0 +1,278 @@
+package atom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mw/internal/vec"
+)
+
+func TestMixLJ(t *testing.T) {
+	sigma, eps := MixLJ(Builtin[Na], Builtin[Cl])
+	wantSigma := 0.5 * (Builtin[Na].Sigma + Builtin[Cl].Sigma)
+	wantEps := math.Sqrt(Builtin[Na].Epsilon * Builtin[Cl].Epsilon)
+	if math.Abs(sigma-wantSigma) > 1e-12 || math.Abs(eps-wantEps) > 1e-12 {
+		t.Errorf("MixLJ = %v, %v", sigma, eps)
+	}
+	// Self-mixing is the identity.
+	s, e := MixLJ(Builtin[Ar], Builtin[Ar])
+	if s != Builtin[Ar].Sigma || math.Abs(e-Builtin[Ar].Epsilon) > 1e-15 {
+		t.Errorf("self MixLJ = %v, %v", s, e)
+	}
+}
+
+func TestBuiltinTableComplete(t *testing.T) {
+	for i, e := range Builtin {
+		if e.Symbol == "" || e.Mass <= 0 || e.Sigma <= 0 || e.Epsilon <= 0 {
+			t.Errorf("builtin element %d incomplete: %+v", i, e)
+		}
+	}
+}
+
+func TestBoxMinImage(t *testing.T) {
+	b := CubicBox(10, true)
+	d := b.MinImage(vec.New(9, -9, 4))
+	if !d.ApproxEqual(vec.New(-1, 1, 4), 1e-12) {
+		t.Errorf("MinImage = %v", d)
+	}
+	// Non-periodic: identity.
+	np := CubicBox(10, false)
+	if got := np.MinImage(vec.New(9, -9, 4)); got != vec.New(9, -9, 4) {
+		t.Errorf("non-periodic MinImage = %v", got)
+	}
+}
+
+func TestBoxWrap(t *testing.T) {
+	b := CubicBox(10, true)
+	p := b.Wrap(vec.New(11, -0.5, 25))
+	if !p.ApproxEqual(vec.New(1, 9.5, 5), 1e-12) {
+		t.Errorf("Wrap = %v", p)
+	}
+	if !b.Contains(p) {
+		t.Error("wrapped point outside box")
+	}
+}
+
+func TestBoxReflect(t *testing.T) {
+	b := CubicBox(10, false)
+	p, v := b.Reflect(vec.New(-1, 5, 12), vec.New(-2, 1, 3))
+	if !p.ApproxEqual(vec.New(1, 5, 8), 1e-12) {
+		t.Errorf("Reflect p = %v", p)
+	}
+	if !v.ApproxEqual(vec.New(2, 1, -3), 1e-12) {
+		t.Errorf("Reflect v = %v", v)
+	}
+	// Extreme overshoot still lands inside.
+	p, _ = b.Reflect(vec.New(47, 5, 5), vec.New(1, 0, 0))
+	if !b.Contains(p) {
+		t.Errorf("overshoot reflect left box: %v", p)
+	}
+}
+
+func TestBoxReflectPeriodicWraps(t *testing.T) {
+	b := CubicBox(10, true)
+	p, v := b.Reflect(vec.New(11, 5, 5), vec.New(1, 0, 0))
+	if !p.ApproxEqual(vec.New(1, 5, 5), 1e-12) {
+		t.Errorf("periodic Reflect p = %v", p)
+	}
+	if v != vec.New(1, 0, 0) {
+		t.Errorf("periodic Reflect must not flip velocity: %v", v)
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	if v := NewBox(2, 3, 4, false).Volume(); v != 24 {
+		t.Errorf("Volume = %v", v)
+	}
+}
+
+// Property: minimum-image displacement components never exceed L/2.
+func TestMinImageBoundProperty(t *testing.T) {
+	b := CubicBox(7.5, true)
+	f := func(x, y, z float64) bool {
+		v := vec.New(x, y, z)
+		if !v.IsFinite() || v.MaxAbs() > 1e12 {
+			// Beyond ~1e12 the quotient d/L loses the sub-L resolution that
+			// the minimum-image convention requires; physical displacements
+			// are always within a few box lengths.
+			return true
+		}
+		d := b.MinImage(v)
+		return d.MaxAbs() <= 7.5/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAtomIndex(t *testing.T) {
+	if MaxAtomIndex(nil, nil, nil) != -1 {
+		t.Error("empty MaxAtomIndex != -1")
+	}
+	got := MaxAtomIndex(
+		[]Bond{{I: 1, J: 5}},
+		[]Angle{{I: 2, J: 9, K: 0}},
+		[]Torsion{{I: 3, J: 4, K: 5, L: 12}},
+	)
+	if got != 12 {
+		t.Errorf("MaxAtomIndex = %d", got)
+	}
+}
+
+func newTestSystem(t *testing.T, n int) *System {
+	t.Helper()
+	s := NewSystem(CubicBox(20, false))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		p := vec.New(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20)
+		s.AddAtom(Ar, p, vec.Zero, 0, false)
+	}
+	return s
+}
+
+func TestSystemAddAndValidate(t *testing.T) {
+	s := newTestSystem(t, 10)
+	if s.N() != 10 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s.Bonds = append(s.Bonds, Bond{I: 0, J: 99})
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range bond not caught")
+	}
+	s.Bonds = []Bond{{I: 3, J: 3}}
+	if err := s.Validate(); err == nil {
+		t.Error("degenerate bond not caught")
+	}
+}
+
+func TestValidateOutsideBox(t *testing.T) {
+	s := NewSystem(CubicBox(5, false))
+	s.AddAtom(Ar, vec.New(6, 1, 1), vec.Zero, 0, false)
+	if err := s.Validate(); err == nil {
+		t.Error("atom outside non-periodic box not caught")
+	}
+}
+
+func TestFixedAtoms(t *testing.T) {
+	s := NewSystem(CubicBox(10, false))
+	i := s.AddAtom(Au, vec.New(5, 5, 5), vec.New(1, 0, 0), 0, true)
+	if s.InvMass[i] != 0 {
+		t.Error("fixed atom must have zero inverse mass")
+	}
+	if s.NumMobile() != 0 {
+		t.Error("fixed atom counted as mobile")
+	}
+	if s.KineticEnergy() != 0 {
+		t.Error("fixed atoms must not contribute kinetic energy")
+	}
+}
+
+func TestChargeAccounting(t *testing.T) {
+	s := NewSystem(CubicBox(10, false))
+	s.AddAtom(Na, vec.New(1, 1, 1), vec.Zero, +1, false)
+	s.AddAtom(Cl, vec.New(2, 2, 2), vec.Zero, -1, false)
+	s.AddAtom(Ar, vec.New(3, 3, 3), vec.Zero, 0, false)
+	if s.NumCharged() != 2 {
+		t.Errorf("NumCharged = %d", s.NumCharged())
+	}
+	if s.TotalCharge() != 0 {
+		t.Errorf("TotalCharge = %v", s.TotalCharge())
+	}
+	idx := s.ChargedIndices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("ChargedIndices = %v", idx)
+	}
+}
+
+func TestThermalizeTemperature(t *testing.T) {
+	s := newTestSystem(t, 2000)
+	rng := rand.New(rand.NewSource(11))
+	const T = 300.0
+	s.Thermalize(T, rng)
+	got := s.Temperature()
+	// 2000 atoms: relative sampling error ~ sqrt(2/3N) ≈ 1.8%; allow 5 sigma.
+	if math.Abs(got-T)/T > 0.1 {
+		t.Errorf("Temperature after Thermalize = %v, want ≈ %v", got, T)
+	}
+	// Drift removed.
+	if p := s.Momentum(); p.Norm() > 1e-9 {
+		t.Errorf("net momentum after Thermalize = %v", p)
+	}
+}
+
+func TestRemoveDriftNoMobile(t *testing.T) {
+	s := NewSystem(CubicBox(10, false))
+	s.AddAtom(Au, vec.New(5, 5, 5), vec.Zero, 0, true)
+	s.RemoveDrift() // must not divide by zero
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := newTestSystem(t, 5)
+	c := s.Clone()
+	c.Pos[0] = vec.New(1, 2, 3)
+	c.Vel[0] = vec.New(4, 5, 6)
+	if s.Pos[0] == c.Pos[0] || s.Vel[0] == c.Vel[0] {
+		t.Error("Clone shares mutable state")
+	}
+	if c.N() != s.N() {
+		t.Error("Clone size mismatch")
+	}
+}
+
+func TestZeroForces(t *testing.T) {
+	s := newTestSystem(t, 4)
+	s.Force[2] = vec.New(1, 1, 1)
+	s.ZeroForces()
+	for i, f := range s.Force {
+		if f != vec.Zero {
+			t.Errorf("Force[%d] = %v after ZeroForces", i, f)
+		}
+	}
+}
+
+func TestMaxSpeed(t *testing.T) {
+	s := newTestSystem(t, 3)
+	s.Vel[1] = vec.New(3, 4, 0)
+	if got := s.MaxSpeed(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("MaxSpeed = %v", got)
+	}
+}
+
+func TestKineticEnergyMatchesTemperatureDOF(t *testing.T) {
+	// KE and Temperature must be mutually consistent via 3N dof.
+	s := newTestSystem(t, 50)
+	rng := rand.New(rand.NewSource(3))
+	s.Thermalize(250, rng)
+	ke := s.KineticEnergy()
+	T := s.Temperature()
+	want := 2 * ke / (3 * float64(s.NumMobile()) * 8.617333262e-5)
+	if math.Abs(T-want) > 1e-9 {
+		t.Errorf("Temperature inconsistent with KE: %v vs %v", T, want)
+	}
+}
+
+func TestReflectNonFiniteParksAtWall(t *testing.T) {
+	b := CubicBox(10, false)
+	p, v := b.Reflect(vec.New(math.Inf(1), 5, 5), vec.New(1, 0, 0))
+	if p.X != 10 || v.X != 0 {
+		t.Errorf("Inf reflect: p=%v v=%v", p, v)
+	}
+	p, v = b.Reflect(vec.New(math.NaN(), 5, 5), vec.New(1, 0, 0))
+	if !b.Contains(p) || v.X != 0 {
+		t.Errorf("NaN reflect: p=%v v=%v", p, v)
+	}
+	// Huge-but-finite overshoot folds in O(1) and preserves flip parity.
+	p, v = b.Reflect(vec.New(1e9+3, 5, 5), vec.New(1, 0, 0))
+	if !b.Contains(p) {
+		t.Errorf("huge overshoot left box: %v", p)
+	}
+	// 1e9+3 mod 20 = 3 (5e7 periods, even flips): x=3, v unchanged.
+	if math.Abs(p.X-3) > 1e-6 || v.X != 1 {
+		t.Errorf("fold parity wrong: p=%v v=%v", p, v)
+	}
+}

@@ -1,0 +1,71 @@
+package atom
+
+// The paper's §II-B: "Bond force equations are more complex than the other
+// types, require more floating point operations, can involve up to four
+// atoms, and exhibit indirect and therefore irregular indexing into the atom
+// array." Molecular Workbench implements radial (2-atom), angular (3-atom)
+// and torsional (4-atom) bonds; all three are modeled here.
+
+// Bond is a harmonic radial bond between atoms I and J:
+// V = ½ K (r - R0)².  K is in eV/Å², R0 in Å.
+type Bond struct {
+	I, J int32
+	K    float64
+	R0   float64
+}
+
+// Angle is a harmonic angular bond on the triplet I-J-K with J the vertex:
+// V = ½ K (θ - Theta0)².  K is in eV/rad², Theta0 in radians.
+type Angle struct {
+	I, J, K int32
+	KTheta  float64
+	Theta0  float64
+}
+
+// Torsion is a cosine torsional bond on the chain I-J-K-L:
+// V = ½ V0 (1 - cos(N (φ - Phi0))).  V0 in eV, Phi0 in radians, N the
+// periodicity.
+type Torsion struct {
+	I, J, K, L int32
+	V0         float64
+	N          int
+	Phi0       float64
+}
+
+// Morse is an anharmonic radial bond between atoms I and J with the Morse
+// potential V = D·(1 − e^{−A(r−R0)})² — Molecular Workbench's alternative to
+// the harmonic bond for dissociable pairs. D is the well depth in eV, A the
+// stiffness in 1/Å, R0 the equilibrium length in Å.
+type Morse struct {
+	I, J int32
+	D    float64
+	A    float64
+	R0   float64
+}
+
+// MaxAtomIndex returns the largest atom index referenced by any bond term,
+// or -1 when there are none. Systems validate this against their size.
+func MaxAtomIndex(bonds []Bond, angles []Angle, torsions []Torsion) int32 {
+	var mx int32 = -1
+	up := func(i int32) {
+		if i > mx {
+			mx = i
+		}
+	}
+	for _, b := range bonds {
+		up(b.I)
+		up(b.J)
+	}
+	for _, a := range angles {
+		up(a.I)
+		up(a.J)
+		up(a.K)
+	}
+	for _, t := range torsions {
+		up(t.I)
+		up(t.J)
+		up(t.K)
+		up(t.L)
+	}
+	return mx
+}

@@ -1,0 +1,108 @@
+package atom
+
+import (
+	"math"
+
+	"mw/internal/vec"
+)
+
+// Box is an orthorhombic simulation box anchored at the origin with edge
+// lengths L. When Periodic is true, positions wrap and pair displacements
+// use the minimum-image convention; otherwise the box only defines the
+// extent used by the linked-cell grid and atoms reflect off the walls
+// (Molecular Workbench simulations run in a closed container).
+type Box struct {
+	L        vec.Vec3
+	Periodic bool
+}
+
+// NewBox returns a box with the given edge lengths.
+func NewBox(lx, ly, lz float64, periodic bool) Box {
+	return Box{L: vec.New(lx, ly, lz), Periodic: periodic}
+}
+
+// CubicBox returns a cube with edge length l.
+func CubicBox(l float64, periodic bool) Box { return NewBox(l, l, l, periodic) }
+
+// Volume returns the box volume in Å³.
+func (b Box) Volume() float64 { return b.L.X * b.L.Y * b.L.Z }
+
+// MinImage returns the minimum-image displacement for d. For non-periodic
+// boxes d is returned unchanged.
+func (b Box) MinImage(d vec.Vec3) vec.Vec3 {
+	if !b.Periodic {
+		return d
+	}
+	d.X -= b.L.X * math.Round(d.X/b.L.X)
+	d.Y -= b.L.Y * math.Round(d.Y/b.L.Y)
+	d.Z -= b.L.Z * math.Round(d.Z/b.L.Z)
+	return d
+}
+
+// Displacement returns the (minimum-image) displacement from p to q.
+func (b Box) Displacement(p, q vec.Vec3) vec.Vec3 {
+	return b.MinImage(q.Sub(p))
+}
+
+// Wrap maps p into [0, L) per periodic dimension. Non-periodic boxes return
+// p unchanged.
+func (b Box) Wrap(p vec.Vec3) vec.Vec3 {
+	if !b.Periodic {
+		return p
+	}
+	p.X -= b.L.X * math.Floor(p.X/b.L.X)
+	p.Y -= b.L.Y * math.Floor(p.Y/b.L.Y)
+	p.Z -= b.L.Z * math.Floor(p.Z/b.L.Z)
+	return p
+}
+
+// Reflect applies elastic wall reflection for a non-periodic box: if the
+// position has crossed a wall, it is mirrored back inside and the
+// corresponding velocity component flipped. Periodic boxes wrap instead.
+// It returns the corrected position and velocity.
+func (b Box) Reflect(p, v vec.Vec3) (vec.Vec3, vec.Vec3) {
+	if b.Periodic {
+		return b.Wrap(p), v
+	}
+	p.X, v.X = reflect1(p.X, v.X, b.L.X)
+	p.Y, v.Y = reflect1(p.Y, v.Y, b.L.Y)
+	p.Z, v.Z = reflect1(p.Z, v.Z, b.L.Z)
+	return p, v
+}
+
+func reflect1(x, v, l float64) (float64, float64) {
+	// A fast atom can overshoot by more than one box length; fold until
+	// inside. Each fold flips the velocity sign once. Non-finite input
+	// (a diverged integration step) cannot be folded — park the atom at
+	// the nearest wall with zero velocity rather than looping forever.
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		if x > 0 {
+			return l, 0
+		}
+		return 0, 0
+	}
+	// Collapse distant overshoots in O(1): the fold pattern has period 2l.
+	if x < -2*l || x > 2*l {
+		period := math.Mod(x, 2*l)
+		if period < 0 {
+			period += 2 * l
+		}
+		x = period // now in [0, 2l); at most one fold remains
+	}
+	for x < 0 || x > l {
+		if x < 0 {
+			x = -x
+		} else {
+			x = 2*l - x
+		}
+		v = -v
+	}
+	return x, v
+}
+
+// Contains reports whether p lies inside [0, L] in all dimensions.
+func (b Box) Contains(p vec.Vec3) bool {
+	return p.X >= 0 && p.X <= b.L.X &&
+		p.Y >= 0 && p.Y <= b.L.Y &&
+		p.Z >= 0 && p.Z <= b.L.Z
+}

@@ -1,0 +1,55 @@
+// Package atom defines the simulation state of the molecular dynamics
+// engine: elements, the periodic simulation box, bonded topology (radial,
+// angular, torsional bonds — the paper's "up to four atoms" bond forces),
+// and the structure-of-arrays System holding positions, velocities,
+// accelerations, forces, masses and charges.
+package atom
+
+import "math"
+
+// Element describes a chemical species with its Lennard-Jones parameters.
+// Sigma is in Å, Epsilon in eV, Mass in amu. Molecular Workbench carries
+// per-element LJ parameters and combines them with Lorentz-Berthelot rules.
+type Element struct {
+	Symbol  string
+	Mass    float64 // amu
+	Sigma   float64 // Å
+	Epsilon float64 // eV
+}
+
+// Builtin element identifiers. These are the species used by the paper's
+// three benchmarks (salt: Na/Cl; nanocar: C/H/Au; Al-1000: Al/Au) plus argon
+// for the quickstart example.
+const (
+	Ar = iota
+	Na
+	Cl
+	Al
+	Au
+	C
+	H
+	O
+	NumBuiltin
+)
+
+// Builtin is the built-in element table. LJ parameters are standard
+// literature values converted to eV/Å (UFF-like magnitudes; MW uses values
+// of the same order).
+var Builtin = [NumBuiltin]Element{
+	Ar: {Symbol: "Ar", Mass: 39.948, Sigma: 3.405, Epsilon: 0.0104},
+	Na: {Symbol: "Na", Mass: 22.990, Sigma: 2.350, Epsilon: 0.00130},
+	Cl: {Symbol: "Cl", Mass: 35.453, Sigma: 4.400, Epsilon: 0.00970},
+	Al: {Symbol: "Al", Mass: 26.982, Sigma: 2.620, Epsilon: 0.1700},
+	Au: {Symbol: "Au", Mass: 196.97, Sigma: 2.630, Epsilon: 0.2290},
+	C:  {Symbol: "C", Mass: 12.011, Sigma: 3.400, Epsilon: 0.00456},
+	H:  {Symbol: "H", Mass: 1.008, Sigma: 2.650, Epsilon: 0.00190},
+	O:  {Symbol: "O", Mass: 15.999, Sigma: 3.120, Epsilon: 0.00260},
+}
+
+// MixLJ returns the Lorentz-Berthelot combined LJ parameters for a pair of
+// elements: arithmetic-mean sigma, geometric-mean epsilon.
+func MixLJ(a, b Element) (sigma, epsilon float64) {
+	sigma = 0.5 * (a.Sigma + b.Sigma)
+	epsilon = math.Sqrt(a.Epsilon * b.Epsilon)
+	return sigma, epsilon
+}

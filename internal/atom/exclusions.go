@@ -1,0 +1,93 @@
+package atom
+
+import "sort"
+
+// ExclusionSet records atom pairs excluded from non-bonded (LJ) interaction:
+// directly bonded pairs (1-2), angle ends (1-3) and torsion ends (1-4).
+// Without these exclusions the steep LJ core would fight the bond terms at
+// bonded distances. Storage is CSR over the smaller index of each pair, so
+// lookups during the half-pair LJ loop (which always queries i < j) touch a
+// short sorted slice.
+type ExclusionSet struct {
+	offsets []int32
+	ids     []int32
+}
+
+// BuildExclusions derives the exclusion set from the system's bond topology
+// and stores it in s.Excl. Calling it again after topology changes rebuilds
+// the set.
+func (s *System) BuildExclusions() {
+	pairs := make(map[[2]int32]struct{}, len(s.Bonds)*2)
+	add := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pairs[[2]int32{a, b}] = struct{}{}
+	}
+	for _, b := range s.Bonds {
+		add(b.I, b.J)
+	}
+	for _, m := range s.Morses {
+		add(m.I, m.J)
+	}
+	for _, a := range s.Angles {
+		add(a.I, a.J)
+		add(a.J, a.K)
+		add(a.I, a.K)
+	}
+	for _, t := range s.Torsions {
+		add(t.I, t.L)
+	}
+
+	n := s.N()
+	counts := make([]int32, n+1)
+	for p := range pairs {
+		counts[p[0]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	ids := make([]int32, len(pairs))
+	fill := append([]int32(nil), counts[:n]...)
+	for p := range pairs {
+		ids[fill[p[0]]] = p[1]
+		fill[p[0]]++
+	}
+	for i := 0; i < n; i++ {
+		seg := ids[counts[i]:counts[i+1]]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+	}
+	s.Excl = &ExclusionSet{offsets: counts, ids: ids}
+}
+
+// Excluded reports whether the unordered pair (i, j) is excluded. It is safe
+// on a nil receiver (nothing excluded).
+func (e *ExclusionSet) Excluded(i, j int32) bool {
+	if e == nil {
+		return false
+	}
+	if i > j {
+		i, j = j, i
+	}
+	seg := e.ids[e.offsets[i]:e.offsets[i+1]]
+	for _, v := range seg {
+		if v == j {
+			return true
+		}
+		if v > j {
+			return false
+		}
+	}
+	return false
+}
+
+// Len returns the number of excluded pairs.
+func (e *ExclusionSet) Len() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.ids)
+}

@@ -1,0 +1,109 @@
+package atom
+
+import (
+	"testing"
+
+	"mw/internal/vec"
+)
+
+func chainSystem(n int) *System {
+	s := NewSystem(CubicBox(50, false))
+	for i := 0; i < n; i++ {
+		s.AddAtom(C, vec.New(5+1.5*float64(i), 25, 25), vec.Zero, 0, false)
+	}
+	return s
+}
+
+func TestExclusionsFromBonds(t *testing.T) {
+	s := chainSystem(4)
+	s.Bonds = []Bond{{I: 0, J: 1}, {I: 1, J: 2}}
+	s.BuildExclusions()
+	if !s.Excl.Excluded(0, 1) || !s.Excl.Excluded(1, 2) {
+		t.Error("bonded pairs not excluded")
+	}
+	if !s.Excl.Excluded(1, 0) {
+		t.Error("exclusion not symmetric")
+	}
+	if s.Excl.Excluded(0, 2) {
+		t.Error("1-3 pair excluded without an angle term")
+	}
+	if s.Excl.Excluded(0, 3) {
+		t.Error("unrelated pair excluded")
+	}
+	if s.Excl.Len() != 2 {
+		t.Errorf("Len = %d", s.Excl.Len())
+	}
+}
+
+func TestExclusionsFromAnglesAndTorsions(t *testing.T) {
+	s := chainSystem(5)
+	s.Angles = []Angle{{I: 0, J: 1, K: 2}}
+	s.Torsions = []Torsion{{I: 1, J: 2, K: 3, L: 4}}
+	s.BuildExclusions()
+	// Angle excludes all three pairs of its triplet.
+	for _, p := range [][2]int32{{0, 1}, {1, 2}, {0, 2}} {
+		if !s.Excl.Excluded(p[0], p[1]) {
+			t.Errorf("angle pair %v not excluded", p)
+		}
+	}
+	// Torsion excludes only its 1-4 ends.
+	if !s.Excl.Excluded(1, 4) {
+		t.Error("torsion 1-4 pair not excluded")
+	}
+	if s.Excl.Excluded(2, 4) || s.Excl.Excluded(3, 4) == false {
+		// 3-4 is not excluded by the torsion itself (no bond terms here).
+		if s.Excl.Excluded(3, 4) {
+			t.Error("torsion excluded a non-1-4 pair")
+		}
+	}
+}
+
+func TestExclusionsDeduplicate(t *testing.T) {
+	s := chainSystem(3)
+	s.Bonds = []Bond{{I: 0, J: 1}, {I: 1, J: 0}} // duplicate in both orders
+	s.Angles = []Angle{{I: 0, J: 1, K: 2}}       // re-adds 0-1
+	s.BuildExclusions()
+	if s.Excl.Len() != 3 { // 0-1, 1-2, 0-2
+		t.Errorf("Len = %d, want 3", s.Excl.Len())
+	}
+}
+
+func TestExclusionsNilSafe(t *testing.T) {
+	var e *ExclusionSet
+	if e.Excluded(0, 1) {
+		t.Error("nil set excluded a pair")
+	}
+	if e.Len() != 0 {
+		t.Error("nil set non-empty")
+	}
+}
+
+func TestExclusionsSelfPairIgnored(t *testing.T) {
+	s := chainSystem(2)
+	s.Angles = []Angle{{I: 0, J: 0, K: 1}} // degenerate vertex
+	s.BuildExclusions()
+	if s.Excl.Excluded(0, 0) {
+		t.Error("self pair excluded")
+	}
+}
+
+func TestExclusionsLargeFanout(t *testing.T) {
+	// A star topology: atom 0 bonded to many others; CSR segments must stay
+	// sorted for the early-exit scan.
+	s := NewSystem(CubicBox(100, false))
+	for i := 0; i < 50; i++ {
+		s.AddAtom(C, vec.New(float64(i)+1, 50, 50), vec.Zero, 0, false)
+	}
+	for j := int32(49); j >= 1; j-- { // insert in reverse to stress sorting
+		s.Bonds = append(s.Bonds, Bond{I: 0, J: j})
+	}
+	s.BuildExclusions()
+	for j := int32(1); j < 50; j++ {
+		if !s.Excl.Excluded(0, j) {
+			t.Fatalf("pair 0-%d not excluded", j)
+		}
+	}
+	if s.Excl.Excluded(1, 2) {
+		t.Error("non-bonded leaf pair excluded")
+	}
+}

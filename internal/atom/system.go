@@ -1,0 +1,260 @@
+package atom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// System holds the full state of a simulation in structure-of-arrays form.
+// The Java Molecular Workbench stores an array of Atom objects (an
+// array-of-structures on a garbage-collected heap); the paper's §V shows
+// that this layout, whose addresses the programmer cannot control, was
+// central to the memory-subsystem problems. The Go engine uses SoA slices
+// for the native fast path; the Java-like scattered layout is reproduced by
+// internal/jheap for the locality experiments.
+type System struct {
+	Box Box
+
+	Pos   []vec.Vec3 // positions, Å
+	Vel   []vec.Vec3 // velocities, Å/fs
+	Acc   []vec.Vec3 // accelerations, Å/fs²
+	Force []vec.Vec3 // forces, eV/Å
+
+	Mass    []float64 // amu
+	InvMass []float64 // 1/amu, 0 for fixed atoms
+	Charge  []float64 // elementary charges
+	Elem    []int16   // index into Elements
+	Fixed   []bool    // immovable atoms (e.g. the nanocar's gold platform)
+
+	Elements []Element
+
+	Bonds    []Bond
+	Angles   []Angle
+	Torsions []Torsion
+	Morses   []Morse
+
+	// Excl holds the non-bonded exclusion pairs derived from the topology;
+	// nil means no exclusions. Built by BuildExclusions.
+	Excl *ExclusionSet
+}
+
+// NewSystem returns an empty system with the given box using the built-in
+// element table.
+func NewSystem(box Box) *System {
+	return &System{Box: box, Elements: Builtin[:]}
+}
+
+// N returns the number of atoms.
+func (s *System) N() int { return len(s.Pos) }
+
+// AddAtom appends an atom of the given element at position p with velocity v
+// and returns its index. Fixed atoms participate in force computations on
+// others but never move (their InvMass is zero).
+func (s *System) AddAtom(elem int16, p, v vec.Vec3, charge float64, fixed bool) int {
+	e := s.Elements[elem]
+	s.Pos = append(s.Pos, p)
+	s.Vel = append(s.Vel, v)
+	s.Acc = append(s.Acc, vec.Zero)
+	s.Force = append(s.Force, vec.Zero)
+	s.Mass = append(s.Mass, e.Mass)
+	inv := 1 / e.Mass
+	if fixed {
+		inv = 0
+	}
+	s.InvMass = append(s.InvMass, inv)
+	s.Charge = append(s.Charge, charge)
+	s.Elem = append(s.Elem, elem)
+	s.Fixed = append(s.Fixed, fixed)
+	return len(s.Pos) - 1
+}
+
+// Validate checks internal consistency: equal array lengths, bond indices in
+// range, atoms inside the box for non-periodic systems.
+func (s *System) Validate() error {
+	n := s.N()
+	if len(s.Vel) != n || len(s.Acc) != n || len(s.Force) != n ||
+		len(s.Mass) != n || len(s.InvMass) != n || len(s.Charge) != n ||
+		len(s.Elem) != n || len(s.Fixed) != n {
+		return fmt.Errorf("atom: inconsistent array lengths (n=%d)", n)
+	}
+	if mx := MaxAtomIndex(s.Bonds, s.Angles, s.Torsions); int(mx) >= n {
+		return fmt.Errorf("atom: bond references atom %d, system has %d", mx, n)
+	}
+	for i, m := range s.Morses {
+		if m.I == m.J || m.I < 0 || m.J < 0 || int(m.I) >= n || int(m.J) >= n {
+			return fmt.Errorf("atom: morse %d is degenerate or out of range (%d-%d)", i, m.I, m.J)
+		}
+	}
+	for i, b := range s.Bonds {
+		if b.I == b.J || b.I < 0 || b.J < 0 {
+			return fmt.Errorf("atom: bond %d is degenerate (%d-%d)", i, b.I, b.J)
+		}
+	}
+	for i, p := range s.Pos {
+		if !p.IsFinite() {
+			return fmt.Errorf("atom: position %d is not finite", i)
+		}
+		if !s.Box.Periodic && !s.Box.Contains(p) {
+			return fmt.Errorf("atom: position %d outside box: %v", i, p)
+		}
+	}
+	return nil
+}
+
+// KineticEnergy returns the total kinetic energy in eV. Fixed atoms do not
+// contribute.
+func (s *System) KineticEnergy() float64 {
+	var ke float64
+	for i := range s.Vel {
+		if s.Fixed[i] {
+			continue
+		}
+		ke += units.KineticEnergy(s.Mass[i], s.Vel[i].Norm2())
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous temperature in K computed from the
+// kinetic energy of the mobile atoms.
+func (s *System) Temperature() float64 {
+	return units.TemperatureFromKE(s.KineticEnergy(), 3*s.NumMobile())
+}
+
+// NumMobile returns the number of non-fixed atoms.
+func (s *System) NumMobile() int {
+	n := 0
+	for _, f := range s.Fixed {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// NumCharged returns the number of atoms with a non-zero charge.
+func (s *System) NumCharged() int {
+	n := 0
+	for _, q := range s.Charge {
+		if q != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ChargedIndices returns the indices of all charged atoms, in index order.
+func (s *System) ChargedIndices() []int32 {
+	idx := make([]int32, 0, s.NumCharged())
+	for i, q := range s.Charge {
+		if q != 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
+}
+
+// TotalCharge returns the net charge of the system in elementary charges.
+func (s *System) TotalCharge() float64 {
+	var q float64
+	for _, c := range s.Charge {
+		q += c
+	}
+	return q
+}
+
+// Thermalize draws Maxwell-Boltzmann velocities at temperature T for all
+// mobile atoms using rng, then removes the center-of-mass drift so that the
+// system has no net momentum.
+func (s *System) Thermalize(T float64, rng *rand.Rand) {
+	for i := range s.Vel {
+		if s.Fixed[i] {
+			s.Vel[i] = vec.Zero
+			continue
+		}
+		// Per-component sigma: ½ m <vx²> KEFactor = ½ k_B T.
+		sd := math.Sqrt(units.Boltzmann * T / (s.Mass[i] * units.KEFactor))
+		s.Vel[i] = vec.New(rng.NormFloat64()*sd, rng.NormFloat64()*sd, rng.NormFloat64()*sd)
+	}
+	s.RemoveDrift()
+}
+
+// RemoveDrift subtracts the center-of-mass velocity from every mobile atom.
+func (s *System) RemoveDrift() {
+	var p vec.Vec3
+	var m float64
+	for i := range s.Vel {
+		if s.Fixed[i] {
+			continue
+		}
+		p = p.AddScaled(s.Mass[i], s.Vel[i])
+		m += s.Mass[i]
+	}
+	if m == 0 {
+		return
+	}
+	v := p.Scale(1 / m)
+	for i := range s.Vel {
+		if !s.Fixed[i] {
+			s.Vel[i] = s.Vel[i].Sub(v)
+		}
+	}
+}
+
+// Momentum returns the total momentum of the mobile atoms (amu·Å/fs).
+func (s *System) Momentum() vec.Vec3 {
+	var p vec.Vec3
+	for i := range s.Vel {
+		if s.Fixed[i] {
+			continue
+		}
+		p = p.AddScaled(s.Mass[i], s.Vel[i])
+	}
+	return p
+}
+
+// ZeroForces clears the force array.
+func (s *System) ZeroForces() {
+	for i := range s.Force {
+		s.Force[i] = vec.Zero
+	}
+}
+
+// Clone returns a deep copy of the system (bond lists are shared: they are
+// immutable after construction).
+func (s *System) Clone() *System {
+	c := &System{
+		Box:      s.Box,
+		Pos:      append([]vec.Vec3(nil), s.Pos...),
+		Vel:      append([]vec.Vec3(nil), s.Vel...),
+		Acc:      append([]vec.Vec3(nil), s.Acc...),
+		Force:    append([]vec.Vec3(nil), s.Force...),
+		Mass:     append([]float64(nil), s.Mass...),
+		InvMass:  append([]float64(nil), s.InvMass...),
+		Charge:   append([]float64(nil), s.Charge...),
+		Elem:     append([]int16(nil), s.Elem...),
+		Fixed:    append([]bool(nil), s.Fixed...),
+		Elements: s.Elements,
+		Bonds:    s.Bonds,
+		Angles:   s.Angles,
+		Torsions: s.Torsions,
+		Morses:   s.Morses,
+		Excl:     s.Excl,
+	}
+	return c
+}
+
+// MaxSpeed returns the largest atom speed in Å/fs, used for timestep sanity
+// checks and neighbor-skin heuristics.
+func (s *System) MaxSpeed() float64 {
+	var mx float64
+	for _, v := range s.Vel {
+		if n := v.Norm2(); n > mx {
+			mx = n
+		}
+	}
+	return math.Sqrt(mx)
+}

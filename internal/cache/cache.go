@@ -1,0 +1,158 @@
+// Package cache models the memory hierarchy of the paper's Table II
+// machines: private set-associative L1/L2 per core, L3 slices shared by
+// topology-defined core groups, write-invalidate coherence between private
+// caches, and a memory controller with a finite number of channels whose
+// queueing produces the bandwidth saturation that the paper identifies as
+// the Al-1000 benchmark's scaling limiter (§V).
+//
+// The model is trace-driven and deterministic: Access(core, now, addr,
+// write) returns the access latency in cycles given the current simulated
+// time, and mutates cache state.
+package cache
+
+// Config describes one cache.
+type Config struct {
+	SizeKB    int
+	LineBytes int
+	Ways      int
+	Latency   int64 // hit latency in cycles
+}
+
+// Cache is one set-associative cache with LRU replacement.
+type Cache struct {
+	cfg   Config
+	nsets uint64
+	tags  []uint64 // [set*ways+way]
+	valid []bool
+	lru   []uint64
+	clock uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// New creates a cache. Sets are derived from size, line and ways; the set
+// count is rounded down to a power of two for cheap indexing.
+func New(cfg Config) *Cache {
+	if cfg.SizeKB <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic("cache: invalid config")
+	}
+	lines := cfg.SizeKB * 1024 / cfg.LineBytes
+	nsets := uint64(1)
+	for nsets*2 <= uint64(lines/cfg.Ways) {
+		nsets *= 2
+	}
+	c := &Cache{
+		cfg:   cfg,
+		nsets: nsets,
+		tags:  make([]uint64, nsets*uint64(cfg.Ways)),
+		valid: make([]bool, nsets*uint64(cfg.Ways)),
+		lru:   make([]uint64, nsets*uint64(cfg.Ways)),
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.nsets) }
+
+func (c *Cache) setOf(line uint64) uint64 { return line & (c.nsets - 1) }
+
+// Lookup touches the line: on hit it refreshes LRU and returns true; on miss
+// it returns false without inserting.
+func (c *Cache) Lookup(line uint64) bool {
+	set := c.setOf(line)
+	base := set * uint64(c.cfg.Ways)
+	c.clock++
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == line {
+			c.lru[i] = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Insert places the line, evicting the LRU way if needed. It returns the
+// evicted line and whether a valid line was displaced.
+func (c *Cache) Insert(line uint64) (evicted uint64, wasValid bool) {
+	set := c.setOf(line)
+	base := set * uint64(c.cfg.Ways)
+	c.clock++
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + uint64(w)
+		if !c.valid[i] {
+			victim = i
+			wasValid = false
+			c.tags[i] = line
+			c.valid[i] = true
+			c.lru[i] = c.clock
+			return 0, false
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	evicted = c.tags[victim]
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return evicted, true
+}
+
+// Invalidate removes the line if present, returning whether it was held.
+func (c *Cache) Invalidate(line uint64) bool {
+	set := c.setOf(line)
+	base := set * uint64(c.cfg.Ways)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == line {
+			c.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports presence without touching LRU or counters.
+func (c *Cache) Contains(line uint64) bool {
+	set := c.setOf(line)
+	base := set * uint64(c.cfg.Ways)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates everything and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Hits, c.Misses = 0, 0
+}
+
+// MissRate returns misses / (hits+misses), or 0 when untouched.
+func (c *Cache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}

@@ -1,0 +1,317 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mw/internal/topo"
+)
+
+func smallCache() *Cache {
+	// 4 sets × 2 ways × 64B lines = 512 B.
+	return New(Config{SizeKB: 1, LineBytes: 64, Ways: 2, Latency: 4})
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(10) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(10)
+	if !c.Lookup(10) {
+		t.Fatal("miss after insert")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache() // sets = 8 (1KB/64B/2 ways = 8 lines → 4 sets... verify below)
+	sets := uint64(c.Sets())
+	// Three lines mapping to the same set; 2 ways → third insert evicts LRU.
+	a, b, d := sets*1, sets*2, sets*3
+	c.Insert(a)
+	c.Insert(b)
+	c.Lookup(a) // refresh a: b is now LRU
+	if ev, was := c.Insert(d); !was || ev != b {
+		t.Errorf("evicted %d (valid=%v), want %d", ev, was, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Error("LRU policy violated")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Insert(5)
+	if !c.Invalidate(5) {
+		t.Error("Invalidate missed present line")
+	}
+	if c.Invalidate(5) {
+		t.Error("Invalidate hit absent line")
+	}
+	if c.Contains(5) {
+		t.Error("line present after invalidation")
+	}
+}
+
+func TestCacheOccupancyBounded(t *testing.T) {
+	c := smallCache()
+	cap := c.Sets() * 2
+	for i := uint64(0); i < 10000; i++ {
+		c.Insert(i)
+	}
+	if occ := c.Occupancy(); occ > cap {
+		t.Errorf("occupancy %d exceeds capacity %d", occ, cap)
+	}
+}
+
+func TestCacheAccountingInvariant(t *testing.T) {
+	c := smallCache()
+	rng := rand.New(rand.NewSource(2))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		line := uint64(rng.Intn(64))
+		if !c.Lookup(line) {
+			c.Insert(line)
+		}
+	}
+	if c.Hits+c.Misses != n {
+		t.Errorf("hits+misses = %d, want %d", c.Hits+c.Misses, n)
+	}
+	if c.MissRate() < 0 || c.MissRate() > 1 {
+		t.Errorf("MissRate = %v", c.MissRate())
+	}
+}
+
+func TestCacheResetClears(t *testing.T) {
+	c := smallCache()
+	c.Insert(1)
+	c.Lookup(1)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 || c.Occupancy() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config must panic")
+		}
+	}()
+	New(Config{})
+}
+
+// Property: a single-set fully-associative cache of k ways keeps exactly the
+// k most recently used lines (LRU stack property).
+func TestLRUStackProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		const ways = 4
+		// 1 KB / 256 B lines = 4 lines / 4 ways = exactly one set.
+		c := New(Config{SizeKB: 1, LineBytes: 256, Ways: ways, Latency: 1})
+		if c.Sets() != 1 {
+			t.Fatalf("expected single-set cache, got %d sets", c.Sets())
+		}
+		var recent []uint64
+		for _, s := range seq {
+			line := uint64(s % 16)
+			if !c.Lookup(line) {
+				c.Insert(line)
+			}
+			// maintain reference LRU stack
+			for i, r := range recent {
+				if r == line {
+					recent = append(recent[:i], recent[i+1:]...)
+					break
+				}
+			}
+			recent = append(recent, line)
+			if len(recent) > ways {
+				recent = recent[1:]
+			}
+			for _, r := range recent {
+				if !c.Contains(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialBeatsRandomMissRate(t *testing.T) {
+	mk := func() *Cache { return New(Config{SizeKB: 32, LineBytes: 64, Ways: 8, Latency: 4}) }
+	seq := mk()
+	// Sequential byte stream over 256 KB: one miss per 64-byte line.
+	for addr := uint64(0); addr < 256*1024; addr += 8 {
+		line := addr / 64
+		if !seq.Lookup(line) {
+			seq.Insert(line)
+		}
+	}
+	rnd := mk()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 32*1024; i++ {
+		line := uint64(rng.Intn(4 * 1024 * 1024 / 64))
+		if !rnd.Lookup(line) {
+			rnd.Insert(line)
+		}
+	}
+	if seq.MissRate() >= rnd.MissRate() {
+		t.Errorf("sequential miss rate %v not below random %v", seq.MissRate(), rnd.MissRate())
+	}
+}
+
+func newHier(m topo.Machine) *Hierarchy {
+	return NewHierarchy(HierConfig{Machine: m})
+}
+
+func TestHierarchyLatencyLadder(t *testing.T) {
+	h := newHier(topo.CoreI7)
+	// First touch: memory.
+	lat := h.Access(0, 0, 0x1000, false)
+	if lat < 200 {
+		t.Errorf("cold access latency %d < memory latency", lat)
+	}
+	// Now in L1.
+	if lat = h.Access(0, 1000, 0x1000, false); lat != 4 {
+		t.Errorf("L1 hit latency %d", lat)
+	}
+	// Same line from another core: must miss private caches, hit shared L3.
+	lat = h.Access(1, 2000, 0x1000, false)
+	if lat != 40 {
+		t.Errorf("cross-core L3 hit latency %d, want 40", lat)
+	}
+}
+
+func TestHierarchyStatsConservation(t *testing.T) {
+	h := newHier(topo.CoreI7)
+	rng := rand.New(rand.NewSource(4))
+	var now int64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Intn(1 << 22))
+		now += h.Access(rng.Intn(4), now, addr, rng.Intn(4) == 0)
+	}
+	s := h.Stats
+	if s.Accesses != n {
+		t.Errorf("accesses = %d", s.Accesses)
+	}
+	if s.L1Hits+s.L2Hits+s.L3Hits+s.RemoteL3Hits+s.MemAccesses != n {
+		t.Errorf("levels do not sum: %d+%d+%d+%d+%d != %d",
+			s.L1Hits, s.L2Hits, s.L3Hits, s.RemoteL3Hits, s.MemAccesses, n)
+	}
+	if s.L2MissRate() < 0 || s.L2MissRate() > 1 || s.LLCMissRate() < 0 || s.LLCMissRate() > 1 {
+		t.Error("miss rates out of range")
+	}
+}
+
+func TestWriteInvalidatesOtherCores(t *testing.T) {
+	h := newHier(topo.CoreI7)
+	h.Access(0, 0, 0x40, false) // core 0 reads
+	h.Access(1, 10, 0x40, false)
+	if h.L1(0).Contains(1) == false { // line 0x40/64 = 1
+		t.Fatal("core 0 L1 should hold the line")
+	}
+	h.Access(2, 20, 0x40, true) // core 2 writes
+	if h.Stats.Invalidations == 0 {
+		t.Error("write did not invalidate sharers")
+	}
+	if h.L1(0).Contains(1) || h.L1(1).Contains(1) {
+		t.Error("sharer copies survived a remote write")
+	}
+	// Core 0 must now re-miss (coherence miss).
+	lat := h.Access(0, 30, 0x40, false)
+	if lat <= 4 {
+		t.Errorf("post-invalidation access hit locally (lat=%d)", lat)
+	}
+}
+
+func TestFalseSharingPingPong(t *testing.T) {
+	// Two cores alternately writing two different words of the same line
+	// must invalidate each other every time.
+	h := newHier(topo.CoreI7)
+	var now int64
+	inv0 := h.Stats.Invalidations
+	for i := 0; i < 100; i++ {
+		now += h.Access(0, now, 0x80, true) // word 0 of line 2
+		now += h.Access(1, now, 0x88, true) // word 1 of line 2
+	}
+	if got := h.Stats.Invalidations - inv0; got < 190 {
+		t.Errorf("false-sharing invalidations = %d, want ≈200", got)
+	}
+}
+
+func TestMemoryChannelQueueing(t *testing.T) {
+	// Many simultaneous misses through one channel must produce stall
+	// cycles; generous channels at the same rate must produce fewer.
+	narrow := NewHierarchy(HierConfig{Machine: func() topo.Machine {
+		m := topo.CoreI7
+		m.MemChannels = 1
+		return m
+	}()})
+	wide := NewHierarchy(HierConfig{Machine: func() topo.Machine {
+		m := topo.CoreI7
+		m.MemChannels = 8
+		return m
+	}()})
+	for i := 0; i < 1000; i++ {
+		addr := uint64(i) * 64 * 1024 // distinct sets/lines, all cold misses
+		narrow.Access(i%4, 0, addr, false)
+		wide.Access(i%4, 0, addr, false)
+	}
+	if narrow.Stats.MemStall <= wide.Stats.MemStall {
+		t.Errorf("narrow stall %d not above wide stall %d",
+			narrow.Stats.MemStall, wide.Stats.MemStall)
+	}
+	if narrow.Stats.MemStall == 0 {
+		t.Error("no queueing under burst misses on one channel")
+	}
+}
+
+func TestSharedL3VisibleAcrossGroupOnly(t *testing.T) {
+	h := newHier(topo.XeonE5450) // L3 shared per core pair
+	h.Access(0, 0, 0x2000, false)
+	// Core 1 shares the L3 slice with core 0 → L3 hit (40 cycles).
+	if lat := h.Access(1, 100, 0x2000, false); lat != 40 {
+		t.Errorf("same-group access latency %d, want 40", lat)
+	}
+	// Core 2 is another slice → remote-L3 snoop: slower than local L3,
+	// faster than memory.
+	if lat := h.Access(2, 200, 0x2000, false); lat != 110 {
+		t.Errorf("cross-group access latency %d, want remote-L3 110", lat)
+	}
+	if h.Stats.RemoteL3Hits != 1 {
+		t.Errorf("RemoteL3Hits = %d", h.Stats.RemoteL3Hits)
+	}
+	// A write from group 0 invalidates group 1's shared copy: core 2
+	// re-misses past its own L3.
+	h.Access(0, 300, 0x2000, true)
+	if lat := h.Access(2, 400, 0x2000, false); lat <= 40 {
+		t.Errorf("stale cross-group copy survived a write (lat=%d)", lat)
+	}
+}
+
+func TestFlushCore(t *testing.T) {
+	h := newHier(topo.CoreI7)
+	h.Access(0, 0, 0x40, false)
+	h.FlushCore(0)
+	if h.L1(0).Occupancy() != 0 || h.L2(0).Occupancy() != 0 {
+		t.Error("FlushCore left lines behind")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := newHier(topo.CoreI7)
+	h.Access(0, 0, 0x40, false)
+	h.ResetStats()
+	if h.Stats.Accesses != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}

@@ -1,0 +1,298 @@
+package cache
+
+import (
+	"mw/internal/topo"
+)
+
+// HierConfig parameterizes a full-machine hierarchy. Latencies are in core
+// cycles; defaults follow common Nehalem-class figures (the paper's i7 920).
+type HierConfig struct {
+	Machine topo.Machine
+
+	LineBytes  int   // cache line size (default 64)
+	L1Ways     int   // default 8
+	L2Ways     int   // default 8
+	L3Ways     int   // default 16
+	L1Latency  int64 // default 4
+	L2Latency  int64 // default 12
+	L3Latency  int64 // default 40
+	MemLatency int64 // default 200
+
+	// MemService is how long one request occupies a memory channel; with
+	// Machine.MemChannels it caps aggregate bandwidth (default 60).
+	MemService int64
+
+	// NoPrefetch disables the next-line prefetcher. By default an L2 fill
+	// also installs the successor line into L2 at no charge — the hardware
+	// streamer that makes packed/sequential layouts fast and does nothing
+	// for scattered ones (the §V-A spatial-locality mechanism).
+	NoPrefetch bool
+
+	// RemoteL3 is the latency of fetching a line found in another L3
+	// group's slice (cross-socket / cross-slice snoop, default 110) — the
+	// "different memory access speeds … depending on whether they shared
+	// data at the LLC, socket, or system level" of §V-C.
+	RemoteL3 int64
+
+	// MLP is the memory-level parallelism factor: an out-of-order core with
+	// prefetchers overlaps several outstanding misses, so the latency a
+	// thread *perceives* per miss is MemLatency/MLP (+ any queueing), while
+	// each miss still occupies a channel for the full MemService. MLP > 1
+	// is what lets a single memory-bound thread approach bandwidth
+	// saturation on its own. Default 1 (no overlap).
+	MLP int64
+}
+
+func (c HierConfig) withDefaults() HierConfig {
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 8
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 8
+	}
+	if c.L3Ways == 0 {
+		c.L3Ways = 16
+	}
+	if c.L1Latency == 0 {
+		c.L1Latency = 4
+	}
+	if c.L2Latency == 0 {
+		c.L2Latency = 12
+	}
+	if c.L3Latency == 0 {
+		c.L3Latency = 40
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 200
+	}
+	if c.MemService == 0 {
+		c.MemService = 60
+	}
+	if c.RemoteL3 == 0 {
+		c.RemoteL3 = 110
+	}
+	if c.MLP <= 0 {
+		c.MLP = 1
+	}
+	return c
+}
+
+// Stats aggregates hierarchy-level counters.
+type Stats struct {
+	Accesses      int64
+	L1Hits        int64
+	L2Hits        int64
+	L3Hits        int64
+	MemAccesses   int64
+	Invalidations int64
+	RemoteL3Hits  int64 // lines served by another group's L3 slice
+	MemStall      int64 // cycles lost to channel queueing beyond raw latency
+}
+
+// L2MissRate returns the fraction of L2 lookups that missed (reaches L3 or
+// memory) — the "mid-level cache miss rate" the paper read from VTune.
+func (s Stats) L2MissRate() float64 {
+	l2Lookups := s.Accesses - s.L1Hits
+	if l2Lookups == 0 {
+		return 0
+	}
+	return float64(l2Lookups-s.L2Hits) / float64(l2Lookups)
+}
+
+// LLCMissRate returns the fraction of L3 lookups that went to memory.
+func (s Stats) LLCMissRate() float64 {
+	l3Lookups := s.Accesses - s.L1Hits - s.L2Hits
+	if l3Lookups == 0 {
+		return 0
+	}
+	return float64(s.MemAccesses) / float64(l3Lookups)
+}
+
+// Hierarchy is the full-machine cache model.
+type Hierarchy struct {
+	cfg HierConfig
+
+	l1, l2 []*Cache // per core
+	l3     []*Cache // per L3 group
+
+	// dir maps a line to the bitmask of cores that may hold it privately;
+	// approximate (bits are cleared only by invalidation), which costs only
+	// harmless no-op invalidations.
+	dir map[uint64]uint64
+
+	chanBusy []int64 // per-channel busy-until timestamps
+
+	Stats Stats
+}
+
+// NewHierarchy builds the cache model for a machine.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	cfg = cfg.withDefaults()
+	m := cfg.Machine
+	h := &Hierarchy{
+		cfg:      cfg,
+		l1:       make([]*Cache, m.NumCores()),
+		l2:       make([]*Cache, m.NumCores()),
+		l3:       make([]*Cache, max(1, m.NumL3Groups())),
+		dir:      make(map[uint64]uint64, 1<<16),
+		chanBusy: make([]int64, max(1, m.MemChannels)),
+	}
+	for c := range h.l1 {
+		h.l1[c] = New(Config{SizeKB: m.L1KB, LineBytes: cfg.LineBytes, Ways: cfg.L1Ways, Latency: cfg.L1Latency})
+		h.l2[c] = New(Config{SizeKB: m.L2KB, LineBytes: cfg.LineBytes, Ways: cfg.L2Ways, Latency: cfg.L2Latency})
+	}
+	for g := range h.l3 {
+		h.l3[g] = New(Config{SizeKB: m.L3KB, LineBytes: cfg.LineBytes, Ways: cfg.L3Ways, Latency: cfg.L3Latency})
+	}
+	return h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Access performs one memory access by the given core at simulated time now
+// (cycles) and returns its latency in cycles. Writes invalidate other cores'
+// private copies of the line (write-invalidate coherence), which is what
+// makes false sharing and migration-cold caches visible in the model.
+func (h *Hierarchy) Access(core int, now int64, addr uint64, write bool) int64 {
+	line := addr / uint64(h.cfg.LineBytes)
+	h.Stats.Accesses++
+
+	var lat int64
+	switch {
+	case h.l1[core].Lookup(line):
+		h.Stats.L1Hits++
+		lat = h.cfg.L1Latency
+	case h.l2[core].Lookup(line):
+		h.Stats.L2Hits++
+		lat = h.cfg.L2Latency
+		h.l1[core].Insert(line)
+	default:
+		g := h.cfg.Machine.L3GroupOfCore(core)
+		if h.l3[g].Lookup(line) {
+			h.Stats.L3Hits++
+			lat = h.cfg.L3Latency
+		} else if rg := h.snoopL3(g, line); rg >= 0 {
+			// Served by a remote slice (cross-socket snoop); a shared read
+			// copy is installed locally.
+			h.Stats.RemoteL3Hits++
+			lat = h.cfg.RemoteL3
+			h.l3[g].Insert(line)
+		} else {
+			// Memory access with channel queueing.
+			h.Stats.MemAccesses++
+			// Mix the line address before selecting a channel so that
+			// power-of-two strides don't alias onto one channel (splitmix64
+			// finalizer).
+			hsh := line
+			hsh ^= hsh >> 33
+			hsh *= 0xff51afd7ed558ccd
+			hsh ^= hsh >> 33
+			ch := int(hsh % uint64(len(h.chanBusy)))
+			start := now
+			if h.chanBusy[ch] > start {
+				h.Stats.MemStall += h.chanBusy[ch] - start
+				start = h.chanBusy[ch]
+			}
+			h.chanBusy[ch] = start + h.cfg.MemService
+			lat = (start - now) + h.cfg.MemLatency/h.cfg.MLP
+			h.l3[g].Insert(line)
+		}
+		h.l2[core].Insert(line)
+		h.l1[core].Insert(line)
+		if !h.cfg.NoPrefetch {
+			// Streamer: pull the next two lines so both unit-stride and
+			// two-line-stride (128-byte objects) sequences are covered.
+			for d := uint64(1); d <= 2; d++ {
+				if !h.l2[core].Contains(line + d) {
+					h.l2[core].Insert(line + d)
+					h.dir[line+d] |= 1 << uint(core)
+				}
+			}
+		}
+	}
+
+	if write {
+		if owners, ok := h.dir[line]; ok {
+			for c := 0; c < len(h.l1); c++ {
+				if c == core || owners&(1<<uint(c)) == 0 {
+					continue
+				}
+				inv := h.l1[c].Invalidate(line)
+				if h.l2[c].Invalidate(line) {
+					inv = true
+				}
+				if inv {
+					h.Stats.Invalidations++
+				}
+			}
+		}
+		// Other groups' shared L3 copies become stale too.
+		wg := h.cfg.Machine.L3GroupOfCore(core)
+		for g := range h.l3 {
+			if g != wg && h.l3[g].Invalidate(line) {
+				h.Stats.Invalidations++
+			}
+		}
+		h.dir[line] = 1 << uint(core)
+	} else {
+		h.dir[line] |= 1 << uint(core)
+	}
+	return lat
+}
+
+// snoopL3 returns the index of another L3 group holding the line, or -1.
+func (h *Hierarchy) snoopL3(except int, line uint64) int {
+	for g := range h.l3 {
+		if g != except && h.l3[g].Contains(line) {
+			return g
+		}
+	}
+	return -1
+}
+
+// InvalidateRange drops every line of [lo, hi) from all caches — used by the
+// machine model when a region's contents are logically replaced by freshly
+// allocated objects at new addresses (per-step boxed neighbor lists).
+func (h *Hierarchy) InvalidateRange(lo, hi uint64) {
+	first := lo / uint64(h.cfg.LineBytes)
+	last := (hi + uint64(h.cfg.LineBytes) - 1) / uint64(h.cfg.LineBytes)
+	for line := first; line < last; line++ {
+		for c := range h.l1 {
+			h.l1[c].Invalidate(line)
+			h.l2[c].Invalidate(line)
+		}
+		for g := range h.l3 {
+			h.l3[g].Invalidate(line)
+		}
+		delete(h.dir, line)
+	}
+}
+
+// FlushCore invalidates a core's private caches — used by the machine model
+// when the simulated heap is re-laid-out between experiments (not on
+// migration: a migrated thread naturally finds the destination core's caches
+// cold, which the model captures without explicit flushing).
+func (h *Hierarchy) FlushCore(core int) {
+	h.l1[core].Reset()
+	h.l2[core].Reset()
+}
+
+// ResetStats clears aggregate counters without touching cache contents.
+func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }
+
+// L1 returns core c's L1 cache (for tests and diagnostics).
+func (h *Hierarchy) L1(c int) *Cache { return h.l1[c] }
+
+// L2 returns core c's L2 cache.
+func (h *Hierarchy) L2(c int) *Cache { return h.l2[c] }
+
+// L3 returns group g's L3 slice.
+func (h *Hierarchy) L3(g int) *Cache { return h.l3[g] }

@@ -1,0 +1,271 @@
+// Package cells implements the linked-cell algorithm (Hockney & Eastwood)
+// used by Molecular Workbench to build Lennard-Jones neighbor lists in O(N):
+// a 3D grid is superimposed over the simulation box, sized so that all
+// neighbors of an atom lie in its own or an adjacent grid cell (paper §II-B).
+package cells
+
+import (
+	"math"
+
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+// Grid is the linked-cell decomposition of a box. Cell edge lengths are at
+// least the interaction range, so the 27-cell stencil around an atom's cell
+// covers all possible neighbors.
+type Grid struct {
+	Box   atom.Box
+	Range float64 // minimum cell edge (cutoff + skin)
+
+	Dims [3]int   // cells per dimension (≥1)
+	inv  vec.Vec3 // reciprocal cell edge lengths
+	head []int32  // per-cell head of chain, -1 if empty
+	next []int32  // per-atom next link, -1 at end
+}
+
+// NewGrid creates a grid for the box with cells at least r on a side.
+// r must be positive.
+func NewGrid(box atom.Box, r float64) *Grid {
+	if r <= 0 {
+		panic("cells: non-positive interaction range")
+	}
+	g := &Grid{Box: box, Range: r}
+	dims := [3]float64{box.L.X, box.L.Y, box.L.Z}
+	for d := 0; d < 3; d++ {
+		n := int(math.Floor(dims[d] / r))
+		if n < 1 {
+			n = 1
+		}
+		// Periodic boxes need ≥3 cells per dimension for the stencil not to
+		// double-count images; fall back to fewer cells ⇒ treat the whole
+		// dimension as one cell (stencil degenerates safely).
+		if box.Periodic && n < 3 {
+			n = 1
+		}
+		g.Dims[d] = n
+	}
+	g.inv = vec.New(
+		float64(g.Dims[0])/box.L.X,
+		float64(g.Dims[1])/box.L.Y,
+		float64(g.Dims[2])/box.L.Z,
+	)
+	g.head = make([]int32, g.Dims[0]*g.Dims[1]*g.Dims[2])
+	return g
+}
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.Dims[0] * g.Dims[1] * g.Dims[2] }
+
+// CellIndexOf returns the flat cell index a position maps to — useful for
+// spatial sorting of atoms (the inspector/executor reordering of §V-A).
+func (g *Grid) CellIndexOf(p vec.Vec3) int { return g.cellIndex(p) }
+
+// cellIndex maps a position to its flat cell index, clamping non-periodic
+// coordinates to the box.
+func (g *Grid) cellIndex(p vec.Vec3) int {
+	cx := g.coord(p.X, g.inv.X, g.Dims[0])
+	cy := g.coord(p.Y, g.inv.Y, g.Dims[1])
+	cz := g.coord(p.Z, g.inv.Z, g.Dims[2])
+	return (cz*g.Dims[1]+cy)*g.Dims[0] + cx
+}
+
+func (g *Grid) coord(x, inv float64, n int) int {
+	c := int(math.Floor(x * inv))
+	if g.Box.Periodic {
+		c %= n
+		if c < 0 {
+			c += n
+		}
+		return c
+	}
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// Assign distributes all atoms of s into cells. It must be called before
+// Neighbors and after any batch of position updates.
+func (g *Grid) Assign(s *atom.System) {
+	n := s.N()
+	if cap(g.next) < n {
+		g.next = make([]int32, n)
+	}
+	g.next = g.next[:n]
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		c := g.cellIndex(s.Pos[i])
+		g.next[i] = g.head[c]
+		g.head[c] = int32(i)
+	}
+}
+
+// AppendNeighbors appends to buf the indices j > i of atoms within rng of
+// atom i (center distance, minimum-image for periodic boxes) and returns the
+// extended slice. The j > i half-pairing is exactly Molecular Workbench's
+// scheme: each pair is processed once, by its lower-indexed atom, which is
+// why lower-numbered atoms carry more work (paper §II-B).
+func (g *Grid) AppendNeighbors(s *atom.System, i int, rng float64, buf []int32) []int32 {
+	r2 := rng * rng
+	pi := s.Pos[i]
+	cx := g.coord(pi.X, g.inv.X, g.Dims[0])
+	cy := g.coord(pi.Y, g.inv.Y, g.Dims[1])
+	cz := g.coord(pi.Z, g.inv.Z, g.Dims[2])
+	for dz := -1; dz <= 1; dz++ {
+		z, ok := g.wrapCoord(cz+dz, g.Dims[2])
+		if !ok {
+			continue
+		}
+		for dy := -1; dy <= 1; dy++ {
+			y, ok := g.wrapCoord(cy+dy, g.Dims[1])
+			if !ok {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				x, ok := g.wrapCoord(cx+dx, g.Dims[0])
+				if !ok {
+					continue
+				}
+				c := (z*g.Dims[1]+y)*g.Dims[0] + x
+				for j := g.head[c]; j >= 0; j = g.next[j] {
+					if int(j) <= i {
+						continue
+					}
+					d := g.Box.MinImage(s.Pos[j].Sub(pi))
+					if d.Norm2() < r2 {
+						buf = append(buf, j)
+					}
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// wrapCoord maps a stencil coordinate into the grid; for non-periodic boxes
+// out-of-range coordinates report ok=false. Dimensions collapsed to a single
+// cell visit that cell exactly once (dz/dy/dx = ±1 are skipped).
+func (g *Grid) wrapCoord(c, n int) (int, bool) {
+	if n == 1 {
+		if c == 0 {
+			return 0, true
+		}
+		return 0, false // visit the single cell only once per stencil pass
+	}
+	if g.Box.Periodic {
+		if c < 0 {
+			return c + n, true
+		}
+		if c >= n {
+			return c - n, true
+		}
+		return c, true
+	}
+	if c < 0 || c >= n {
+		return 0, false
+	}
+	return c, true
+}
+
+// NeighborList is a compressed half neighbor list with a verlet skin:
+// Neighbors[Offsets[i]:Offsets[i+1]] are the indices j > i within
+// cutoff+skin of atom i at build time. The list remains valid until some
+// atom has moved more than skin/2 since the build (paper §II-B: "when any
+// atom moves in any dimension by more than a threshold value").
+type NeighborList struct {
+	Cutoff float64
+	Skin   float64
+
+	Offsets   []int32
+	Neighbors []int32
+
+	refPos []vec.Vec3 // positions at build time
+	grid   *Grid
+	builds int
+}
+
+// NewNeighborList creates a list with the given cutoff and skin.
+func NewNeighborList(cutoff, skin float64) *NeighborList {
+	if cutoff <= 0 || skin < 0 {
+		panic("cells: invalid cutoff/skin")
+	}
+	return &NeighborList{Cutoff: cutoff, Skin: skin}
+}
+
+// Build (re)constructs the list from scratch using linked cells: O(N).
+func (nl *NeighborList) Build(s *atom.System) {
+	n := s.N()
+	rng := nl.Cutoff + nl.Skin
+	if nl.grid == nil || nl.grid.Box != s.Box || nl.grid.Range != rng {
+		nl.grid = NewGrid(s.Box, rng)
+	}
+	nl.grid.Assign(s)
+
+	if cap(nl.Offsets) < n+1 {
+		nl.Offsets = make([]int32, n+1)
+	}
+	nl.Offsets = nl.Offsets[:n+1]
+	nl.Neighbors = nl.Neighbors[:0]
+	for i := 0; i < n; i++ {
+		nl.Offsets[i] = int32(len(nl.Neighbors))
+		nl.Neighbors = nl.grid.AppendNeighbors(s, i, rng, nl.Neighbors)
+	}
+	nl.Offsets[n] = int32(len(nl.Neighbors))
+
+	if cap(nl.refPos) < n {
+		nl.refPos = make([]vec.Vec3, n)
+	}
+	nl.refPos = nl.refPos[:n]
+	copy(nl.refPos, s.Pos)
+	nl.builds++
+}
+
+// Valid reports whether the list still covers all pairs within the cutoff:
+// no atom may have moved farther than skin/2 from its build-time position.
+func (nl *NeighborList) Valid(s *atom.System) bool {
+	if len(nl.refPos) != s.N() || nl.Offsets == nil {
+		return false
+	}
+	limit2 := nl.Skin * nl.Skin / 4
+	for i, p := range s.Pos {
+		if s.Box.MinImage(p.Sub(nl.refPos[i])).Norm2() > limit2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Of returns the neighbor slice of atom i. The slice aliases internal
+// storage and is invalidated by the next Build.
+func (nl *NeighborList) Of(i int) []int32 {
+	return nl.Neighbors[nl.Offsets[i]:nl.Offsets[i+1]]
+}
+
+// Len returns the total number of stored (half) pairs.
+func (nl *NeighborList) Len() int { return len(nl.Neighbors) }
+
+// Builds returns how many times the list has been (re)built; the Al-1000
+// benchmark is characterized by frequent rebuilds (paper §III).
+func (nl *NeighborList) Builds() int { return nl.builds }
+
+// BruteForcePairs returns the half pair list (i<j within rng) computed in
+// O(N²); used by tests and as the reference for property checks.
+func BruteForcePairs(s *atom.System, rng float64) [][2]int32 {
+	r2 := rng * rng
+	var out [][2]int32
+	n := s.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Box.MinImage(s.Pos[j].Sub(s.Pos[i])).Norm2() < r2 {
+				out = append(out, [2]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package cells
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+func randomSystem(seed int64, n int, l float64, periodic bool) *atom.System {
+	s := atom.NewSystem(atom.CubicBox(l, periodic))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+		s.AddAtom(atom.Ar, p, vec.Zero, 0, false)
+	}
+	return s
+}
+
+func pairsFromList(nl *NeighborList, n int) [][2]int32 {
+	var out [][2]int32
+	for i := 0; i < n; i++ {
+		for _, j := range nl.Of(i) {
+			out = append(out, [2]int32{int32(i), j})
+		}
+	}
+	return out
+}
+
+func sortPairs(ps [][2]int32) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a][0] != ps[b][0] {
+			return ps[a][0] < ps[b][0]
+		}
+		return ps[a][1] < ps[b][1]
+	})
+}
+
+func assertPairsEqual(t *testing.T, got, want [][2]int32) {
+	t.Helper()
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("pair count: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The core invariant: linked-cell neighbor lists equal brute-force O(N²)
+// pair enumeration, periodic and not, across densities.
+func TestNeighborListMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		l        float64
+		periodic bool
+		cutoff   float64
+		skin     float64
+	}{
+		{"dilute-open", 50, 30, false, 4, 1},
+		{"dense-open", 200, 12, false, 3, 0.5},
+		{"dilute-periodic", 50, 30, true, 4, 1},
+		{"dense-periodic", 200, 12, true, 3, 0.5},
+		{"small-box-periodic", 20, 6, true, 2.5, 0.5}, // forces degenerate 1-cell dims
+		{"single-cell-open", 10, 3, false, 4, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := randomSystem(42, c.n, c.l, c.periodic)
+			nl := NewNeighborList(c.cutoff, c.skin)
+			nl.Build(s)
+			got := pairsFromList(nl, s.N())
+			want := BruteForcePairs(s, c.cutoff+c.skin)
+			assertPairsEqual(t, got, want)
+		})
+	}
+}
+
+// Randomized property sweep over many seeds.
+func TestNeighborListPropertySweep(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		l := 5 + rng.Float64()*20
+		periodic := seed%2 == 0
+		cutoff := 1 + rng.Float64()*3
+		s := randomSystem(seed+100, n, l, periodic)
+		nl := NewNeighborList(cutoff, 0.5)
+		nl.Build(s)
+		got := pairsFromList(nl, s.N())
+		want := BruteForcePairs(s, cutoff+0.5)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d pairs vs brute-force %d", seed, len(got), len(want))
+		}
+		assertPairsEqual(t, got, want)
+	}
+}
+
+func TestHalfListOrdering(t *testing.T) {
+	s := randomSystem(7, 100, 15, false)
+	nl := NewNeighborList(3, 0.5)
+	nl.Build(s)
+	for i := 0; i < s.N(); i++ {
+		for _, j := range nl.Of(i) {
+			if int(j) <= i {
+				t.Fatalf("half list violated: atom %d lists neighbor %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLowerIndexedAtomsHaveMoreNeighbors(t *testing.T) {
+	// The paper notes lower-numbered atoms do more work under half pairing.
+	// Statistically, the first third of atoms must hold more pairs than the
+	// last third in a homogeneous system.
+	s := randomSystem(3, 300, 12, true)
+	nl := NewNeighborList(3, 0.5)
+	nl.Build(s)
+	third := s.N() / 3
+	lo, hi := 0, 0
+	for i := 0; i < third; i++ {
+		lo += len(nl.Of(i))
+	}
+	for i := s.N() - third; i < s.N(); i++ {
+		hi += len(nl.Of(i))
+	}
+	if lo <= hi {
+		t.Errorf("expected front-loaded work: first third %d pairs, last third %d", lo, hi)
+	}
+}
+
+func TestValidityThreshold(t *testing.T) {
+	s := randomSystem(11, 50, 20, false)
+	nl := NewNeighborList(3, 1.0)
+	nl.Build(s)
+	if !nl.Valid(s) {
+		t.Fatal("list invalid immediately after build")
+	}
+	// Move an atom by just under skin/2: still valid.
+	s.Pos[10] = s.Pos[10].Add(vec.New(0.49, 0, 0))
+	if !nl.Valid(s) {
+		t.Error("list invalidated below skin/2 displacement")
+	}
+	// Beyond skin/2: invalid.
+	s.Pos[10] = s.Pos[10].Add(vec.New(0.1, 0, 0))
+	if nl.Valid(s) {
+		t.Error("list still valid beyond skin/2 displacement")
+	}
+}
+
+func TestValidAfterAtomCountChange(t *testing.T) {
+	s := randomSystem(1, 20, 15, false)
+	nl := NewNeighborList(3, 0.5)
+	nl.Build(s)
+	s.AddAtom(atom.Ar, vec.New(1, 1, 1), vec.Zero, 0, false)
+	if nl.Valid(s) {
+		t.Error("list valid after atom count change")
+	}
+}
+
+func TestBuildsCounter(t *testing.T) {
+	s := randomSystem(2, 30, 15, false)
+	nl := NewNeighborList(3, 0.5)
+	nl.Build(s)
+	nl.Build(s)
+	if nl.Builds() != 2 {
+		t.Errorf("Builds = %d", nl.Builds())
+	}
+}
+
+func TestRebuildReusesStorage(t *testing.T) {
+	s := randomSystem(2, 200, 15, true)
+	nl := NewNeighborList(3, 0.5)
+	nl.Build(s)
+	neighCap := cap(nl.Neighbors)
+	offCap := cap(nl.Offsets)
+	nl.Build(s)
+	if cap(nl.Neighbors) != neighCap || cap(nl.Offsets) != offCap {
+		t.Error("rebuild reallocated storage for unchanged system")
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	g := NewGrid(atom.CubicBox(10, false), 2.5)
+	if g.Dims != [3]int{4, 4, 4} {
+		t.Errorf("Dims = %v", g.Dims)
+	}
+	// Range larger than box: single cell.
+	g = NewGrid(atom.CubicBox(2, false), 5)
+	if g.NumCells() != 1 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+	// Periodic with <3 cells collapses to 1 per dimension.
+	g = NewGrid(atom.CubicBox(5, true), 2.4)
+	if g.Dims != [3]int{1, 1, 1} {
+		t.Errorf("periodic small Dims = %v", g.Dims)
+	}
+}
+
+func TestGridPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid must panic on non-positive range")
+		}
+	}()
+	NewGrid(atom.CubicBox(10, false), 0)
+}
+
+func TestNeighborListPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNeighborList must panic on bad params")
+		}
+	}()
+	NewNeighborList(0, 1)
+}
+
+func TestEmptySystem(t *testing.T) {
+	s := atom.NewSystem(atom.CubicBox(10, false))
+	nl := NewNeighborList(3, 0.5)
+	nl.Build(s)
+	if nl.Len() != 0 {
+		t.Error("empty system has pairs")
+	}
+	if !nl.Valid(s) {
+		t.Error("empty list should be valid")
+	}
+}
+
+func TestPairCoverageNoDuplicates(t *testing.T) {
+	s := randomSystem(9, 150, 10, true)
+	nl := NewNeighborList(2.5, 0.5)
+	nl.Build(s)
+	seen := map[[2]int32]bool{}
+	for _, p := range pairsFromList(nl, s.N()) {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func BenchmarkNeighborListBuild1000(b *testing.B) {
+	s := randomSystem(1, 1000, 25, false)
+	nl := NewNeighborList(3, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.Build(s)
+	}
+}
+
+func BenchmarkBruteForcePairs1000(b *testing.B) {
+	s := randomSystem(1, 1000, 25, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForcePairs(s, 3.5)
+	}
+}
+
+// NewRectSystem builds a random system in a periodic rectangular box.
+func NewRectSystem(seed int64, lx, ly, lz float64, n int) *atom.System {
+	s := atom.NewSystem(atom.NewBox(lx, ly, lz, true))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.AddAtom(atom.Ar, vec.New(rng.Float64()*lx, rng.Float64()*ly, rng.Float64()*lz), vec.Zero, 0, false)
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package cells
+
+import (
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+// RangeList is a half neighbor list covering only atoms [Lo, Hi). The
+// parallel engine gives every force-phase chunk its own RangeList so that a
+// worker can rebuild and immediately consume its chunk's neighbors — the
+// paper's fused phases 3+4 ("which we fused into a single loop to improve
+// data locality and reduce loop overhead", §II-A) — without synchronizing on
+// a global list.
+type RangeList struct {
+	Lo, Hi    int
+	Offsets   []int32 // length Hi-Lo+1
+	Neighbors []int32
+}
+
+// BuildRange fills rl with the neighbors (j > i, within rng) of atoms
+// [lo, hi) using the already-Assigned grid. Storage is reused across calls.
+func (g *Grid) BuildRange(s *atom.System, rng float64, lo, hi int, rl *RangeList) {
+	rl.Lo, rl.Hi = lo, hi
+	n := hi - lo
+	if cap(rl.Offsets) < n+1 {
+		rl.Offsets = make([]int32, n+1)
+	}
+	rl.Offsets = rl.Offsets[:n+1]
+	rl.Neighbors = rl.Neighbors[:0]
+	for i := lo; i < hi; i++ {
+		rl.Offsets[i-lo] = int32(len(rl.Neighbors))
+		rl.Neighbors = g.AppendNeighbors(s, i, rng, rl.Neighbors)
+	}
+	rl.Offsets[n] = int32(len(rl.Neighbors))
+}
+
+// BuildRangeFull fills rl with ALL neighbors (any j ≠ i within rng) of atoms
+// [lo, hi) — the full-list alternative to Molecular Workbench's half
+// pairing. Every pair appears twice (once per endpoint), so forces computed
+// from it must not be mirrored to f[j]; the benefit is a perfectly uniform
+// per-atom load shape, the ablation DESIGN.md calls out against §II-B's
+// front-loaded half lists.
+func (g *Grid) BuildRangeFull(s *atom.System, rng float64, lo, hi int, rl *RangeList) {
+	rl.Lo, rl.Hi = lo, hi
+	n := hi - lo
+	if cap(rl.Offsets) < n+1 {
+		rl.Offsets = make([]int32, n+1)
+	}
+	rl.Offsets = rl.Offsets[:n+1]
+	rl.Neighbors = rl.Neighbors[:0]
+	r2 := rng * rng
+	for i := lo; i < hi; i++ {
+		rl.Offsets[i-lo] = int32(len(rl.Neighbors))
+		pi := s.Pos[i]
+		cx := g.coord(pi.X, g.inv.X, g.Dims[0])
+		cy := g.coord(pi.Y, g.inv.Y, g.Dims[1])
+		cz := g.coord(pi.Z, g.inv.Z, g.Dims[2])
+		for dz := -1; dz <= 1; dz++ {
+			z, ok := g.wrapCoord(cz+dz, g.Dims[2])
+			if !ok {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				y, ok := g.wrapCoord(cy+dy, g.Dims[1])
+				if !ok {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					x, ok := g.wrapCoord(cx+dx, g.Dims[0])
+					if !ok {
+						continue
+					}
+					c := (z*g.Dims[1]+y)*g.Dims[0] + x
+					for j := g.head[c]; j >= 0; j = g.next[j] {
+						if int(j) == i {
+							continue
+						}
+						d := g.Box.MinImage(s.Pos[j].Sub(pi))
+						if d.Norm2() < r2 {
+							rl.Neighbors = append(rl.Neighbors, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	rl.Offsets[n] = int32(len(rl.Neighbors))
+}
+
+// Of returns the neighbor slice of atom i, which must lie in [Lo, Hi).
+func (rl *RangeList) Of(i int) []int32 {
+	k := i - rl.Lo
+	return rl.Neighbors[rl.Offsets[k]:rl.Offsets[k+1]]
+}
+
+// Len returns the number of stored pairs.
+func (rl *RangeList) Len() int { return len(rl.Neighbors) }
+
+// MaxDisplacement2 returns the largest squared displacement of atoms
+// [lo, hi) from their reference positions — the per-chunk half of the
+// neighbor-list validity check (phase 2).
+func MaxDisplacement2(s *atom.System, ref []vec.Vec3, lo, hi int) float64 {
+	var mx float64
+	for i := lo; i < hi; i++ {
+		if d := s.Box.MinImage(s.Pos[i].Sub(ref[i])).Norm2(); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"mw/internal/forces"
+	"mw/internal/vec"
+)
+
+// Thin adapters so the force-phase dispatch reads uniformly.
+
+func accumulateBonds(sim *Simulation, lo, hi int, f []vec.Vec3) float64 {
+	return forces.AccumulateBondsRange(sim.Sys, sim.Sys.Bonds, lo, hi, f)
+}
+
+func accumulateAngles(sim *Simulation, lo, hi int, f []vec.Vec3) float64 {
+	return forces.AccumulateAnglesRange(sim.Sys, sim.Sys.Angles, lo, hi, f)
+}
+
+func accumulateTorsions(sim *Simulation, lo, hi int, f []vec.Vec3) float64 {
+	return forces.AccumulateTorsionsRange(sim.Sys, sim.Sys.Torsions, lo, hi, f)
+}

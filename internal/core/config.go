@@ -1,0 +1,255 @@
+// Package core implements the parallel 3D molecular dynamics engine of
+// Molecular Workbench as described in the paper's §II: a timestep split into
+// phases — predictor, neighbor-list validity check, fused neighbor
+// rebuild + force computation, reduction across privatized force arrays,
+// corrector — with barriers between phases, executed by a fixed pool of
+// workers fed through work queues.
+package core
+
+import (
+	"time"
+
+	"mw/internal/forces"
+)
+
+// Partition selects how work chunks are assigned to workers within a phase
+// (paper §II-B discusses the 1/N block split and the load-shape problems of
+// the fused phase; §IV analyzes the resulting imbalance).
+type Partition int
+
+const (
+	// PartitionCyclic deals chunks round-robin: chunk c goes to worker
+	// c mod N. This balances the triangular load shape of half pair lists
+	// and is the engine default.
+	PartitionCyclic Partition = iota
+	// PartitionBlock gives each worker one contiguous range of chunks — the
+	// paper's "each thread is assigned a fraction 1/N of the total atoms".
+	// Under half pairing, lower-numbered chunks carry more pairs, so this
+	// strategy exhibits the §IV load imbalance.
+	PartitionBlock
+	// PartitionGuided hands out batches of decreasing size from a shared
+	// counter (OpenMP guided-style self-scheduling).
+	PartitionGuided
+	// PartitionDynamic hands out one chunk at a time from a shared counter —
+	// maximal balance, maximal queue traffic.
+	PartitionDynamic
+)
+
+// String returns the partition strategy name.
+func (p Partition) String() string {
+	switch p {
+	case PartitionCyclic:
+		return "cyclic"
+	case PartitionBlock:
+		return "block"
+	case PartitionGuided:
+		return "guided"
+	case PartitionDynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// QueueTopology selects the executor layout (paper §II-B: single shared
+// work queue vs. one queue per thread).
+type QueueTopology int
+
+const (
+	// SharedQueue: one FixedPool, all workers pull from a single queue.
+	SharedQueue QueueTopology = iota
+	// PerWorkerQueues: one single-worker pool per worker, tasks routed to a
+	// specific worker's private queue (also the §V-B affinity mechanism).
+	PerWorkerQueues
+	// WorkStealingQueues: per-worker deques with idle-worker stealing — the
+	// ForkJoinPool-style resolution of the shared-vs-private trade-off.
+	// Work chunks are submitted one task each to their owner's deque; idle
+	// workers steal, so §II-B's "one queue has considerable work while
+	// other threads sit idle" cannot happen.
+	WorkStealingQueues
+)
+
+// String returns the topology name.
+func (q QueueTopology) String() string {
+	switch q {
+	case PerWorkerQueues:
+		return "per-worker-queues"
+	case WorkStealingQueues:
+		return "work-stealing"
+	}
+	return "shared-queue"
+}
+
+// ReduceMode selects how per-pair forces reach the shared force array.
+type ReduceMode int
+
+const (
+	// ReducePrivatized gives every worker a private force array and adds a
+	// reduction phase — the paper's phase 5.
+	ReducePrivatized ReduceMode = iota
+	// ReduceSharedMutex writes directly into the shared force array under a
+	// global mutex — the naive alternative, kept as an ablation.
+	ReduceSharedMutex
+)
+
+// String returns the reduction mode name.
+func (r ReduceMode) String() string {
+	if r == ReduceSharedMutex {
+		return "shared-mutex"
+	}
+	return "privatized"
+}
+
+// IntegratorMode selects the predictor-corrector integration scheme. Both
+// fit the paper's description (§II-A): a second-order Taylor predictor for
+// positions followed by a velocity corrector using the newly computed
+// forces.
+type IntegratorMode int
+
+const (
+	// VelocityVerlet is the default half-kick/drift/half-kick scheme.
+	VelocityVerlet IntegratorMode = iota
+	// Beeman is Beeman's third-order-position predictor-corrector — the
+	// scheme the Molecular Workbench engine itself documents. It needs the
+	// previous step's acceleration.
+	Beeman
+)
+
+// String returns the integrator name.
+func (m IntegratorMode) String() string {
+	if m == Beeman {
+		return "beeman"
+	}
+	return "velocity-verlet"
+}
+
+// PairListMode selects half or full neighbor lists.
+type PairListMode int
+
+const (
+	// HalfLists stores each pair once under its lower-indexed atom —
+	// Molecular Workbench's scheme (§II-B), with its front-loaded work.
+	HalfLists PairListMode = iota
+	// FullLists stores each pair under both endpoints: ~2× the pair
+	// arithmetic, but a uniform load shape and no mirrored force writes.
+	FullLists
+)
+
+// String returns the mode name.
+func (p PairListMode) String() string {
+	if p == FullLists {
+		return "full-lists"
+	}
+	return "half-lists"
+}
+
+// Phase identifies one stage of the timestep (paper §II-A's six phases;
+// neighbor rebuild is fused into the force phase, and the validity check is
+// phase 2).
+type Phase int
+
+const (
+	PhasePredictor Phase = iota
+	PhaseNeighborCheck
+	PhaseForce // fused neighbor rebuild + all force computations
+	PhaseReduce
+	PhaseCorrector
+	NumPhases
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhasePredictor:
+		return "predictor"
+	case PhaseNeighborCheck:
+		return "neighbor-check"
+	case PhaseForce:
+		return "force"
+	case PhaseReduce:
+		return "reduce"
+	case PhaseCorrector:
+		return "corrector"
+	}
+	return "unknown"
+}
+
+// Instrument receives engine events; implementations live in
+// internal/perfmon. A nil instrument costs two branch checks per phase.
+// Instrument implementations are themselves the subject of the paper's §IV-A
+// observer-effect experiments.
+type Instrument interface {
+	// PhaseDone is called once per phase per step with the phase wall time
+	// and each worker's busy time during that phase.
+	PhaseDone(step int, ph Phase, wall time.Duration, workerBusy []time.Duration)
+}
+
+// Config holds engine parameters. The zero value is not usable; call
+// (Config).withDefaults via New.
+type Config struct {
+	// Dt is the timestep in fs (default 2, the paper's upper step size).
+	Dt float64
+	// LJCutoff is the Lennard-Jones cutoff radius in Å (default 8).
+	LJCutoff float64
+	// Skin is the neighbor-list skin in Å (default 0.8); the list is rebuilt
+	// when any atom moves farther than Skin/2.
+	Skin float64
+	// CoulombSoftening is the Coulomb softening length in Å (default 0.05).
+	CoulombSoftening float64
+	// Threads is the worker count (default 1 = serial).
+	Threads int
+	// Partition is the chunk-assignment strategy (default cyclic).
+	Partition Partition
+	// Queues selects the executor topology (default shared queue).
+	Queues QueueTopology
+	// Reduce selects force accumulation (default privatized arrays).
+	Reduce ReduceMode
+	// SeparateRebuild runs the neighbor rebuild as its own barriered phase
+	// instead of fusing it into the force phase. The fused layout (default)
+	// is the paper's design; the separated layout exists for the ablation
+	// benchmark.
+	SeparateRebuild bool
+	// ChunkAtoms is the work-chunk granularity in atoms/bonds (default 64).
+	ChunkAtoms int
+	// PairLists selects half (default, the paper's scheme) or full
+	// neighbor lists.
+	PairLists PairListMode
+	// Integrator selects the predictor-corrector scheme (default velocity
+	// Verlet).
+	Integrator IntegratorMode
+	// Thermostat optionally controls temperature each step (nil = NVE).
+	Thermostat Thermostat
+	// Field is an optional uniform external field.
+	Field forces.Field
+	// Instrument optionally receives per-phase events.
+	Instrument Instrument
+	// ChunkHook, when set, is invoked by the worker after every processed
+	// work chunk. It is the injection point for fine-grained monitors (the
+	// JaMON-style per-work-unit instrumentation whose observer effect §IV-A
+	// measures). It must be safe for concurrent use.
+	ChunkHook func(worker int)
+}
+
+// withDefaults fills unset fields with engine defaults.
+func (c Config) withDefaults() Config {
+	if c.Dt <= 0 {
+		c.Dt = 2
+	}
+	if c.LJCutoff <= 0 {
+		c.LJCutoff = 8
+	}
+	if c.Skin < 0 {
+		c.Skin = 0
+	} else if c.Skin == 0 {
+		c.Skin = 0.8
+	}
+	if c.CoulombSoftening == 0 {
+		c.CoulombSoftening = 0.05
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.ChunkAtoms <= 0 {
+		c.ChunkAtoms = 64
+	}
+	return c
+}

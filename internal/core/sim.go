@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/forces"
+	"mw/internal/pool"
+	"mw/internal/stats"
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// Simulation drives a System through timesteps with the phase structure of
+// parallel Molecular Workbench. Create with New, advance with Step or Run,
+// release workers with Close.
+type Simulation struct {
+	Sys *atom.System
+	Cfg Config
+
+	lj   *forces.LJ
+	coul forces.Coulomb
+	grid *cells.Grid
+
+	charged []int32
+
+	// Neighbor-list state: per-atom-chunk range lists plus the reference
+	// positions from the last rebuild (for the phase-2 validity check).
+	ljLists   []cells.RangeList
+	refPos    []vec.Vec3
+	listValid bool
+	rebuilds  int
+
+	// prevAcc holds the previous step's accelerations for the Beeman
+	// integrator (nil under velocity Verlet).
+	prevAcc []vec.Vec3
+
+	// Executor state. ex is nil for serial runs. pinned is set when the
+	// per-worker-queue topology is selected; stealing when work stealing is.
+	ex       pool.Executor
+	pinned   *pool.PinnedPools
+	stealing *pool.StealingPools
+
+	// Per-worker privatized state.
+	priv     [][]vec.Vec3 // force arrays (privatized mode)
+	peWorker []float64
+	maxDisp2 []float64 // per-worker phase-2 partial maxima
+	busy     []time.Duration
+
+	forceMu sync.Mutex // guards Sys.Force in shared-mutex mode
+
+	// Chunk geometry.
+	atomChunks, coulChunks, bondChunks, angleChunks, torsChunks, morseChunks chunkSet
+
+	step int
+	pe   float64
+
+	// PhaseWall accumulates wall-clock time per phase across the run.
+	PhaseWall [NumPhases]stats.Running
+	// WorkerBusy accumulates per-worker busy time per phase.
+	WorkerBusy [NumPhases][]time.Duration
+}
+
+// chunkSet is a uniform partition of [0, total) into chunks of size size.
+type chunkSet struct {
+	total, size, count int
+}
+
+func newChunkSet(total, size int) chunkSet {
+	if size <= 0 {
+		size = 1
+	}
+	count := (total + size - 1) / size
+	return chunkSet{total: total, size: size, count: count}
+}
+
+func (c chunkSet) bounds(i int) (lo, hi int) {
+	lo = i * c.size
+	hi = lo + c.size
+	if hi > c.total {
+		hi = c.total
+	}
+	return lo, hi
+}
+
+// New creates a simulation over sys. The system is validated; its Acc array
+// is initialized from a first force evaluation so that the first predictor
+// step sees consistent state.
+func New(sys *atom.System, cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.Excl == nil && (len(sys.Bonds) > 0 || len(sys.Angles) > 0 || len(sys.Torsions) > 0 || len(sys.Morses) > 0) {
+		sys.BuildExclusions()
+	}
+	rng := cfg.LJCutoff + cfg.Skin
+	if sys.Box.L.MaxAbs() < rng && sys.Box.Periodic {
+		return nil, fmt.Errorf("core: periodic box smaller than interaction range %g", rng)
+	}
+	sim := &Simulation{
+		Sys:     sys,
+		Cfg:     cfg,
+		lj:      forces.NewLJ(sys.Elements, cfg.LJCutoff),
+		coul:    forces.Coulomb{Softening: cfg.CoulombSoftening},
+		grid:    cells.NewGrid(sys.Box, rng),
+		charged: sys.ChargedIndices(),
+	}
+	n := sys.N()
+	w := cfg.Threads
+	sim.atomChunks = newChunkSet(n, cfg.ChunkAtoms)
+	sim.coulChunks = newChunkSet(len(sim.charged), cfg.ChunkAtoms/2+1)
+	sim.bondChunks = newChunkSet(len(sys.Bonds), cfg.ChunkAtoms)
+	sim.angleChunks = newChunkSet(len(sys.Angles), cfg.ChunkAtoms)
+	sim.torsChunks = newChunkSet(len(sys.Torsions), cfg.ChunkAtoms)
+	sim.morseChunks = newChunkSet(len(sys.Morses), cfg.ChunkAtoms)
+	sim.ljLists = make([]cells.RangeList, sim.atomChunks.count)
+	sim.refPos = make([]vec.Vec3, n)
+
+	sim.peWorker = make([]float64, w)
+	sim.maxDisp2 = make([]float64, w)
+	sim.busy = make([]time.Duration, w)
+	if cfg.Reduce == ReducePrivatized {
+		sim.priv = make([][]vec.Vec3, w)
+		for i := range sim.priv {
+			sim.priv[i] = make([]vec.Vec3, n)
+		}
+	}
+	for ph := range sim.WorkerBusy {
+		sim.WorkerBusy[ph] = make([]time.Duration, w)
+	}
+	if w > 1 {
+		switch cfg.Queues {
+		case PerWorkerQueues:
+			sim.pinned = pool.NewPinnedPools(w)
+			sim.ex = sim.pinned
+		case WorkStealingQueues:
+			sim.stealing = pool.NewStealingPools(w)
+		default:
+			sim.ex = pool.NewFixedPool(w)
+		}
+	}
+
+	// Initial force evaluation fills Force and Acc. It is bootstrap, not a
+	// timestep: instruments must not see it as a phase instance.
+	inst := sim.Cfg.Instrument
+	sim.Cfg.Instrument = nil
+	sim.listValid = false
+	sim.forcePhase()
+	sim.reducePhase()
+	sim.Cfg.Instrument = inst
+	for i := range sys.Acc {
+		sys.Acc[i] = sys.Force[i].Scale(sys.InvMass[i] * units.ForceToAccel)
+	}
+	if cfg.Integrator == Beeman {
+		// Bootstrap a(t−dt) = a(0): degrades the first step to second
+		// order, standard practice.
+		sim.prevAcc = append([]vec.Vec3(nil), sys.Acc...)
+	}
+	return sim, nil
+}
+
+// Close shuts the worker pool down. The simulation must not be stepped
+// afterwards.
+func (sim *Simulation) Close() {
+	if sim.ex != nil {
+		sim.ex.Shutdown()
+		sim.ex = nil
+		sim.pinned = nil
+	}
+	if sim.stealing != nil {
+		sim.stealing.Shutdown()
+		sim.stealing = nil
+	}
+}
+
+// Step advances the simulation by one timestep through the full phase
+// sequence.
+func (sim *Simulation) Step() {
+	sim.step++
+	sim.predictorPhase()
+	sim.neighborCheckPhase()
+	if sim.Cfg.SeparateRebuild && !sim.listValid {
+		sim.rebuildPhase()
+	}
+	sim.forcePhase()
+	sim.reducePhase()
+	sim.correctorPhase()
+	if sim.Cfg.Thermostat != nil {
+		sim.Cfg.Thermostat.Apply(sim.Sys, sim.Cfg.Dt)
+	}
+}
+
+// Run advances the simulation by n timesteps.
+func (sim *Simulation) Run(n int) {
+	for i := 0; i < n; i++ {
+		sim.Step()
+	}
+}
+
+// RunFor advances the simulation by the given simulated duration in fs.
+func (sim *Simulation) RunFor(fs float64) {
+	steps := int(fs / sim.Cfg.Dt)
+	sim.Run(steps)
+}
+
+// StepCount returns the number of completed timesteps.
+func (sim *Simulation) StepCount() int { return sim.step }
+
+// PE returns the potential energy from the most recent force evaluation.
+func (sim *Simulation) PE() float64 { return sim.pe }
+
+// TotalEnergy returns PE + KE in eV.
+func (sim *Simulation) TotalEnergy() float64 {
+	return sim.pe + sim.Sys.KineticEnergy()
+}
+
+// Rebuilds returns how many times the neighbor list has been rebuilt.
+func (sim *Simulation) Rebuilds() int { return sim.rebuilds }
+
+// Workers returns the configured worker count.
+func (sim *Simulation) Workers() int { return sim.Cfg.Threads }
+
+// QueueStats returns the executor's queue counters (enqueued, dequeued,
+// contended lock acquisitions); zeros for serial runs.
+func (sim *Simulation) QueueStats() (enqueued, dequeued, contended int64) {
+	switch ex := sim.ex.(type) {
+	case *pool.FixedPool:
+		return ex.QueueStats()
+	case *pool.PinnedPools:
+		return ex.QueueStats()
+	}
+	return 0, 0, 0
+}
+
+// Steals returns per-worker steal counts under the work-stealing topology
+// (nil otherwise).
+func (sim *Simulation) Steals() []int64 {
+	if sim.stealing == nil {
+		return nil
+	}
+	return sim.stealing.Steals()
+}
+
+// LJPairs returns the number of stored LJ half pairs.
+func (sim *Simulation) LJPairs() int {
+	n := 0
+	for i := range sim.ljLists {
+		n += sim.ljLists[i].Len()
+	}
+	return n
+}

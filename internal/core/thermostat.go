@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"mw/internal/atom"
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// Thermostat adjusts velocities once per step, after the corrector.
+// Molecular Workbench exposes a "heat bath" with exactly this role: its
+// pedagogical simulations heat, cool and hold temperature interactively.
+type Thermostat interface {
+	// Apply rescales or perturbs the mobile atoms' velocities. dt is the
+	// timestep in fs.
+	Apply(s *atom.System, dt float64)
+	// Name identifies the algorithm.
+	Name() string
+}
+
+// VelocityRescale is the crudest thermostat: hard-rescale velocities to the
+// target temperature every Period steps.
+type VelocityRescale struct {
+	T      float64 // target temperature, K
+	Period int     // steps between rescales (default 1)
+	count  int
+}
+
+// Apply implements Thermostat.
+func (v *VelocityRescale) Apply(s *atom.System, _ float64) {
+	period := v.Period
+	if period <= 0 {
+		period = 1
+	}
+	v.count++
+	if v.count%period != 0 {
+		return
+	}
+	cur := s.Temperature()
+	if cur <= 0 {
+		return
+	}
+	scale := math.Sqrt(v.T / cur)
+	for i := range s.Vel {
+		if !s.Fixed[i] {
+			s.Vel[i] = s.Vel[i].Scale(scale)
+		}
+	}
+}
+
+// Name implements Thermostat.
+func (v *VelocityRescale) Name() string { return "velocity-rescale" }
+
+// Berendsen is the weak-coupling thermostat: velocities relax toward the
+// target with time constant Tau, λ = sqrt(1 + dt/τ·(T0/T − 1)).
+type Berendsen struct {
+	T   float64 // target temperature, K
+	Tau float64 // coupling time constant, fs (default 100)
+}
+
+// Apply implements Thermostat.
+func (b *Berendsen) Apply(s *atom.System, dt float64) {
+	tau := b.Tau
+	if tau <= 0 {
+		tau = 100
+	}
+	cur := s.Temperature()
+	if cur <= 0 {
+		return
+	}
+	lam2 := 1 + dt/tau*(b.T/cur-1)
+	if lam2 < 0.64 {
+		lam2 = 0.64 // clamp extreme corrections (λ ∈ [0.8, 1.25])
+	} else if lam2 > 1.5625 {
+		lam2 = 1.5625
+	}
+	lam := math.Sqrt(lam2)
+	for i := range s.Vel {
+		if !s.Fixed[i] {
+			s.Vel[i] = s.Vel[i].Scale(lam)
+		}
+	}
+}
+
+// Name implements Thermostat.
+func (b *Berendsen) Name() string { return "berendsen" }
+
+// Langevin applies the BBK-style stochastic thermostat: per step each
+// velocity is damped by exp(-γ·dt) and kicked with Gaussian noise of the
+// matching variance, producing a canonical distribution at T.
+type Langevin struct {
+	T     float64 // target temperature, K
+	Gamma float64 // friction, 1/fs (default 0.01)
+	Rng   *rand.Rand
+}
+
+// Apply implements Thermostat.
+func (l *Langevin) Apply(s *atom.System, dt float64) {
+	gamma := l.Gamma
+	if gamma <= 0 {
+		gamma = 0.01
+	}
+	if l.Rng == nil {
+		l.Rng = rand.New(rand.NewSource(1))
+	}
+	c1 := math.Exp(-gamma * dt)
+	for i := range s.Vel {
+		if s.Fixed[i] {
+			continue
+		}
+		// σ² per component for the fluctuation term.
+		sigma := math.Sqrt((1 - c1*c1) * units.Boltzmann * l.T / (s.Mass[i] * units.KEFactor))
+		s.Vel[i] = s.Vel[i].Scale(c1).Add(vec.New(
+			sigma*l.Rng.NormFloat64(),
+			sigma*l.Rng.NormFloat64(),
+			sigma*l.Rng.NormFloat64(),
+		))
+	}
+}
+
+// Name implements Thermostat.
+func (l *Langevin) Name() string { return "langevin" }

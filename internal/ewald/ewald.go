@@ -1,0 +1,137 @@
+// Package ewald implements periodic electrostatics for cubic boxes: the
+// classical Ewald summation and the smooth particle-mesh Ewald (SPME)
+// method of Darden et al. — the O(N log N) algorithm the paper names as the
+// future-work replacement for Molecular Workbench's O(N²) direct Coulomb
+// sum ("A particle-mesh-Ewald method would have lower algorithmic
+// complexity … but its use is a future work direction due to its
+// implementation complexity", §II-B).
+package ewald
+
+import (
+	"fmt"
+	"math"
+
+	"mw/internal/atom"
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// Ewald is the classical Ewald sum: a short-range erfc-screened real-space
+// part, a reciprocal-space sum over k-vectors, and the self-energy
+// correction.
+type Ewald struct {
+	// Alpha is the splitting parameter in 1/Å; larger alpha shifts work
+	// from real to reciprocal space.
+	Alpha float64
+	// RCut is the real-space cutoff in Å (must be < L/2).
+	RCut float64
+	// KMax bounds the reciprocal sum: all integer vectors |n_d| ≤ KMax.
+	KMax int
+}
+
+// check validates the method against the system's box.
+func (e Ewald) check(s *atom.System) (float64, error) {
+	b := s.Box
+	if !b.Periodic {
+		return 0, fmt.Errorf("ewald: box must be periodic")
+	}
+	if b.L.X != b.L.Y || b.L.Y != b.L.Z {
+		return 0, fmt.Errorf("ewald: box must be cubic")
+	}
+	if e.RCut <= 0 || e.RCut > b.L.X/2 {
+		return 0, fmt.Errorf("ewald: RCut %g outside (0, L/2]", e.RCut)
+	}
+	if e.Alpha <= 0 || e.KMax < 1 {
+		return 0, fmt.Errorf("ewald: need positive Alpha and KMax")
+	}
+	return b.L.X, nil
+}
+
+// realSpace accumulates the erfc-screened pair part shared by Ewald and PME.
+func realSpace(s *atom.System, alpha, rcut float64, f []vec.Vec3) float64 {
+	var pe float64
+	r2cut := rcut * rcut
+	charged := s.ChargedIndices()
+	twoAlphaPi := 2 * alpha / math.Sqrt(math.Pi)
+	for ci, i := range charged {
+		pi := s.Pos[i]
+		qi := s.Charge[i]
+		for _, j := range charged[ci+1:] {
+			d := s.Box.MinImage(s.Pos[j].Sub(pi))
+			r2 := d.Norm2()
+			if r2 >= r2cut || r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			qq := units.CoulombK * qi * s.Charge[j]
+			erfcT := math.Erfc(alpha * r)
+			pe += qq * erfcT / r
+			fs := qq * (erfcT/r + twoAlphaPi*math.Exp(-alpha*alpha*r2)) / r2
+			f[i] = f[i].AddScaled(-fs, d)
+			f[j] = f[j].AddScaled(fs, d)
+		}
+	}
+	return pe
+}
+
+// selfEnergy is the Ewald self-interaction correction.
+func selfEnergy(s *atom.System, alpha float64) float64 {
+	var q2 float64
+	for _, q := range s.Charge {
+		q2 += q * q
+	}
+	return -units.CoulombK * alpha / math.Sqrt(math.Pi) * q2
+}
+
+// Accumulate adds the full Ewald forces into f and returns the total
+// electrostatic energy (real + reciprocal + self).
+func (e Ewald) Accumulate(s *atom.System, f []vec.Vec3) (float64, error) {
+	l, err := e.check(s)
+	if err != nil {
+		return 0, err
+	}
+	pe := realSpace(s, e.Alpha, e.RCut, f)
+	pe += selfEnergy(s, e.Alpha)
+
+	vol := l * l * l
+	twoPiOverL := 2 * math.Pi / l
+	charged := s.ChargedIndices()
+	inv4a2 := 1 / (4 * e.Alpha * e.Alpha)
+
+	for nx := -e.KMax; nx <= e.KMax; nx++ {
+		for ny := -e.KMax; ny <= e.KMax; ny++ {
+			for nz := -e.KMax; nz <= e.KMax; nz++ {
+				if nx == 0 && ny == 0 && nz == 0 {
+					continue
+				}
+				k := vec.New(float64(nx), float64(ny), float64(nz)).Scale(twoPiOverL)
+				k2 := k.Norm2()
+				a := math.Exp(-k2*inv4a2) / k2
+				// Structure factor S(k) = Σ q_j exp(i k·r_j).
+				var sRe, sIm float64
+				for _, j := range charged {
+					ph := k.Dot(s.Pos[j])
+					sin, cos := math.Sincos(ph)
+					sRe += s.Charge[j] * cos
+					sIm += s.Charge[j] * sin
+				}
+				pe += units.CoulombK * (2 * math.Pi / vol) * a * (sRe*sRe + sIm*sIm)
+				coef := units.CoulombK * (4 * math.Pi / vol) * a
+				for _, j := range charged {
+					ph := k.Dot(s.Pos[j])
+					sin, cos := math.Sincos(ph)
+					// Im(conj(S)·e^{ik·r_j}) = sin·S_re − cos·S_im.
+					im := sin*sRe - cos*sIm
+					f[j] = f[j].AddScaled(coef*s.Charge[j]*im, k)
+				}
+			}
+		}
+	}
+	return pe, nil
+}
+
+// Energy returns the total electrostatic energy without touching forces.
+func (e Ewald) Energy(s *atom.System) (float64, error) {
+	f := make([]vec.Vec3, s.N())
+	return e.Accumulate(s, f)
+}

@@ -1,0 +1,319 @@
+package ewald
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mw/internal/atom"
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// rockSalt builds an n³-ion periodic NaCl lattice with nearest-neighbor
+// spacing a (n must be even for charge neutrality).
+func rockSalt(n int, a float64) *atom.System {
+	s := atom.NewSystem(atom.CubicBox(float64(n)*a, true))
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				p := vec.New(float64(x)*a, float64(y)*a, float64(z)*a)
+				if (x+y+z)%2 == 0 {
+					s.AddAtom(atom.Na, p, vec.Zero, +1, false)
+				} else {
+					s.AddAtom(atom.Cl, p, vec.Zero, -1, false)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// randomIons builds a neutral random configuration of n ions (n even) with
+// a minimum separation to keep energies tame.
+func randomIons(seed int64, n int, l float64) *atom.System {
+	s := atom.NewSystem(atom.CubicBox(l, true))
+	rng := rand.New(rand.NewSource(seed))
+	for len(s.Pos) < n {
+		p := vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+		ok := true
+		for _, q := range s.Pos {
+			if s.Box.MinImage(q.Sub(p)).Norm() < 1.5 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		q := 1.0
+		if len(s.Pos)%2 == 1 {
+			q = -1
+		}
+		s.AddAtom(atom.Na, p, vec.Zero, q, false)
+	}
+	return s
+}
+
+func converged(l float64) Ewald {
+	return Ewald{Alpha: 6 / l, RCut: 0.4999 * l, KMax: 8}
+}
+
+func TestMadelungConstant(t *testing.T) {
+	// Total lattice energy per ion of rock salt is −M·k_e·q²/(2a)·2 =
+	// E_i/2 with E_i = −M k_e q²/a and Madelung constant M = 1.747565.
+	const a = 2.82
+	s := rockSalt(4, a)
+	e := converged(s.Box.L.X)
+	pe, err := e.Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIon := pe / float64(s.N())
+	want := -1.747565 * units.CoulombK / (2 * a)
+	if rel := math.Abs(perIon-want) / math.Abs(want); rel > 1e-3 {
+		t.Errorf("Madelung energy per ion %v, want %v (rel err %v)", perIon, want, rel)
+	}
+}
+
+func TestMadelungConvergesWithSize(t *testing.T) {
+	// The per-ion energy must be nearly identical for 4³ and 6³ lattices
+	// (the Ewald sum handles the infinite periodic images).
+	const a = 2.82
+	e4 := converged(4 * a)
+	pe4, err := e4.Energy(rockSalt(4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s6 := rockSalt(6, a)
+	e6 := converged(6 * a)
+	pe6, err := e6.Energy(s6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, p6 := pe4/64, pe6/216
+	if math.Abs(p4-p6)/math.Abs(p6) > 1e-3 {
+		t.Errorf("per-ion energy not size-converged: %v vs %v", p4, p6)
+	}
+}
+
+func TestEwaldParameterIndependence(t *testing.T) {
+	// The total must be (nearly) independent of the alpha split.
+	s := randomIons(1, 16, 14)
+	e1 := Ewald{Alpha: 0.35, RCut: 7, KMax: 8}
+	e2 := Ewald{Alpha: 0.55, RCut: 7, KMax: 10}
+	p1, err := e1.Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e2.Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-p2)/math.Abs(p1) > 1e-3 {
+		t.Errorf("alpha dependence: %v vs %v", p1, p2)
+	}
+}
+
+func TestEwaldForcesMatchNumericalGradient(t *testing.T) {
+	s := randomIons(2, 8, 12)
+	e := Ewald{Alpha: 0.5, RCut: 6, KMax: 8}
+	f := make([]vec.Vec3, s.N())
+	if _, err := e.Accumulate(s, f); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-5
+	for i := 0; i < s.N(); i++ {
+		var want vec.Vec3
+		for d := 0; d < 3; d++ {
+			orig := s.Pos[i]
+			bump := func(delta float64) float64 {
+				p := orig
+				switch d {
+				case 0:
+					p.X += delta
+				case 1:
+					p.Y += delta
+				case 2:
+					p.Z += delta
+				}
+				s.Pos[i] = p
+				pe, err := e.Energy(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Pos[i] = orig
+				return pe
+			}
+			g := -(bump(h) - bump(-h)) / (2 * h)
+			switch d {
+			case 0:
+				want.X = g
+			case 1:
+				want.Y = g
+			case 2:
+				want.Z = g
+			}
+		}
+		if !f[i].ApproxEqual(want, 1e-4*(1+want.Norm())) {
+			t.Errorf("ion %d: analytic %v vs numeric %v", i, f[i], want)
+		}
+	}
+}
+
+func TestEwaldNewtonThirdLaw(t *testing.T) {
+	s := randomIons(3, 20, 16)
+	e := Ewald{Alpha: 0.4, RCut: 8, KMax: 8}
+	f := make([]vec.Vec3, s.N())
+	if _, err := e.Accumulate(s, f); err != nil {
+		t.Fatal(err)
+	}
+	var sum vec.Vec3
+	for _, fi := range f {
+		sum = sum.Add(fi)
+	}
+	if sum.Norm() > 1e-8 {
+		t.Errorf("net Ewald force = %v", sum)
+	}
+}
+
+func TestEwaldValidation(t *testing.T) {
+	open := atom.NewSystem(atom.CubicBox(10, false))
+	if _, err := (Ewald{Alpha: 0.4, RCut: 4, KMax: 4}).Energy(open); err == nil {
+		t.Error("non-periodic box accepted")
+	}
+	rect := atom.NewSystem(atom.NewBox(10, 12, 10, true))
+	if _, err := (Ewald{Alpha: 0.4, RCut: 4, KMax: 4}).Energy(rect); err == nil {
+		t.Error("non-cubic box accepted")
+	}
+	cube := atom.NewSystem(atom.CubicBox(10, true))
+	if _, err := (Ewald{Alpha: 0.4, RCut: 9, KMax: 4}).Energy(cube); err == nil {
+		t.Error("RCut > L/2 accepted")
+	}
+	if _, err := (Ewald{Alpha: 0, RCut: 4, KMax: 4}).Energy(cube); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+func TestPMEEnergyMatchesEwald(t *testing.T) {
+	s := randomIons(4, 32, 16)
+	ref, err := (Ewald{Alpha: 0.45, RCut: 7.5, KMax: 12}).Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pme, err := (PME{Alpha: 0.45, RCut: 7.5, Mesh: 32, Order: 4}).Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(pme-ref) / math.Abs(ref); rel > 2e-3 {
+		t.Errorf("PME energy %v vs Ewald %v (rel err %v)", pme, ref, rel)
+	}
+}
+
+func TestPMEForcesMatchEwald(t *testing.T) {
+	s := randomIons(5, 24, 16)
+	fRef := make([]vec.Vec3, s.N())
+	if _, err := (Ewald{Alpha: 0.45, RCut: 7.5, KMax: 12}).Accumulate(s, fRef); err != nil {
+		t.Fatal(err)
+	}
+	fPME := make([]vec.Vec3, s.N())
+	if _, err := (PME{Alpha: 0.45, RCut: 7.5, Mesh: 32, Order: 4}).Accumulate(s, fPME); err != nil {
+		t.Fatal(err)
+	}
+	var scale float64
+	for _, fr := range fRef {
+		if n := fr.Norm(); n > scale {
+			scale = n
+		}
+	}
+	for i := range fRef {
+		if d := fPME[i].Sub(fRef[i]).Norm(); d > 0.02*scale {
+			t.Errorf("ion %d: PME force %v vs Ewald %v (err %v of scale %v)",
+				i, fPME[i], fRef[i], d, scale)
+		}
+	}
+}
+
+func TestPMEMadelung(t *testing.T) {
+	const a = 2.82
+	s := rockSalt(4, a)
+	l := s.Box.L.X
+	pme := PME{Alpha: 6 / l, RCut: l / 2, Mesh: 32, Order: 4}
+	pe, err := pme.Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIon := pe / float64(s.N())
+	want := -1.747565 * units.CoulombK / (2 * a)
+	if rel := math.Abs(perIon-want) / math.Abs(want); rel > 5e-3 {
+		t.Errorf("PME Madelung per ion %v, want %v (rel %v)", perIon, want, rel)
+	}
+}
+
+func TestPMEMeshRefinementConverges(t *testing.T) {
+	s := randomIons(6, 16, 14)
+	ref, err := (Ewald{Alpha: 0.5, RCut: 7, KMax: 12}).Energy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, mesh := range []int{8, 16, 32} {
+		pe, err := (PME{Alpha: 0.5, RCut: 7, Mesh: mesh, Order: 4}).Energy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(pe - ref)
+		if e > prevErr*1.5 {
+			t.Errorf("mesh %d error %v worse than coarser mesh %v", mesh, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 1e-3*math.Abs(ref) {
+		t.Errorf("finest mesh error %v still large", prevErr)
+	}
+}
+
+func TestPMEValidation(t *testing.T) {
+	s := randomIons(7, 8, 12)
+	if _, err := (PME{Alpha: 0.5, RCut: 5, Mesh: 24, Order: 4}).Energy(s); err == nil {
+		t.Error("non-power-of-two mesh accepted")
+	}
+	if _, err := (PME{Alpha: 0.5, RCut: 5, Mesh: 16, Order: 2}).Energy(s); err == nil {
+		t.Error("order 2 accepted")
+	}
+}
+
+func TestBsplinePartitionOfUnity(t *testing.T) {
+	// Σ_j M_n(u+j) over integer shifts is 1 for any u — the property that
+	// makes spreading conserve charge.
+	for _, n := range []int{3, 4, 5} {
+		for u := 0.05; u < 1; u += 0.1 {
+			var sum float64
+			for j := 0; j < n; j++ {
+				sum += bspline(n, u+float64(j))
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("order %d: partition of unity = %v at u=%v", n, sum, u)
+			}
+		}
+	}
+}
+
+func TestBsplineDerivative(t *testing.T) {
+	const h = 1e-6
+	for _, n := range []int{3, 4} {
+		for u := 0.3; u < float64(n); u += 0.37 {
+			want := (bspline(n, u+h) - bspline(n, u-h)) / (2 * h)
+			got := bsplineDeriv(n, u)
+			if math.Abs(got-want) > 1e-5 {
+				t.Errorf("M_%d'(%v) = %v, want %v", n, u, got, want)
+			}
+		}
+	}
+}
+
+func TestSignedFreq(t *testing.T) {
+	if signedFreq(0, 8) != 0 || signedFreq(3, 8) != 3 || signedFreq(5, 8) != -3 || signedFreq(7, 8) != -1 {
+		t.Error("signedFreq mapping wrong")
+	}
+}

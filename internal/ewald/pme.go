@@ -1,0 +1,223 @@
+package ewald
+
+import (
+	"fmt"
+	"math"
+
+	"mw/internal/atom"
+	"mw/internal/fft"
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// PME is the smooth particle-mesh Ewald method: the real-space and self
+// terms are identical to the classical Ewald sum, but the reciprocal term is
+// evaluated by B-spline charge spreading onto a mesh, a 3D FFT convolution
+// with the Ewald influence function, and force interpolation through the
+// analytic derivative of the same splines — O(N log N) instead of the O(N²)
+// direct Coulomb sum.
+type PME struct {
+	Alpha float64
+	RCut  float64
+	// Mesh is the grid size per dimension (power of two).
+	Mesh int
+	// Order is the B-spline interpolation order (default 4, cubic).
+	Order int
+}
+
+// bspline evaluates the cardinal B-spline M_n at u (support (0, n)).
+func bspline(n int, u float64) float64 {
+	if u <= 0 || u >= float64(n) {
+		return 0
+	}
+	if n == 2 {
+		return 1 - math.Abs(u-1)
+	}
+	nf := float64(n)
+	return u/(nf-1)*bspline(n-1, u) + (nf-u)/(nf-1)*bspline(n-1, u-1)
+}
+
+// bsplineDeriv evaluates M_n'(u) = M_{n-1}(u) − M_{n-1}(u−1).
+func bsplineDeriv(n int, u float64) float64 {
+	return bspline(n-1, u) - bspline(n-1, u-1)
+}
+
+// bMod2 returns |b(m)|² for the SPME Euler exponential spline factor of one
+// dimension: b(m) = exp(2πi(n−1)m/K) / Σ_{k=0}^{n−2} M_n(k+1)·exp(2πi·mk/K).
+// Returns 0 where the denominator vanishes (odd harmonics at m = K/2 for
+// even order), which simply drops those (already tiny) terms.
+func bMod2(n, m, k int) float64 {
+	var dRe, dIm float64
+	for j := 0; j <= n-2; j++ {
+		w := bspline(n, float64(j+1))
+		ang := 2 * math.Pi * float64(m) * float64(j) / float64(k)
+		sin, cos := math.Sincos(ang)
+		dRe += w * cos
+		dIm += w * sin
+	}
+	den := dRe*dRe + dIm*dIm
+	if den < 1e-10 {
+		return 0
+	}
+	return 1 / den
+}
+
+// Accumulate adds the PME forces into f and returns the total electrostatic
+// energy.
+func (p PME) Accumulate(s *atom.System, f []vec.Vec3) (float64, error) {
+	order := p.Order
+	if order == 0 {
+		order = 4
+	}
+	if order < 3 {
+		return 0, fmt.Errorf("ewald: PME order must be ≥ 3")
+	}
+	e := Ewald{Alpha: p.Alpha, RCut: p.RCut, KMax: 1}
+	l, err := e.check(s)
+	if err != nil {
+		return 0, err
+	}
+	if p.Mesh <= 0 || p.Mesh&(p.Mesh-1) != 0 {
+		return 0, fmt.Errorf("ewald: PME mesh %d is not a power of two", p.Mesh)
+	}
+	k := p.Mesh
+
+	pe := realSpace(s, p.Alpha, p.RCut, f)
+	pe += selfEnergy(s, p.Alpha)
+
+	mesh, err := fft.NewMesh3D(k, k, k)
+	if err != nil {
+		return 0, err
+	}
+
+	charged := s.ChargedIndices()
+	type spread struct {
+		base [3]int
+		w    [3][]float64 // weights per dim
+		dw   [3][]float64 // weight derivatives per dim (d/du)
+	}
+	sp := make([]spread, len(charged))
+	scale := float64(k) / l
+	for ci, i := range charged {
+		pos := s.Box.Wrap(s.Pos[i])
+		u := [3]float64{pos.X * scale, pos.Y * scale, pos.Z * scale}
+		for d := 0; d < 3; d++ {
+			b := int(math.Floor(u[d]))
+			sp[ci].base[d] = b
+			sp[ci].w[d] = make([]float64, order)
+			sp[ci].dw[d] = make([]float64, order)
+			for j := 0; j < order; j++ {
+				// Grid point g = b − order + 1 + j; spline argument u − g.
+				arg := u[d] - float64(b-order+1+j)
+				sp[ci].w[d][j] = bspline(order, arg)
+				sp[ci].dw[d][j] = bsplineDeriv(order, arg)
+			}
+		}
+		// Spread the charge.
+		q := s.Charge[i]
+		for jz := 0; jz < order; jz++ {
+			gz := mod(sp[ci].base[2]-order+1+jz, k)
+			wz := sp[ci].w[2][jz]
+			for jy := 0; jy < order; jy++ {
+				gy := mod(sp[ci].base[1]-order+1+jy, k)
+				wyz := wz * sp[ci].w[1][jy]
+				for jx := 0; jx < order; jx++ {
+					gx := mod(sp[ci].base[0]-order+1+jx, k)
+					idx := mesh.Index(gx, gy, gz)
+					mesh.Data[idx] += complex(q*wyz*sp[ci].w[0][jx], 0)
+				}
+			}
+		}
+	}
+
+	if err := mesh.Transform(false); err != nil {
+		return 0, err
+	}
+
+	// Multiply by the influence function:
+	// G(m) = exp(-π²·m̄²/α²) / (π·V·m̄²) · B(m), energy = ke/2·Σ G|Q̂|².
+	vol := l * l * l
+	bx := make([]float64, k)
+	for m := 0; m < k; m++ {
+		bx[m] = bMod2(order, m, k)
+	}
+	var recipE float64
+	for mz := 0; mz < k; mz++ {
+		fz := signedFreq(mz, k) / l
+		for my := 0; my < k; my++ {
+			fy := signedFreq(my, k) / l
+			for mx := 0; mx < k; mx++ {
+				idx := mesh.Index(mx, my, mz)
+				if mx == 0 && my == 0 && mz == 0 {
+					mesh.Data[idx] = 0
+					continue
+				}
+				fx := signedFreq(mx, k) / l
+				m2 := fx*fx + fy*fy + fz*fz
+				b := bx[mx] * bx[my] * bx[mz]
+				g := math.Exp(-math.Pi*math.Pi*m2/(p.Alpha*p.Alpha)) / (math.Pi * vol * m2) * b
+				q := mesh.Data[idx]
+				recipE += 0.5 * units.CoulombK * g * (real(q)*real(q) + imag(q)*imag(q))
+				mesh.Data[idx] = q * complex(g, 0)
+			}
+		}
+	}
+	pe += recipE
+
+	// Back-transform to the convolved potential mesh.
+	if err := mesh.Transform(true); err != nil {
+		return 0, err
+	}
+	// The inverse FFT applied 1/K³ normalization, but the convolution
+	// theorem for this discrete sum wants the raw inverse sum.
+	norm := float64(k * k * k)
+
+	// Interpolate forces: F_i = −ke·q_i·∇_i Σ w(r_i)·φ(g).
+	for ci, i := range charged {
+		q := s.Charge[i]
+		var grad vec.Vec3
+		for jz := 0; jz < order; jz++ {
+			gz := mod(sp[ci].base[2]-order+1+jz, k)
+			wz, dz := sp[ci].w[2][jz], sp[ci].dw[2][jz]
+			for jy := 0; jy < order; jy++ {
+				gy := mod(sp[ci].base[1]-order+1+jy, k)
+				wy, dy := sp[ci].w[1][jy], sp[ci].dw[1][jy]
+				for jx := 0; jx < order; jx++ {
+					gx := mod(sp[ci].base[0]-order+1+jx, k)
+					wx, dx := sp[ci].w[0][jx], sp[ci].dw[0][jx]
+					phi := real(mesh.Data[mesh.Index(gx, gy, gz)]) * norm
+					grad.X += dx * wy * wz * phi
+					grad.Y += wx * dy * wz * phi
+					grad.Z += wx * wy * dz * phi
+				}
+			}
+		}
+		// d/dr = (K/L)·d/du; E couples each charge twice through |Q̂|² but
+		// G is symmetric, so the factor 2·(ke/2) = ke.
+		f[i] = f[i].AddScaled(-units.CoulombK*q*scale, grad)
+	}
+	return pe, nil
+}
+
+// Energy returns the PME energy without touching forces.
+func (p PME) Energy(s *atom.System) (float64, error) {
+	f := make([]vec.Vec3, s.N())
+	return p.Accumulate(s, f)
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// signedFreq maps FFT bin m of K to the signed frequency index in
+// [−K/2, K/2).
+func signedFreq(m, k int) float64 {
+	if m > k/2 {
+		return float64(m - k)
+	}
+	return float64(m)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mw/internal/machine"
+	"mw/internal/memtrace"
+	"mw/internal/report"
+	"mw/internal/topo"
+	"mw/internal/workload"
+)
+
+// CustomMachine parses a machine spec (see topo.ParseMachine), renders its
+// hwloc-style tree, and models the Al-1000 speedup curve on it — the
+// "bring your own hardware" entry point for the machine model.
+func CustomMachine(spec string) (string, error) {
+	m, err := topo.ParseMachine(spec)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n\n", m.String())
+	sb.WriteString(m.Tree().Render())
+	sb.WriteByte('\n')
+
+	b := workload.Al1000()
+	maxThreads := m.NumCores()
+	if maxThreads > 8 {
+		maxThreads = 8
+	}
+	serial := javaStreams(b, 1, 7)
+	repeat := int(200_000_000 / (estCycles(serial) + 1))
+	if repeat < 4 {
+		repeat = 4
+	}
+	sp, err := machine.Speedup(
+		machine.Config{Machine: m, Seed: 7, Background: 1, BackgroundDuty: 0.1,
+			QuantumCycles: 300_000, Hier: modelHier},
+		maxThreads, repeat,
+		func(threads int) []memtrace.Stream { return javaStreams(b, threads, 7) },
+	)
+	if err != nil {
+		return "", err
+	}
+	xs := make([]float64, maxThreads)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	series := report.NewSeries(fmt.Sprintf("Modeled Al-1000 speedup on %s", m.Name), "threads", xs)
+	series.Add("Al-1000", sp)
+	sb.WriteString(series.String())
+	return sb.String(), nil
+}

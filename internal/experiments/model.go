@@ -1,0 +1,11 @@
+package experiments
+
+import "mw/internal/cache"
+
+// modelHier is the shared cache-hierarchy calibration used by every
+// machine-model experiment: 64 B lines, Nehalem-class latencies, a
+// MemService of 240 cycles (~90 ns per random 64 B line per channel — the
+// mostly-row-miss DRAM behaviour of a pointer-scattered Java heap), and an
+// MLP of 8 (out-of-order + streamer overlap), which together reproduce the
+// paper's Fig 1 shape. EXPERIMENTS.md records the calibration rationale.
+var modelHier = cache.HierConfig{MemService: 240, MLP: 8}

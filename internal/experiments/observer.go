@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mw/internal/core"
+	"mw/internal/machine"
+	"mw/internal/memtrace"
+	"mw/internal/perfmon"
+	"mw/internal/report"
+	"mw/internal/topo"
+	"mw/internal/workload"
+)
+
+// ObserverResult quantifies §IV-A's observer effect: the same workload run
+// uninstrumented and with per-work-unit monitors of each synchronization
+// flavor.
+type ObserverResult struct {
+	// Synthetic microbenchmark: wall time per monitor flavor.
+	Baseline  time.Duration
+	Monitored map[string]time.Duration
+	// Engine: wall time of a real parallel MD run with per-chunk monitors.
+	EngineBaseline  time.Duration
+	EngineMonitored map[string]time.Duration
+	// Machine model: modeled 4-core cycles with per-work-unit monitor
+	// updates of each flavor (this is where the coherence serialization the
+	// paper suffered is visible; the wall-clock rows cannot show it on a
+	// single-CPU host).
+	ModelBaseline  int64
+	ModelMonitored map[string]int64
+	Report         string
+}
+
+// Slowdown returns wall/baseline for a flavor in the synthetic benchmark.
+func (r *ObserverResult) Slowdown(flavor string) float64 {
+	return float64(r.Monitored[flavor]) / float64(r.Baseline)
+}
+
+// runEngine measures a short parallel salt run with an optional per-chunk
+// monitor hook (the fine-grained instrumentation points JaMON would hook).
+func runEngine(steps int, hook func(worker int)) (time.Duration, error) {
+	b := workload.Salt()
+	cfg := b.Cfg
+	cfg.Threads = 4
+	cfg.ChunkHook = hook
+	sim, err := core.New(b.Sys, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer sim.Close()
+	start := time.Now()
+	sim.Run(steps)
+	return time.Since(start), nil
+}
+
+// monitorFlavor describes how a monitor's counters are laid out in memory.
+type monitorFlavor struct {
+	name string
+	// accesses returns the monitor-update accesses for one work unit by
+	// worker w.
+	accesses func(w int) []memtrace.Access
+}
+
+// modelObserver replays the salt force phase on the modeled 4-core i7 with
+// a monitor update injected after every work unit (~16 accesses).
+func modelObserver() (int64, map[string]int64, error) {
+	const threads = 4
+	const lockAddr = uint64(0x9000_0000)
+	const counterAddr = uint64(0x9000_0040)
+	perWorker := func(w int) uint64 { return 0x9100_0000 + uint64(w)*64 }
+
+	flavors := []monitorFlavor{
+		{"none", nil},
+		{"synchronized", func(w int) []memtrace.Access {
+			return []memtrace.Access{
+				{Addr: lockAddr, Write: true, Compute: 10},    // lock acquire (RMW)
+				{Addr: counterAddr, Write: true, Compute: 10}, // guarded update
+				{Addr: lockAddr, Write: true, Compute: 10},    // release
+			}
+		}},
+		{"atomic", func(w int) []memtrace.Access {
+			return []memtrace.Access{{Addr: counterAddr, Write: true, Compute: 10}}
+		}},
+		{"sharded", func(w int) []memtrace.Access {
+			return []memtrace.Access{{Addr: perWorker(w), Write: true, Compute: 10}}
+		}},
+	}
+
+	b := workload.Salt()
+	opt := memtrace.Options{Threads: threads, Cutoff: b.Cfg.LJCutoff, Skin: b.Cfg.Skin, Seed: 9}
+	m := memtrace.NewAddrMap(b.Sys.N(), opt)
+	base := memtrace.ForcePhase(b.Sys, m, opt)
+
+	out := map[string]int64{}
+	var baseline int64
+	for _, fl := range flavors {
+		streams := make([]memtrace.Stream, threads)
+		for w := range streams {
+			src := base[w].Accesses
+			dst := make([]memtrace.Access, 0, len(src)*5/4)
+			for i, a := range src {
+				dst = append(dst, a)
+				if fl.accesses != nil && i%16 == 15 {
+					dst = append(dst, fl.accesses(w)...)
+				}
+			}
+			streams[w].Accesses = dst
+		}
+		r, err := machine.Run(machine.Config{
+			Machine:    topo.CoreI7,
+			Threads:    threads,
+			Background: 1, BackgroundDuty: 0.1,
+			Hier: modelHier,
+			Seed: 9,
+		}, streams, 4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if fl.name == "none" {
+			baseline = r.Cycles
+		} else {
+			out[fl.name] = r.Cycles
+		}
+	}
+	return baseline, out, nil
+}
+
+// Observer runs both observer-effect measurements. units/iters size the
+// synthetic benchmark; steps sizes the engine run.
+func Observer(units, iters, steps int) (*ObserverResult, error) {
+	if units <= 0 {
+		units = 40000
+	}
+	if iters <= 0 {
+		iters = 300
+	}
+	if steps <= 0 {
+		steps = 15
+	}
+	const workers = 4
+	res := &ObserverResult{
+		Monitored:       map[string]time.Duration{},
+		EngineMonitored: map[string]time.Duration{},
+	}
+
+	// Warm up the scheduler/allocator once.
+	perfmon.MeasureObserverEffect(workers, units/10, iters, nil)
+	res.Baseline = perfmon.MeasureObserverEffect(workers, units, iters, nil)
+	monitors := []perfmon.Monitor{
+		perfmon.NewSyncMonitor(),
+		perfmon.NewAtomicMonitor("work"),
+		perfmon.NewShardedMonitor(workers, "work"),
+	}
+	for _, m := range monitors {
+		res.Monitored[m.Name()] = perfmon.MeasureObserverEffect(workers, units, iters, m)
+	}
+
+	base, err := runEngine(steps, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.EngineBaseline = base
+	for _, mk := range []func() perfmon.Monitor{
+		func() perfmon.Monitor { return perfmon.NewSyncMonitor() },
+		func() perfmon.Monitor { return perfmon.NewAtomicMonitor("chunk") },
+		func() perfmon.Monitor { return perfmon.NewShardedMonitor(workers, "chunk") },
+	} {
+		m := mk()
+		start := time.Now()
+		d, err := runEngine(steps, func(worker int) {
+			m.Record(worker, "chunk", time.Since(start))
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.EngineMonitored[m.Name()] = d
+	}
+
+	res.ModelBaseline, res.ModelMonitored, err = modelObserver()
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable("Observer effect (§IV-A): per-unit monitors vs uninstrumented run",
+		"Monitor", "Synthetic wall", "Slowdown", "Engine wall", "Slowdown", "Modeled 4-core cycles", "Slowdown")
+	t.AddRow("none", res.Baseline, 1.0, res.EngineBaseline, 1.0, res.ModelBaseline, 1.0)
+	for _, name := range []string{"synchronized", "atomic", "sharded"} {
+		t.AddRow(name,
+			res.Monitored[name],
+			res.Slowdown(name),
+			res.EngineMonitored[name],
+			float64(res.EngineMonitored[name])/float64(res.EngineBaseline),
+			res.ModelMonitored[name],
+			float64(res.ModelMonitored[name])/float64(res.ModelBaseline),
+		)
+	}
+	res.Report = t.String() + fmt.Sprintf(
+		"\npaper: JaMON's synchronized monitors serialized MW; VisualVM's per-method\ninstrumentation ran it at ~1/4 speed. Expected ordering: synchronized >\natomic > sharded ≈ none. (The wall-clock columns run on this host, which\nexposes one CPU — real lock contention is only visible in the modeled\ncolumns, where shared monitor lines ping-pong between the four cores.)\n")
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mw/internal/atom"
+	"mw/internal/ewald"
+	"mw/internal/forces"
+	"mw/internal/report"
+	"mw/internal/vec"
+)
+
+// PMERow is one system size of the PME crossover experiment.
+type PMERow struct {
+	N            int
+	DirectSec    float64
+	PMESec       float64
+	ForceRelErr  float64 // PME vs direct Ewald reference
+	EnergyRelErr float64
+}
+
+// PMEResult holds the future-work extension experiment: the O(N²) direct
+// Coulomb sum (what Molecular Workbench ships) against the O(N log N)
+// smooth particle-mesh Ewald the paper names as its replacement.
+type PMEResult struct {
+	Rows   []PMERow
+	CrossN int // first N where PME is faster (0 = never in range)
+	Report string
+}
+
+// periodicSalt builds an n³-ion periodic rock-salt system with thermal
+// jitter so forces are non-trivial.
+func periodicSalt(side int, seed int64) *atom.System {
+	const a = 2.82
+	s := atom.NewSystem(atom.CubicBox(float64(side)*a, true))
+	rng := rand.New(rand.NewSource(seed))
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			for z := 0; z < side; z++ {
+				p := vec.New(
+					(float64(x)+0.3*rng.Float64())*a,
+					(float64(y)+0.3*rng.Float64())*a,
+					(float64(z)+0.3*rng.Float64())*a,
+				)
+				p = s.Box.Wrap(p)
+				if (x+y+z)%2 == 0 {
+					s.AddAtom(atom.Na, p, vec.Zero, +1, false)
+				} else {
+					s.AddAtom(atom.Cl, p, vec.Zero, -1, false)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// timeIt runs fn enough times to exceed ~30 ms and returns seconds/call.
+func timeIt(fn func()) float64 {
+	reps := 1
+	for {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		d := time.Since(start)
+		if d > 30*time.Millisecond || reps >= 1<<16 {
+			return d.Seconds() / float64(reps)
+		}
+		reps *= 4
+	}
+}
+
+// PME runs the crossover experiment over rock-salt systems of increasing
+// size (side³ ions per entry; default 4..16). These are real wall-clock
+// timings (pure algorithms, single core).
+func PME(sides ...int) (*PMEResult, error) {
+	if len(sides) == 0 {
+		sides = []int{4, 6, 8, 10, 12, 14, 16}
+	}
+	res := &PMEResult{}
+	t := report.NewTable("PME extension: direct O(N²) Coulomb vs smooth PME O(N log N), wall time per force evaluation",
+		"N ions", "Direct (ms)", "PME (ms)", "PME/Direct", "Force rel err", "Energy rel err")
+	for _, side := range sides {
+		s := periodicSalt(side, int64(side))
+		n := s.N()
+		l := s.Box.L.X
+		charged := s.ChargedIndices()
+
+		direct := forces.Coulomb{Softening: 0.05}
+		fDirect := make([]vec.Vec3, n)
+		directSec := timeIt(func() {
+			for i := range fDirect {
+				fDirect[i] = vec.Zero
+			}
+			direct.Accumulate(s, charged, fDirect)
+		})
+
+		alpha := 0.45
+		rcut := math.Min(7.5, 0.4999*l)
+		// ~1 mesh point per Å is the standard SPME resolution at this alpha.
+		mesh := 16
+		for float64(mesh) < 0.9*l {
+			mesh *= 2
+		}
+		p := ewald.PME{Alpha: alpha, RCut: rcut, Mesh: mesh, Order: 4}
+		fPME := make([]vec.Vec3, n)
+		var pmeErr error
+		pmeSec := timeIt(func() {
+			for i := range fPME {
+				fPME[i] = vec.Zero
+			}
+			if _, err := p.Accumulate(s, fPME); err != nil {
+				pmeErr = err
+			}
+		})
+		if pmeErr != nil {
+			return nil, pmeErr
+		}
+
+		// Accuracy vs the converged classical Ewald reference.
+		ref := ewald.Ewald{Alpha: alpha, RCut: rcut, KMax: 10}
+		fRef := make([]vec.Vec3, n)
+		peRef, err := ref.Accumulate(s, fRef)
+		if err != nil {
+			return nil, err
+		}
+		pePME, err := p.Energy(s)
+		if err != nil {
+			return nil, err
+		}
+		var num, den float64
+		for i := range fRef {
+			num += fPME[i].Sub(fRef[i]).Norm2()
+			den += fRef[i].Norm2()
+		}
+		row := PMERow{
+			N:            n,
+			DirectSec:    directSec,
+			PMESec:       pmeSec,
+			ForceRelErr:  math.Sqrt(num / (den + 1e-30)),
+			EnergyRelErr: math.Abs(pePME-peRef) / math.Abs(peRef),
+		}
+		res.Rows = append(res.Rows, row)
+		if res.CrossN == 0 && pmeSec < directSec {
+			res.CrossN = n
+		}
+		t.AddRow(n, directSec*1e3, pmeSec*1e3, pmeSec/directSec, row.ForceRelErr, row.EnergyRelErr)
+	}
+	cross := "not reached in range"
+	if res.CrossN > 0 {
+		cross = fmt.Sprintf("N = %d", res.CrossN)
+	}
+	res.Report = t.String() + fmt.Sprintf(
+		"\ncrossover (PME faster than direct): %s\npaper: PME \"would have lower algorithmic complexity at O(N logN), but its use\nis a future work direction due to its implementation complexity\" (§II-B).\n", cross)
+	return res, nil
+}

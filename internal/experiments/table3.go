@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mw/internal/machine"
+	"mw/internal/report"
+	"mw/internal/topo"
+	"mw/internal/workload"
+)
+
+// Table3Row is one pinning-topology configuration.
+type Table3Row struct {
+	Cores    int
+	Topology string
+	Affinity []topo.CPUMask // nil = OS scheduled
+	PaperSec float64
+}
+
+// Table3Result holds the modeled runtimes for the paper's Table III.
+type Table3Result struct {
+	Rows    []Table3Row
+	Seconds []float64
+	Report  string
+}
+
+// perCoreMasks pins thread i to the i-th core of the mask.
+func perCoreMasks(mk topo.CPUMask) []topo.CPUMask {
+	cores := mk.Cores()
+	out := make([]topo.CPUMask, len(cores))
+	for i, c := range cores {
+		out[i] = topo.MaskOf(c)
+	}
+	return out
+}
+
+// table3Rows builds the paper's seven configurations on the 32-core
+// Xeon X7560 system (4 packages × 8 cores, the only Table II machine that
+// can host every row).
+func table3Rows() ([]Table3Row, error) {
+	m := topo.XeonX7560
+	onePer4, err := m.OneCorePerPackage(4)
+	if err != nil {
+		return nil, err
+	}
+	fourOnOne, err := m.CoresOnOnePackage(4)
+	if err != nil {
+		return nil, err
+	}
+	twoPer8, err := m.CoresPerPackageSpread(2, 4)
+	if err != nil {
+		return nil, err
+	}
+	eightOnOne, err := m.CoresOnOnePackage(8)
+	if err != nil {
+		return nil, err
+	}
+	return []Table3Row{
+		{4, "one core per processor", perCoreMasks(onePer4), 172.2},
+		{4, "4 cores on one processor", perCoreMasks(fourOnOne), 154.7},
+		{4, "OS scheduled", nil, 147.3},
+		{8, "OS scheduled", nil, 164.3},
+		{8, "two cores per processor", perCoreMasks(twoPer8), 132.0},
+		{8, "8 cores on one processor", perCoreMasks(eightOnOne), 103.7},
+		{32, "OS scheduled", nil, 100.2},
+	}, nil
+}
+
+// Table3 models Table III: the same LJ-dominated workload run with the
+// thread count of each row under its affinity topology on the Xeon X7560.
+// repeat scales the modeled horizon.
+func Table3(repeat int) (*Table3Result, error) {
+	if repeat <= 0 {
+		repeat = 12
+	}
+	rows, err := table3Rows()
+	if err != nil {
+		return nil, err
+	}
+	b := workload.Al1000()
+	res := &Table3Result{Rows: rows}
+	t := report.NewTable("Table III: modeled runtime with the same workload but different topologies (Xeon X7560)",
+		"Cores", "Topology", "Modeled (s)", "Paper (s)")
+	for _, row := range rows {
+		streams := javaStreams(b, row.Cores, 7)
+		cfg := machine.Config{
+			Machine:  topo.XeonX7560,
+			Threads:  row.Cores,
+			Affinity: row.Affinity,
+			// The 32-core machine was Intel's shared Manycore Testing Lab:
+			// substantial unrelated load, which is exactly why the paper
+			// found "the OS can avoid cores loaded with other tasks".
+			Background:     8,
+			BackgroundDuty: 0.5,
+			QuantumCycles:  300_000,
+			Hier:           modelHier,
+			Seed:           11,
+		}
+		r, err := machine.Run(cfg, streams, repeat)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", row.Topology, err)
+		}
+		res.Seconds = append(res.Seconds, r.Seconds)
+		t.AddRow(row.Cores, row.Topology, r.Seconds, row.PaperSec)
+	}
+	res.Report = t.String()
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+
+	"mw/internal/report"
+	"mw/internal/topo"
+	"mw/internal/workload"
+)
+
+// Table1 regenerates Table I: representative benchmark characteristics.
+func Table1() string {
+	t := report.NewTable("Table I: Representative Benchmark Characteristics",
+		"Benchmark", "# of Atoms", "# of Charged Atoms", "# of Bonds", "Dominant Computation Type")
+	for _, b := range workload.All() {
+		c := workload.Characterize(b.Name, b.Sys)
+		t.AddRow(c.Name, c.Atoms, c.ChargedAtoms, c.BondTerms, c.Dominant)
+	}
+	return t.String()
+}
+
+// Table2 regenerates Table II: test machines and their memory hierarchies.
+// verbose additionally renders the hwloc-style topology trees (§V-C).
+func Table2(verbose bool) string {
+	t := report.NewTable("Table II: Test Machines and Their Memory Hierarchies",
+		"Processor Type", "Procs x Cores", "L1 Data", "L2", "L3", "Memory")
+	for _, m := range topo.TableII() {
+		t.AddRow(
+			m.Name,
+			strconv.Itoa(m.Packages)+"x"+strconv.Itoa(m.CoresPerPackage),
+			strconv.Itoa(m.L1KB)+" kB",
+			strconv.Itoa(m.L2KB)+" kB",
+			strconv.Itoa(m.NumL3Groups())+" x ("+strconv.Itoa(m.L3KB/1024)+" MB shared/"+strconv.Itoa(m.L3GroupCores)+" cores)",
+			strconv.Itoa(m.MemoryGB)+" GB",
+		)
+	}
+	out := t.String()
+	if verbose {
+		var b strings.Builder
+		b.WriteString(out)
+		b.WriteString("\nhwloc-style topology trees (§V-C):\n\n")
+		for _, m := range topo.TableII() {
+			b.WriteString(m.Tree().Render())
+			b.WriteByte('\n')
+		}
+		out = b.String()
+	}
+	return out
+}

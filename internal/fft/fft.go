@@ -1,0 +1,153 @@
+// Package fft provides the radix-2 complex fast Fourier transform used by
+// the particle-mesh-Ewald extension (the O(N log N) Coulomb method the paper
+// names as future work, citing Darden et al.). Only power-of-two lengths
+// are supported; PME meshes are chosen accordingly.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Forward computes the in-place forward DFT of x:
+// X[k] = Σ_n x[n]·exp(-2πi·kn/N). len(x) must be a power of two.
+func Forward(x []complex128) error { return transform(x, false) }
+
+// Inverse computes the in-place inverse DFT including the 1/N
+// normalization, so Inverse(Forward(x)) == x.
+func Inverse(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size *= 2 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+	return nil
+}
+
+// Mesh3D is a dense complex scalar field on an nx×ny×nz grid with x fastest.
+type Mesh3D struct {
+	Nx, Ny, Nz int
+	Data       []complex128
+}
+
+// NewMesh3D allocates a zeroed mesh. Dimensions must be powers of two.
+func NewMesh3D(nx, ny, nz int) (*Mesh3D, error) {
+	for _, n := range []int{nx, ny, nz} {
+		if n <= 0 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("fft: mesh dimension %d is not a power of two", n)
+		}
+	}
+	return &Mesh3D{Nx: nx, Ny: ny, Nz: nz, Data: make([]complex128, nx*ny*nz)}, nil
+}
+
+// Index returns the flat index of (ix, iy, iz).
+func (m *Mesh3D) Index(ix, iy, iz int) int { return (iz*m.Ny+iy)*m.Nx + ix }
+
+// At returns the value at (ix, iy, iz).
+func (m *Mesh3D) At(ix, iy, iz int) complex128 { return m.Data[m.Index(ix, iy, iz)] }
+
+// Set stores v at (ix, iy, iz).
+func (m *Mesh3D) Set(ix, iy, iz int, v complex128) { m.Data[m.Index(ix, iy, iz)] = v }
+
+// Zero clears the mesh.
+func (m *Mesh3D) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Transform applies the 3D FFT in place (inverse includes normalization).
+func (m *Mesh3D) Transform(inverse bool) error {
+	t := Forward
+	if inverse {
+		t = Inverse
+	}
+	// X lines.
+	for iz := 0; iz < m.Nz; iz++ {
+		for iy := 0; iy < m.Ny; iy++ {
+			base := m.Index(0, iy, iz)
+			if err := t(m.Data[base : base+m.Nx]); err != nil {
+				return err
+			}
+		}
+	}
+	// Y lines (gather/scatter with stride Nx).
+	line := make([]complex128, max(m.Ny, m.Nz))
+	for iz := 0; iz < m.Nz; iz++ {
+		for ix := 0; ix < m.Nx; ix++ {
+			for iy := 0; iy < m.Ny; iy++ {
+				line[iy] = m.Data[m.Index(ix, iy, iz)]
+			}
+			if err := t(line[:m.Ny]); err != nil {
+				return err
+			}
+			for iy := 0; iy < m.Ny; iy++ {
+				m.Data[m.Index(ix, iy, iz)] = line[iy]
+			}
+		}
+	}
+	// Z lines.
+	for iy := 0; iy < m.Ny; iy++ {
+		for ix := 0; ix < m.Nx; ix++ {
+			for iz := 0; iz < m.Nz; iz++ {
+				line[iz] = m.Data[m.Index(ix, iy, iz)]
+			}
+			if err := t(line[:m.Nz]); err != nil {
+				return err
+			}
+			for iz := 0; iz < m.Nz; iz++ {
+				m.Data[m.Index(ix, iy, iz)] = line[iz]
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

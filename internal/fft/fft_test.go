@@ -1,0 +1,190 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// DFT of [1,0,0,0] is all ones.
+	x := []complex128{1, 0, 0, 0}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v", i, v)
+		}
+	}
+	// DFT of a pure tone lands in a single bin.
+	const n = 16
+	tone := make([]complex128, n)
+	for i := range tone {
+		ang := 2 * math.Pi * 3 * float64(i) / n
+		tone[i] = cmplx.Exp(complex(0, ang))
+	}
+	if err := Forward(tone); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range tone {
+		want := 0.0
+		if k == 3 {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("bin %d magnitude %v, want %v", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		x := randComplex(rng, n)
+		orig := append([]complex128(nil), x...)
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip diverged at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		x := randComplex(rng, 256)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= 256
+		if math.Abs(timeE-freqE) > 1e-9*(1+timeE) {
+			t.Fatalf("Parseval violated: %v vs %v", timeE, freqE)
+		}
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randComplex(rng, 128)
+	b := randComplex(rng, 128)
+	sum := make([]complex128, 128)
+	for i := range sum {
+		sum[i] = a[i] + 2*b[i]
+	}
+	Forward(a)
+	Forward(b)
+	Forward(sum)
+	for i := range sum {
+		if cmplx.Abs(sum[i]-(a[i]+2*b[i])) > 1e-9 {
+			t.Fatal("linearity violated")
+		}
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := Forward(make([]complex128, 6)); err == nil {
+		t.Error("length 6 accepted")
+	}
+	if err := Inverse(make([]complex128, 100)); err == nil {
+		t.Error("length 100 accepted")
+	}
+	if err := Forward(nil); err != nil {
+		t.Error("empty transform must be a no-op")
+	}
+}
+
+func TestMesh3DRoundTrip(t *testing.T) {
+	m, err := NewMesh3D(8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	orig := make([]complex128, len(m.Data))
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = m.Data[i]
+	}
+	if err := m.Transform(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Transform(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3D round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestMesh3DDeltaTransform(t *testing.T) {
+	// A delta at the origin transforms to a constant field.
+	m, _ := NewMesh3D(4, 4, 4)
+	m.Set(0, 0, 0, 1)
+	if err := m.Transform(false); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Data {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta transform not flat: %v", v)
+		}
+	}
+}
+
+func TestMesh3DIndexing(t *testing.T) {
+	m, _ := NewMesh3D(4, 8, 2)
+	m.Set(3, 7, 1, 42)
+	if m.At(3, 7, 1) != 42 {
+		t.Error("Set/At mismatch")
+	}
+	if m.Index(0, 0, 0) != 0 || m.Index(3, 7, 1) != len(m.Data)-1 {
+		t.Error("index layout wrong")
+	}
+	m.Zero()
+	if m.At(3, 7, 1) != 0 {
+		t.Error("Zero incomplete")
+	}
+}
+
+func TestMesh3DRejectsBadDims(t *testing.T) {
+	if _, err := NewMesh3D(3, 4, 4); err == nil {
+		t.Error("non-power-of-two mesh accepted")
+	}
+	if _, err := NewMesh3D(0, 4, 4); err == nil {
+		t.Error("zero mesh accepted")
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := randComplex(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

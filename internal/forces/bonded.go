@@ -1,0 +1,191 @@
+package forces
+
+import (
+	"math"
+
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+// Bonded forces are the most floating-point-intensive interactions in
+// Molecular Workbench, touching up to four atoms per term through indirect
+// indexing into the atom array (paper §II-B). Forces are computed in bond
+// list order; parallel workers take disjoint ranges of the bond list (not of
+// the atom array), since a single atom may appear in many bonds.
+
+// AccumulateBondsRange adds harmonic stretch forces for bonds[lo:hi] into f
+// and returns their potential energy: V = ½ K (r - R0)².
+func AccumulateBondsRange(s *atom.System, bonds []atom.Bond, lo, hi int, f []vec.Vec3) float64 {
+	var pe float64
+	box := s.Box
+	for b := lo; b < hi; b++ {
+		bd := bonds[b]
+		d := box.MinImage(s.Pos[bd.J].Sub(s.Pos[bd.I]))
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		dr := r - bd.R0
+		pe += 0.5 * bd.K * dr * dr
+		// F_I = +K (r - R0) d̂ pulls I toward J when stretched.
+		fs := bd.K * dr / r
+		f[bd.I] = f[bd.I].AddScaled(fs, d)
+		f[bd.J] = f[bd.J].AddScaled(-fs, d)
+	}
+	return pe
+}
+
+// AccumulateAnglesRange adds harmonic angle-bend forces for angles[lo:hi]
+// into f and returns their potential energy: V = ½ K (θ - θ0)², with θ the
+// angle at vertex J of the triplet I-J-K.
+func AccumulateAnglesRange(s *atom.System, angles []atom.Angle, lo, hi int, f []vec.Vec3) float64 {
+	var pe float64
+	box := s.Box
+	for a := lo; a < hi; a++ {
+		an := angles[a]
+		u := box.MinImage(s.Pos[an.I].Sub(s.Pos[an.J]))
+		v := box.MinImage(s.Pos[an.K].Sub(s.Pos[an.J]))
+		lu, lv := u.Norm(), v.Norm()
+		if lu == 0 || lv == 0 {
+			continue
+		}
+		cosT := u.Dot(v) / (lu * lv)
+		if cosT > 1 {
+			cosT = 1
+		} else if cosT < -1 {
+			cosT = -1
+		}
+		theta := math.Acos(cosT)
+		dT := theta - an.Theta0
+		pe += 0.5 * an.KTheta * dT * dT
+
+		sinT := math.Sqrt(1 - cosT*cosT)
+		if sinT < 1e-8 {
+			continue // collinear: torque direction undefined, zero force
+		}
+		// dθ/dr_I = -1/sinθ · d cosθ/dr_I, with
+		// d cosθ/dr_I = v/(|u||v|) - cosθ·u/|u|², so
+		// F_I = -dV/dθ · dθ/dr_I = +K(θ-θ0)/sinθ · d cosθ/dr_I.
+		coef := an.KTheta * dT / sinT
+		dcosI := v.Scale(1 / (lu * lv)).Sub(u.Scale(cosT / (lu * lu)))
+		dcosK := u.Scale(1 / (lu * lv)).Sub(v.Scale(cosT / (lv * lv)))
+		fI := dcosI.Scale(coef)
+		fK := dcosK.Scale(coef)
+		f[an.I] = f[an.I].Add(fI)
+		f[an.K] = f[an.K].Add(fK)
+		f[an.J] = f[an.J].Sub(fI).Sub(fK)
+	}
+	return pe
+}
+
+// AccumulateTorsionsRange adds cosine torsion forces for torsions[lo:hi]
+// into f and returns their potential energy:
+// V = ½ V0 (1 - cos(N(φ - φ0))) over the dihedral φ of the chain I-J-K-L.
+// The gradient follows the standard formulation (Allen & Tildesley; see the
+// numerical-gradient tests).
+func AccumulateTorsionsRange(s *atom.System, torsions []atom.Torsion, lo, hi int, f []vec.Vec3) float64 {
+	var pe float64
+	box := s.Box
+	for t := lo; t < hi; t++ {
+		to := torsions[t]
+		b1 := box.MinImage(s.Pos[to.J].Sub(s.Pos[to.I]))
+		b2 := box.MinImage(s.Pos[to.K].Sub(s.Pos[to.J]))
+		b3 := box.MinImage(s.Pos[to.L].Sub(s.Pos[to.K]))
+
+		m := b1.Cross(b2)
+		n := b2.Cross(b3)
+		m2, n2 := m.Norm2(), n.Norm2()
+		lb2 := b2.Norm()
+		if m2 < 1e-16 || n2 < 1e-16 || lb2 == 0 {
+			continue // degenerate (collinear) chain
+		}
+		// Signed dihedral: φ = atan2((m×n)·b̂2, m·n).
+		phi := math.Atan2(m.Cross(n).Dot(b2)/lb2, m.Dot(n))
+
+		nf := float64(to.N)
+		arg := nf * (phi - to.Phi0)
+		pe += 0.5 * to.V0 * (1 - math.Cos(arg))
+		dVdPhi := 0.5 * to.V0 * nf * math.Sin(arg)
+
+		// dφ/dr derivatives.
+		dI := m.Scale(-lb2 / m2)
+		dL := n.Scale(lb2 / n2)
+		s12 := b1.Dot(b2) / (lb2 * lb2)
+		s32 := b3.Dot(b2) / (lb2 * lb2)
+		dJ := dI.Scale(-1-s12).AddScaled(s32, dL)
+		dK := dI.Scale(s12).AddScaled(-1-s32, dL)
+
+		f[to.I] = f[to.I].AddScaled(-dVdPhi, dI)
+		f[to.J] = f[to.J].AddScaled(-dVdPhi, dJ)
+		f[to.K] = f[to.K].AddScaled(-dVdPhi, dK)
+		f[to.L] = f[to.L].AddScaled(-dVdPhi, dL)
+	}
+	return pe
+}
+
+// AccumulateMorseRange adds Morse bond forces for morses[lo:hi] into f and
+// returns their potential energy: V = D·(1 − e^{−A(r−R0)})².
+func AccumulateMorseRange(s *atom.System, morses []atom.Morse, lo, hi int, f []vec.Vec3) float64 {
+	var pe float64
+	box := s.Box
+	for b := lo; b < hi; b++ {
+		mo := morses[b]
+		d := box.MinImage(s.Pos[mo.J].Sub(s.Pos[mo.I]))
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		e := math.Exp(-mo.A * (r - mo.R0))
+		om := 1 - e
+		pe += mo.D * om * om
+		// dV/dr = 2·D·A·(1−e)·e; F_I = +dV/dr·d̂ pulls I toward J when
+		// stretched (r > R0 ⇒ e < 1 ⇒ dV/dr > 0).
+		fs := 2 * mo.D * mo.A * om * e / r
+		f[mo.I] = f[mo.I].AddScaled(fs, d)
+		f[mo.J] = f[mo.J].AddScaled(-fs, d)
+	}
+	return pe
+}
+
+// AngleValue returns the current angle (radians) of the triplet, or 0 for a
+// degenerate geometry — used to parameterize Theta0 from built structures.
+func AngleValue(s *atom.System, a atom.Angle) float64 {
+	u := s.Box.MinImage(s.Pos[a.I].Sub(s.Pos[a.J]))
+	v := s.Box.MinImage(s.Pos[a.K].Sub(s.Pos[a.J]))
+	if u.Norm() == 0 || v.Norm() == 0 {
+		return 0
+	}
+	return u.Angle(v)
+}
+
+// DihedralValue returns the current signed dihedral (radians) of the chain,
+// or 0 for a degenerate (collinear) geometry.
+func DihedralValue(s *atom.System, to atom.Torsion) float64 {
+	b1 := s.Box.MinImage(s.Pos[to.J].Sub(s.Pos[to.I]))
+	b2 := s.Box.MinImage(s.Pos[to.K].Sub(s.Pos[to.J]))
+	b3 := s.Box.MinImage(s.Pos[to.L].Sub(s.Pos[to.K]))
+	m := b1.Cross(b2)
+	n := b2.Cross(b3)
+	lb2 := b2.Norm()
+	if m.Norm2() < 1e-16 || n.Norm2() < 1e-16 || lb2 == 0 {
+		return 0
+	}
+	return math.Atan2(m.Cross(n).Dot(b2)/lb2, m.Dot(n))
+}
+
+// AccumulateBonded adds all bonded terms of the system into f and returns
+// the bonded potential energy.
+func AccumulateBonded(s *atom.System, f []vec.Vec3) float64 {
+	pe := AccumulateBondsRange(s, s.Bonds, 0, len(s.Bonds), f)
+	pe += AccumulateAnglesRange(s, s.Angles, 0, len(s.Angles), f)
+	pe += AccumulateTorsionsRange(s, s.Torsions, 0, len(s.Torsions), f)
+	pe += AccumulateMorseRange(s, s.Morses, 0, len(s.Morses), f)
+	return pe
+}
+
+// BondedEnergy returns the total bonded potential energy without touching
+// forces (used by tests for numerical differentiation).
+func BondedEnergy(s *atom.System) float64 {
+	scratch := make([]vec.Vec3, s.N())
+	return AccumulateBonded(s, scratch)
+}

@@ -1,0 +1,206 @@
+// Package forces implements the three interatomic force families computed
+// in phase 4 of the Molecular Workbench timestep (paper §II-B):
+//
+//   - Lennard-Jones between non-bonded atoms within a cutoff, driven by the
+//     linked-cell neighbor lists (the dominant force in most repository
+//     simulations, e.g. Al-1000);
+//   - Coulombic forces between every pair of charged particles regardless of
+//     distance (dominant in the salt benchmark);
+//   - bonded forces — radial, angular and torsional terms involving up to
+//     four atoms with irregular indexing into the atom array (dominant in
+//     the nanocar benchmark);
+//
+// plus uniform external fields. All Accumulate functions add forces into a
+// caller-provided array, which is how the engine privatizes force
+// accumulation per worker thread before the reduction phase, and return the
+// potential energy of the accumulated terms.
+package forces
+
+import (
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/vec"
+)
+
+// LJ computes shifted Lennard-Jones interactions with per-element-pair
+// parameters combined by Lorentz-Berthelot rules. The potential is shifted
+// so that V(cutoff) = 0, keeping energy continuous across the cutoff.
+type LJ struct {
+	Cutoff float64
+
+	nelem  int
+	sigma2 []float64 // σ², indexed [a*nelem+b]
+	eps    []float64 // ε
+	shift  []float64 // V_unshifted(cutoff)
+}
+
+// NewLJ precomputes the pair table for the element set.
+func NewLJ(elements []atom.Element, cutoff float64) *LJ {
+	if cutoff <= 0 {
+		panic("forces: non-positive LJ cutoff")
+	}
+	n := len(elements)
+	lj := &LJ{
+		Cutoff: cutoff,
+		nelem:  n,
+		sigma2: make([]float64, n*n),
+		eps:    make([]float64, n*n),
+		shift:  make([]float64, n*n),
+	}
+	c2 := cutoff * cutoff
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			sigma, eps := atom.MixLJ(elements[a], elements[b])
+			s2 := sigma * sigma
+			lj.sigma2[a*n+b] = s2
+			lj.eps[a*n+b] = eps
+			sr2 := s2 / c2
+			sr6 := sr2 * sr2 * sr2
+			lj.shift[a*n+b] = 4 * eps * (sr6*sr6 - sr6)
+		}
+	}
+	return lj
+}
+
+// AccumulateRange adds LJ forces for all half pairs owned by atoms
+// lo ≤ i < hi (their full neighbor slices) into f and returns the potential
+// energy of those pairs. Because each pair is owned by exactly one atom, two
+// workers never both write the same pair — but they may write the same f[j]
+// entry, which is why the engine gives every worker a private f.
+//
+// Pairs of two fixed atoms are skipped: the nanocar's immovable gold
+// platform atoms do not interact with one another (paper §III), which is
+// what lowers that benchmark's effective atom count.
+func (lj *LJ) AccumulateRange(s *atom.System, nl *cells.NeighborList, lo, hi int, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	box := s.Box
+	for i := lo; i < hi; i++ {
+		pi := s.Pos[i]
+		ei := int(s.Elem[i])
+		fi := f[i]
+		fixedI := s.Fixed[i]
+		for _, j := range nl.Of(i) {
+			if fixedI && s.Fixed[j] {
+				continue
+			}
+			if s.Excl.Excluded(int32(i), j) {
+				continue
+			}
+			d := box.MinImage(s.Pos[j].Sub(pi))
+			r2 := d.Norm2()
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			k := ei*lj.nelem + int(s.Elem[j])
+			sr2 := lj.sigma2[k] / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			eps := lj.eps[k]
+			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			// dV/dr · 1/r, applied along d (j-i direction).
+			fs := 24 * eps * (2*sr12 - sr6) / r2
+			fi = fi.AddScaled(-fs, d)
+			f[j] = f[j].AddScaled(fs, d)
+		}
+		f[i] = fi
+	}
+	return pe
+}
+
+// Accumulate adds LJ forces for every pair in the list.
+func (lj *LJ) Accumulate(s *atom.System, nl *cells.NeighborList, f []vec.Vec3) float64 {
+	return lj.AccumulateRange(s, nl, 0, s.N(), f)
+}
+
+// AccumulateRangeList adds LJ forces for all pairs held by a per-chunk
+// RangeList into f and returns their potential energy. This is the fused
+// phase-3+4 fast path of the parallel engine.
+func (lj *LJ) AccumulateRangeList(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	box := s.Box
+	for i := rl.Lo; i < rl.Hi; i++ {
+		pi := s.Pos[i]
+		ei := int(s.Elem[i])
+		fi := f[i]
+		fixedI := s.Fixed[i]
+		for _, j := range rl.Of(i) {
+			if fixedI && s.Fixed[j] {
+				continue
+			}
+			if s.Excl.Excluded(int32(i), j) {
+				continue
+			}
+			d := box.MinImage(s.Pos[j].Sub(pi))
+			r2 := d.Norm2()
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			k := ei*lj.nelem + int(s.Elem[j])
+			sr2 := lj.sigma2[k] / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			eps := lj.eps[k]
+			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			fs := 24 * eps * (2*sr12 - sr6) / r2
+			fi = fi.AddScaled(-fs, d)
+			f[j] = f[j].AddScaled(fs, d)
+		}
+		f[i] = fi
+	}
+	return pe
+}
+
+// AccumulateRangeListFull adds LJ forces from a FULL range list (built by
+// Grid.BuildRangeFull: every pair appears under both endpoints). Force is
+// added only to the owning atom i — no mirrored write — and each pair's
+// energy is halved so the total matches the half-list path. Because no
+// worker ever writes another worker's atoms, this path needs no privatized
+// arrays for the LJ term; the trade is ~2× the pair arithmetic.
+func (lj *LJ) AccumulateRangeListFull(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	box := s.Box
+	for i := rl.Lo; i < rl.Hi; i++ {
+		pi := s.Pos[i]
+		ei := int(s.Elem[i])
+		fi := f[i]
+		fixedI := s.Fixed[i]
+		for _, j := range rl.Of(i) {
+			if fixedI && s.Fixed[j] {
+				continue
+			}
+			if s.Excl.Excluded(int32(i), j) {
+				continue
+			}
+			d := box.MinImage(s.Pos[j].Sub(pi))
+			r2 := d.Norm2()
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			k := ei*lj.nelem + int(s.Elem[j])
+			sr2 := lj.sigma2[k] / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			eps := lj.eps[k]
+			pe += 0.5 * (4*eps*(sr12-sr6) - lj.shift[k])
+			fs := 24 * eps * (2*sr12 - sr6) / r2
+			fi = fi.AddScaled(-fs, d)
+		}
+		f[i] = fi
+	}
+	return pe
+}
+
+// PairEnergy returns the shifted LJ pair energy for elements a, b at squared
+// distance r2 (0 beyond the cutoff); used by tests and diagnostics.
+func (lj *LJ) PairEnergy(a, b int16, r2 float64) float64 {
+	if r2 >= lj.Cutoff*lj.Cutoff {
+		return 0
+	}
+	k := int(a)*lj.nelem + int(b)
+	sr2 := lj.sigma2[k] / r2
+	sr6 := sr2 * sr2 * sr2
+	return 4*lj.eps[k]*(sr6*sr6-sr6) - lj.shift[k]
+}

@@ -1,0 +1,247 @@
+// Package jheap models the Java heap behaviours at the center of the
+// paper's §V memory analysis:
+//
+//   - object placement the programmer cannot control: Molecular Workbench
+//     stores atoms as an array of objects whose addresses the JVM picks, so
+//     spatial data reordering "was not practical in Java" (§V-A). The
+//     package lays out atom objects packed, scattered (allocation history +
+//     garbage-collection survivors), or spatially reordered, and exposes the
+//     addresses so the cache model can measure the difference the paper
+//     could only infer from miss rates;
+//
+//   - nursery churn: "over 50% of our live memory was being used by one type
+//     of temporary object, a simple convenience class that wraps together
+//     three floating point values" (§V-B). AllocTemp hands out short-lived
+//     wrapper objects from a TLAB-style nursery whose traffic pollutes the
+//     caches; Census reports live bytes by class the way VisualVM's live
+//     allocated objects view does.
+package jheap
+
+import "math/rand"
+
+// Layout selects an atom-object placement policy.
+type Layout int
+
+const (
+	// LayoutPacked places atom objects contiguously in index order — the
+	// layout a C program (or Go SoA slices) would get.
+	LayoutPacked Layout = iota
+	// LayoutScattered places atom objects in random order with gaps, the
+	// state of a mature JVM heap after allocation churn and partial GC.
+	LayoutScattered
+	// LayoutReordered places objects contiguously but in a caller-provided
+	// order (e.g. sorted by simulation-space position) — the inspector/
+	// executor data packing the paper attempted.
+	LayoutReordered
+)
+
+// String returns the layout name.
+func (l Layout) String() string {
+	switch l {
+	case LayoutPacked:
+		return "packed"
+	case LayoutScattered:
+		return "scattered"
+	case LayoutReordered:
+		return "reordered"
+	}
+	return "unknown"
+}
+
+// Object sizes in bytes, modeled on HotSpot: a 16-byte header plus fields.
+const (
+	// AtomObjectBytes models MW's per-atom object: header + position,
+	// velocity, acceleration, force (4 × 3 doubles) + element/charge/flags.
+	AtomObjectBytes = 16 + 4*3*8 + 16 // 128
+	// Vec3ObjectBytes models the 3-float convenience wrapper of §V-B.
+	Vec3ObjectBytes = 16 + 3*8 // 40
+	// NurseryBytes is the per-thread TLAB region size temps cycle through.
+	// Each allocating thread gets its own region (HotSpot thread-local
+	// allocation buffers), which is why temp churn scales its cache
+	// footprint with the thread count — the §V-B pollution mechanism.
+	NurseryBytes = 3 << 19
+)
+
+// ClassStats is one row of the live-object census.
+type ClassStats struct {
+	Count int64
+	Bytes int64
+}
+
+// Heap is the modeled Java heap.
+type Heap struct {
+	rng *rand.Rand
+
+	base uint64 // old-generation base address
+	brk  uint64
+
+	nurseryBase uint64
+	nurseryOff  []uint64 // per-thread TLAB cursors
+
+	live map[string]ClassStats
+}
+
+// New creates a heap model with deterministic placement for a given seed.
+func New(seed int64) *Heap {
+	return &Heap{
+		rng:         rand.New(rand.NewSource(seed)),
+		base:        0x1000_0000,
+		brk:         0x1000_0000,
+		nurseryBase: 0x8000_0000,
+		live:        make(map[string]ClassStats),
+	}
+}
+
+// LayoutAtoms assigns an address to each of n atom objects under the given
+// policy and registers them as live. order is used only by LayoutReordered
+// and must then be a permutation of [0,n): order[k] is the atom placed k-th.
+func (h *Heap) LayoutAtoms(n int, layout Layout, order []int) []uint64 {
+	addrs := h.LayoutObjects(n, layout, order)
+	st := h.live["Atom3D"]
+	st.Count += int64(n)
+	st.Bytes += int64(n) * AtomObjectBytes
+	h.live["Atom3D"] = st
+	return addrs
+}
+
+// LayoutObjects places n atom-sized objects without registering them in the
+// live census — used for phantom objects standing in for dead or unrelated
+// heap contents when modelling a fragmented old generation.
+func (h *Heap) LayoutObjects(n int, layout Layout, order []int) []uint64 {
+	addrs := make([]uint64, n)
+	switch layout {
+	case LayoutPacked:
+		for i := range addrs {
+			addrs[i] = h.brk + uint64(i)*AtomObjectBytes
+		}
+		h.brk += uint64(n) * AtomObjectBytes
+	case LayoutReordered:
+		if len(order) != n {
+			panic("jheap: reordered layout requires a full order")
+		}
+		for k, i := range order {
+			addrs[i] = h.brk + uint64(k)*AtomObjectBytes
+		}
+		h.brk += uint64(n) * AtomObjectBytes
+	case LayoutScattered:
+		// Allocation-history model: objects land in random order across a
+		// region ~4× their packed footprint (survivor gaps + interleaved
+		// allocations of other classes).
+		region := uint64(n) * AtomObjectBytes * 4
+		slots := region / AtomObjectBytes
+		perm := h.rng.Perm(int(slots))[:n]
+		for i := range addrs {
+			addrs[i] = h.brk + uint64(perm[i])*AtomObjectBytes
+		}
+		h.brk += region
+	default:
+		panic("jheap: unknown layout")
+	}
+	return addrs
+}
+
+// AllocTemp allocates one short-lived wrapper object in thread t's TLAB and
+// returns its address. Temps stay "live until the next garbage collection"
+// (§V-B), so they accumulate in the census until GC is called.
+func (h *Heap) AllocTemp(t int, class string, size int) uint64 {
+	if size <= 0 {
+		size = Vec3ObjectBytes
+	}
+	for t >= len(h.nurseryOff) {
+		h.nurseryOff = append(h.nurseryOff, 0)
+	}
+	addr := h.nurseryBase + uint64(t)*NurseryBytes + h.nurseryOff[t]
+	h.nurseryOff[t] += uint64(size)
+	if h.nurseryOff[t] >= NurseryBytes {
+		h.nurseryOff[t] = 0 // wrap: TLAB reuse after a minor collection
+	}
+	st := h.live[class]
+	st.Count++
+	st.Bytes += int64(size)
+	h.live[class] = st
+	return addr
+}
+
+// RegisterLive records n objects of the class totalling bytes in the census
+// without placing them (used when addresses were assigned by LayoutObjects).
+func (h *Heap) RegisterLive(class string, n, bytes int) {
+	st := h.live[class]
+	st.Count += int64(n)
+	st.Bytes += int64(bytes)
+	h.live[class] = st
+}
+
+// GC clears the given temporary classes from the census (a minor collection
+// reclaiming the nursery). Long-lived classes are untouched.
+func (h *Heap) GC(tempClasses ...string) {
+	for _, c := range tempClasses {
+		delete(h.live, c)
+	}
+	for t := range h.nurseryOff {
+		h.nurseryOff[t] = 0
+	}
+}
+
+// Census returns a copy of the live-object statistics by class.
+func (h *Heap) Census() map[string]ClassStats {
+	out := make(map[string]ClassStats, len(h.live))
+	for k, v := range h.live {
+		out[k] = v
+	}
+	return out
+}
+
+// LiveBytes returns the total live bytes across classes.
+func (h *Heap) LiveBytes() int64 {
+	var b int64
+	for _, v := range h.live {
+		b += v.Bytes
+	}
+	return b
+}
+
+// ClassFraction returns class's share of live bytes (0 when heap is empty).
+func (h *Heap) ClassFraction(class string) float64 {
+	total := h.LiveBytes()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.live[class].Bytes) / float64(total)
+}
+
+// Span returns the address span covered by a set of objects (max − min +
+// object size): the footprint a hardware prefetcher and the TLB see.
+// Packing minimizes span; scattering inflates it.
+func Span(addrs []uint64, objBytes uint64) uint64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	lo, hi := addrs[0], addrs[0]
+	for _, a := range addrs {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	return hi - lo + objBytes
+}
+
+// MeanNeighborGap returns the mean absolute address distance between
+// consecutively indexed objects — the spatial-locality metric §V-A wants a
+// "heap viewer" to expose.
+func MeanNeighborGap(addrs []uint64) float64 {
+	if len(addrs) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i]) - int64(addrs[i-1])
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(addrs)-1)
+}

@@ -1,0 +1,170 @@
+package jheap
+
+import (
+	"testing"
+)
+
+func TestPackedLayoutContiguous(t *testing.T) {
+	h := New(1)
+	addrs := h.LayoutAtoms(100, LayoutPacked, nil)
+	for i := 1; i < 100; i++ {
+		if addrs[i]-addrs[i-1] != AtomObjectBytes {
+			t.Fatalf("gap at %d: %d", i, addrs[i]-addrs[i-1])
+		}
+	}
+	if Span(addrs, AtomObjectBytes) != 100*AtomObjectBytes {
+		t.Errorf("packed span = %d", Span(addrs, AtomObjectBytes))
+	}
+}
+
+func TestScatteredLayoutSpread(t *testing.T) {
+	h := New(2)
+	packed := h.LayoutAtoms(200, LayoutPacked, nil)
+	scattered := h.LayoutAtoms(200, LayoutScattered, nil)
+	if Span(scattered, AtomObjectBytes) <= Span(packed, AtomObjectBytes) {
+		t.Error("scattered span not larger than packed")
+	}
+	if MeanNeighborGap(scattered) <= MeanNeighborGap(packed) {
+		t.Error("scattered neighbor gap not larger than packed")
+	}
+	// No two objects share an address.
+	seen := map[uint64]bool{}
+	for _, a := range scattered {
+		if seen[a] {
+			t.Fatal("address collision in scattered layout")
+		}
+		seen[a] = true
+	}
+}
+
+func TestReorderedLayoutFollowsOrder(t *testing.T) {
+	h := New(3)
+	order := []int{3, 1, 0, 2} // atom 3 placed first, then 1, 0, 2
+	addrs := h.LayoutAtoms(4, LayoutReordered, order)
+	if addrs[3] >= addrs[1] || addrs[1] >= addrs[0] || addrs[0] >= addrs[2] {
+		t.Errorf("reordered addresses wrong: %v", addrs)
+	}
+	// Still packed: same span as a packed layout.
+	if Span(addrs, AtomObjectBytes) != 4*AtomObjectBytes {
+		t.Errorf("reordered span = %d", Span(addrs, AtomObjectBytes))
+	}
+}
+
+func TestReorderedLayoutValidation(t *testing.T) {
+	h := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("short order must panic")
+		}
+	}()
+	h.LayoutAtoms(5, LayoutReordered, []int{0, 1})
+}
+
+func TestUnknownLayoutPanics(t *testing.T) {
+	h := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown layout must panic")
+		}
+	}()
+	h.LayoutAtoms(1, Layout(42), nil)
+}
+
+func TestCensusTracksClasses(t *testing.T) {
+	h := New(5)
+	h.LayoutAtoms(10, LayoutPacked, nil)
+	for i := 0; i < 100; i++ {
+		h.AllocTemp(0, "Vec3", Vec3ObjectBytes)
+	}
+	c := h.Census()
+	if c["Atom3D"].Count != 10 || c["Atom3D"].Bytes != 10*AtomObjectBytes {
+		t.Errorf("Atom3D census = %+v", c["Atom3D"])
+	}
+	if c["Vec3"].Count != 100 || c["Vec3"].Bytes != 100*Vec3ObjectBytes {
+		t.Errorf("Vec3 census = %+v", c["Vec3"])
+	}
+	if h.LiveBytes() != 10*AtomObjectBytes+100*Vec3ObjectBytes {
+		t.Errorf("LiveBytes = %d", h.LiveBytes())
+	}
+}
+
+func TestVec3DominatesLiveHeap(t *testing.T) {
+	// §V-B's observation: run enough force-phase temps and the wrapper class
+	// exceeds 50% of live memory.
+	h := New(6)
+	h.LayoutAtoms(1000, LayoutScattered, nil)
+	// One timestep of a 1000-atom LJ system allocates a few temps per pair;
+	// ~40 pairs per atom → ~4000+ temps comfortably dominate.
+	for i := 0; i < 1000*40/4; i++ {
+		h.AllocTemp(0, "Vec3", Vec3ObjectBytes)
+	}
+	if f := h.ClassFraction("Vec3"); f <= 0.5 {
+		t.Errorf("Vec3 fraction = %v, want > 0.5", f)
+	}
+}
+
+func TestGCReclaimsTemps(t *testing.T) {
+	h := New(7)
+	h.LayoutAtoms(10, LayoutPacked, nil)
+	h.AllocTemp(0, "Vec3", 0)
+	h.GC("Vec3")
+	if h.Census()["Vec3"].Count != 0 {
+		t.Error("GC left temps live")
+	}
+	if h.Census()["Atom3D"].Count != 10 {
+		t.Error("GC reclaimed long-lived objects")
+	}
+	if h.ClassFraction("Vec3") != 0 {
+		t.Error("fraction nonzero after GC")
+	}
+}
+
+func TestNurseryWraps(t *testing.T) {
+	h := New(8)
+	first := h.AllocTemp(0, "Vec3", Vec3ObjectBytes)
+	var last uint64
+	// Allocate more than the nursery holds; addresses must stay in range.
+	for i := 0; i < int(NurseryBytes/Vec3ObjectBytes)+10; i++ {
+		last = h.AllocTemp(0, "Vec3", Vec3ObjectBytes)
+	}
+	if last < first || last >= first+NurseryBytes {
+		t.Errorf("nursery address %#x escaped region starting %#x", last, first)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(42).LayoutAtoms(50, LayoutScattered, nil)
+	b := New(42).LayoutAtoms(50, LayoutScattered, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("scattered layout nondeterministic for fixed seed")
+		}
+	}
+}
+
+func TestSpanAndGapEdgeCases(t *testing.T) {
+	if Span(nil, 8) != 0 {
+		t.Error("empty span")
+	}
+	if MeanNeighborGap([]uint64{5}) != 0 {
+		t.Error("single-element gap")
+	}
+	if Span([]uint64{100}, 8) != 8 {
+		t.Error("single-object span must be object size")
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	if LayoutPacked.String() != "packed" || LayoutScattered.String() != "scattered" ||
+		LayoutReordered.String() != "reordered" || Layout(9).String() != "unknown" {
+		t.Error("layout names wrong")
+	}
+}
+
+func TestAllocTempDefaultSize(t *testing.T) {
+	h := New(9)
+	h.AllocTemp(0, "Vec3", 0)
+	if h.Census()["Vec3"].Bytes != Vec3ObjectBytes {
+		t.Error("default temp size not applied")
+	}
+}

@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"testing"
+
+	"mw/internal/jheap"
+	"mw/internal/memtrace"
+	"mw/internal/topo"
+	"mw/internal/workload"
+)
+
+// synthStream builds a stream of n accesses with the given compute density
+// over a working set of wsBytes, strided for thread t of T.
+func synthStream(t, T, n int, compute uint16, wsBytes uint64) memtrace.Stream {
+	var s memtrace.Stream
+	for i := 0; i < n; i++ {
+		addr := (uint64(i*T+t) * 64) % wsBytes
+		s.Accesses = append(s.Accesses, memtrace.Access{Addr: addr, Compute: compute})
+	}
+	return s
+}
+
+func buildSynth(n int, compute uint16, ws uint64) func(int) []memtrace.Stream {
+	return func(threads int) []memtrace.Stream {
+		out := make([]memtrace.Stream, threads)
+		for t := 0; t < threads; t++ {
+			out[t] = synthStream(t, threads, n/threads, compute, ws)
+		}
+		return out
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Machine: topo.CoreI7, Threads: 2}, make([]memtrace.Stream, 1), 1); err == nil {
+		t.Error("stream/thread mismatch accepted")
+	}
+}
+
+func TestRunCompletesAndCounts(t *testing.T) {
+	streams := buildSynth(4000, 40, 1<<20)(2)
+	r, err := Run(Config{Machine: topo.CoreI7, Threads: 2, Seed: 1}, streams, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAccesses := int64(3 * (2000 + 2000))
+	if r.Stats.Accesses != wantAccesses {
+		t.Errorf("accesses = %d, want %d", r.Stats.Accesses, wantAccesses)
+	}
+	if r.Cycles <= 0 || r.Seconds <= 0 {
+		t.Error("non-positive runtime")
+	}
+	if r.Quanta <= 0 {
+		t.Error("no quanta used")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Machine: topo.CoreI7, Threads: 4, Seed: 9}
+	s := buildSynth(8000, 30, 1<<21)
+	a, err := Run(cfg, s(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, s(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Error("machine model nondeterministic for fixed seed")
+	}
+}
+
+func TestComputeBoundScalesWell(t *testing.T) {
+	// High compute density, tiny working set: near-linear speedup expected.
+	sp, err := Speedup(Config{Machine: topo.CoreI7, Seed: 2, Background: 1, BackgroundDuty: 0.2}, 4, 3,
+		buildSynth(40000, 200, 1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[0] != 1 {
+		t.Errorf("speedup(1) = %v", sp[0])
+	}
+	if sp[3] < 2.5 {
+		t.Errorf("compute-bound 4-thread speedup %v < 2.5", sp[3])
+	}
+}
+
+func TestMemoryBoundScalesPoorly(t *testing.T) {
+	// Low compute, working set far beyond LLC, random-ish strides: bandwidth
+	// saturation must cap speedup well below the compute-bound case.
+	memBound := buildSynth(40000, 4, 64<<20)
+	spMem, err := Speedup(Config{Machine: topo.CoreI7, Seed: 2, Background: 1, BackgroundDuty: 0.2}, 4, 3, memBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spCpu, err := Speedup(Config{Machine: topo.CoreI7, Seed: 2, Background: 1, BackgroundDuty: 0.2}, 4, 3,
+		buildSynth(40000, 200, 1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spMem[3] >= spCpu[3] {
+		t.Errorf("memory-bound speedup %v not below compute-bound %v", spMem[3], spCpu[3])
+	}
+}
+
+func TestSharedDataPrefersSharedLLC(t *testing.T) {
+	// All threads repeatedly read the same few-MB block (shared positions):
+	// running them within one L3 group must beat spreading across packages,
+	// because each group otherwise refetches the block from memory.
+	build := func(threads int) []memtrace.Stream {
+		out := make([]memtrace.Stream, threads)
+		for t := 0; t < threads; t++ {
+			// Identical shared read set for every thread.
+			out[t] = synthStream(0, 1, 30000, 8, 4<<20)
+		}
+		return out
+	}
+	m := topo.XeonX7560
+	samePkg, err := m.CoresOnOnePackage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := m.OneCorePerPackage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perThread := func(mask topo.CPUMask) []topo.CPUMask {
+		cores := mask.Cores()
+		out := make([]topo.CPUMask, len(cores))
+		for i, c := range cores {
+			out[i] = topo.MaskOf(c)
+		}
+		return out
+	}
+	rSame, err := Run(Config{Machine: m, Threads: 4, Affinity: perThread(samePkg), Seed: 4, Background: 0}, build(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSpread, err := Run(Config{Machine: m, Threads: 4, Affinity: perThread(spread), Seed: 4, Background: 0}, build(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSame.Cycles >= rSpread.Cycles {
+		t.Errorf("same-package run (%d cycles) not faster than spread (%d)", rSame.Cycles, rSpread.Cycles)
+	}
+}
+
+func TestPinnedAvoidsMigrations(t *testing.T) {
+	masks := []topo.CPUMask{topo.MaskOf(0), topo.MaskOf(1), topo.MaskOf(2), topo.MaskOf(3)}
+	pinned, err := Run(Config{Machine: topo.CoreI7, Threads: 4, Affinity: masks, Seed: 5}, buildSynth(80000, 30, 1<<20)(4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Run(Config{Machine: topo.CoreI7, Threads: 4, Seed: 5}, buildSynth(80000, 30, 1<<20)(4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Migrations != 0 {
+		t.Errorf("pinned run migrated %d times", pinned.Migrations)
+	}
+	if free.Migrations == 0 {
+		t.Error("free run never migrated")
+	}
+}
+
+func TestRealWorkloadStreamsRun(t *testing.T) {
+	// End-to-end: Al-1000 force-phase streams through the machine model.
+	b := workload.Al1000()
+	opt := memtrace.Options{Threads: 2, Layout: jheap.LayoutScattered, Cutoff: 7, Skin: 0.6, Seed: 1}
+	m := memtrace.NewAddrMap(b.Sys.N(), opt)
+	streams := memtrace.ForcePhase(b.Sys, m, opt)
+	r, err := Run(Config{Machine: topo.CoreI7, Threads: 2, Seed: 1}, streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Accesses == 0 || r.Cycles == 0 {
+		t.Error("empty result from real workload")
+	}
+}
+
+func TestBarrierIdleAccumulatesUnderImbalance(t *testing.T) {
+	// One heavy thread + three light: light threads wait at the barrier.
+	build := func(threads int) []memtrace.Stream {
+		out := make([]memtrace.Stream, threads)
+		for t := 0; t < threads; t++ {
+			n := 2000
+			if t == 0 {
+				n = 30000
+			}
+			out[t] = synthStream(t, threads, n, 50, 1<<20)
+		}
+		return out
+	}
+	r, err := Run(Config{Machine: topo.CoreI7, Threads: 4, Seed: 6}, build(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BarrierIdle == 0 {
+		t.Error("no barrier idle despite 15x imbalance")
+	}
+}

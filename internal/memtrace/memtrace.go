@@ -1,0 +1,422 @@
+// Package memtrace converts a molecular dynamics system into the per-thread
+// memory access streams its force phase generates, so the machine model
+// (internal/machine) can replay them against the cache hierarchy. This is
+// the bridge between the real workloads of Table I and the paper's §V
+// memory-subsystem analysis: the same pair lists the engine computes are
+// walked here, but what is recorded is which heap addresses get touched, in
+// which order, by which thread, and how much computation separates the
+// touches.
+package memtrace
+
+import (
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/jheap"
+)
+
+// Access is one memory operation: Compute cycles of pure computation execute
+// before the operation itself.
+type Access struct {
+	Addr    uint64
+	Write   bool
+	Compute uint16
+}
+
+// Stream is one thread's access sequence for a phase.
+type Stream struct {
+	Accesses []Access
+	// ColdLo/ColdHi mark an address range whose contents are freshly
+	// allocated every timestep (boxed neighbor-list and cell nodes of
+	// rebuild-heavy workloads): the machine model invalidates it from every
+	// cache at each phase-repeat boundary, so its lines always miss.
+	ColdLo, ColdHi uint64
+}
+
+func (s *Stream) add(addr uint64, write bool, compute uint16) {
+	s.Accesses = append(s.Accesses, Access{Addr: addr, Write: write, Compute: compute})
+}
+
+// Len returns the number of accesses.
+func (s *Stream) Len() int { return len(s.Accesses) }
+
+// ComputeCycles sums the pure-compute cycles in the stream.
+func (s *Stream) ComputeCycles() int64 {
+	var c int64
+	for _, a := range s.Accesses {
+		c += int64(a.Compute)
+	}
+	return c
+}
+
+// Per-interaction compute costs in cycles. Coulomb pairs cost more than LJ
+// (sqrt + divides); bonded terms cost the most ("require more floating point
+// operations", §II-B).
+const (
+	perAtomCompute  = 12
+	ljPairCompute   = 30
+	coulPairCompute = 55
+	bondCompute     = 90
+	angleCompute    = 150
+	torsionCompute  = 230
+	reduceCompute   = 2
+)
+
+// Options configures trace generation.
+type Options struct {
+	// Threads is the worker count; chunks are dealt cyclically as in the
+	// engine's default partition.
+	Threads int
+	// Layout is the atom-object placement policy.
+	Layout jheap.Layout
+	// Order optionally gives the placement order for LayoutReordered.
+	Order []int
+	// JavaTemps allocates a nursery Vec3 wrapper per LJ pair and bonded
+	// term, §V-B's cache pollution. The Coulomb inner loop operates on
+	// primitive doubles (it is a simple q·q/r² kernel over flat arrays) and
+	// allocates no wrappers, which is consistent with salt's good scaling in
+	// the paper despite the "ubiquitous" wrapper class elsewhere.
+	JavaTemps bool
+	// IncludeRebuild prepends the linked-cell + neighbor-list rebuild
+	// traffic to each phase: scattered re-reads of every atom object during
+	// cell assignment and candidate scanning, plus sequential writes of the
+	// accepted pair list. The paper singles out Al-1000 as requiring
+	// "frequent neighbor list updates" (§III); salt and nanocar rebuild
+	// rarely.
+	IncludeRebuild bool
+	// ScatterRegionMB, when > 0 and the layout is scattered, spreads the
+	// atom objects across at least this many MB — the paper measured ~25 MB
+	// working sets for its Java benchmarks. Default 24.
+	ScatterRegionMB int
+	// ChunkAtoms is the chunk granularity (default 64).
+	ChunkAtoms int
+	// Cutoff and Skin configure the neighbor list (defaults 8 / 0.8).
+	Cutoff, Skin float64
+	// Seed drives scattered placement.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.ChunkAtoms <= 0 {
+		o.ChunkAtoms = 64
+	}
+	if o.Cutoff <= 0 {
+		o.Cutoff = 8
+	}
+	if o.Skin == 0 {
+		o.Skin = 0.8
+	}
+	if o.ScatterRegionMB == 0 {
+		o.ScatterRegionMB = 24
+	}
+	return o
+}
+
+// AddrMap resolves simulation state to heap addresses.
+type AddrMap struct {
+	Atom      []uint64 // atom object base addresses
+	forceBase []uint64 // per-thread privatized force arrays (packed doubles)
+	shared    uint64   // shared (reduced) force array
+	heap      *jheap.Heap
+}
+
+// Heap returns the underlying heap model (for census queries).
+func (m *AddrMap) Heap() *jheap.Heap { return m.heap }
+
+// Pos returns the address of atom i's position field.
+func (m *AddrMap) Pos(i int32) uint64 { return m.Atom[i] + 16 }
+
+// Force returns the address of thread t's privatized force entry for atom i.
+func (m *AddrMap) Force(t int, i int32) uint64 { return m.forceBase[t] + uint64(i)*24 }
+
+// SharedForce returns the address of the reduced force entry for atom i.
+func (m *AddrMap) SharedForce(i int32) uint64 { return m.shared + uint64(i)*24 }
+
+// NewAddrMap lays the system out on a fresh heap model.
+func NewAddrMap(n int, opt Options) *AddrMap {
+	opt = opt.withDefaults()
+	h := jheap.New(opt.Seed)
+	m := &AddrMap{heap: h}
+	if opt.Layout == jheap.LayoutScattered && opt.ScatterRegionMB<<20 > n*jheap.AtomObjectBytes*4 {
+		// The paper measured ~25 MB Java working sets for ~1000 atoms: atom
+		// objects intermixed with other live data across the old generation.
+		// Scatter the real atoms among phantom objects (GUI state, strings,
+		// boxed neighbor structures) so the region matches that working set.
+		// The phantom slots model dead objects and fragmentation, not live
+		// data, so they are placed without census registration; only the
+		// real atoms are registered as live.
+		factor := (opt.ScatterRegionMB << 20) / (n * jheap.AtomObjectBytes)
+		all := h.LayoutObjects(n*factor, jheap.LayoutScattered, nil)
+		m.Atom = append([]uint64(nil), all[:n]...)
+		h.RegisterLive("Atom3D", n, n*jheap.AtomObjectBytes)
+	} else {
+		m.Atom = h.LayoutAtoms(n, opt.Layout, opt.Order)
+	}
+	// Force arrays are double[] arrays in Java too: packed.
+	m.forceBase = make([]uint64, opt.Threads)
+	base := uint64(0x4000_0000)
+	for t := range m.forceBase {
+		m.forceBase[t] = base
+		base += uint64(n) * 24
+	}
+	m.shared = base
+	return m
+}
+
+// ownerOfChunk deals chunk c cyclically over t threads.
+func ownerOfChunk(c, t int) int { return c % t }
+
+// ForcePhase builds one force-phase access stream per thread for the system:
+// LJ pairs from a fresh linked-cell neighbor list, Coulomb pairs over the
+// charged list, and all bonded terms, chunk-dealt exactly like the engine.
+func ForcePhase(sys *atom.System, m *AddrMap, opt Options) []Stream {
+	opt = opt.withDefaults()
+	t := opt.Threads
+	streams := make([]Stream, t)
+
+	nl := cells.NewNeighborList(opt.Cutoff, opt.Skin)
+	nl.Build(sys)
+
+	n := sys.N()
+	nchunks := (n + opt.ChunkAtoms - 1) / opt.ChunkAtoms
+
+	// Predictor sweep (phase 1): every atom's position is read and written
+	// each step. These writes are what invalidate other cores' and other
+	// sockets' cached copies of the positions between steps.
+	for c := 0; c < nchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			st.add(m.Pos(int32(i)), false, perAtomCompute)
+			st.add(m.Pos(int32(i)), true, 6)
+		}
+	}
+
+	// Neighbor-list rebuild traffic (fused phase 3): cell assignment reads
+	// every atom object, candidate scanning touches each stencil candidate
+	// (roughly 3× the accepted pairs for these densities), and the accepted
+	// pair list is written sequentially. All of it is low-compute scattered
+	// memory traffic.
+	// boxedBase is the region the boxed per-step cell/list nodes occupy;
+	// their addresses are fresh every step (invalidated per repeat).
+	const boxedBase = uint64(0x7000_0000)
+	boxedCursor := boxedBase
+	// Cell-chain nodes are reached by pointer chasing through the object
+	// graph, so their addresses are effectively random within the boxed
+	// region — no prefetcher helps them. Pair-list nodes, in contrast, are
+	// bump-allocated and traversed in order (prefetch-friendly).
+	chainLines := uint64(3 * nl.Len())
+	if chainLines == 0 {
+		chainLines = 1
+	}
+	chainAddr := func(idx uint64) uint64 {
+		h := idx*0x9E3779B97F4A7C15 + 0x1234
+		h ^= h >> 29
+		return boxedBase + (h%chainLines)*64
+	}
+	chainRegion := boxedBase + chainLines*64
+	var chainIdx uint64
+	if opt.IncludeRebuild {
+		boxedCursor = chainRegion // pair nodes live after the chain region
+		for c := 0; c < nchunks; c++ {
+			w := ownerOfChunk(c, t)
+			st := &streams[w]
+			lo := c * opt.ChunkAtoms
+			hi := lo + opt.ChunkAtoms
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				st.add(m.Pos(int32(i)), false, 8) // cell assignment
+				neigh := nl.Of(i)
+				for k, j := range neigh {
+					// Candidate scan chases a boxed cell-node chain (fresh
+					// objects every rebuild, scattered by pointer order);
+					// each of the ~3 candidates per accepted pair is reached
+					// through its own chain node.
+					st.add(chainAddr(chainIdx), false, 8)
+					st.add(m.Pos(j), false, 8)
+					st.add(chainAddr(chainIdx+1), false, 8)
+					st.add(m.Pos((j+int32(7*k+1))%int32(n)), false, 8)
+					st.add(chainAddr(chainIdx+2), false, 8)
+					st.add(m.Pos((j+int32(13*k+5))%int32(n)), false, 8)
+					chainIdx += 3
+					// Accepted pair recorded as a boxed list node.
+					st.add(boxedCursor, true, 2)
+					boxedCursor += 64
+				}
+			}
+		}
+	}
+
+	// LJ chunks over atoms.
+	for c := 0; c < nchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			st.add(m.Pos(int32(i)), false, perAtomCompute)
+			for _, j := range nl.Of(i) {
+				if sys.Fixed[i] && sys.Fixed[j] {
+					continue
+				}
+				if opt.IncludeRebuild {
+					// Traverse the boxed pair node written this step.
+					st.add(boxedCursor, false, 4)
+					boxedCursor += 64
+				}
+				st.add(m.Pos(j), false, ljPairCompute)
+				st.add(m.Force(w, int32(i)), true, 0)
+				st.add(m.Force(w, j), true, 0)
+				if opt.JavaTemps {
+					// The LJ kernel creates two wrappers per pair: the
+					// displacement vector and the force contribution.
+					st.add(m.heap.AllocTemp(w, "Vec3", jheap.Vec3ObjectBytes), true, 0)
+					st.add(m.heap.AllocTemp(w, "Vec3", jheap.Vec3ObjectBytes), true, 0)
+				}
+			}
+		}
+	}
+	if opt.IncludeRebuild {
+		for w := range streams {
+			streams[w].ColdLo, streams[w].ColdHi = boxedBase, boxedCursor
+		}
+	}
+
+	// Coulomb chunks over the charged list.
+	charged := sys.ChargedIndices()
+	ccs := opt.ChunkAtoms/2 + 1
+	cchunks := (len(charged) + ccs - 1) / ccs
+	for c := 0; c < cchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * ccs
+		hi := lo + ccs
+		if hi > len(charged) {
+			hi = len(charged)
+		}
+		for ci := lo; ci < hi; ci++ {
+			i := charged[ci]
+			st.add(m.Pos(i), false, perAtomCompute)
+			for cj := ci + 1; cj < len(charged); cj++ {
+				j := charged[cj]
+				st.add(m.Pos(j), false, coulPairCompute)
+				st.add(m.Force(w, i), true, 0)
+				st.add(m.Force(w, j), true, 0)
+			}
+		}
+	}
+
+	// Bonded chunks over term lists.
+	bchunks := (len(sys.Bonds) + opt.ChunkAtoms - 1) / opt.ChunkAtoms
+	for c := 0; c < bchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > len(sys.Bonds) {
+			hi = len(sys.Bonds)
+		}
+		for _, b := range sys.Bonds[lo:hi] {
+			st.add(m.Pos(b.I), false, bondCompute)
+			st.add(m.Pos(b.J), false, 0)
+			st.add(m.Force(w, b.I), true, 0)
+			st.add(m.Force(w, b.J), true, 0)
+			if opt.JavaTemps {
+				st.add(m.heap.AllocTemp(w, "Vec3", jheap.Vec3ObjectBytes), true, 0)
+			}
+		}
+	}
+	achunks := (len(sys.Angles) + opt.ChunkAtoms - 1) / opt.ChunkAtoms
+	for c := 0; c < achunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > len(sys.Angles) {
+			hi = len(sys.Angles)
+		}
+		for _, a := range sys.Angles[lo:hi] {
+			st.add(m.Pos(a.I), false, angleCompute)
+			st.add(m.Pos(a.J), false, 0)
+			st.add(m.Pos(a.K), false, 0)
+			st.add(m.Force(w, a.I), true, 0)
+			st.add(m.Force(w, a.J), true, 0)
+			st.add(m.Force(w, a.K), true, 0)
+			if opt.JavaTemps {
+				st.add(m.heap.AllocTemp(w, "Vec3", jheap.Vec3ObjectBytes), true, 0)
+			}
+		}
+	}
+	tchunks := (len(sys.Torsions) + opt.ChunkAtoms - 1) / opt.ChunkAtoms
+	for c := 0; c < tchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > len(sys.Torsions) {
+			hi = len(sys.Torsions)
+		}
+		for _, to := range sys.Torsions[lo:hi] {
+			st.add(m.Pos(to.I), false, torsionCompute)
+			st.add(m.Pos(to.J), false, 0)
+			st.add(m.Pos(to.K), false, 0)
+			st.add(m.Pos(to.L), false, 0)
+			st.add(m.Force(w, to.I), true, 0)
+			st.add(m.Force(w, to.J), true, 0)
+			st.add(m.Force(w, to.K), true, 0)
+			st.add(m.Force(w, to.L), true, 0)
+			if opt.JavaTemps {
+				st.add(m.heap.AllocTemp(w, "Vec3", jheap.Vec3ObjectBytes), true, 0)
+			}
+		}
+	}
+
+	// Morse chunks over the Morse bond list.
+	mchunks := (len(sys.Morses) + opt.ChunkAtoms - 1) / opt.ChunkAtoms
+	for c := 0; c < mchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > len(sys.Morses) {
+			hi = len(sys.Morses)
+		}
+		for _, mo := range sys.Morses[lo:hi] {
+			st.add(m.Pos(mo.I), false, bondCompute+20) // exp() costs extra
+			st.add(m.Pos(mo.J), false, 0)
+			st.add(m.Force(w, mo.I), true, 0)
+			st.add(m.Force(w, mo.J), true, 0)
+		}
+	}
+
+	// Reduction sweep: each thread folds all privatized arrays for its atom
+	// chunks into the shared force array (phase 5).
+	for c := 0; c < nchunks; c++ {
+		w := ownerOfChunk(c, t)
+		st := &streams[w]
+		lo := c * opt.ChunkAtoms
+		hi := lo + opt.ChunkAtoms
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			for wt := 0; wt < t; wt++ {
+				st.add(m.Force(wt, int32(i)), false, reduceCompute)
+			}
+			st.add(m.SharedForce(int32(i)), true, 0)
+		}
+	}
+	return streams
+}

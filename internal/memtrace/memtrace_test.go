@@ -1,0 +1,142 @@
+package memtrace
+
+import (
+	"testing"
+
+	"mw/internal/jheap"
+	"mw/internal/workload"
+)
+
+func TestStreamsCoverAllThreads(t *testing.T) {
+	b := workload.Al1000()
+	opt := Options{Threads: 4, Layout: jheap.LayoutPacked, Cutoff: 7, Skin: 0.6}
+	m := NewAddrMap(b.Sys.N(), opt)
+	streams := ForcePhase(b.Sys, m, opt)
+	if len(streams) != 4 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	for w, s := range streams {
+		if s.Len() == 0 {
+			t.Errorf("thread %d has empty stream", w)
+		}
+	}
+}
+
+func TestTotalPairWorkIndependentOfThreads(t *testing.T) {
+	// The same physical work must be distributed, not duplicated: total
+	// accesses across threads is the same for any thread count.
+	b := workload.Salt()
+	count := func(threads int) int {
+		opt := Options{Threads: threads, Layout: jheap.LayoutPacked}
+		m := NewAddrMap(b.Sys.N(), opt)
+		streams := ForcePhase(b.Sys, m, opt)
+		total := 0
+		for _, s := range streams {
+			total += s.Len()
+		}
+		// Reduction reads scale with thread count (t reads per atom);
+		// subtract them for comparability.
+		total -= b.Sys.N() * threads
+		return total
+	}
+	if c1, c4 := count(1), count(4); c1-1000 > c4 || c4 > c1+1000 {
+		// Allow the +1 shared write per atom difference envelope.
+		t.Errorf("work not conserved: 1 thread %d vs 4 threads %d", c1, c4)
+	}
+}
+
+func TestDominantForceShapesStreams(t *testing.T) {
+	// salt: Coulomb-heavy → high compute per access; Al-1000: LJ → lower.
+	mkComputePerAccess := func(b *workload.Benchmark) float64 {
+		opt := Options{Threads: 1, Layout: jheap.LayoutPacked}
+		m := NewAddrMap(b.Sys.N(), opt)
+		streams := ForcePhase(b.Sys, m, opt)
+		return float64(streams[0].ComputeCycles()) / float64(streams[0].Len())
+	}
+	salt := mkComputePerAccess(workload.Salt())
+	al := mkComputePerAccess(workload.Al1000())
+	if salt <= al {
+		t.Errorf("compute density salt %v not above Al-1000 %v", salt, al)
+	}
+}
+
+func TestJavaTempsAddNurseryTraffic(t *testing.T) {
+	b := workload.Al1000()
+	opt := Options{Threads: 1, Layout: jheap.LayoutScattered, JavaTemps: true, Cutoff: 7, Skin: 0.6}
+	m := NewAddrMap(b.Sys.N(), opt)
+	streams := ForcePhase(b.Sys, m, opt)
+	optNo := opt
+	optNo.JavaTemps = false
+	m2 := NewAddrMap(b.Sys.N(), optNo)
+	plain := ForcePhase(b.Sys, m2, optNo)
+	if streams[0].Len() <= plain[0].Len() {
+		t.Error("JavaTemps did not add accesses")
+	}
+	// Census: temps dominate live heap (§V-B).
+	if f := m.Heap().ClassFraction("Vec3"); f <= 0.5 {
+		t.Errorf("Vec3 fraction = %v, want > 0.5", f)
+	}
+}
+
+func TestScatteredLayoutWideSpan(t *testing.T) {
+	n := 1000
+	mp := NewAddrMap(n, Options{Threads: 1, Layout: jheap.LayoutPacked})
+	ms := NewAddrMap(n, Options{Threads: 1, Layout: jheap.LayoutScattered, ScatterRegionMB: 24, Seed: 3})
+	spanP := jheap.Span(mp.Atom, jheap.AtomObjectBytes)
+	spanS := jheap.Span(ms.Atom, jheap.AtomObjectBytes)
+	if spanS < 10*spanP {
+		t.Errorf("scattered span %d not ≫ packed span %d", spanS, spanP)
+	}
+	if spanS < 20<<20 {
+		t.Errorf("scattered span %d below the ~24MB working-set target", spanS)
+	}
+}
+
+func TestForceArraysPrivatePerThread(t *testing.T) {
+	m := NewAddrMap(100, Options{Threads: 3})
+	// Different threads' force entries for the same atom never collide.
+	for i := int32(0); i < 100; i++ {
+		a0, a1, a2 := m.Force(0, i), m.Force(1, i), m.Force(2, i)
+		if a0 == a1 || a1 == a2 || a0 == a2 {
+			t.Fatalf("privatized force arrays alias at atom %d", i)
+		}
+	}
+	// Shared array distinct from all privates.
+	if m.SharedForce(0) == m.Force(0, 0) {
+		t.Error("shared force aliases private array")
+	}
+}
+
+func TestFixedPairsSkipped(t *testing.T) {
+	// Nanocar platform atoms do not interact with one another; the trace
+	// must reflect the reduced effective atom count.
+	b := workload.Nanocar()
+	opt := Options{Threads: 1, Layout: jheap.LayoutPacked}
+	m := NewAddrMap(b.Sys.N(), opt)
+	streams := ForcePhase(b.Sys, m, opt)
+
+	all := b.Sys.Clone()
+	for i := range all.Fixed {
+		all.Fixed[i] = false
+	}
+	m2 := NewAddrMap(all.N(), opt)
+	unskipped := ForcePhase(all, m2, opt)
+	if streams[0].Len() >= unskipped[0].Len() {
+		t.Error("fixed-fixed pair skipping had no effect")
+	}
+}
+
+func TestOwnerOfChunkCyclic(t *testing.T) {
+	for c := 0; c < 12; c++ {
+		if ownerOfChunk(c, 4) != c%4 {
+			t.Fatal("cyclic dealing broken")
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Threads != 1 || o.ChunkAtoms != 64 || o.Cutoff != 8 || o.Skin != 0.8 || o.ScatterRegionMB != 24 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}

@@ -1,0 +1,266 @@
+// Package mml persists simulation models. Molecular Workbench ships its
+// simulations as model files loaded from an online repository (§III built
+// its benchmarks from them); this package provides the equivalent for the
+// Go engine: a versioned JSON document holding the box, atoms, bonded
+// topology and recommended engine parameters, with full round-trip
+// fidelity.
+package mml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mw/internal/atom"
+	"mw/internal/core"
+	"mw/internal/vec"
+)
+
+// Version is the current model format version.
+const Version = 1
+
+// Model is the serializable form of a system plus engine configuration.
+type Model struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+
+	Box struct {
+		L        [3]float64 `json:"l"`
+		Periodic bool       `json:"periodic"`
+	} `json:"box"`
+
+	Atoms    []AtomRec    `json:"atoms"`
+	Bonds    []BondRec    `json:"bonds,omitempty"`
+	Angles   []AngleRec   `json:"angles,omitempty"`
+	Torsions []TorsionRec `json:"torsions,omitempty"`
+	Morses   []MorseRec   `json:"morses,omitempty"`
+
+	Engine EngineRec `json:"engine"`
+}
+
+// AtomRec is one atom.
+type AtomRec struct {
+	Element string     `json:"el"`
+	Pos     [3]float64 `json:"p"`
+	Vel     [3]float64 `json:"v,omitempty"`
+	Charge  float64    `json:"q,omitempty"`
+	Fixed   bool       `json:"fixed,omitempty"`
+}
+
+// BondRec is one radial bond.
+type BondRec struct {
+	I, J int32
+	K    float64 `json:"k"`
+	R0   float64 `json:"r0"`
+}
+
+// MarshalJSON stores the pair compactly.
+func (b BondRec) MarshalJSON() ([]byte, error) {
+	return json.Marshal([4]float64{float64(b.I), float64(b.J), b.K, b.R0})
+}
+
+// UnmarshalJSON restores the compact form.
+func (b *BondRec) UnmarshalJSON(data []byte) error {
+	var a [4]float64
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	b.I, b.J, b.K, b.R0 = int32(a[0]), int32(a[1]), a[2], a[3]
+	return nil
+}
+
+// AngleRec is one angular bond.
+type AngleRec struct {
+	I, J, K int32
+	KTheta  float64 `json:"k"`
+	Theta0  float64 `json:"t0"`
+}
+
+// MarshalJSON stores the triplet compactly.
+func (a AngleRec) MarshalJSON() ([]byte, error) {
+	return json.Marshal([5]float64{float64(a.I), float64(a.J), float64(a.K), a.KTheta, a.Theta0})
+}
+
+// UnmarshalJSON restores the compact form.
+func (a *AngleRec) UnmarshalJSON(data []byte) error {
+	var v [5]float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	a.I, a.J, a.K, a.KTheta, a.Theta0 = int32(v[0]), int32(v[1]), int32(v[2]), v[3], v[4]
+	return nil
+}
+
+// TorsionRec is one torsional bond.
+type TorsionRec struct {
+	I, J, K, L int32
+	V0         float64 `json:"v0"`
+	N          int     `json:"n"`
+	Phi0       float64 `json:"p0"`
+}
+
+// MarshalJSON stores the quad compactly.
+func (t TorsionRec) MarshalJSON() ([]byte, error) {
+	return json.Marshal([7]float64{
+		float64(t.I), float64(t.J), float64(t.K), float64(t.L),
+		t.V0, float64(t.N), t.Phi0,
+	})
+}
+
+// UnmarshalJSON restores the compact form.
+func (t *TorsionRec) UnmarshalJSON(data []byte) error {
+	var v [7]float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	t.I, t.J, t.K, t.L = int32(v[0]), int32(v[1]), int32(v[2]), int32(v[3])
+	t.V0, t.N, t.Phi0 = v[4], int(v[5]), v[6]
+	return nil
+}
+
+// MorseRec is one Morse bond.
+type MorseRec struct {
+	I, J int32
+	D    float64
+	A    float64
+	R0   float64
+}
+
+// MarshalJSON stores the record compactly.
+func (m MorseRec) MarshalJSON() ([]byte, error) {
+	return json.Marshal([5]float64{float64(m.I), float64(m.J), m.D, m.A, m.R0})
+}
+
+// UnmarshalJSON restores the compact form.
+func (m *MorseRec) UnmarshalJSON(data []byte) error {
+	var v [5]float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	m.I, m.J, m.D, m.A, m.R0 = int32(v[0]), int32(v[1]), v[2], v[3], v[4]
+	return nil
+}
+
+// EngineRec stores the recommended engine parameters.
+type EngineRec struct {
+	Dt       float64 `json:"dt"`
+	LJCutoff float64 `json:"lj_cutoff"`
+	Skin     float64 `json:"skin"`
+}
+
+// FromSystem captures a system (and the engine parameters it should run
+// with) as a model.
+func FromSystem(name string, s *atom.System, cfg core.Config) *Model {
+	m := &Model{Version: Version, Name: name}
+	m.Box.L = [3]float64{s.Box.L.X, s.Box.L.Y, s.Box.L.Z}
+	m.Box.Periodic = s.Box.Periodic
+	m.Engine = EngineRec{Dt: cfg.Dt, LJCutoff: cfg.LJCutoff, Skin: cfg.Skin}
+	m.Atoms = make([]AtomRec, s.N())
+	for i := range m.Atoms {
+		m.Atoms[i] = AtomRec{
+			Element: s.Elements[s.Elem[i]].Symbol,
+			Pos:     [3]float64{s.Pos[i].X, s.Pos[i].Y, s.Pos[i].Z},
+			Vel:     [3]float64{s.Vel[i].X, s.Vel[i].Y, s.Vel[i].Z},
+			Charge:  s.Charge[i],
+			Fixed:   s.Fixed[i],
+		}
+	}
+	for _, b := range s.Bonds {
+		m.Bonds = append(m.Bonds, BondRec{I: b.I, J: b.J, K: b.K, R0: b.R0})
+	}
+	for _, a := range s.Angles {
+		m.Angles = append(m.Angles, AngleRec{I: a.I, J: a.J, K: a.K, KTheta: a.KTheta, Theta0: a.Theta0})
+	}
+	for _, t := range s.Torsions {
+		m.Torsions = append(m.Torsions, TorsionRec{I: t.I, J: t.J, K: t.K, L: t.L, V0: t.V0, N: t.N, Phi0: t.Phi0})
+	}
+	for _, mo := range s.Morses {
+		m.Morses = append(m.Morses, MorseRec{I: mo.I, J: mo.J, D: mo.D, A: mo.A, R0: mo.R0})
+	}
+	return m
+}
+
+// System materializes the model into a live system plus its engine config.
+func (m *Model) System() (*atom.System, core.Config, error) {
+	if m.Version != Version {
+		return nil, core.Config{}, fmt.Errorf("mml: unsupported version %d", m.Version)
+	}
+	symbols := map[string]int16{}
+	for i, e := range atom.Builtin {
+		symbols[e.Symbol] = int16(i)
+	}
+	box := atom.NewBox(m.Box.L[0], m.Box.L[1], m.Box.L[2], m.Box.Periodic)
+	s := atom.NewSystem(box)
+	for i, a := range m.Atoms {
+		el, ok := symbols[a.Element]
+		if !ok {
+			return nil, core.Config{}, fmt.Errorf("mml: atom %d has unknown element %q", i, a.Element)
+		}
+		s.AddAtom(el,
+			vec.New(a.Pos[0], a.Pos[1], a.Pos[2]),
+			vec.New(a.Vel[0], a.Vel[1], a.Vel[2]),
+			a.Charge, a.Fixed)
+	}
+	for _, b := range m.Bonds {
+		s.Bonds = append(s.Bonds, atom.Bond{I: b.I, J: b.J, K: b.K, R0: b.R0})
+	}
+	for _, a := range m.Angles {
+		s.Angles = append(s.Angles, atom.Angle{I: a.I, J: a.J, K: a.K, KTheta: a.KTheta, Theta0: a.Theta0})
+	}
+	for _, t := range m.Torsions {
+		s.Torsions = append(s.Torsions, atom.Torsion{I: t.I, J: t.J, K: t.K, L: t.L, V0: t.V0, N: t.N, Phi0: t.Phi0})
+	}
+	for _, mo := range m.Morses {
+		s.Morses = append(s.Morses, atom.Morse{I: mo.I, J: mo.J, D: mo.D, A: mo.A, R0: mo.R0})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, core.Config{}, fmt.Errorf("mml: %w", err)
+	}
+	if len(s.Bonds) > 0 || len(s.Angles) > 0 || len(s.Torsions) > 0 || len(s.Morses) > 0 {
+		s.BuildExclusions()
+	}
+	cfg := core.Config{Dt: m.Engine.Dt, LJCutoff: m.Engine.LJCutoff, Skin: m.Engine.Skin}
+	return s, cfg, nil
+}
+
+// Save writes the model as indented JSON.
+func Save(w io.Writer, m *Model) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("mml: %w", err)
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to path.
+func SaveFile(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,52 @@
+package perfmon
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spinWork burns roughly n arithmetic iterations and returns a value the
+// compiler cannot discard.
+func spinWork(n int) float64 {
+	x := 1.0001
+	for i := 0; i < n; i++ {
+		x = x*1.0000001 + 0.000001
+	}
+	return x
+}
+
+// spinSink defeats dead-code elimination of spinWork results; written
+// atomically since every worker stores into it.
+var spinSink atomic.Uint64
+
+// MeasureObserverEffect runs units work units (each ~iters arithmetic
+// iterations) split evenly across workers goroutines. If m is non-nil, every
+// unit is recorded into it — JaMON-style per-unit instrumentation. The
+// returned wall time, compared to an uninstrumented run, quantifies §IV-A's
+// observer effect: "synchronized updates to the performance monitors were
+// serializing the overall performance of MW".
+func MeasureObserverEffect(workers, units, iters int, m Monitor) time.Duration {
+	perWorker := units / workers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var acc float64
+			for u := 0; u < perWorker; u++ {
+				t0 := time.Now()
+				acc += spinWork(iters)
+				if m != nil {
+					m.Record(w, "work", time.Since(t0))
+				}
+			}
+			spinSink.Store(math.Float64bits(acc))
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}

@@ -1,0 +1,250 @@
+package perfmon
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func monitors() []Monitor {
+	return []Monitor{
+		NewSyncMonitor(),
+		NewAtomicMonitor("a", "b"),
+		NewShardedMonitor(8, "a", "b"),
+	}
+}
+
+func TestMonitorsAccumulate(t *testing.T) {
+	for _, m := range monitors() {
+		m.Record(0, "a", 10*time.Millisecond)
+		m.Record(1, "a", 5*time.Millisecond)
+		m.Record(2, "b", 1*time.Millisecond)
+		if got := m.Total("a"); got != 15*time.Millisecond {
+			t.Errorf("%s: Total(a) = %v", m.Name(), got)
+		}
+		if got := m.Count("a"); got != 2 {
+			t.Errorf("%s: Count(a) = %d", m.Name(), got)
+		}
+		if got := m.Total("b"); got != time.Millisecond {
+			t.Errorf("%s: Total(b) = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestMonitorsConcurrentCorrectness(t *testing.T) {
+	// Sync and atomic monitors must count exactly under concurrency; the
+	// sharded monitor must too as long as each worker uses its own id.
+	const workers = 8
+	const per = 5000
+	for _, m := range monitors() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					m.Record(w, "a", time.Microsecond)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := m.Count("a"); got != workers*per {
+			t.Errorf("%s: Count = %d, want %d", m.Name(), got, workers*per)
+		}
+		if got := m.Total("a"); got != workers*per*time.Microsecond {
+			t.Errorf("%s: Total = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestAtomicMonitorLazyLabel(t *testing.T) {
+	m := NewAtomicMonitor()
+	m.Record(0, "new", time.Second)
+	if m.Total("new") != time.Second {
+		t.Error("lazy label lost")
+	}
+}
+
+func TestShardedMonitorDropsUnknown(t *testing.T) {
+	m := NewShardedMonitor(2, "a")
+	m.Record(0, "nope", time.Second) // unknown label
+	m.Record(9, "a", time.Second)    // out-of-range worker
+	if m.Total("nope") != 0 || m.Total("a") != 0 {
+		t.Error("sharded monitor accepted invalid records")
+	}
+	m.Record(1, "a", 2*time.Second)
+	if m.WorkerTotal(1, "a") != 2*time.Second || m.WorkerTotal(0, "a") != 0 {
+		t.Error("per-worker totals wrong")
+	}
+	if m.WorkerTotal(0, "nope") != 0 {
+		t.Error("unknown label WorkerTotal nonzero")
+	}
+}
+
+func TestMonitorNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range monitors() {
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"synchronized", "atomic", "sharded"} {
+		if !names[want] {
+			t.Errorf("missing monitor flavor %q", want)
+		}
+	}
+}
+
+func TestMeasureObserverEffectRuns(t *testing.T) {
+	base := MeasureObserverEffect(4, 400, 200, nil)
+	if base <= 0 {
+		t.Fatal("no wall time measured")
+	}
+	m := NewSyncMonitor()
+	instr := MeasureObserverEffect(4, 400, 200, m)
+	if instr <= 0 {
+		t.Fatal("no instrumented wall time")
+	}
+	if m.Count("work") != 400 {
+		t.Errorf("recorded %d units, want 400", m.Count("work"))
+	}
+}
+
+func TestSyntheticTimelineShape(t *testing.T) {
+	tl := Synthetic(SyntheticConfig{Threads: 4, Steps: 50, MeanTask: time.Millisecond, Seed: 1})
+	if len(tl.Threads) != 4 || len(tl.PhaseSpans) != 50 {
+		t.Fatalf("timeline shape %d threads, %d spans", len(tl.Threads), len(tl.PhaseSpans))
+	}
+	if tl.Horizon <= 0 {
+		t.Fatal("zero horizon")
+	}
+	// Spans tile the horizon without overlap.
+	var prevEnd time.Duration
+	for i, p := range tl.PhaseSpans {
+		if p.Start < prevEnd {
+			t.Fatalf("span %d overlaps previous", i)
+		}
+		if p.End <= p.Start {
+			t.Fatalf("span %d empty", i)
+		}
+		prevEnd = p.End
+	}
+	// Every 5th step is an imbalance event by default.
+	events := tl.TrueImbalancedSteps(0.5)
+	if len(events) != 10 {
+		t.Errorf("true events = %d, want 10", len(events))
+	}
+	for _, s := range events {
+		if s%5 != 4 {
+			t.Errorf("unexpected event step %d", s)
+		}
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	tl := &Timeline{
+		Threads: [][]Interval{{
+			{Start: 0, End: 10, State: StateRunning, Step: 0},
+			{Start: 20, End: 30, State: StateRunning, Step: 1},
+		}},
+		Horizon: 30,
+	}
+	if tl.StateAt(0, 5) != StateRunning {
+		t.Error("t=5 should be running")
+	}
+	if tl.StateAt(0, 15) != StateWaiting {
+		t.Error("t=15 should be waiting")
+	}
+	if tl.StateAt(0, 25) != StateRunning {
+		t.Error("t=25 should be running")
+	}
+	if tl.StateAt(0, 30) != StateWaiting {
+		t.Error("t=30 (past horizon) should be waiting")
+	}
+}
+
+func TestFineSamplerDetectsWhatCoarseMisses(t *testing.T) {
+	// §IV-B's core claim: with 500 µs tasks, a 100 µs sampler sees the
+	// imbalance a 10 ms or 1 s sampler misses.
+	tl := Synthetic(SyntheticConfig{
+		Threads: 4, Steps: 200, MeanTask: 500 * time.Microsecond,
+		ImbalanceEvery: 5, ImbalanceFactor: 4, Seed: 2,
+	})
+	const threshold = 1.0
+	fine := Sampler{Period: 100 * time.Microsecond}.Run(tl, threshold)
+	coarse := Sampler{Period: 10 * time.Millisecond}.Run(tl, threshold)
+	verycoarse := Sampler{Period: time.Second}.Run(tl, threshold)
+
+	if fine.TrueEvents == 0 {
+		t.Fatal("synthetic timeline has no true events")
+	}
+	if fine.DetectionRate() < 0.9 {
+		t.Errorf("fine sampler detection rate %v < 0.9", fine.DetectionRate())
+	}
+	if coarse.DetectionRate() >= fine.DetectionRate() {
+		t.Errorf("coarse (%v) not below fine (%v)", coarse.DetectionRate(), fine.DetectionRate())
+	}
+	if verycoarse.DetectionRate() > 0.2 {
+		t.Errorf("1s sampler detected %v of 500µs-scale events", verycoarse.DetectionRate())
+	}
+}
+
+func TestSamplerRunningFractionConverges(t *testing.T) {
+	tl := Synthetic(SyntheticConfig{Threads: 2, Steps: 500, MeanTask: time.Millisecond, ImbalanceEvery: 1000, Seed: 3})
+	rep := Sampler{Period: 20 * time.Microsecond}.Run(tl, 1.0)
+	for th := range rep.RunningFrac {
+		if math.Abs(rep.RunningFrac[th]-rep.TrueRunningFrac[th]) > 0.05 {
+			t.Errorf("thread %d: sampled frac %v vs true %v",
+				th, rep.RunningFrac[th], rep.TrueRunningFrac[th])
+		}
+	}
+	if rep.Samples == 0 {
+		t.Error("no samples taken")
+	}
+}
+
+func TestSamplerStaleDisplayFalsePositives(t *testing.T) {
+	// With skewed launches but NO true imbalance events, a coarse
+	// sample-and-hold display still shows imbalance patterns: artifacts.
+	tl := Synthetic(SyntheticConfig{
+		Threads: 4, Steps: 400, MeanTask: 500 * time.Microsecond,
+		ImbalanceEvery: 1 << 30, // never
+		Skew:           300 * time.Microsecond,
+		Seed:           4,
+	})
+	rep := Sampler{Period: 5 * time.Millisecond}.Run(tl, 1.0)
+	if rep.TrueEvents != 0 {
+		t.Fatalf("expected no true events, got %d", rep.TrueEvents)
+	}
+	if rep.FalsePositives == 0 {
+		t.Error("no false positives from stale-state display")
+	}
+}
+
+func TestSamplerDegenerateInputs(t *testing.T) {
+	tl := Synthetic(SyntheticConfig{Threads: 2, Steps: 5, Seed: 5})
+	rep := Sampler{Period: 0}.Run(tl, 1.0)
+	if rep.Samples != 0 {
+		t.Error("zero period must not sample")
+	}
+}
+
+func TestPhaseSpanImbalance(t *testing.T) {
+	p := PhaseSpan{Busy: []time.Duration{time.Second, time.Second, 2 * time.Second, 0}}
+	if got := p.Imbalance(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Imbalance = %v, want 1.0", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	m := NewShardedMonitor(2, "region")
+	w := StartWatch(m, 1, "region")
+	time.Sleep(2 * time.Millisecond)
+	d := w.Stop()
+	if d < 2*time.Millisecond {
+		t.Errorf("Stop returned %v", d)
+	}
+	if m.Count("region") != 1 || m.WorkerTotal(1, "region") < 2*time.Millisecond {
+		t.Error("stopwatch did not record into monitor")
+	}
+}

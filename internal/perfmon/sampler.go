@@ -1,0 +1,138 @@
+package perfmon
+
+import "time"
+
+// Sampler reproduces the §IV-B tools: it observes a ground-truth timeline
+// only at multiples of Period, like VisualVM (1 s) or VTune (5–10 ms), and
+// like those tools it "sampled the thread state immediately before it
+// changed, but continued to display the sampled state until the next
+// sample".
+type Sampler struct {
+	Period time.Duration
+}
+
+// SampleReport compares what the sampler saw against ground truth.
+type SampleReport struct {
+	Period  time.Duration
+	Samples int
+
+	// RunningFrac is each thread's apparent running fraction (from
+	// displayed state, i.e. sample-and-hold).
+	RunningFrac []float64
+	// TrueRunningFrac is each thread's actual running fraction.
+	TrueRunningFrac []float64
+
+	// TrueEvents is the number of ground-truth imbalance events
+	// (phases with imbalance > threshold).
+	TrueEvents int
+	// DetectedEvents counts true events during which at least one sample
+	// landed in the imbalanced tail (some threads running, some waiting) —
+	// what a tool user could actually see.
+	DetectedEvents int
+	// FalsePositives counts sample intervals displayed as an imbalance
+	// pattern that do not overlap any true event — artifacts of
+	// sample-and-hold display.
+	FalsePositives int
+}
+
+// DetectionRate returns DetectedEvents / TrueEvents (1 when no events).
+func (r SampleReport) DetectionRate() float64 {
+	if r.TrueEvents == 0 {
+		return 1
+	}
+	return float64(r.DetectedEvents) / float64(r.TrueEvents)
+}
+
+// Run samples the timeline and builds the report. threshold is the
+// imbalance (max/mean − 1) above which a phase counts as a true event.
+func (s Sampler) Run(tl *Timeline, threshold float64) SampleReport {
+	nth := len(tl.Threads)
+	rep := SampleReport{
+		Period:          s.Period,
+		RunningFrac:     make([]float64, nth),
+		TrueRunningFrac: make([]float64, nth),
+	}
+	if s.Period <= 0 || tl.Horizon <= 0 {
+		return rep
+	}
+
+	// Ground truth.
+	trueEvents := map[int]bool{}
+	for _, p := range tl.PhaseSpans {
+		if p.Imbalance() > threshold {
+			trueEvents[p.Step] = true
+		}
+	}
+	rep.TrueEvents = len(trueEvents)
+	for th := range tl.Threads {
+		var run time.Duration
+		for _, iv := range tl.Threads[th] {
+			if iv.State == StateRunning {
+				run += iv.End - iv.Start
+			}
+		}
+		rep.TrueRunningFrac[th] = float64(run) / float64(tl.Horizon)
+	}
+
+	// Sample-and-hold pass.
+	detected := map[int]bool{}
+	running := make([]bool, nth)
+	steps := make([]int, nth)
+	for t := time.Duration(0); t < tl.Horizon; t += s.Period {
+		rep.Samples++
+		nRun, nWait := 0, 0
+		for th := 0; th < nth; th++ {
+			st := tl.StateAt(th, t)
+			running[th] = st == StateRunning
+			steps[th] = stepAt(tl, th, t)
+			if running[th] {
+				nRun++
+			} else {
+				nWait++
+			}
+		}
+		// Displayed state persists for the whole period.
+		hold := s.Period
+		if t+hold > tl.Horizon {
+			hold = tl.Horizon - t
+		}
+		for th := 0; th < nth; th++ {
+			if running[th] {
+				rep.RunningFrac[th] += float64(hold) / float64(tl.Horizon)
+			}
+		}
+		// An "imbalance pattern": some threads running while others wait.
+		if nRun > 0 && nWait > 0 {
+			overlapsTrue := false
+			for th := 0; th < nth; th++ {
+				if running[th] && steps[th] >= 0 && trueEvents[steps[th]] {
+					detected[steps[th]] = true
+					overlapsTrue = true
+				}
+			}
+			if !overlapsTrue {
+				rep.FalsePositives++
+			}
+		}
+	}
+	rep.DetectedEvents = len(detected)
+	return rep
+}
+
+// stepAt returns the step of the interval containing t for thread th, or -1.
+func stepAt(tl *Timeline, th int, t time.Duration) int {
+	iv := tl.Threads[th]
+	lo, hi := 0, len(iv)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case t < iv[mid].Start:
+			hi = mid
+		case t >= iv[mid].End:
+			lo = mid + 1
+		default:
+			return iv[mid].Step
+		}
+	}
+	return -1
+}

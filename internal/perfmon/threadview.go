@@ -1,0 +1,95 @@
+package perfmon
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ThreadView renders a timeline as one row per thread over cols time
+// buckets — the unified per-thread display §IV-C asks for ("A simple way to
+// see what method a thread was executing at a given moment for all threads
+// would be tremendously helpful"). Each cell shows the thread's dominant
+// state in that bucket: '#' running more than half the bucket, '+' running
+// some of it, '.' waiting.
+func ThreadView(tl *Timeline, cols int) string {
+	if cols <= 0 || tl.Horizon <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	bucket := tl.Horizon / time.Duration(cols)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	for th := range tl.Threads {
+		fmt.Fprintf(&b, "thread %d |", th)
+		for c := 0; c < cols; c++ {
+			lo := time.Duration(c) * bucket
+			hi := lo + bucket
+			run := runningTime(tl, th, lo, hi)
+			switch {
+			case run > bucket/2:
+				b.WriteByte('#')
+			case run > 0:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// SampledThreadView renders what a sample-and-hold tool with the given
+// period would DISPLAY for the same timeline — put next to ThreadView it
+// makes §IV-B's distortion visible: imbalanced tails vanish or smear across
+// whole sampling intervals.
+func SampledThreadView(tl *Timeline, cols int, period time.Duration) string {
+	if cols <= 0 || tl.Horizon <= 0 || period <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	bucket := tl.Horizon / time.Duration(cols)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	for th := range tl.Threads {
+		fmt.Fprintf(&b, "thread %d |", th)
+		for c := 0; c < cols; c++ {
+			// The displayed state at bucket center is the state sampled at
+			// the latest sample instant before it.
+			t := time.Duration(c)*bucket + bucket/2
+			sampleAt := t - t%period
+			if tl.StateAt(th, sampleAt) == StateRunning {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// runningTime returns how long thread th ran within [lo, hi).
+func runningTime(tl *Timeline, th int, lo, hi time.Duration) time.Duration {
+	var total time.Duration
+	for _, iv := range tl.Threads[th] {
+		if iv.State != StateRunning || iv.End <= lo {
+			continue
+		}
+		if iv.Start >= hi {
+			break
+		}
+		s, e := iv.Start, iv.End
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		total += e - s
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package perfmon
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func twoThreadTimeline() *Timeline {
+	// Thread 0 runs the whole horizon; thread 1 runs only the first half.
+	return &Timeline{
+		Threads: [][]Interval{
+			{{Start: 0, End: 100 * time.Millisecond, State: StateRunning, Step: 0}},
+			{{Start: 0, End: 50 * time.Millisecond, State: StateRunning, Step: 0}},
+		},
+		Horizon: 100 * time.Millisecond,
+	}
+}
+
+func TestThreadViewShape(t *testing.T) {
+	out := ThreadView(twoThreadTimeline(), 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("thread 0 should run throughout: %q", lines[0])
+	}
+	// Thread 1: first 5 buckets running, last 5 waiting.
+	row1 := lines[1][strings.Index(lines[1], "|")+1:]
+	if !strings.HasPrefix(row1, "#####") {
+		t.Errorf("thread 1 prefix: %q", row1)
+	}
+	if !strings.Contains(row1, ".....") {
+		t.Errorf("thread 1 idle tail missing: %q", row1)
+	}
+}
+
+func TestThreadViewPartialBucket(t *testing.T) {
+	tl := &Timeline{
+		Threads: [][]Interval{
+			{{Start: 0, End: 3 * time.Millisecond, State: StateRunning}},
+		},
+		Horizon: 100 * time.Millisecond,
+	}
+	out := ThreadView(tl, 10)
+	// 3ms of a 10ms bucket: '+' (ran some, less than half).
+	row := out[strings.Index(out, "|")+1:]
+	if row[0] != '+' {
+		t.Errorf("partial bucket glyph = %q", row[0])
+	}
+}
+
+func TestThreadViewDegenerate(t *testing.T) {
+	if ThreadView(&Timeline{}, 10) != "" {
+		t.Error("empty timeline must render empty")
+	}
+	if ThreadView(twoThreadTimeline(), 0) != "" {
+		t.Error("zero cols must render empty")
+	}
+}
+
+func TestSampledThreadViewStaleDisplay(t *testing.T) {
+	// Thread runs only the first 10ms of 100ms. A 80ms-period sampler
+	// samples at t=0 (running) and displays "running" until t=80 — the
+	// §IV-B stale-display artifact.
+	tl := &Timeline{
+		Threads: [][]Interval{
+			{{Start: 0, End: 10 * time.Millisecond, State: StateRunning}},
+		},
+		Horizon: 100 * time.Millisecond,
+	}
+	out := SampledThreadView(tl, 10, 80*time.Millisecond)
+	row := out[strings.Index(out, "|")+1 : strings.LastIndex(out, "|")]
+	running := strings.Count(row, "#")
+	if running < 7 {
+		t.Errorf("stale display shows %d/10 running buckets, want ≥7: %q", running, row)
+	}
+	// Ground truth shows ~1 bucket running.
+	truth := ThreadView(tl, 10)
+	trow := truth[strings.Index(truth, "|")+1 : strings.LastIndex(truth, "|")]
+	if strings.Count(trow, "#") > 1 {
+		t.Errorf("ground truth wrong: %q", trow)
+	}
+}
+
+func TestSampledThreadViewDegenerate(t *testing.T) {
+	if SampledThreadView(twoThreadTimeline(), 10, 0) != "" {
+		t.Error("zero period must render empty")
+	}
+}
+
+func TestRunningTimeClipping(t *testing.T) {
+	tl := twoThreadTimeline()
+	// Window entirely inside the run.
+	if got := runningTime(tl, 0, 10*time.Millisecond, 20*time.Millisecond); got != 10*time.Millisecond {
+		t.Errorf("inside window = %v", got)
+	}
+	// Window straddling the end of thread 1's run.
+	if got := runningTime(tl, 1, 40*time.Millisecond, 60*time.Millisecond); got != 10*time.Millisecond {
+		t.Errorf("straddling window = %v", got)
+	}
+	// Window past the run.
+	if got := runningTime(tl, 1, 60*time.Millisecond, 80*time.Millisecond); got != 0 {
+		t.Errorf("past window = %v", got)
+	}
+}

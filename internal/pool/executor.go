@@ -1,0 +1,222 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Executor is the role java.util.concurrent.ExecutorService plays in
+// Molecular Workbench: accept tasks, run them on a fixed set of workers.
+type Executor interface {
+	// Execute enqueues a task for asynchronous execution.
+	Execute(Task)
+	// Workers returns the fixed worker count.
+	Workers() int
+	// Shutdown drains queued tasks and stops the workers, blocking until
+	// every worker has exited.
+	Shutdown()
+}
+
+// WorkerStats records per-worker activity for the load-balance analysis of
+// §IV: task counts and cumulative busy time.
+type WorkerStats struct {
+	Tasks int64
+	Busy  time.Duration
+}
+
+// FixedPool is a fixed-size pool whose workers share a single work queue —
+// the paper's first configuration: "If all threads are in a single thread
+// pool, they share a single work queue … any work waiting to be assigned
+// will be picked up by the next available thread. On the other hand … all
+// threads are contending for access to that single resource."
+type FixedPool struct {
+	queue   *Queue
+	n       int
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	stats   []WorkerStats
+	stopped bool
+}
+
+// NewFixedPool starts n workers sharing one queue.
+func NewFixedPool(n int) *FixedPool {
+	if n <= 0 {
+		panic("pool: need at least one worker")
+	}
+	p := &FixedPool{queue: NewQueue(), n: n, stats: make([]WorkerStats, n)}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *FixedPool) worker(w int) {
+	defer p.wg.Done()
+	for {
+		t, ok := p.queue.Take()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		t()
+		d := time.Since(start)
+		p.mu.Lock()
+		p.stats[w].Tasks++
+		p.stats[w].Busy += d
+		p.mu.Unlock()
+	}
+}
+
+// Execute implements Executor.
+func (p *FixedPool) Execute(t Task) { p.queue.Put(t) }
+
+// Workers implements Executor.
+func (p *FixedPool) Workers() int { return p.n }
+
+// Shutdown implements Executor.
+func (p *FixedPool) Shutdown() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	p.queue.Close()
+	p.wg.Wait()
+}
+
+// Stats returns a copy of the per-worker statistics.
+func (p *FixedPool) Stats() []WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]WorkerStats(nil), p.stats...)
+}
+
+// QueueStats exposes the shared queue's contention counters.
+func (p *FixedPool) QueueStats() (enqueued, dequeued, contended int64) {
+	return p.queue.Stats()
+}
+
+// PinnedPools is the paper's second configuration — "for each core a
+// FixedThreadPool containing a single thread. By assigning work to the pool,
+// it would be executed by the corresponding thread" (§V-B) — and also the
+// one-queue-per-thread layout of §II-B: no queue contention, but an
+// overloaded queue leaves other workers idle.
+type PinnedPools struct {
+	queues  []*Queue
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	stats   []WorkerStats
+	stopped bool
+}
+
+// NewPinnedPools starts n single-worker pools, each with its own queue.
+func NewPinnedPools(n int) *PinnedPools {
+	if n <= 0 {
+		panic("pool: need at least one worker")
+	}
+	p := &PinnedPools{queues: make([]*Queue, n), stats: make([]WorkerStats, n)}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		p.queues[w] = NewQueue()
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *PinnedPools) worker(w int) {
+	defer p.wg.Done()
+	for {
+		t, ok := p.queues[w].Take()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		t()
+		d := time.Since(start)
+		p.mu.Lock()
+		p.stats[w].Tasks++
+		p.stats[w].Busy += d
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues a task on worker w's private queue. This is the mechanism
+// for directing "tasks and computations using the same subsets of the
+// simulation data … to the same thread" (temporal cache locality, §V-B).
+func (p *PinnedPools) Submit(w int, t Task) {
+	if w < 0 || w >= len(p.queues) {
+		panic(fmt.Sprintf("pool: worker %d out of range [0,%d)", w, len(p.queues)))
+	}
+	p.queues[w].Put(t)
+}
+
+// Execute implements Executor with round-robin placement (no affinity).
+func (p *PinnedPools) Execute(t Task) {
+	// Round-robin over queue lengths: place on the shortest queue to mimic a
+	// submitter with no locality preference.
+	best, bestLen := 0, int(^uint(0)>>1)
+	for i, q := range p.queues {
+		if l := q.Len(); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	p.queues[best].Put(t)
+}
+
+// Workers implements Executor.
+func (p *PinnedPools) Workers() int { return len(p.queues) }
+
+// Shutdown implements Executor.
+func (p *PinnedPools) Shutdown() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	for _, q := range p.queues {
+		q.Close()
+	}
+	p.wg.Wait()
+}
+
+// Stats returns a copy of the per-worker statistics.
+func (p *PinnedPools) Stats() []WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]WorkerStats(nil), p.stats...)
+}
+
+// QueueStats sums the contention counters across all private queues.
+func (p *PinnedPools) QueueStats() (enqueued, dequeued, contended int64) {
+	for _, q := range p.queues {
+		e, d, c := q.Stats()
+		enqueued += e
+		dequeued += d
+		contended += c
+	}
+	return enqueued, dequeued, contended
+}
+
+// RunPhase submits one task per chunk to the executor and blocks until all
+// chunks complete — exactly one simulation phase in the paper's structure:
+// fan work out, count down a latch, await the latch (a barrier between
+// phases).
+func RunPhase(ex Executor, chunks []Task) {
+	latch := NewLatch(len(chunks))
+	for _, c := range chunks {
+		c := c
+		ex.Execute(func() {
+			c()
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}

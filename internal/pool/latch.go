@@ -1,0 +1,108 @@
+package pool
+
+import "sync"
+
+// CountDownLatch mirrors java.util.concurrent.CountDownLatch: the engine
+// initializes one per phase to the number of work chunks; each worker
+// decrements it when its chunk is done, and the coordinator awaits zero
+// before starting the next phase (paper §II-B: "When the thread finishes
+// its work, it decrements a countdown latch so the program knows when all
+// work in the phase is complete").
+type CountDownLatch struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// NewLatch returns a latch initialized to n. n must be non-negative.
+func NewLatch(n int) *CountDownLatch {
+	if n < 0 {
+		panic("pool: negative latch count")
+	}
+	l := &CountDownLatch{n: n}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// CountDown decrements the latch, releasing waiters at zero. Decrementing
+// below zero is a no-op, matching Java semantics.
+func (l *CountDownLatch) CountDown() {
+	l.mu.Lock()
+	if l.n > 0 {
+		l.n--
+		if l.n == 0 {
+			l.cond.Broadcast()
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Await blocks until the latch reaches zero.
+func (l *CountDownLatch) Await() {
+	l.mu.Lock()
+	for l.n > 0 {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Count returns the current count.
+func (l *CountDownLatch) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// CyclicBarrier is a reusable barrier for a fixed party count, equivalent to
+// java.util.concurrent.CyclicBarrier. Await returns the arrival index
+// (parties-1 for the first arriver, 0 for the last, as in Java).
+type CyclicBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+	trips   uint64
+}
+
+// NewBarrier returns a barrier for the given positive party count.
+func NewBarrier(parties int) *CyclicBarrier {
+	if parties <= 0 {
+		panic("pool: barrier needs at least one party")
+	}
+	b := &CyclicBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have arrived, then releases the generation
+// together and resets for reuse.
+func (b *CyclicBarrier) Await() int {
+	b.mu.Lock()
+	gen := b.gen
+	index := b.parties - 1 - b.waiting
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.trips++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return index
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return index
+}
+
+// Parties returns the configured party count.
+func (b *CyclicBarrier) Parties() int { return b.parties }
+
+// Trips returns how many times the barrier has been tripped.
+func (b *CyclicBarrier) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

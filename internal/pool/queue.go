@@ -1,0 +1,113 @@
+// Package pool reproduces the java.util.concurrent machinery that the paper
+// used to parallelize Molecular Workbench (§II-B): fixed-size thread pools
+// fed by blocking work queues (either one shared queue or one queue per
+// worker), countdown latches for phase completion, and a cyclic barrier.
+//
+// The work queue is deliberately implemented as a mutex-protected deque with
+// condition variables — the structure of Java's LinkedBlockingQueue — rather
+// than a Go channel, because the paper's single-queue-vs-multi-queue
+// trade-off is about lock contention on the queue ("all threads are
+// contending for access to that single resource"), and the queue exposes
+// contention counters so the benchmarks can measure exactly that.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work submitted to an executor.
+type Task func()
+
+// Queue is a blocking FIFO task queue with contention accounting.
+type Queue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	tasks    []Task
+	closed   bool
+
+	// contended counts lock acquisitions that found the lock already held —
+	// the "threads contending for a single resource" effect of §II-B.
+	contended atomic.Int64
+	enqueued  atomic.Int64
+	dequeued  atomic.Int64
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *Queue) lock() {
+	if !q.mu.TryLock() {
+		q.contended.Add(1)
+		q.mu.Lock()
+	}
+}
+
+// Put appends a task. It panics if the queue is closed.
+func (q *Queue) Put(t Task) {
+	q.lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("pool: Put on closed queue")
+	}
+	q.tasks = append(q.tasks, t)
+	q.enqueued.Add(1)
+	q.mu.Unlock()
+	q.nonEmpty.Signal()
+}
+
+// Take removes the oldest task, blocking while the queue is empty. It
+// returns ok=false once the queue is closed and drained.
+func (q *Queue) Take() (Task, bool) {
+	q.lock()
+	for len(q.tasks) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.tasks) == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	q.dequeued.Add(1)
+	q.mu.Unlock()
+	return t, true
+}
+
+// TryTake removes a task without blocking; ok=false if none available.
+func (q *Queue) TryTake() (Task, bool) {
+	q.lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return nil, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	q.dequeued.Add(1)
+	return t, true
+}
+
+// Close marks the queue closed; blocked Take calls drain remaining tasks and
+// then return ok=false.
+func (q *Queue) Close() {
+	q.lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// Len returns the current number of queued tasks.
+func (q *Queue) Len() int {
+	q.lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}
+
+// Stats returns lifetime enqueue, dequeue and contention counts.
+func (q *Queue) Stats() (enqueued, dequeued, contended int64) {
+	return q.enqueued.Load(), q.dequeued.Load(), q.contended.Load()
+}

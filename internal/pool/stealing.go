@@ -1,0 +1,184 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WTask is a work item that learns which worker executed it — needed by
+// consumers that keep per-worker private state (the engine's privatized
+// force arrays) under work stealing, where the executing worker may differ
+// from the owner the task was submitted to.
+type WTask func(worker int)
+
+// StealingPools resolves §II-B's queue dilemma — a single shared queue
+// contends, per-worker queues strand work — the way java.util.concurrent's
+// ForkJoinPool later did: every worker owns a deque, owners pop LIFO from
+// the bottom, and idle workers steal FIFO from the top of a victim's deque.
+type StealingPools struct {
+	deques []*deque
+	n      int
+
+	mu      sync.Mutex
+	idle    *sync.Cond
+	seq     uint64 // bumped on every submit; lets workers park race-free
+	stopped bool
+
+	wg       sync.WaitGroup
+	executed []atomic.Int64
+	steals   []atomic.Int64
+}
+
+// deque is a mutex-guarded double-ended queue. Contention is inherently low:
+// the owner works the bottom, thieves only touch it when their own deque is
+// empty.
+type deque struct {
+	mu    sync.Mutex
+	items []WTask
+}
+
+func (d *deque) pushBottom(t WTask) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom() (WTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	t := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return t, true
+}
+
+func (d *deque) stealTop() (WTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	t := d.items[0]
+	d.items = d.items[1:]
+	return t, true
+}
+
+// NewStealingPools starts n workers with private deques.
+func NewStealingPools(n int) *StealingPools {
+	if n <= 0 {
+		panic("pool: need at least one worker")
+	}
+	p := &StealingPools{
+		deques:   make([]*deque, n),
+		n:        n,
+		executed: make([]atomic.Int64, n),
+		steals:   make([]atomic.Int64, n),
+	}
+	p.idle = sync.NewCond(&p.mu)
+	for i := range p.deques {
+		p.deques[i] = &deque{}
+	}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// SubmitFor enqueues a task on the owner's deque. Any worker may end up
+// executing it. Tasks submitted from inside other tasks are not supported
+// once Shutdown has been called.
+func (p *StealingPools) SubmitFor(owner int, t WTask) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		panic("pool: SubmitFor after Shutdown")
+	}
+	p.deques[owner%p.n].pushBottom(t)
+	p.seq++
+	p.mu.Unlock()
+	p.idle.Broadcast()
+}
+
+// worker runs until shutdown: own deque first, then steal sweeps, then park.
+func (p *StealingPools) worker(w int) {
+	defer p.wg.Done()
+	var seen uint64
+	for {
+		p.mu.Lock()
+		seen = p.seq
+		stopped := p.stopped
+		p.mu.Unlock()
+
+		if t, stolen := p.find(w); t != nil {
+			t(w)
+			p.executed[w].Add(1)
+			if stolen {
+				p.steals[w].Add(1)
+			}
+			continue
+		}
+		if stopped {
+			return // stopped and every deque empty at the last sweep
+		}
+		// Nothing found: park until a newer submit or shutdown. Comparing
+		// against the sequence observed BEFORE the sweep closes the race
+		// where a task lands mid-sweep.
+		p.mu.Lock()
+		for p.seq == seen && !p.stopped {
+			p.idle.Wait()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// find pops locally or steals from victims in round-robin order.
+func (p *StealingPools) find(w int) (WTask, bool) {
+	if t, ok := p.deques[w].popBottom(); ok {
+		return t, false
+	}
+	for k := 1; k < p.n; k++ {
+		if t, ok := p.deques[(w+k)%p.n].stealTop(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Workers returns the worker count.
+func (p *StealingPools) Workers() int { return p.n }
+
+// Shutdown drains remaining tasks and stops the workers.
+func (p *StealingPools) Shutdown() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	p.idle.Broadcast()
+	p.wg.Wait()
+}
+
+// Executed returns per-worker executed-task counts.
+func (p *StealingPools) Executed() []int64 {
+	out := make([]int64, p.n)
+	for i := range out {
+		out[i] = p.executed[i].Load()
+	}
+	return out
+}
+
+// Steals returns per-worker steal counts (tasks a worker took from another
+// worker's deque).
+func (p *StealingPools) Steals() []int64 {
+	out := make([]int64, p.n)
+	for i := range out {
+		out[i] = p.steals[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStealingRunsAllTasksExactlyOnce(t *testing.T) {
+	p := NewStealingPools(4)
+	const tasks = 2000
+	var counts [tasks]atomic.Int32
+	latch := NewLatch(tasks)
+	for i := 0; i < tasks; i++ {
+		i := i
+		p.SubmitFor(i%4, func(_ int) {
+			counts[i].Add(1)
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+	p.Shutdown()
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("task %d executed %d times", i, got)
+		}
+	}
+	var executed int64
+	for _, e := range p.Executed() {
+		executed += e
+	}
+	if executed != tasks {
+		t.Errorf("executed sum %d", executed)
+	}
+}
+
+func TestStealingBalancesLoadedDeque(t *testing.T) {
+	// A long-running task occupies one worker while 200 short tasks sit in
+	// deque 0. The batch must complete regardless; and when the blocked
+	// worker is worker 0 itself (the owner), every short task can only have
+	// been STOLEN.
+	p := NewStealingPools(4)
+	gate := make(chan struct{})
+	blockerWorker := make(chan int, 1)
+	started := make(chan struct{})
+	p.SubmitFor(0, func(w int) {
+		blockerWorker <- w
+		close(started)
+		<-gate
+	})
+	<-started
+
+	const tasks = 200
+	latch := NewLatch(tasks)
+	for i := 0; i < tasks; i++ {
+		p.SubmitFor(0, func(_ int) { latch.CountDown() })
+	}
+	done := make(chan struct{})
+	go func() { latch.Await(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stealing pool did not drain a loaded deque")
+	}
+	close(gate)
+	p.Shutdown()
+	var steals int64
+	for _, s := range p.Steals() {
+		steals += s
+	}
+	if <-blockerWorker == 0 && steals < tasks {
+		t.Errorf("owner was blocked but only %d of %d tasks were stolen", steals, tasks)
+	}
+}
+
+func TestDequeDiscipline(t *testing.T) {
+	// Owner pops LIFO from the bottom; thieves take FIFO from the top.
+	d := &deque{}
+	order := []int{}
+	mk := func(i int) WTask { return func(_ int) { order = append(order, i) } }
+	d.pushBottom(mk(1))
+	d.pushBottom(mk(2))
+	d.pushBottom(mk(3))
+	if t1, ok := d.stealTop(); !ok {
+		t.Fatal("stealTop failed")
+	} else {
+		t1(0)
+	}
+	if t3, ok := d.popBottom(); !ok {
+		t.Fatal("popBottom failed")
+	} else {
+		t3(0)
+	}
+	if t2, ok := d.popBottom(); !ok {
+		t.Fatal("second popBottom failed")
+	} else {
+		t2(0)
+	}
+	if _, ok := d.popBottom(); ok {
+		t.Fatal("empty deque popped")
+	}
+	if _, ok := d.stealTop(); ok {
+		t.Fatal("empty deque stolen from")
+	}
+	want := []int{1, 3, 2} // steal got oldest, pops got newest-first
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("discipline order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStealingWorkerIDMatchesExecutor(t *testing.T) {
+	// The worker id passed to the task must identify the goroutine that
+	// runs it: per-worker slots written via that id never race.
+	p := NewStealingPools(4)
+	slots := make([][]int, 4)
+	var mu [4]sync.Mutex
+	const tasks = 400
+	latch := NewLatch(tasks)
+	for i := 0; i < tasks; i++ {
+		i := i
+		p.SubmitFor(0, func(w int) { // all owned by 0: forces stealing
+			mu[w].Lock()
+			slots[w] = append(slots[w], i)
+			mu[w].Unlock()
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+	p.Shutdown()
+	total := 0
+	for w := range slots {
+		total += len(slots[w])
+	}
+	if total != tasks {
+		t.Errorf("slot total %d", total)
+	}
+}
+
+func TestStealingShutdownDrains(t *testing.T) {
+	p := NewStealingPools(2)
+	var n atomic.Int32
+	for i := 0; i < 50; i++ {
+		p.SubmitFor(i, func(_ int) { n.Add(1) })
+	}
+	p.Shutdown() // must not return before queued tasks drain
+	if n.Load() != 50 {
+		t.Errorf("drained %d of 50", n.Load())
+	}
+	p.Shutdown() // idempotent
+}
+
+func TestStealingSubmitAfterShutdownPanics(t *testing.T) {
+	p := NewStealingPools(1)
+	p.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Error("SubmitFor after Shutdown must panic")
+		}
+	}()
+	p.SubmitFor(0, func(_ int) {})
+}
+
+func TestStealingPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero workers must panic")
+		}
+	}()
+	NewStealingPools(0)
+}
+
+func TestStealingSingleWorkerNeverSteals(t *testing.T) {
+	// A one-worker pool has no victims: everything executes locally.
+	// (Owner preference with several workers is a throughput property that
+	// a single-CPU host cannot observe reliably: whichever goroutine is
+	// scheduled drains every deque.)
+	p := NewStealingPools(1)
+	latch := NewLatch(100)
+	for i := 0; i < 100; i++ {
+		p.SubmitFor(0, func(_ int) { latch.CountDown() })
+	}
+	latch.Await()
+	p.Shutdown()
+	if p.Steals()[0] != 0 {
+		t.Errorf("single worker stole %d tasks", p.Steals()[0])
+	}
+	if p.Executed()[0] != 100 {
+		t.Errorf("executed %d", p.Executed()[0])
+	}
+	if p.Workers() != 1 {
+		t.Errorf("Workers = %d", p.Workers())
+	}
+}

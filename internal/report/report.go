@@ -1,0 +1,163 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// heat maps and series — the output layer shared by cmd/mwbench and the
+// benchmark harness, producing the rows/series the paper's tables and
+// figures report.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled table with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v (floats with %.4g).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// heatRamp maps intensity 0..1 to a character (the paper's Fig 2 uses
+// green→red; text gets light→dark).
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a row-labeled intensity matrix (values clamped to [0,1]).
+func Heatmap(title string, rowLabels []string, m [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for r, row := range m {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, label)
+		for _, v := range row {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(heatRamp)-1))
+			b.WriteByte(heatRamp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Series renders one or more named y-series against shared x values.
+type Series struct {
+	Title  string
+	XLabel string
+	xs     []float64
+	names  []string
+	ys     [][]float64
+}
+
+// NewSeries creates a series plot container.
+func NewSeries(title, xlabel string, xs []float64) *Series {
+	return &Series{Title: title, XLabel: xlabel, xs: xs}
+}
+
+// Add appends one named series; len(ys) must equal len(xs).
+func (s *Series) Add(name string, ys []float64) {
+	if len(ys) != len(s.xs) {
+		panic("report: series length mismatch")
+	}
+	s.names = append(s.names, name)
+	s.ys = append(s.ys, ys)
+}
+
+// String renders the series as a table with one row per x.
+func (s *Series) String() string {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.names...)...)
+	for i, x := range s.xs {
+		row := make([]any, 1+len(s.ys))
+		row[0] = x
+		for j := range s.ys {
+			row[j+1] = s.ys[j][i]
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

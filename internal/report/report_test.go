@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Value")
+	tb.AddRow("short", 1.5)
+	tb.AddRow("much-longer-name", 123456.789)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: "Value" header starts at same offset as row values.
+	hdr := lines[1]
+	row := lines[4]
+	if strings.Index(hdr, "Value") > len(row) {
+		t.Error("misaligned columns")
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.14159265)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Errorf("float not compacted: %s", tb.String())
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tb := NewTable("")
+	tb.AddRow("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "==") || strings.Contains(out, "---") {
+		t.Errorf("unexpected chrome: %q", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]float64{
+		{0, 0.5, 1},
+		{1, 0, -0.5}, // clamped
+	}
+	out := Heatmap("H", []string{"core0", "core1"}, m)
+	if !strings.Contains(out, "core0") || !strings.Contains(out, "== H ==") {
+		t.Error("missing labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Intensity 1 renders the densest glyph, 0 a space.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("max intensity glyph missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "@") {
+		t.Errorf("row 2 clamp: %q", lines[2])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Speedup", "cores", []float64{1, 2, 4})
+	s.Add("salt", []float64{1, 1.9, 3.6})
+	s.Add("nanocar", []float64{1, 1.8, 3.0})
+	out := s.String()
+	for _, frag := range []string{"Speedup", "cores", "salt", "nanocar", "3.6"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSeriesLengthMismatchPanics(t *testing.T) {
+	s := NewSeries("x", "x", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	s.Add("bad", []float64{1})
+}

@@ -1,0 +1,335 @@
+// Package sched simulates the operating-system thread scheduler whose
+// behaviour drives the paper's §V-B findings: "the Java runtime, in concert
+// with the underlying operating system, can migrate a thread between various
+// cores … particularly frequent when threads encounter synchronization
+// operations … When it awakes, the scheduler will place it on a core based
+// on the system load and some degree of affinity with the previously
+// assigned core."
+//
+// The simulation is quantum-based and deterministic for a fixed seed. Worker
+// threads park at synchronization points (the engine's per-phase barriers
+// make this very frequent for an irregular application) and are re-placed on
+// wakeup subject to a hard affinity mask (sched_setaffinity) and a soft
+// preference for the previous core. Background threads model other system
+// load. The per-quantum core assignment trace reproduces Fig 2 and feeds the
+// machine-level timing model.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mw/internal/topo"
+)
+
+// Config parameterizes a scheduler simulation.
+type Config struct {
+	Machine topo.Machine
+	// Threads is the number of worker threads.
+	Threads int
+	// Affinity holds one hard mask per worker; nil or a zero mask means
+	// unrestricted ("OS scheduled").
+	Affinity []topo.CPUMask
+	// Background is the number of background (non-worker) load threads.
+	Background int
+	// BackgroundDuty is the fraction of quanta each background thread is
+	// runnable (default 1.0).
+	BackgroundDuty float64
+	// BlockProb is the per-quantum probability that a running worker parks
+	// at a synchronization point. Irregular applications with per-phase
+	// barriers park constantly; default 0.4.
+	BlockProb float64
+	// WakeProb is the per-quantum probability that a parked worker wakes.
+	// Default 0.9 (barriers are short).
+	WakeProb float64
+	// StayBias is the probability that the scheduler keeps a woken thread
+	// on its previous core when that core is not the least loaded (soft
+	// affinity). Default 0.3 — the paper observed "the degree of thread
+	// affinity was quite low".
+	StayBias float64
+	// MigrateProb is the per-quantum probability that a *running* unpinned
+	// thread is moved anyway (rebalancing, interrupt steering, JVM service
+	// threads displacing it) — the churn Fig 2 shows even for threads that
+	// rarely block. Default 0.
+	MigrateProb float64
+	// QuantumUS is the scheduling quantum in microseconds (default 1000).
+	QuantumUS float64
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.BlockProb == 0 {
+		c.BlockProb = 0.4
+	}
+	if c.WakeProb == 0 {
+		c.WakeProb = 0.9
+	}
+	if c.StayBias == 0 {
+		c.StayBias = 0.3
+	}
+	if c.QuantumUS <= 0 {
+		c.QuantumUS = 1000
+	}
+	if c.BackgroundDuty <= 0 || c.BackgroundDuty > 1 {
+		c.BackgroundDuty = 1
+	}
+	return c
+}
+
+// Parked marks a thread not currently on any core.
+const Parked = -1
+
+// Scheduler is a running simulation.
+type Scheduler struct {
+	cfg Config
+	rng *rand.Rand
+
+	cores      int
+	workerCore []int // current core or Parked
+	prevCore   []int
+	bgCore     []int
+	bgActive   []bool
+	migrations []int
+	quanta     int
+	trace      [][]int8 // [worker][quantum] → core or Parked
+	bgTrace    [][]int8 // [quantum] → active background cores
+}
+
+// New creates a scheduler simulation.
+func New(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	cores := cfg.Machine.NumCores()
+	if cores == 0 {
+		return nil, fmt.Errorf("sched: machine has no cores")
+	}
+	if cores > 64 {
+		return nil, fmt.Errorf("sched: at most 64 cores supported")
+	}
+	if len(cfg.Affinity) != 0 && len(cfg.Affinity) != cfg.Threads {
+		return nil, fmt.Errorf("sched: %d affinity masks for %d threads", len(cfg.Affinity), cfg.Threads)
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		cores:      cores,
+		workerCore: make([]int, cfg.Threads),
+		prevCore:   make([]int, cfg.Threads),
+		bgCore:     make([]int, cfg.Background),
+		bgActive:   make([]bool, cfg.Background),
+		migrations: make([]int, cfg.Threads),
+		trace:      make([][]int8, cfg.Threads),
+	}
+	// Initial placement: spread workers over allowed cores, background
+	// randomly.
+	for w := range s.workerCore {
+		allowed := s.allowed(w)
+		s.workerCore[w] = allowed[w%len(allowed)]
+		s.prevCore[w] = s.workerCore[w]
+	}
+	for b := range s.bgCore {
+		s.bgCore[b] = s.rng.Intn(cores)
+	}
+	return s, nil
+}
+
+func (s *Scheduler) allowed(w int) []int {
+	if len(s.cfg.Affinity) == 0 || s.cfg.Affinity[w] == 0 {
+		all := make([]int, s.cores)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return s.cfg.Affinity[w].Cores()
+}
+
+// load returns the number of threads currently on core c.
+func (s *Scheduler) load(c int) int {
+	n := 0
+	for _, wc := range s.workerCore {
+		if wc == c {
+			n++
+		}
+	}
+	for b, bc := range s.bgCore {
+		if s.bgActive[b] && bc == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances the simulation by one quantum.
+func (s *Scheduler) Step() {
+	// Background threads drift: each quantum one in four hops to a random
+	// core, modelling unrelated system activity; each is runnable only for
+	// its duty fraction.
+	var bgRow []int8
+	for b := range s.bgCore {
+		if s.rng.Float64() < 0.25 {
+			s.bgCore[b] = s.rng.Intn(s.cores)
+		}
+		s.bgActive[b] = s.rng.Float64() < s.cfg.BackgroundDuty
+		if s.bgActive[b] {
+			bgRow = append(bgRow, int8(s.bgCore[b]))
+		}
+	}
+	s.bgTrace = append(s.bgTrace, bgRow)
+	for w := range s.workerCore {
+		switch {
+		case s.workerCore[w] != Parked:
+			// Running: maybe park at a synchronization point.
+			if s.rng.Float64() < s.cfg.BlockProb {
+				s.prevCore[w] = s.workerCore[w]
+				s.workerCore[w] = Parked
+				continue
+			}
+			// Periodic load balancing: a running thread sharing its core
+			// is pulled to an idle allowed core when one exists (CFS-style
+			// rebalancing; impossible under a single-core affinity mask).
+			if s.load(s.workerCore[w]) >= 2 {
+				if idle, ok := s.idleAllowedCore(w); ok && s.rng.Float64() < 0.5 {
+					s.prevCore[w] = s.workerCore[w]
+					s.workerCore[w] = idle
+					s.migrations[w]++
+					continue
+				}
+			}
+			// Unprovoked churn: rebalancing and interrupt steering move
+			// even busy threads.
+			if s.cfg.MigrateProb > 0 && s.rng.Float64() < s.cfg.MigrateProb {
+				s.prevCore[w] = s.workerCore[w]
+				s.place(w)
+			}
+		default:
+			// Parked: maybe wake; placement decision happens here.
+			if s.rng.Float64() < s.cfg.WakeProb {
+				s.place(w)
+			}
+		}
+	}
+	for w := range s.workerCore {
+		s.trace[w] = append(s.trace[w], int8(s.workerCore[w]))
+	}
+	s.quanta++
+}
+
+// idleAllowedCore returns an allowed core with zero load, if any.
+func (s *Scheduler) idleAllowedCore(w int) (int, bool) {
+	for _, c := range s.allowed(w) {
+		if s.load(c) == 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// place chooses a core for woken worker w among the least-loaded allowed
+// cores. The previous core is kept with probability StayBias when it ties
+// for least loaded; otherwise the scheduler picks randomly among the
+// minimum-load candidates — which on a symmetric idle machine means woken
+// threads hop cores constantly, exactly the low affinity the paper observed
+// ("the thread visited every core in the system in less than one second").
+func (s *Scheduler) place(w int) {
+	allowed := s.allowed(w)
+	prev := s.prevCore[w]
+	minLoad := int(^uint(0) >> 1)
+	for _, c := range allowed {
+		if l := s.load(c); l < minLoad {
+			minLoad = l
+		}
+	}
+	candidates := make([]int, 0, len(allowed))
+	prevTies := false
+	for _, c := range allowed {
+		if s.load(c) == minLoad {
+			candidates = append(candidates, c)
+			if c == prev {
+				prevTies = true
+			}
+		}
+	}
+	best := prev
+	if !prevTies || s.rng.Float64() >= s.cfg.StayBias {
+		best = candidates[s.rng.Intn(len(candidates))]
+	}
+	if best != prev {
+		s.migrations[w]++
+	}
+	s.workerCore[w] = best
+}
+
+// Run advances the simulation n quanta.
+func (s *Scheduler) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Quanta returns the number of simulated quanta.
+func (s *Scheduler) Quanta() int { return s.quanta }
+
+// Migrations returns how many times worker w changed cores on wakeup.
+func (s *Scheduler) Migrations(w int) int { return s.migrations[w] }
+
+// Trace returns worker w's per-quantum core assignment (Parked = -1). The
+// slice aliases internal storage.
+func (s *Scheduler) Trace(w int) []int8 { return s.trace[w] }
+
+// CoreAt returns the core worker w occupied during quantum q, or Parked.
+func (s *Scheduler) CoreAt(w, q int) int { return int(s.trace[w][q]) }
+
+// BackgroundAt returns the cores occupied by active background threads
+// during quantum q.
+func (s *Scheduler) BackgroundAt(q int) []int8 { return s.bgTrace[q] }
+
+// LoadMatrix buckets worker w's trace into the Fig 2 heat map: rows are
+// cores, columns time buckets, values the fraction of each bucket's quanta
+// the worker spent on that core.
+func (s *Scheduler) LoadMatrix(w, buckets int) [][]float64 {
+	if buckets <= 0 || s.quanta == 0 {
+		return nil
+	}
+	m := make([][]float64, s.cores)
+	for c := range m {
+		m[c] = make([]float64, buckets)
+	}
+	per := float64(s.quanta) / float64(buckets)
+	for q, c := range s.trace[w] {
+		if c < 0 {
+			continue
+		}
+		b := int(float64(q) / per)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		m[c][b] += 1 / per
+	}
+	return m
+}
+
+// CoresVisited returns the distinct cores worker w has run on within the
+// first n quanta (n ≤ recorded quanta); Fig 2's headline observation is that
+// an unpinned thread visits every core of a quad-core system in under one
+// second.
+func (s *Scheduler) CoresVisited(w, n int) int {
+	if n > len(s.trace[w]) {
+		n = len(s.trace[w])
+	}
+	var seen uint64
+	for q := 0; q < n; q++ {
+		if c := s.trace[w][q]; c >= 0 {
+			seen |= 1 << uint(c)
+		}
+	}
+	count := 0
+	for c := 0; c < s.cores; c++ {
+		if seen&(1<<uint(c)) != 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"mw/internal/topo"
+)
+
+func TestAffinityNeverViolated(t *testing.T) {
+	mask := topo.MaskOf(1, 2)
+	s, err := New(Config{
+		Machine:    topo.CoreI7,
+		Threads:    3,
+		Affinity:   []topo.CPUMask{mask, mask, mask},
+		Background: 2,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2000)
+	for w := 0; w < 3; w++ {
+		for q := 0; q < s.Quanta(); q++ {
+			c := s.CoreAt(w, q)
+			if c != Parked && !mask.Has(c) {
+				t.Fatalf("worker %d ran on core %d outside mask %v at q=%d", w, c, mask, q)
+			}
+		}
+	}
+}
+
+func TestPinnedThreadNeverMigrates(t *testing.T) {
+	s, err := New(Config{
+		Machine:    topo.CoreI7,
+		Threads:    1,
+		Affinity:   []topo.CPUMask{topo.MaskOf(2)},
+		Background: 3,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5000)
+	if s.Migrations(0) != 0 {
+		t.Errorf("pinned thread migrated %d times", s.Migrations(0))
+	}
+}
+
+func TestUnpinnedThreadMigratesUnderLoad(t *testing.T) {
+	// Fig 2: without pinning, on a loaded quad-core, the worker visits every
+	// core in well under a second (1000 quanta = 1 s at 1 ms quantum).
+	s, err := New(Config{
+		Machine:    topo.CoreI7,
+		Threads:    4,
+		Background: 3,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	if m := s.Migrations(0); m == 0 {
+		t.Error("unpinned thread never migrated on a loaded system")
+	}
+	if v := s.CoresVisited(0, 1000); v != 4 {
+		t.Errorf("worker visited %d cores in 1s, Fig 2 expects all 4", v)
+	}
+}
+
+func TestMigrationOrderingPinnedVsFree(t *testing.T) {
+	free, err := New(Config{Machine: topo.CoreI7, Threads: 4, Background: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free.Run(3000)
+	pinnedMasks := []topo.CPUMask{topo.MaskOf(0), topo.MaskOf(1), topo.MaskOf(2), topo.MaskOf(3)}
+	pinned, err := New(Config{Machine: topo.CoreI7, Threads: 4, Affinity: pinnedMasks, Background: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned.Run(3000)
+	for w := 0; w < 4; w++ {
+		if pinned.Migrations(w) != 0 {
+			t.Errorf("pinned worker %d migrated", w)
+		}
+		if free.Migrations(w) == 0 {
+			t.Errorf("free worker %d never migrated", w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Scheduler {
+		s, err := New(Config{Machine: topo.XeonE5450, Threads: 4, Background: 2, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(500)
+		return s
+	}
+	a, b := mk(), mk()
+	for w := 0; w < 4; w++ {
+		if a.Migrations(w) != b.Migrations(w) {
+			t.Fatalf("nondeterministic migrations for worker %d", w)
+		}
+		ta, tb := a.Trace(w), b.Trace(w)
+		for q := range ta {
+			if ta[q] != tb[q] {
+				t.Fatalf("traces diverge at worker %d quantum %d", w, q)
+			}
+		}
+	}
+}
+
+func TestLoadMatrixProperties(t *testing.T) {
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 2, Background: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	const buckets = 10
+	m := s.LoadMatrix(0, buckets)
+	if len(m) != 4 {
+		t.Fatalf("rows = %d", len(m))
+	}
+	// Column sums are ≤ 1 (a thread occupies at most one core per quantum)
+	// and ≥ 0; total occupancy equals the thread's running fraction.
+	var total float64
+	for b := 0; b < buckets; b++ {
+		var col float64
+		for c := 0; c < 4; c++ {
+			if m[c][b] < 0 {
+				t.Fatal("negative load")
+			}
+			col += m[c][b]
+		}
+		if col > 1+1e-9 {
+			t.Fatalf("bucket %d occupancy %v > 1", b, col)
+		}
+		total += col
+	}
+	if total == 0 {
+		t.Error("thread never ran")
+	}
+	if s.LoadMatrix(0, 0) != nil {
+		t.Error("zero buckets must return nil")
+	}
+}
+
+func TestParkedFractionTracksBlockProb(t *testing.T) {
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, BlockProb: 0.5, WakeProb: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(20000)
+	parked := 0
+	for _, c := range s.Trace(0) {
+		if c == Parked {
+			parked++
+		}
+	}
+	frac := float64(parked) / 20000
+	// Two-state Markov chain with p=q=0.5 has stationary parked fraction 0.5.
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("parked fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestStayBiasOneKeepsThreadPut(t *testing.T) {
+	// With full stay bias and an idle machine, the previous core always ties
+	// for least loaded and is always kept: no migrations.
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, Background: 0, StayBias: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2000)
+	if m := s.Migrations(0); m != 0 {
+		t.Errorf("fully biased solo thread migrated %d times", m)
+	}
+	// Default (low) bias on the same idle machine migrates frequently —
+	// the paper's Fig 2 behaviour.
+	s2, err := New(Config{Machine: topo.CoreI7, Threads: 1, Background: 0, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(2000)
+	if s2.Migrations(0) == 0 {
+		t.Error("default-bias thread never migrated")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Machine: topo.Machine{}}); err == nil {
+		t.Error("zero-core machine accepted")
+	}
+	if _, err := New(Config{Machine: topo.CoreI7, Threads: 2, Affinity: []topo.CPUMask{1}}); err == nil {
+		t.Error("mismatched affinity length accepted")
+	}
+}
+
+func TestZeroMaskMeansUnrestricted(t *testing.T) {
+	s, err := New(Config{
+		Machine:    topo.CoreI7,
+		Threads:    1,
+		Affinity:   []topo.CPUMask{0},
+		Background: 3,
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2000)
+	if v := s.CoresVisited(0, 2000); v < 2 {
+		t.Errorf("zero mask behaved as pinned (visited %d cores)", v)
+	}
+}

@@ -1,0 +1,247 @@
+// Package stats provides small statistical accumulators used by the
+// benchmark harness and the performance-monitoring substrate: running
+// mean/variance, min/max, percentiles, histograms, and load-imbalance
+// metrics as used in the paper's §IV analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean, variance (Welford), min and max without
+// retaining samples.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddAll records every sample in xs.
+func (r *Running) AddAll(xs []float64) {
+	for _, x := range xs {
+		r.Add(x)
+	}
+}
+
+// N returns the number of samples recorded.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean, or 0 if empty.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than 2 samples.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample, or 0 if empty.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample, or 0 if empty.
+func (r *Running) Max() float64 { return r.max }
+
+// Sum returns n * mean.
+func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
+
+// CV returns the coefficient of variation (std/mean), or 0 if mean is 0.
+func (r *Running) CV() float64 {
+	if r.mean == 0 {
+		return 0
+	}
+	return r.Std() / math.Abs(r.mean)
+}
+
+// String formats the accumulator for reports.
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		r.n, r.Mean(), r.Std(), r.Min(), r.Max())
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean of xs, or 0 if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Imbalance computes the load-imbalance factor of per-worker loads:
+// max/mean - 1. Zero means perfectly balanced; 1.0 means the slowest worker
+// carried twice the average load. This is the metric the paper's §IV
+// analysis needs at per-iteration granularity.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	m := Mean(loads)
+	if m == 0 {
+		return 0
+	}
+	var mx float64
+	for _, l := range loads {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx/m - 1
+}
+
+// BarrierWaste returns the fraction of total worker-time wasted waiting at a
+// barrier if every worker must wait for the slowest: (max*n - sum)/(max*n).
+func BarrierWaste(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var mx, sum float64
+	for _, l := range loads {
+		if l > mx {
+			mx = l
+		}
+		sum += l
+	}
+	if mx == 0 {
+		return 0
+	}
+	return (mx*float64(len(loads)) - sum) / (mx * float64(len(loads)))
+}
+
+// Histogram is a fixed-bin histogram over [lo, hi); samples outside the
+// range are counted in under/over.
+type Histogram struct {
+	Lo, Hi      float64
+	Bins        []int
+	Under, Over int
+	n           int
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins on [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		nbins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i >= len(h.Bins) { // guard float rounding at the top edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// N returns the total number of samples recorded (including out-of-range).
+func (h *Histogram) N() int { return h.n }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the index of the most populated bin.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Bins {
+		if c > h.Bins[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It panics if the lengths differ; it returns (0, mean(y)) for fewer than 2
+// points or zero x-variance.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return 0, Mean(y)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	_ = n
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	return slope, intercept
+}

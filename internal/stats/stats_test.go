@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	r.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v", r.Var())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if math.Abs(r.Sum()-40) > 1e-9 {
+		t.Errorf("Sum = %v", r.Sum())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.Std() != 0 {
+		t.Error("empty accumulator must be all zeros")
+	}
+	r.Add(3)
+	if r.Var() != 0 {
+		t.Error("single sample has zero variance")
+	}
+	if r.Min() != 3 || r.Max() != 3 {
+		t.Error("single sample min=max=sample")
+	}
+}
+
+func TestRunningMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var r Running
+	r.AddAll(xs)
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	v /= float64(len(xs) - 1)
+	if math.Abs(r.Mean()-m) > 1e-9 {
+		t.Errorf("mean mismatch: %v vs %v", r.Mean(), m)
+	}
+	if math.Abs(r.Var()-v) > 1e-9 {
+		t.Errorf("var mismatch: %v vs %v", r.Var(), v)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Input must not be reordered.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMedianInterpolates(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 10}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("balanced Imbalance = %v", got)
+	}
+	// One worker does 2x the average.
+	if got := Imbalance([]float64{2, 1, 1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Imbalance = %v, want 1", got)
+	}
+	if Imbalance(nil) != 0 || Imbalance([]float64{0, 0}) != 0 {
+		t.Error("degenerate Imbalance must be 0")
+	}
+}
+
+func TestBarrierWaste(t *testing.T) {
+	// All equal: no waste.
+	if w := BarrierWaste([]float64{5, 5, 5}); w != 0 {
+		t.Errorf("BarrierWaste balanced = %v", w)
+	}
+	// loads 1,1,2: total work 4, wall slots 6, waste 2/6.
+	if w := BarrierWaste([]float64{1, 1, 2}); math.Abs(w-1.0/3.0) > 1e-12 {
+		t.Errorf("BarrierWaste = %v", w)
+	}
+	if BarrierWaste(nil) != 0 || BarrierWaste([]float64{0}) != 0 {
+		t.Error("degenerate BarrierWaste must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(100)
+	h.Add(10) // exactly Hi counts as over
+	for i, c := range h.Bins {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	if h.N() != 13 {
+		t.Errorf("N = %d", h.N())
+	}
+	if math.Abs(h.BinCenter(0)-0.5) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(2.5)
+	h.Add(2.2)
+	h.Add(1.5)
+	if h.Mode() != 2 {
+		t.Errorf("Mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid args are repaired
+	h.Add(5)
+	if h.N() != 1 {
+		t.Error("degenerate histogram must still count")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	s, b := LinearFit(x, y)
+	if math.Abs(s-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Errorf("LinearFit = %v, %v", s, b)
+	}
+	// Zero variance in x.
+	s, b = LinearFit([]float64{2, 2}, []float64{1, 3})
+	if s != 0 || b != 2 {
+		t.Errorf("constant-x fit = %v, %v", s, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+// Property: imbalance is scale-invariant and non-negative.
+func TestImbalanceProperties(t *testing.T) {
+	f := func(a, b, c, d float64, scale float64) bool {
+		for _, x := range []float64{a, b, c, d, scale} {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		loads := []float64{math.Abs(a), math.Abs(b), math.Abs(c), math.Abs(d)}
+		s := math.Mod(math.Abs(scale), 1e6) + 0.1
+		i1 := Imbalance(loads)
+		scaled := make([]float64, len(loads))
+		for i, l := range loads {
+			scaled[i] = l * s
+		}
+		i2 := Imbalance(scaled)
+		if i1 < 0 {
+			return false
+		}
+		return math.Abs(i1-i2) < 1e-9*(1+i1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				t.Fatalf("percentile not monotone at p=%v", p)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CPUMask is a set of cores (bit c = core c), the representation
+// sched_setaffinity uses and the one the Table III experiments pass to the
+// scheduler. Machines up to 64 cores are supported — enough for the paper's
+// largest (32-core) testbed.
+type CPUMask uint64
+
+// AllCores returns the mask of every core of the machine ("OS scheduled":
+// no restriction).
+func (m Machine) AllCores() CPUMask {
+	return CPUMask(1)<<uint(m.NumCores()) - 1
+}
+
+// MaskOf returns the mask containing exactly the given cores.
+func MaskOf(cores ...int) CPUMask {
+	var mk CPUMask
+	for _, c := range cores {
+		mk |= 1 << uint(c)
+	}
+	return mk
+}
+
+// OneCorePerPackage returns a mask with n cores, one on each of the first n
+// packages — Table III's "one core per processor" topology.
+func (m Machine) OneCorePerPackage(n int) (CPUMask, error) {
+	if n > m.Packages {
+		return 0, fmt.Errorf("topo: %d packages available, %d requested", m.Packages, n)
+	}
+	var mk CPUMask
+	for p := 0; p < n; p++ {
+		mk |= 1 << uint(p*m.CoresPerPackage)
+	}
+	return mk, nil
+}
+
+// CoresOnOnePackage returns a mask with n cores all on package 0 — Table
+// III's "N cores on one processor" topology.
+func (m Machine) CoresOnOnePackage(n int) (CPUMask, error) {
+	if n > m.CoresPerPackage {
+		return 0, fmt.Errorf("topo: package has %d cores, %d requested", m.CoresPerPackage, n)
+	}
+	var mk CPUMask
+	for c := 0; c < n; c++ {
+		mk |= 1 << uint(c)
+	}
+	return mk, nil
+}
+
+// CoresPerPackageSpread returns a mask with perPkg cores on each of
+// npkg packages — Table III's "two cores per processor" topology.
+func (m Machine) CoresPerPackageSpread(perPkg, npkg int) (CPUMask, error) {
+	if npkg > m.Packages || perPkg > m.CoresPerPackage {
+		return 0, fmt.Errorf("topo: spread %dx%d does not fit %dx%d",
+			npkg, perPkg, m.Packages, m.CoresPerPackage)
+	}
+	var mk CPUMask
+	for p := 0; p < npkg; p++ {
+		for c := 0; c < perPkg; c++ {
+			mk |= 1 << uint(p*m.CoresPerPackage+c)
+		}
+	}
+	return mk, nil
+}
+
+// Has reports whether core c is in the mask.
+func (mk CPUMask) Has(c int) bool { return mk&(1<<uint(c)) != 0 }
+
+// Count returns the number of cores in the mask.
+func (mk CPUMask) Count() int { return bits.OnesCount64(uint64(mk)) }
+
+// Cores lists the cores in the mask in ascending order.
+func (mk CPUMask) Cores() []int {
+	out := make([]int, 0, mk.Count())
+	for c := 0; c < 64; c++ {
+		if mk.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the mask as a core list, e.g. "{0,1,4,5}".
+func (mk CPUMask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, c := range mk.Cores() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

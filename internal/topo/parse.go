@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMachine builds a Machine from a compact spec, so machine-model
+// experiments can target hardware beyond the Table II presets:
+//
+//	"myhost:2x8x2,l1=32K,l2=512K,l3=16M/8,mem=64G,ch=6"
+//
+// The first field is PACKAGESxCORESxTHREADS (threads optional, default 1);
+// remaining comma-separated fields set cache sizes (K/M suffixes), the L3
+// sharing group ("/N cores"), memory (G suffix) and channel count. Omitted
+// fields default to Nehalem-class values.
+func ParseMachine(spec string) (Machine, error) {
+	m := Machine{
+		Name: "custom", ThreadsPerCore: 1,
+		L1KB: 32, L2KB: 256, L3KB: 8 * 1024, L3GroupCores: 0,
+		MemoryGB: 8, MemChannels: 3,
+	}
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		m.Name = spec[:i]
+		spec = spec[i+1:]
+	}
+	fields := strings.Split(spec, ",")
+	if len(fields) == 0 || fields[0] == "" {
+		return m, fmt.Errorf("topo: empty machine spec")
+	}
+
+	dims := strings.Split(fields[0], "x")
+	if len(dims) < 2 || len(dims) > 3 {
+		return m, fmt.Errorf("topo: geometry %q is not PxC or PxCxT", fields[0])
+	}
+	var err error
+	if m.Packages, err = strconv.Atoi(dims[0]); err != nil || m.Packages < 1 {
+		return m, fmt.Errorf("topo: bad package count %q", dims[0])
+	}
+	if m.CoresPerPackage, err = strconv.Atoi(dims[1]); err != nil || m.CoresPerPackage < 1 {
+		return m, fmt.Errorf("topo: bad core count %q", dims[1])
+	}
+	if len(dims) == 3 {
+		if m.ThreadsPerCore, err = strconv.Atoi(dims[2]); err != nil || m.ThreadsPerCore < 1 {
+			return m, fmt.Errorf("topo: bad thread count %q", dims[2])
+		}
+	}
+
+	for _, f := range fields[1:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("topo: field %q is not key=value", f)
+		}
+		switch strings.ToLower(kv[0]) {
+		case "l1":
+			if m.L1KB, err = parseKB(kv[1]); err != nil {
+				return m, err
+			}
+		case "l2":
+			if m.L2KB, err = parseKB(kv[1]); err != nil {
+				return m, err
+			}
+		case "l3":
+			size := kv[1]
+			if i := strings.IndexByte(size, '/'); i >= 0 {
+				if m.L3GroupCores, err = strconv.Atoi(size[i+1:]); err != nil || m.L3GroupCores < 1 {
+					return m, fmt.Errorf("topo: bad L3 sharing %q", size[i+1:])
+				}
+				size = size[:i]
+			}
+			if m.L3KB, err = parseKB(size); err != nil {
+				return m, err
+			}
+		case "mem":
+			v := strings.TrimSuffix(strings.ToUpper(kv[1]), "G")
+			if m.MemoryGB, err = strconv.Atoi(v); err != nil || m.MemoryGB < 1 {
+				return m, fmt.Errorf("topo: bad memory %q", kv[1])
+			}
+		case "ch":
+			if m.MemChannels, err = strconv.Atoi(kv[1]); err != nil || m.MemChannels < 1 {
+				return m, fmt.Errorf("topo: bad channel count %q", kv[1])
+			}
+		default:
+			return m, fmt.Errorf("topo: unknown field %q", kv[0])
+		}
+	}
+	if m.L3GroupCores == 0 {
+		m.L3GroupCores = m.CoresPerPackage // default: one slice per package
+	}
+	if m.L3GroupCores > m.CoresPerPackage {
+		return m, fmt.Errorf("topo: L3 group (%d) exceeds cores per package (%d)",
+			m.L3GroupCores, m.CoresPerPackage)
+	}
+	if m.NumCores() > 64 {
+		return m, fmt.Errorf("topo: %d cores exceed the 64-core mask limit", m.NumCores())
+	}
+	return m, nil
+}
+
+// parseKB parses "32K", "8M" or a raw KB number into kilobytes.
+func parseKB(s string) (int, error) {
+	u := strings.ToUpper(s)
+	mult := 1
+	switch {
+	case strings.HasSuffix(u, "K"):
+		u = u[:len(u)-1]
+	case strings.HasSuffix(u, "M"):
+		u, mult = u[:len(u)-1], 1024
+	}
+	v, err := strconv.Atoi(u)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("topo: bad size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,85 @@
+package topo
+
+import "testing"
+
+func TestParseMachineFull(t *testing.T) {
+	m, err := ParseMachine("box:2x8x2,l1=64K,l2=1M,l3=16M/4,mem=64G,ch=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "box" || m.Packages != 2 || m.CoresPerPackage != 8 || m.ThreadsPerCore != 2 {
+		t.Errorf("geometry: %+v", m)
+	}
+	if m.L1KB != 64 || m.L2KB != 1024 || m.L3KB != 16*1024 || m.L3GroupCores != 4 {
+		t.Errorf("caches: %+v", m)
+	}
+	if m.MemoryGB != 64 || m.MemChannels != 6 {
+		t.Errorf("memory: %+v", m)
+	}
+	if m.NumPUs() != 32 || m.NumL3Groups() != 4 {
+		t.Errorf("derived: PUs=%d groups=%d", m.NumPUs(), m.NumL3Groups())
+	}
+}
+
+func TestParseMachineDefaults(t *testing.T) {
+	m, err := ParseMachine("1x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ThreadsPerCore != 1 || m.L1KB != 32 || m.L2KB != 256 {
+		t.Errorf("defaults: %+v", m)
+	}
+	if m.L3GroupCores != 4 {
+		t.Errorf("default L3 group = %d, want per-package", m.L3GroupCores)
+	}
+	if m.Name != "custom" {
+		t.Errorf("default name %q", m.Name)
+	}
+}
+
+func TestParseMachineRoundTripPresets(t *testing.T) {
+	// Specs replicating Table II must reproduce the presets' shapes.
+	m, err := ParseMachine("Core i7 920:1x4x2,l1=32K,l2=256K,l3=8M/4,mem=6G,ch=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != CoreI7 {
+		t.Errorf("parsed i7 %+v != preset %+v", m, CoreI7)
+	}
+}
+
+func TestParseMachineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"4",            // no x
+		"axb",          // non-numeric
+		"0x4",          // zero packages
+		"1x4x0",        // zero threads
+		"1x4,l1=?",     // bad size
+		"1x4,nope=3",   // unknown key
+		"1x4,l3=8M/9",  // sharing exceeds package
+		"1x4,mem=zero", // bad memory
+		"1x4,ch=0",     // bad channels
+		"1x4,l2",       // missing value
+		"9x8",          // 72 cores > 64-bit mask
+		"1x4x2x2",      // too many dims
+	}
+	for _, spec := range bad {
+		if _, err := ParseMachine(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseKB(t *testing.T) {
+	cases := map[string]int{"32K": 32, "8M": 8192, "256": 256}
+	for in, want := range cases {
+		got, err := parseKB(in)
+		if err != nil || got != want {
+			t.Errorf("parseKB(%q) = %d, %v", in, got, err)
+		}
+	}
+	if _, err := parseKB("-1K"); err == nil {
+		t.Error("negative size accepted")
+	}
+}

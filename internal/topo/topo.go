@@ -1,0 +1,109 @@
+// Package topo provides the hwloc-style hardware-topology model the paper's
+// §V-C calls for: machines as trees of packages, cores and processing units
+// (hardware threads), annotated with cache sharing domains, plus the three
+// test machines of Table II as presets and the CPU-mask helpers used by the
+// thread-pinning experiments of Table III.
+package topo
+
+import "fmt"
+
+// Machine describes a symmetric multiprocessor: Packages sockets, each with
+// CoresPerPackage physical cores running ThreadsPerCore hardware threads.
+// L1/L2 are private per core; L3 is shared by groups of L3GroupCores cores
+// within a package.
+type Machine struct {
+	Name            string
+	Packages        int
+	CoresPerPackage int
+	ThreadsPerCore  int
+
+	L1KB, L2KB   int
+	L3KB         int // size of one L3 slice
+	L3GroupCores int // cores sharing one L3 slice
+
+	MemoryGB int
+	// MemChannels is the number of independent memory-controller channels,
+	// the parameter that caps aggregate bandwidth in the cache model.
+	MemChannels int
+}
+
+// Table II's three test machines.
+var (
+	// CoreI7 is the Intel Core i7 920: 1 socket × 4 cores × 2 HT, 8 MB L3
+	// shared by all four cores, 6 GB memory.
+	CoreI7 = Machine{
+		Name: "Core i7 920", Packages: 1, CoresPerPackage: 4, ThreadsPerCore: 2,
+		L1KB: 32, L2KB: 256, L3KB: 8 * 1024, L3GroupCores: 4,
+		MemoryGB: 6, MemChannels: 3,
+	}
+	// XeonE5450 is the 2 × Xeon E5450: 8 cores total, no SMT, last-level
+	// cache 6 MB shared per pair of cores (4 slices).
+	XeonE5450 = Machine{
+		Name: "Xeon E5450", Packages: 2, CoresPerPackage: 4, ThreadsPerCore: 1,
+		L1KB: 32, L2KB: 256, L3KB: 6 * 1024, L3GroupCores: 2,
+		MemoryGB: 16, MemChannels: 4,
+	}
+	// XeonX7560 is the 4 × Xeon X7560: 32 cores × 2 HT = 64 PUs, 24 MB L3
+	// shared per 8-core package.
+	XeonX7560 = Machine{
+		Name: "Xeon X7560", Packages: 4, CoresPerPackage: 8, ThreadsPerCore: 2,
+		L1KB: 32, L2KB: 256, L3KB: 24 * 1024, L3GroupCores: 8,
+		MemoryGB: 192, MemChannels: 16,
+	}
+)
+
+// TableII returns the three test machines in the paper's order.
+func TableII() []Machine { return []Machine{CoreI7, XeonE5450, XeonX7560} }
+
+// NumCores returns the number of physical cores.
+func (m Machine) NumCores() int { return m.Packages * m.CoresPerPackage }
+
+// NumPUs returns the number of processing units (hardware threads).
+func (m Machine) NumPUs() int { return m.NumCores() * m.ThreadsPerCore }
+
+// NumL3Groups returns the number of L3 slices.
+func (m Machine) NumL3Groups() int {
+	if m.L3GroupCores <= 0 {
+		return 0
+	}
+	return m.NumCores() / m.L3GroupCores
+}
+
+// CoreOfPU maps a PU id to its physical core. PUs are numbered so that PU p
+// is thread p / cores-per-thread? No: hardware thread t of core c is
+// PU c + t*NumCores (Linux-like enumeration: secondary hyperthreads get the
+// high PU numbers, which is exactly the virtual/physical confusion §V-C
+// describes).
+func (m Machine) CoreOfPU(pu int) int { return pu % m.NumCores() }
+
+// SMTIndexOfPU returns which hardware thread of its core the PU is (0 =
+// primary, 1 = secondary, …).
+func (m Machine) SMTIndexOfPU(pu int) int { return pu / m.NumCores() }
+
+// PackageOfCore maps a core to its socket.
+func (m Machine) PackageOfCore(core int) int { return core / m.CoresPerPackage }
+
+// L3GroupOfCore maps a core to its L3 slice.
+func (m Machine) L3GroupOfCore(core int) int {
+	if m.L3GroupCores <= 0 {
+		return 0
+	}
+	return core / m.L3GroupCores
+}
+
+// SharesL3 reports whether two cores share a last-level cache slice.
+func (m Machine) SharesL3(a, b int) bool {
+	return m.L3GroupOfCore(a) == m.L3GroupOfCore(b)
+}
+
+// SamePackage reports whether two cores are on the same socket.
+func (m Machine) SamePackage(a, b int) bool {
+	return m.PackageOfCore(a) == m.PackageOfCore(b)
+}
+
+// String summarizes the machine the way Table II's rows do.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s: %dx%d cores (%d PUs), L1 %dKB, L2 %dKB, L3 %dx(%dMB/%d cores), %dGB",
+		m.Name, m.Packages, m.CoresPerPackage, m.NumPUs(), m.L1KB, m.L2KB,
+		m.NumL3Groups(), m.L3KB/1024, m.L3GroupCores, m.MemoryGB)
+}

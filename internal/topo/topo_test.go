@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIIShapes(t *testing.T) {
+	cases := []struct {
+		m           Machine
+		cores, pus  int
+		l3Groups    int
+		sharedAllL3 bool // all cores share one LLC?
+	}{
+		{CoreI7, 4, 8, 1, true},
+		{XeonE5450, 8, 8, 4, false},
+		{XeonX7560, 32, 64, 4, false},
+	}
+	for _, c := range cases {
+		if got := c.m.NumCores(); got != c.cores {
+			t.Errorf("%s: cores = %d, want %d", c.m.Name, got, c.cores)
+		}
+		if got := c.m.NumPUs(); got != c.pus {
+			t.Errorf("%s: PUs = %d, want %d", c.m.Name, got, c.pus)
+		}
+		if got := c.m.NumL3Groups(); got != c.l3Groups {
+			t.Errorf("%s: L3 groups = %d, want %d", c.m.Name, got, c.l3Groups)
+		}
+		if got := c.m.SharesL3(0, c.cores-1); got != c.sharedAllL3 {
+			t.Errorf("%s: SharesL3(0,last) = %v", c.m.Name, got)
+		}
+	}
+	if len(TableII()) != 3 {
+		t.Error("TableII must list three machines")
+	}
+}
+
+func TestPUEnumeration(t *testing.T) {
+	m := CoreI7 // 4 cores, 2 HT → PUs 0-7, PU 4 is core 0's second thread
+	if m.CoreOfPU(0) != 0 || m.CoreOfPU(4) != 0 {
+		t.Error("hyperthread PU mapping wrong")
+	}
+	if m.SMTIndexOfPU(0) != 0 || m.SMTIndexOfPU(4) != 1 {
+		t.Error("SMT index wrong")
+	}
+	if m.CoreOfPU(3) != 3 || m.CoreOfPU(7) != 3 {
+		t.Error("last-core PU mapping wrong")
+	}
+}
+
+func TestPackageAndL3Mapping(t *testing.T) {
+	m := XeonE5450 // 2 pkg × 4 cores, L3 per 2 cores
+	if m.PackageOfCore(3) != 0 || m.PackageOfCore(4) != 1 {
+		t.Error("package mapping wrong")
+	}
+	if !m.SharesL3(0, 1) || m.SharesL3(1, 2) {
+		t.Error("E5450 L3 pairs wrong")
+	}
+	if !m.SamePackage(0, 3) || m.SamePackage(3, 4) {
+		t.Error("SamePackage wrong")
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	m := XeonE5450
+	one, err := m.OneCorePerPackage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cores()[0] != 0 || one.Cores()[1] != 4 || one.Count() != 2 {
+		t.Errorf("OneCorePerPackage = %v", one)
+	}
+	same, err := m.CoresOnOnePackage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Count() != 4 || !same.Has(0) || !same.Has(3) || same.Has(4) {
+		t.Errorf("CoresOnOnePackage = %v", same)
+	}
+	spread, err := m.CoresPerPackageSpread(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MaskOf(0, 1, 4, 5)
+	if spread != want {
+		t.Errorf("spread = %v, want %v", spread, want)
+	}
+	if _, err := m.OneCorePerPackage(3); err == nil {
+		t.Error("overflowing packages not rejected")
+	}
+	if _, err := m.CoresOnOnePackage(5); err == nil {
+		t.Error("overflowing package cores not rejected")
+	}
+	if _, err := m.CoresPerPackageSpread(9, 1); err == nil {
+		t.Error("overflowing spread not rejected")
+	}
+}
+
+func TestAllCores(t *testing.T) {
+	if CoreI7.AllCores().Count() != 4 {
+		t.Error("i7 AllCores != 4")
+	}
+	if XeonX7560.AllCores().Count() != 32 {
+		t.Error("X7560 AllCores != 32")
+	}
+}
+
+func TestMaskStringAndCores(t *testing.T) {
+	mk := MaskOf(0, 2, 5)
+	if mk.String() != "{0,2,5}" {
+		t.Errorf("String = %s", mk.String())
+	}
+	if !mk.Has(2) || mk.Has(1) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	tr := XeonE5450.Tree()
+	if got := tr.CountKind("Package"); got != 2 {
+		t.Errorf("packages in tree = %d", got)
+	}
+	if got := tr.CountKind("L3"); got != 4 {
+		t.Errorf("L3 slices in tree = %d", got)
+	}
+	if got := tr.CountKind("Core"); got != 8 {
+		t.Errorf("cores in tree = %d", got)
+	}
+	if got := tr.CountKind("PU"); got != 8 {
+		t.Errorf("PUs in tree = %d", got)
+	}
+	txt := tr.Render()
+	if !strings.Contains(txt, "Machine #0") || !strings.Contains(txt, "6 MB shared/2 cores") {
+		t.Errorf("render missing content:\n%s", txt)
+	}
+}
+
+func TestTreePUCountWithSMT(t *testing.T) {
+	tr := CoreI7.Tree()
+	if got := tr.CountKind("PU"); got != 8 {
+		t.Errorf("i7 tree PUs = %d, want 8", got)
+	}
+	tr = XeonX7560.Tree()
+	if got := tr.CountKind("PU"); got != 64 {
+		t.Errorf("X7560 tree PUs = %d, want 64", got)
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	s := CoreI7.String()
+	for _, frag := range []string{"Core i7", "1x4 cores", "8 PUs", "8MB"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Object is one node of the hwloc-style resource tree: Machine → Package →
+// L3 group → Core → PU. The tree view is what §V-C argues performance tools
+// should surface ("present information about the system as a general-purpose
+// tree of resources").
+type Object struct {
+	Kind     string
+	Index    int
+	Detail   string
+	Children []*Object
+}
+
+// Tree builds the full resource tree of the machine.
+func (m Machine) Tree() *Object {
+	root := &Object{Kind: "Machine", Detail: fmt.Sprintf("%s, %d GB", m.Name, m.MemoryGB)}
+	for p := 0; p < m.Packages; p++ {
+		pkg := &Object{Kind: "Package", Index: p}
+		groups := m.CoresPerPackage / maxInt(1, m.L3GroupCores)
+		if groups == 0 {
+			groups = 1
+		}
+		for g := 0; g < groups; g++ {
+			l3 := &Object{
+				Kind:   "L3",
+				Index:  p*groups + g,
+				Detail: fmt.Sprintf("%d MB shared/%d cores", m.L3KB/1024, m.L3GroupCores),
+			}
+			for cc := 0; cc < m.L3GroupCores; cc++ {
+				core := p*m.CoresPerPackage + g*m.L3GroupCores + cc
+				if core >= m.NumCores() {
+					break
+				}
+				cn := &Object{
+					Kind:   "Core",
+					Index:  core,
+					Detail: fmt.Sprintf("L1d %d KB, L2 %d KB", m.L1KB, m.L2KB),
+				}
+				for t := 0; t < m.ThreadsPerCore; t++ {
+					cn.Children = append(cn.Children, &Object{
+						Kind:  "PU",
+						Index: core + t*m.NumCores(),
+					})
+				}
+				l3.Children = append(l3.Children, cn)
+			}
+			pkg.Children = append(pkg.Children, l3)
+		}
+		root.Children = append(root.Children, pkg)
+	}
+	return root
+}
+
+// Render writes the tree as indented text.
+func (o *Object) Render() string {
+	var b strings.Builder
+	o.render(&b, 0)
+	return b.String()
+}
+
+func (o *Object) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if o.Detail != "" {
+		fmt.Fprintf(b, "%s #%d (%s)\n", o.Kind, o.Index, o.Detail)
+	} else {
+		fmt.Fprintf(b, "%s #%d\n", o.Kind, o.Index)
+	}
+	for _, c := range o.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// CountKind returns how many nodes of the given kind the tree holds.
+func (o *Object) CountKind(kind string) int {
+	n := 0
+	if o.Kind == kind {
+		n++
+	}
+	for _, c := range o.Children {
+		n += c.CountKind(kind)
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+// Package units defines the unit system and physical constants used by the
+// molecular dynamics engine.
+//
+// The engine works in the "MD natural" unit system commonly used for
+// atomistic simulation of the Molecular Workbench scale:
+//
+//	length  Å   (1e-10 m)
+//	time    fs  (1e-15 s)
+//	mass    amu (atomic mass unit)
+//	energy  eV
+//	charge  e   (elementary charge)
+//
+// These are not mutually consistent, so force/mass → acceleration and
+// velocity² → kinetic-energy conversions require the factors below.
+package units
+
+import "math"
+
+// Fundamental constants in the engine unit system.
+const (
+	// Boltzmann is the Boltzmann constant k_B in eV/K.
+	Boltzmann = 8.617333262e-5
+
+	// CoulombK is Coulomb's constant k_e = 1/(4πϵ0) in eV·Å/e².
+	// F = CoulombK * q1*q2 / r²  [eV/Å] with q in e and r in Å.
+	CoulombK = 14.399645
+
+	// ForceToAccel converts force/mass in (eV/Å)/amu to acceleration in Å/fs².
+	// 1 eV/(Å·amu) = 9.648533…e-3 Å/fs².
+	ForceToAccel = 9.64853329e-3
+
+	// KEFactor converts amu·(Å/fs)² to eV: E_k = KEFactor * ½ m v².
+	// It is the reciprocal of ForceToAccel.
+	KEFactor = 1.0 / ForceToAccel
+)
+
+// Time conversions.
+const (
+	Femtosecond = 1.0
+	Picosecond  = 1000.0 * Femtosecond
+)
+
+// KineticEnergy returns the kinetic energy in eV of mass m (amu) moving with
+// squared speed v2 ((Å/fs)²).
+func KineticEnergy(m, v2 float64) float64 {
+	return 0.5 * m * v2 * KEFactor
+}
+
+// Acceleration returns the acceleration in Å/fs² produced by force f (eV/Å)
+// acting on mass m (amu).
+func Acceleration(f, m float64) float64 {
+	return f / m * ForceToAccel
+}
+
+// TemperatureFromKE returns the instantaneous temperature in K of a system
+// with total kinetic energy ke (eV) and ndof kinetic degrees of freedom.
+func TemperatureFromKE(ke float64, ndof int) float64 {
+	if ndof <= 0 {
+		return 0
+	}
+	return 2 * ke / (float64(ndof) * Boltzmann)
+}
+
+// ThermalSpeed returns the RMS thermal speed in Å/fs of a particle of mass m
+// (amu) at temperature T (K): v_rms = sqrt(3 k_B T / m) with unit conversion.
+func ThermalSpeed(m, T float64) float64 {
+	if m <= 0 || T <= 0 {
+		return 0
+	}
+	// ½ m v² KEFactor = 3/2 k_B T  ⇒  v = sqrt(3 k_B T / (m KEFactor))
+	return math.Sqrt(3 * Boltzmann * T / (m * KEFactor))
+}

@@ -1,0 +1,74 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForceToAccelReciprocal(t *testing.T) {
+	if math.Abs(ForceToAccel*KEFactor-1) > 1e-12 {
+		t.Errorf("ForceToAccel * KEFactor = %v, want 1", ForceToAccel*KEFactor)
+	}
+}
+
+func TestKineticEnergy(t *testing.T) {
+	// 1 amu at 1 Å/fs: E = ½ * KEFactor eV.
+	got := KineticEnergy(1, 1)
+	want := 0.5 * KEFactor
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("KineticEnergy = %v, want %v", got, want)
+	}
+	if KineticEnergy(2, 0) != 0 {
+		t.Error("zero speed should have zero KE")
+	}
+}
+
+func TestAcceleration(t *testing.T) {
+	// F = 1 eV/Å on m = 1 amu.
+	got := Acceleration(1, 1)
+	if math.Abs(got-ForceToAccel) > 1e-15 {
+		t.Errorf("Acceleration = %v, want %v", got, ForceToAccel)
+	}
+	// Doubling mass halves acceleration.
+	if math.Abs(Acceleration(1, 2)*2-got) > 1e-15 {
+		t.Error("acceleration not inversely proportional to mass")
+	}
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	// A system with N atoms at temperature T has KE = 3/2 N k_B T.
+	const n = 100
+	const T = 300.0
+	ke := 1.5 * float64(3*n) / 3 * Boltzmann * T // 3N dof
+	got := TemperatureFromKE(ke, 3*n)
+	if math.Abs(got-T) > 1e-9 {
+		t.Errorf("TemperatureFromKE round trip = %v, want %v", got, T)
+	}
+	if TemperatureFromKE(1, 0) != 0 {
+		t.Error("zero dof must give zero temperature")
+	}
+}
+
+func TestThermalSpeed(t *testing.T) {
+	// Round trip: KE of one atom moving at v_rms equals 3/2 k_B T.
+	const m, T = 39.95, 300.0 // argon at room temperature
+	v := ThermalSpeed(m, T)
+	ke := KineticEnergy(m, v*v)
+	want := 1.5 * Boltzmann * T
+	if math.Abs(ke-want) > 1e-12 {
+		t.Errorf("KE at thermal speed = %v, want %v", ke, want)
+	}
+	// Sanity: argon at 300K moves a few hundred m/s ≈ a few 1e-3 Å/fs.
+	if v < 1e-3 || v > 1e-2 {
+		t.Errorf("thermal speed %v Å/fs outside physical range", v)
+	}
+	if ThermalSpeed(0, 300) != 0 || ThermalSpeed(1, 0) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+}
+
+func TestPicosecond(t *testing.T) {
+	if Picosecond != 1000*Femtosecond {
+		t.Error("1 ps must be 1000 fs")
+	}
+}

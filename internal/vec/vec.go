@@ -1,0 +1,142 @@
+// Package vec provides a small, allocation-free 3-component vector type used
+// throughout the molecular dynamics engine.
+//
+// Vec3 is a value type on purpose: the paper (§V-B) found that in the Java
+// implementation over 50% of live heap memory was consumed by short-lived
+// heap-allocated 3-float wrapper objects, which polluted the caches. In Go we
+// keep vectors as plain values so hot loops perform no allocation at all; the
+// Java behaviour is modeled separately by internal/jheap for the
+// cache-pollution experiments.
+package vec
+
+import "math"
+
+// Vec3 is a 3-component double-precision vector.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// New returns the vector (x, y, z).
+func New(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Zero is the zero vector.
+var Zero = Vec3{}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Mul returns the component-wise product of v and w.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// AddScaled returns v + s*w, the fused update used by integrators.
+func (v Vec3) AddScaled(s float64, w Vec3) Vec3 {
+	return Vec3{v.X + s*w.X, v.Y + s*w.Y, v.Z + s*w.Z}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm2 returns |v|².
+func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Norm2()) }
+
+// Dist returns |v - w|.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns |v - w|².
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Normalized returns v/|v|. The zero vector is returned unchanged.
+func (v Vec3) Normalized() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Clamp returns v with each component clamped into [lo, hi].
+func (v Vec3) Clamp(lo, hi float64) Vec3 {
+	return Vec3{clamp(v.X, lo, hi), clamp(v.Y, lo, hi), clamp(v.Z, lo, hi)}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp returns the linear interpolation (1-t)*v + t*w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + t*(w.X-v.X),
+		v.Y + t*(w.Y-v.Y),
+		v.Z + t*(w.Z-v.Z),
+	}
+}
+
+// MaxAbs returns the largest absolute component of v, i.e. the L∞ norm.
+func (v Vec3) MaxAbs() float64 {
+	m := math.Abs(v.X)
+	if a := math.Abs(v.Y); a > m {
+		m = a
+	}
+	if a := math.Abs(v.Z); a > m {
+		m = a
+	}
+	return m
+}
+
+// IsFinite reports whether every component is finite (not NaN or ±Inf).
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// ApproxEqual reports whether v and w agree component-wise within tol.
+func (v Vec3) ApproxEqual(w Vec3, tol float64) bool {
+	return math.Abs(v.X-w.X) <= tol && math.Abs(v.Y-w.Y) <= tol && math.Abs(v.Z-w.Z) <= tol
+}
+
+// Angle returns the angle in radians between v and w, in [0, π].
+// It is numerically stable near 0 and π (uses atan2 of cross/dot).
+func (v Vec3) Angle(w Vec3) float64 {
+	c := v.Cross(w).Norm()
+	d := v.Dot(w)
+	return math.Atan2(c, d)
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}

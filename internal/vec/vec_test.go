@@ -1,0 +1,226 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func TestAddSub(t *testing.T) {
+	v := New(1, 2, 3)
+	w := New(4, -5, 6)
+	if got := v.Add(w); got != New(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != New(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestScaleNegMul(t *testing.T) {
+	v := New(1, -2, 3)
+	if got := v.Scale(2); got != New(2, -4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != New(-1, 2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Mul(New(2, 3, 4)); got != New(2, -6, 12) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	v := New(1, 1, 1)
+	got := v.AddScaled(2, New(1, 2, 3))
+	if got != New(3, 5, 7) {
+		t.Errorf("AddScaled = %v", got)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	z := New(0, 0, 1)
+	if x.Dot(y) != 0 {
+		t.Error("x·y != 0")
+	}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != z.Neg() {
+		t.Errorf("y×x = %v, want -z", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := New(3, 4, 0)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if v.Norm2() != 25 {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	if d := v.Dist(New(0, 0, 0)); d != 5 {
+		t.Errorf("Dist = %v", d)
+	}
+	if d := v.Dist2(New(3, 4, 12)); d != 144 {
+		t.Errorf("Dist2 = %v", d)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := New(0, 3, 4).Normalized()
+	if math.Abs(v.Norm()-1) > eps {
+		t.Errorf("|normalized| = %v", v.Norm())
+	}
+	if got := Zero.Normalized(); got != Zero {
+		t.Errorf("Zero.Normalized = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := New(-2, 0.5, 7).Clamp(-1, 1)
+	if v != New(-1, 0.5, 1) {
+		t.Errorf("Clamp = %v", v)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := New(0, 0, 0), New(2, 4, 8)
+	if got := a.Lerp(b, 0.5); got != New(1, 2, 4) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := New(-3, 2, 1).MaxAbs(); got != 3 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := New(0, -9, 5).MaxAbs(); got != 9 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := New(0, 1, -5).MaxAbs(); got != 5 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	if a := x.Angle(y); math.Abs(a-math.Pi/2) > eps {
+		t.Errorf("Angle(x,y) = %v", a)
+	}
+	if a := x.Angle(x.Scale(3)); math.Abs(a) > eps {
+		t.Errorf("Angle parallel = %v", a)
+	}
+	if a := x.Angle(x.Neg()); math.Abs(a-math.Pi) > eps {
+		t.Errorf("Angle antiparallel = %v", a)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := New(1, 5, -2)
+	b := New(3, 2, -4)
+	if got := a.Min(b); got != New(1, 2, -4) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != New(3, 5, -2) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func randVec(r *rand.Rand) Vec3 {
+	return New(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+}
+
+// Property: cross product is orthogonal to both operands.
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() || a.MaxAbs() > 1e100 || b.MaxAbs() > 1e100 {
+			return true // avoid overflow in intermediate products
+		}
+		c := a.Cross(b)
+		scale := a.Norm()*b.Norm() + 1
+		return math.Abs(c.Dot(a)) < 1e-9*scale*scale && math.Abs(c.Dot(b)) < 1e-9*scale*scale
+	}
+	cfg := &quick.Config{MaxCount: 500, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a+b| <= |a| + |b| (triangle inequality).
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() || a.MaxAbs() > 1e150 || b.MaxAbs() > 1e150 {
+			return true
+		}
+		sum := a.Norm() + b.Norm()
+		return a.Add(b).Norm() <= sum+1e-9*(1+sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dot product is bilinear.
+func TestDotBilinearProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		a, b, c := randVec(r), randVec(r), randVec(r)
+		s := r.NormFloat64()
+		lhs := a.Add(b.Scale(s)).Dot(c)
+		rhs := a.Dot(c) + s*b.Dot(c)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("bilinearity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+// Property: Lagrange identity |a×b|² = |a|²|b|² - (a·b)².
+func TestLagrangeIdentityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b := randVec(r), randVec(r)
+		lhs := a.Cross(b).Norm2()
+		rhs := a.Norm2()*b.Norm2() - a.Dot(b)*a.Dot(b)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(rhs)) {
+			t.Fatalf("Lagrange identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	v, w := New(1, 2, 3), New(4, 5, 6)
+	var acc Vec3
+	for i := 0; i < b.N; i++ {
+		acc = acc.AddScaled(0.5, v).AddScaled(-0.25, w)
+	}
+	if acc.IsFinite() == false {
+		b.Fatal("unexpected")
+	}
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mw/internal/core"
+)
+
+// Table I's published characteristics.
+func TestTableICharacteristics(t *testing.T) {
+	cases := []struct {
+		bench    *Benchmark
+		atoms    int
+		charged  int
+		bonds    int
+		dominant string
+	}{
+		{Nanocar(), 989, 0, 2277, "Bonds"},
+		{Salt(), 800, 800, 0, "Ionic"},
+		{Al1000(), 1000, 0, 0, "Lennard-Jones"},
+	}
+	for _, c := range cases {
+		ch := Characterize(c.bench.Name, c.bench.Sys)
+		if ch.Atoms != c.atoms {
+			t.Errorf("%s: atoms = %d, want %d", c.bench.Name, ch.Atoms, c.atoms)
+		}
+		if ch.ChargedAtoms != c.charged {
+			t.Errorf("%s: charged = %d, want %d", c.bench.Name, ch.ChargedAtoms, c.charged)
+		}
+		if ch.BondTerms != c.bonds {
+			t.Errorf("%s: bond terms = %d, want %d", c.bench.Name, ch.BondTerms, c.bonds)
+		}
+		if ch.Dominant != c.dominant {
+			t.Errorf("%s: dominant = %s, want %s", c.bench.Name, ch.Dominant, c.dominant)
+		}
+	}
+}
+
+func TestSaltChargeNeutral(t *testing.T) {
+	s := Salt().Sys
+	if s.TotalCharge() != 0 {
+		t.Errorf("net charge %v", s.TotalCharge())
+	}
+	na, cl := 0, 0
+	for i := range s.Charge {
+		switch {
+		case s.Charge[i] > 0:
+			na++
+		case s.Charge[i] < 0:
+			cl++
+		}
+	}
+	if na != 400 || cl != 400 {
+		t.Errorf("ion counts %d Na / %d Cl", na, cl)
+	}
+}
+
+func TestNanocarPlatformFixed(t *testing.T) {
+	s := Nanocar().Sys
+	fixed := 0
+	for _, f := range s.Fixed {
+		if f {
+			fixed++
+		}
+	}
+	if fixed != 484 {
+		t.Errorf("fixed platform atoms = %d, want 484", fixed)
+	}
+	// "About half its atoms are bonded together to form the car with the
+	// other half making up an immovable platform."
+	mobile := s.N() - fixed
+	if math.Abs(float64(mobile-fixed)) > 0.1*float64(s.N()) {
+		t.Errorf("car/platform split %d/%d not roughly half", mobile, fixed)
+	}
+	if s.Excl == nil || s.Excl.Len() == 0 {
+		t.Error("nanocar has no LJ exclusions")
+	}
+}
+
+func TestAl1000Projectile(t *testing.T) {
+	s := Al1000().Sys
+	// Exactly one gold atom, moving fast; the block is at rest.
+	fast := 0
+	for i := range s.Vel {
+		if s.Vel[i].Norm() > 0.01 {
+			fast++
+			if s.Elements[s.Elem[i]].Symbol != "Au" {
+				t.Error("projectile is not gold")
+			}
+		}
+	}
+	if fast != 1 {
+		t.Errorf("fast atoms = %d, want 1", fast)
+	}
+}
+
+func TestBenchmarksValidateAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if err := b.Sys.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			sim, err := core.New(b.Sys, b.Cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer sim.Close()
+			sim.Run(5)
+			for i, p := range sim.Sys.Pos {
+				if !p.IsFinite() {
+					t.Fatalf("atom %d position non-finite after 5 steps", i)
+				}
+			}
+		})
+	}
+}
+
+func TestAl1000RebuildsFrequently(t *testing.T) {
+	// §III: Al-1000 "has a large number of collisions and requires frequent
+	// neighbor list updates." Verify it rebuilds more often than salt over
+	// the same horizon.
+	al := Al1000()
+	salt := Salt()
+	simA, err := core.New(al.Sys, al.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simA.Close()
+	simS, err := core.New(salt.Sys, salt.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simS.Close()
+	simA.Run(60)
+	simS.Run(60)
+	if simA.Rebuilds() <= simS.Rebuilds() {
+		t.Errorf("Al-1000 rebuilds (%d) not above salt (%d)", simA.Rebuilds(), simS.Rebuilds())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"salt", "nanocar", "Al-1000", "al1000"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestScaledSalt(t *testing.T) {
+	for _, n := range []int{64, 250, 1000} {
+		b := ScaledSalt(n)
+		if b.Sys.N() != n {
+			t.Errorf("ScaledSalt(%d) has %d atoms", n, b.Sys.N())
+		}
+		if b.Sys.NumCharged() != n {
+			t.Errorf("ScaledSalt(%d) has %d charged", n, b.Sys.NumCharged())
+		}
+		if err := b.Sys.Validate(); err != nil {
+			t.Errorf("ScaledSalt(%d): %v", n, err)
+		}
+	}
+}
+
+func TestLJGas(t *testing.T) {
+	b := LJGas(4, 120, true)
+	if b.Sys.N() != 64 {
+		t.Errorf("N = %d", b.Sys.N())
+	}
+	temp := b.Sys.Temperature()
+	if temp < 60 || temp > 200 {
+		t.Errorf("temperature %v far from 120", temp)
+	}
+	if err := b.Sys.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetSize(t *testing.T) {
+	// §III: "Each of the benchmarks had a working set size of about 25 MB"
+	// in Java. Our SoA layout is far more compact; just sanity-check that
+	// the benchmarks are ~1000 atoms, the size class the paper targets.
+	for _, b := range All() {
+		if n := b.Sys.N(); n < 800 || n > 1000 {
+			t.Errorf("%s has %d atoms, outside the paper's size class", b.Name, n)
+		}
+	}
+}

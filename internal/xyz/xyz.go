@@ -1,0 +1,98 @@
+// Package xyz reads and writes trajectories in the ubiquitous XYZ format
+// (one frame = atom count, comment line, then "Symbol x y z" rows), the
+// lingua franca for molecular visualizers — the export a downstream
+// Molecular Workbench user feeds to VMD/OVITO/Jmol.
+package xyz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+// Writer streams frames to an underlying writer.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteFrame appends one snapshot with the given comment.
+func (x *Writer) WriteFrame(s *atom.System, comment string) error {
+	if x.err != nil {
+		return x.err
+	}
+	fmt.Fprintf(x.w, "%d\n%s\n", s.N(), sanitize(comment))
+	for i := 0; i < s.N(); i++ {
+		p := s.Pos[i]
+		_, x.err = fmt.Fprintf(x.w, "%s %.8f %.8f %.8f\n",
+			s.Elements[s.Elem[i]].Symbol, p.X, p.Y, p.Z)
+		if x.err != nil {
+			return x.err
+		}
+	}
+	return x.w.Flush()
+}
+
+func sanitize(c string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(c, "\n", " "), "\r", " ")
+}
+
+// Frame is one parsed snapshot.
+type Frame struct {
+	Comment string
+	Symbols []string
+	Pos     []vec.Vec3
+}
+
+// ReadFrames parses all frames from r.
+func ReadFrames(r io.Reader) ([]Frame, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var frames []Frame
+	for sc.Scan() {
+		head := strings.TrimSpace(sc.Text())
+		if head == "" {
+			continue
+		}
+		n, err := strconv.Atoi(head)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("xyz: bad atom count %q", head)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("xyz: missing comment line")
+		}
+		f := Frame{Comment: sc.Text(), Symbols: make([]string, 0, n), Pos: make([]vec.Vec3, 0, n)}
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("xyz: truncated frame (atom %d of %d)", i, n)
+			}
+			fields := strings.Fields(sc.Text())
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("xyz: malformed atom line %q", sc.Text())
+			}
+			var p [3]float64
+			for k := 0; k < 3; k++ {
+				if p[k], err = strconv.ParseFloat(fields[k+1], 64); err != nil {
+					return nil, fmt.Errorf("xyz: bad coordinate %q", fields[k+1])
+				}
+			}
+			f.Symbols = append(f.Symbols, fields[0])
+			f.Pos = append(f.Pos, vec.New(p[0], p[1], p[2]))
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

@@ -1,0 +1,93 @@
+package xyz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mw/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	b := workload.Salt()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(b.Sys, "frame 0"); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate and write a second frame.
+	b.Sys.Pos[0].X += 1.25
+	if err := w.WriteFrame(b.Sys, "frame 1"); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ReadFrames(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for k, f := range frames {
+		if len(f.Pos) != 800 {
+			t.Fatalf("frame %d has %d atoms", k, len(f.Pos))
+		}
+	}
+	if frames[0].Comment != "frame 0" || frames[1].Comment != "frame 1" {
+		t.Error("comments lost")
+	}
+	if frames[1].Pos[0].X-frames[0].Pos[0].X != 1.25 {
+		t.Errorf("coordinate delta %v", frames[1].Pos[0].X-frames[0].Pos[0].X)
+	}
+	if frames[0].Symbols[0] != "Na" && frames[0].Symbols[0] != "Cl" {
+		t.Errorf("symbol %q", frames[0].Symbols[0])
+	}
+}
+
+func TestCommentSanitized(t *testing.T) {
+	b := workload.LJGas(2, 50, true)
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteFrame(b.Sys, "multi\nline\rcomment"); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ReadFrames(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(frames[0].Comment, "\n\r") {
+		t.Error("newline survived in comment")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad count":      "x\ncomment\n",
+		"negative count": "-3\ncomment\n",
+		"truncated":      "3\ncomment\nAr 1 2 3\n",
+		"short line":     "1\ncomment\nAr 1 2\n",
+		"bad coord":      "1\ncomment\nAr 1 two 3\n",
+		"no comment":     "2",
+	}
+	for name, doc := range cases {
+		if _, err := ReadFrames(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsBlankSeparators(t *testing.T) {
+	doc := "1\na\nAr 0 0 0\n\n\n1\nb\nAr 1 1 1\n"
+	frames, err := ReadFrames(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	frames, err := ReadFrames(strings.NewReader(""))
+	if err != nil || len(frames) != 0 {
+		t.Errorf("empty input: %v, %d frames", err, len(frames))
+	}
+}
