@@ -1,0 +1,33 @@
+GO ?= go
+
+# Packages whose tests exercise the concurrent engine and therefore run
+# again under the race detector in `make verify`.
+RACE_PKGS := ./internal/core ./internal/pool ./internal/verify
+
+.PHONY: build test vet race fuzz verify clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# -count=1 defeats the test cache: the differential matrix must actually
+# re-execute under the race detector every time.
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Short fuzz smoke of the parsers (seed corpus always runs under plain
+# `go test`; this adds a minute of coverage-guided exploration).
+fuzz:
+	$(GO) test -fuzz=FuzzLoadSystem -fuzztime=30s ./internal/mml
+	$(GO) test -fuzz=FuzzReadFrames -fuzztime=30s ./internal/xyz
+
+# The full correctness gate — what CI runs. See README.md §Verification.
+verify: vet build test race
+
+clean:
+	$(GO) clean ./...

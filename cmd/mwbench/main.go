@@ -29,6 +29,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"mw/internal/experiments"
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	if os.Args[1] == "all" {
@@ -45,92 +46,120 @@ func main() {
 			"observer", "sampling", "threadview", "imbalance", "packing", "pollution",
 			"scaling", "pme", "ablation",
 		} {
-			run(name, nil)
+			if code := run(os.Stdout, os.Stderr, name, nil); code != 0 {
+				os.Exit(code)
+			}
 			fmt.Println()
 		}
 		return
 	}
-	run(os.Args[1], os.Args[2:])
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1], os.Args[2:]))
 }
 
-func run(name string, args []string) {
+func run(stdout, stderr io.Writer, name string, args []string) int {
+	out, err := experiment(name, args)
+	switch {
+	case err == errUnknown:
+		fmt.Fprintf(stderr, "unknown experiment %q\n\n", name)
+		usage(stderr)
+		return 2
+	case err != nil:
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprint(stdout, out)
+	return 0
+}
+
+var errUnknown = fmt.Errorf("unknown experiment")
+
+func experiment(name string, args []string) (string, error) {
 	switch name {
 	case "table1":
-		fmt.Print(experiments.Table1())
+		return experiments.Table1(), nil
 	case "table2":
-		fmt.Print(experiments.Table2(len(args) > 0 && args[0] == "-verbose"))
+		return experiments.Table2(len(args) > 0 && args[0] == "-verbose"), nil
 	case "table3":
 		r, err := experiments.Table3(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "fig1":
 		r, err := experiments.Fig1(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "fig1-native":
 		r, err := experiments.Fig1Native(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "fig2":
-		fmt.Print(experiments.Fig2().Report)
+		return experiments.Fig2().Report, nil
 	case "observer":
 		r, err := experiments.Observer(0, 0, 0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "sampling":
-		fmt.Print(experiments.Sampling(0).Report)
+		return experiments.Sampling(0).Report, nil
 	case "threadview":
 		r, err := experiments.ThreadView(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "imbalance":
 		r, err := experiments.Imbalance(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "packing":
 		r, err := experiments.Packing(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "pollution":
 		r, err := experiments.Pollution(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "machine":
 		if len(args) < 1 {
-			fmt.Fprintln(os.Stderr, "usage: mwbench machine <spec>  (e.g. \"2x8x2,l3=16M/8,ch=6\")")
-			os.Exit(2)
+			return "", fmt.Errorf("usage: mwbench machine <spec>  (e.g. %q)", "2x8x2,l3=16M/8,ch=6")
 		}
-		out, err := experiments.CustomMachine(args[0])
-		fail(err)
-		fmt.Print(out)
+		return experiments.CustomMachine(args[0])
 	case "scaling":
 		r, err := experiments.Scaling(0)
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "pme":
 		r, err := experiments.PME()
-		fail(err)
-		fmt.Print(r.Report)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	case "ablation":
 		r, err := experiments.Ablation(0)
-		fail(err)
-		fmt.Print(r.Report)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
-		usage()
-		os.Exit(2)
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	}
+	return "", errUnknown
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mwbench <experiment>
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: mwbench <experiment>
 experiments: table1 table2 table3 fig1 fig1-native fig2 observer sampling
              threadview imbalance packing pollution scaling pme ablation all`)
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 }

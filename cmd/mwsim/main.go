@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,44 +25,52 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "salt", "benchmark: salt, nanocar, Al-1000, lj-gas")
-		threads   = flag.Int("threads", 1, "worker threads")
-		steps     = flag.Int("steps", 0, "timesteps to run (overrides -ps)")
-		ps        = flag.Float64("ps", 1, "picoseconds to simulate")
-		partition = flag.String("partition", "cyclic", "work partition: cyclic, block, guided, dynamic")
-		queues    = flag.String("queues", "shared", "queue topology: shared, per-worker, stealing")
-		n         = flag.Int("n", 5, "lattice size for -bench lj-gas (n³ atoms)")
-		temp      = flag.Float64("temp", 120, "temperature for -bench lj-gas (K)")
-		every     = flag.Int("report-every", 0, "print diagnostics every k steps (0 = summary only)")
-		loadPath  = flag.String("load", "", "load a model file instead of a named benchmark")
-		savePath  = flag.String("save", "", "save the final state as a model file")
-		thermo    = flag.String("thermostat", "none", "temperature control: none, rescale, berendsen, langevin")
-		trajPath  = flag.String("traj", "", "write an XYZ trajectory (one frame per -report-every interval)")
-		target    = flag.Float64("target-temp", 300, "thermostat target temperature (K)")
+		benchName = fs.String("bench", "salt", "benchmark: salt, nanocar, Al-1000, lj-gas")
+		threads   = fs.Int("threads", 1, "worker threads")
+		steps     = fs.Int("steps", 0, "timesteps to run (overrides -ps)")
+		ps        = fs.Float64("ps", 1, "picoseconds to simulate")
+		partition = fs.String("partition", "cyclic", "work partition: cyclic, block, guided, dynamic")
+		queues    = fs.String("queues", "shared", "queue topology: shared, per-worker, stealing")
+		n         = fs.Int("n", 5, "lattice size for -bench lj-gas (n³ atoms)")
+		temp      = fs.Float64("temp", 120, "temperature for -bench lj-gas (K)")
+		every     = fs.Int("report-every", 0, "print diagnostics every k steps (0 = summary only)")
+		loadPath  = fs.String("load", "", "load a model file instead of a named benchmark")
+		savePath  = fs.String("save", "", "save the final state as a model file")
+		thermo    = fs.String("thermostat", "none", "temperature control: none, rescale, berendsen, langevin")
+		trajPath  = fs.String("traj", "", "write an XYZ trajectory (one frame per -report-every interval)")
+		target    = fs.Float64("target-temp", 300, "thermostat target temperature (K)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var b *workload.Benchmark
 	switch {
 	case *loadPath != "":
 		m, err := mml.LoadFile(*loadPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		sys, cfg, err := m.System()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		b = &workload.Benchmark{Name: m.Name, Sys: sys, Cfg: cfg}
 	case *benchName == "lj-gas":
 		b = workload.LJGas(*n, *temp, true)
 	default:
 		if b = workload.ByName(*benchName); b == nil {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (salt, nanocar, Al-1000, lj-gas)\n", *benchName)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown benchmark %q (salt, nanocar, Al-1000, lj-gas)\n", *benchName)
+			return 2
 		}
 	}
 
@@ -77,8 +86,8 @@ func main() {
 	case "dynamic":
 		cfg.Partition = core.PartitionDynamic
 	default:
-		fmt.Fprintf(os.Stderr, "unknown partition %q\n", *partition)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown partition %q\n", *partition)
+		return 2
 	}
 	switch *thermo {
 	case "none":
@@ -89,8 +98,8 @@ func main() {
 	case "langevin":
 		cfg.Thermostat = &core.Langevin{T: *target}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown thermostat %q\n", *thermo)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown thermostat %q\n", *thermo)
+		return 2
 	}
 	switch *queues {
 	case "shared":
@@ -100,14 +109,14 @@ func main() {
 	case "stealing":
 		cfg.Queues = core.WorkStealingQueues
 	default:
-		fmt.Fprintf(os.Stderr, "unknown queue topology %q\n", *queues)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown queue topology %q\n", *queues)
+		return 2
 	}
 
 	sim, err := core.New(b.Sys, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer sim.Close()
 
@@ -116,24 +125,24 @@ func main() {
 		nsteps = int(*ps * 1000 / cfg.Dt)
 	}
 	ch := workload.Characterize(b.Name, b.Sys)
-	fmt.Printf("%s: %d atoms (%d charged, %d bond terms), dt=%g fs, %d threads, %s/%s\n",
+	fmt.Fprintf(stdout, "%s: %d atoms (%d charged, %d bond terms), dt=%g fs, %d threads, %s/%s\n",
 		ch.Name, ch.Atoms, ch.ChargedAtoms, ch.BondTerms, cfg.Dt, cfg.Threads,
 		cfg.Partition, cfg.Queues)
-	fmt.Printf("initial: PE=%.3f eV  KE=%.3f eV  T=%.1f K\n",
+	fmt.Fprintf(stdout, "initial: PE=%.3f eV  KE=%.3f eV  T=%.1f K\n",
 		sim.PE(), sim.Sys.KineticEnergy(), sim.Sys.Temperature())
 
 	var traj *xyz.Writer
 	if *trajPath != "" {
 		f, err := os.Create(*trajPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		traj = xyz.NewWriter(f)
 		if err := traj.WriteFrame(b.Sys, "t=0"); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
@@ -146,12 +155,12 @@ func main() {
 			}
 			sim.Run(k)
 			done += k
-			fmt.Printf("step %6d  t=%7.2f ps  E=%12.4f eV  T=%7.1f K  rebuilds=%d\n",
+			fmt.Fprintf(stdout, "step %6d  t=%7.2f ps  E=%12.4f eV  T=%7.1f K  rebuilds=%d\n",
 				done, float64(done)*cfg.Dt/1000, sim.TotalEnergy(), sim.Sys.Temperature(), sim.Rebuilds())
 			if traj != nil {
 				if err := traj.WriteFrame(b.Sys, fmt.Sprintf("t=%g fs", float64(done)*cfg.Dt)); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fmt.Fprintln(stderr, err)
+					return 1
 				}
 			}
 		}
@@ -159,16 +168,16 @@ func main() {
 		sim.Run(nsteps)
 		if traj != nil {
 			if err := traj.WriteFrame(b.Sys, "final"); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 		}
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("final:   PE=%.3f eV  KE=%.3f eV  T=%.1f K\n",
+	fmt.Fprintf(stdout, "final:   PE=%.3f eV  KE=%.3f eV  T=%.1f K\n",
 		sim.PE(), sim.Sys.KineticEnergy(), sim.Sys.Temperature())
-	fmt.Printf("simulated %.2f ps in %v — %.1f updates/s (refresh rate)\n",
+	fmt.Fprintf(stdout, "simulated %.2f ps in %v — %.1f updates/s (refresh rate)\n",
 		float64(nsteps)*cfg.Dt/1000, wall.Round(time.Millisecond),
 		float64(nsteps)/wall.Seconds())
 
@@ -177,13 +186,14 @@ func main() {
 		total := sim.PhaseWall[ph].Sum()
 		t.AddRow(ph.String(), total*1e3, total/float64(nsteps)*1e6)
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(stdout, t.String())
 
 	if *savePath != "" {
 		if err := mml.SaveFile(*savePath, mml.FromSystem(b.Name, b.Sys, cfg)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("saved model to %s\n", *savePath)
+		fmt.Fprintf(stdout, "saved model to %s\n", *savePath)
 	}
+	return 0
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagsExit2(t *testing.T) {
+	cases := [][]string{
+		{"-nonsense"},
+		{"-bench", "unobtainium"},
+		{"-partition", "wat"},
+		{"-queues", "wat"},
+		{"-thermostat", "wat"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr %q)", args, code, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%v: no diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestLoadMissingFileExits1(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-load", filepath.Join(t.TempDir(), "nope.mml")}, &out, &errw); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}
+
+// TestEndToEndRun drives a tiny simulation through every output path: the
+// periodic report, the XYZ trajectory, and the saved model round trip.
+func TestEndToEndRun(t *testing.T) {
+	dir := t.TempDir()
+	traj := filepath.Join(dir, "run.xyz")
+	save := filepath.Join(dir, "final.mml")
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-bench", "lj-gas", "-n", "3", "-steps", "20", "-report-every", "10",
+		"-threads", "2", "-queues", "stealing", "-partition", "dynamic",
+		"-thermostat", "berendsen", "-target-temp", "90",
+		"-traj", traj, "-save", save,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"27 atoms", "initial:", "step     10", "step     20", "final:", "updates/s", "Per-phase wall time", "saved model to"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	xyzData, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=0 frame + one per report interval = 3 frames of 27 atoms.
+	if got := strings.Count(string(xyzData), "\n27\n") + 1; got != 3 { // first header has no leading newline
+		t.Errorf("trajectory has %d frames, want 3", got)
+	}
+
+	// The saved model must load back and run.
+	var out2, errw2 bytes.Buffer
+	if code := run([]string{"-load", save, "-steps", "5"}, &out2, &errw2); code != 0 {
+		t.Fatalf("reloading saved model: exit %d; stderr: %s", code, errw2.String())
+	}
+	if !strings.Contains(out2.String(), "27 atoms") {
+		t.Errorf("reloaded model output:\n%s", out2.String())
+	}
+}

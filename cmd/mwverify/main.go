@@ -1,0 +1,70 @@
+// Command mwverify runs the repository's correctness gate outside `go
+// test`: the differential matrix (every executor topology × reduction mode
+// against the serial reference on the three paper workloads), the physics
+// invariants (NVE drift, momentum, Newton's third law, neighbor-list
+// completeness), and the golden-trajectory regression checksums.
+//
+// Usage:
+//
+//	mwverify [-threads 4] [-section differential|invariant|golden] [-v]
+//
+// Exit status 0 when every check passes, 1 otherwise. Build with -race to
+// turn the differential matrix into a race-detector sweep of the engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mw/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threads = fs.Int("threads", 4, "worker count for the parallel combos")
+		section = fs.String("section", "", "run only one section: differential, invariant, golden")
+		verbose = fs.Bool("v", false, "print passing checks too")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *section {
+	case "", "differential", "invariant", "golden":
+	default:
+		fmt.Fprintf(stderr, "unknown section %q (differential, invariant, golden)\n", *section)
+		return 2
+	}
+
+	results := verify.RunSuite(*threads)
+	pass, fail := 0, 0
+	for _, r := range results {
+		if *section != "" && r.Section != *section {
+			continue
+		}
+		if r.Err != nil {
+			fail++
+			fmt.Fprintf(stdout, "FAIL [%s] %s: %v\n", r.Section, r.Name, r.Err)
+			if r.Detail != "" {
+				fmt.Fprintf(stdout, "     %s\n", r.Detail)
+			}
+			continue
+		}
+		pass++
+		if *verbose {
+			fmt.Fprintf(stdout, "ok   [%s] %s  (%s)\n", r.Section, r.Name, r.Detail)
+		}
+	}
+	fmt.Fprintf(stdout, "mwverify: %d passed, %d failed\n", pass, fail)
+	if fail > 0 {
+		return 1
+	}
+	return 0
+}

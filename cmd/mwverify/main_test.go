@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagExits2(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errw); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "nope") {
+		t.Errorf("stderr should name the bad flag: %q", errw.String())
+	}
+}
+
+func TestBadSectionExits2(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-section", "bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad section: exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "bogus") {
+		t.Errorf("stderr should name the bad section: %q", errw.String())
+	}
+}
+
+// TestGoldenSectionPasses runs the cheapest real section end to end: the
+// golden checksums replay three short serial trajectories (~1 s total).
+func TestGoldenSectionPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real trajectories")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-section", "golden", "-v"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; output:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "0 failed") {
+		t.Errorf("summary missing: %q", s)
+	}
+	for _, w := range []string{"nanocar", "salt", "Al-1000"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("verbose output missing workload %s:\n%s", w, s)
+		}
+	}
+}

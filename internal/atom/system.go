@@ -94,6 +94,18 @@ func (s *System) Validate() error {
 			return fmt.Errorf("atom: bond %d is degenerate (%d-%d)", i, b.I, b.J)
 		}
 	}
+	// MaxAtomIndex only bounds the terms from above; negative indices would
+	// slip through and index out of range in BuildExclusions.
+	for i, a := range s.Angles {
+		if a.I < 0 || a.J < 0 || a.K < 0 {
+			return fmt.Errorf("atom: angle %d has a negative atom index (%d-%d-%d)", i, a.I, a.J, a.K)
+		}
+	}
+	for i, t := range s.Torsions {
+		if t.I < 0 || t.J < 0 || t.K < 0 || t.L < 0 {
+			return fmt.Errorf("atom: torsion %d has a negative atom index (%d-%d-%d-%d)", i, t.I, t.J, t.K, t.L)
+		}
+	}
 	for i, p := range s.Pos {
 		if !p.IsFinite() {
 			return fmt.Errorf("atom: position %d is not finite", i)

@@ -145,7 +145,12 @@ func New(sys *atom.System, cfg Config) (*Simulation, error) {
 	}
 
 	// Initial force evaluation fills Force and Acc. It is bootstrap, not a
-	// timestep: instruments must not see it as a phase instance.
+	// timestep: instruments must not see it as a phase instance. The force
+	// array must be cleared first: a system cloned from a previous run
+	// carries that run's forces, and the shared-mutex mode accumulates into
+	// Force in place (privatized mode overwrites it during reduce, but
+	// zeroing is cheap and keeps both modes on the same contract).
+	sys.ZeroForces()
 	inst := sim.Cfg.Instrument
 	sim.Cfg.Instrument = nil
 	sim.listValid = false

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -449,5 +450,64 @@ func TestExternalFieldAcceleratesIons(t *testing.T) {
 	}
 	if math.Abs(s.Pos[0].Y-20) > 1e-9 {
 		t.Errorf("ion drifted off axis: %v", s.Pos[0])
+	}
+}
+
+// TestBootstrapClearsStaleForces is the regression test for a bug found by
+// the internal/verify differential harness: a system cloned from a previous
+// run carries that run's Force array, and the shared-mutex reduction mode
+// accumulates the bootstrap evaluation into it in place instead of
+// overwriting, corrupting the initial accelerations. New must clear Force
+// before the bootstrap so both reduction modes agree bitwise.
+func TestBootstrapClearsStaleForces(t *testing.T) {
+	first := mustSim(t, ljGas(3, 4.3, 80, true), Config{Dt: 1})
+	first.Run(5)
+	base := first.Sys.Clone() // Force is non-zero here
+	first.Close()
+
+	priv := mustSim(t, base.Clone(), Config{Dt: 1, Reduce: ReducePrivatized})
+	defer priv.Close()
+	shared := mustSim(t, base.Clone(), Config{Dt: 1, Reduce: ReduceSharedMutex})
+	defer shared.Close()
+	for i := range priv.Sys.Force {
+		if priv.Sys.Force[i] != shared.Sys.Force[i] {
+			t.Fatalf("bootstrap force %d differs across reduce modes: %v vs %v",
+				i, priv.Sys.Force[i], shared.Sys.Force[i])
+		}
+		if priv.Sys.Acc[i] != shared.Sys.Acc[i] {
+			t.Fatalf("bootstrap acceleration %d differs across reduce modes", i)
+		}
+	}
+}
+
+// TestSnapshotDiff covers the verify-facing snapshot hooks.
+func TestSnapshotDiff(t *testing.T) {
+	sim := mustSim(t, ljGas(3, 4.3, 60, true), Config{Dt: 1})
+	defer sim.Close()
+	a := sim.Snapshot()
+	if d := a.Diff(a); d != (StateDiff{}) {
+		t.Fatalf("self-diff not zero: %s", d)
+	}
+	sim.Run(3)
+	b := sim.Snapshot()
+	if b.Step != 3 {
+		t.Errorf("snapshot step = %d, want 3", b.Step)
+	}
+	d := a.Diff(b)
+	if d.Pos == 0 || d.Vel == 0 {
+		t.Errorf("positions/velocities did not move: %s", d)
+	}
+	// Snapshots are deep copies: stepping further must not mutate b.
+	probe := b.Pos[0]
+	sim.Run(2)
+	if b.Pos[0] != probe {
+		t.Error("snapshot aliases live system state")
+	}
+	m := d.Merge(StateDiff{Force: d.Force + 1})
+	if m.Force != d.Force+1 || m.Pos != d.Pos {
+		t.Errorf("merge wrong: %+v", m)
+	}
+	if s := d.String(); !strings.Contains(s, "pos=") {
+		t.Errorf("diff string %q", s)
 	}
 }

@@ -317,3 +317,78 @@ func TestSignedFreq(t *testing.T) {
 		t.Error("signedFreq mapping wrong")
 	}
 }
+
+// randomCharged builds a neutral random system with heterogeneous charge
+// magnitudes — unlike randomIons' ±1 pattern, this exercises the PME charge
+// spreading with non-uniform weights.
+func randomCharged(seed int64, n int, l float64) *atom.System {
+	s := atom.NewSystem(atom.CubicBox(l, true))
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	for len(s.Pos) < n {
+		p := vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+		ok := true
+		for _, q := range s.Pos {
+			if s.Box.MinImage(q.Sub(p)).Norm() < 1.5 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		q := 0.2 + 1.6*rng.Float64()
+		if rng.Intn(2) == 1 {
+			q = -q
+		}
+		if len(s.Pos) == n-1 {
+			q = -total // force exact neutrality on the last ion
+		}
+		total += q
+		s.AddAtom(atom.Na, p, vec.Zero, q, false)
+	}
+	return s
+}
+
+// TestPMEAccuracyRandomCharges is the accuracy gate over seeded random
+// charged systems: PME energy within 2e-3 relative and every per-ion force
+// within 2% of the force scale of a well-converged direct Ewald sum.
+func TestPMEAccuracyRandomCharges(t *testing.T) {
+	for seed := int64(10); seed < 13; seed++ {
+		s := randomCharged(seed, 28, 16)
+		var net float64
+		for _, q := range s.Charge {
+			net += q
+		}
+		if math.Abs(net) > 1e-12 {
+			t.Fatalf("seed %d: system not neutral (%g)", seed, net)
+		}
+
+		fRef := make([]vec.Vec3, s.N())
+		ref, err := (Ewald{Alpha: 0.45, RCut: 7.5, KMax: 12}).Accumulate(s, fRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fPME := make([]vec.Vec3, s.N())
+		pme, err := (PME{Alpha: 0.45, RCut: 7.5, Mesh: 32, Order: 4}).Accumulate(s, fPME)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if rel := math.Abs(pme-ref) / math.Abs(ref); rel > 2e-3 {
+			t.Errorf("seed %d: PME energy %v vs Ewald %v (rel err %v)", seed, pme, ref, rel)
+		}
+		var scale float64
+		for _, fr := range fRef {
+			if norm := fr.Norm(); norm > scale {
+				scale = norm
+			}
+		}
+		for i := range fRef {
+			if d := fPME[i].Sub(fRef[i]).Norm(); d > 0.02*scale {
+				t.Errorf("seed %d ion %d: PME force %v vs Ewald %v (err %v of scale %v)",
+					seed, i, fPME[i], fRef[i], d, scale)
+			}
+		}
+	}
+}

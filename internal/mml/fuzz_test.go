@@ -1,0 +1,67 @@
+package mml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// model wraps a JSON body in the envelope every valid model shares.
+func model(body string) string {
+	return `{"version":1,"name":"f","box":{"l":[20,20,20],"periodic":true},` + body +
+		`"engine":{"dt":1,"lj_cutoff":6,"skin":0.5}}`
+}
+
+// FuzzLoadSystem drives attacker-controlled bytes through the full load
+// path: parse, validate, materialize. Malformed input must error; it must
+// never panic.
+func FuzzLoadSystem(f *testing.F) {
+	f.Add([]byte(model(`"atoms":[{"el":"Na","p":[1,1,1],"q":1},{"el":"Cl","p":[3,1,1],"q":-1}],`)))
+	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]},{"el":"C","p":[2.5,1,1]}],"bonds":[[0,1,20,1.5]],`)))
+	// Regression: negative angle/torsion indices used to pass Validate (only
+	// the max index was checked) and crash inside BuildExclusions.
+	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]},{"el":"C","p":[2,1,1]}],"angles":[[-1,0,1,1,1.5]],`)))
+	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]},{"el":"C","p":[2,1,1]}],"torsions":[[0,1,-5,1,1,2,0]],`)))
+	f.Add([]byte(model(`"atoms":[{"el":"Xx","p":[1,1,1]}],`)))      // unknown element
+	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]}],"bonds":[[0,7,20,1.5]],`))) // out of range
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		sys, _, err := m.System()
+		if err != nil {
+			return
+		}
+		if sys == nil {
+			t.Fatal("nil system without error")
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("materialized system fails its own validation: %v", err)
+		}
+	})
+}
+
+// TestNegativeBondTermIndicesRejected pins the Validate fix the fuzzer
+// motivated: each bonded-term kind with a negative index must be rejected at
+// load time instead of panicking in BuildExclusions.
+func TestNegativeBondTermIndicesRejected(t *testing.T) {
+	atoms := `"atoms":[{"el":"C","p":[1,1,1]},{"el":"C","p":[2,1,1]},{"el":"C","p":[3,1,1]},{"el":"C","p":[4,1,1]}],`
+	cases := map[string]string{
+		"angle":   `"angles":[[-1,0,1,1,1.5]],`,
+		"torsion": `"torsions":[[0,1,2,-3,1,2,0]],`,
+		"morse":   `"morses":[[-2,1,3,2,1.2]],`,
+	}
+	for name, terms := range cases {
+		m, err := Load(strings.NewReader(model(atoms + terms)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, _, err := m.System(); err == nil {
+			t.Errorf("%s with negative atom index materialized without error", name)
+		}
+	}
+}

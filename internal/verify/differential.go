@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"fmt"
+
+	"mw/internal/atom"
+	"mw/internal/core"
+)
+
+// Warm advances a fresh clone of the workload's system through the warmup
+// steps under the serial reference configuration and returns the resulting
+// state. With Warmup == 0 it is just a clone.
+func (w Workload) Warm() (*atom.System, error) {
+	sys := w.Sys.Clone()
+	if w.Warmup == 0 {
+		return sys, nil
+	}
+	sim, err := core.New(sys, Reference().Apply(w.Cfg))
+	if err != nil {
+		return nil, fmt.Errorf("warmup %s: %w", w.Name, err)
+	}
+	defer sim.Close()
+	sim.Run(w.Warmup)
+	return sim.Sys.Clone(), nil
+}
+
+// ReferenceTrajectory runs base under cfg for the given number of steps and
+// returns one snapshot per step boundary: index 0 is the state right after
+// the bootstrap force evaluation, index i the state after step i.
+func ReferenceTrajectory(base *atom.System, cfg core.Config, steps int) ([]core.Snapshot, error) {
+	sim, err := core.New(base.Clone(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+	snaps := make([]core.Snapshot, 0, steps+1)
+	snaps = append(snaps, sim.Snapshot())
+	for i := 0; i < steps; i++ {
+		sim.Step()
+		snaps = append(snaps, sim.Snapshot())
+	}
+	return snaps, nil
+}
+
+// DiffResult is the outcome of one combo's lockstep run against the serial
+// reference trajectory.
+type DiffResult struct {
+	Workload string
+	Combo    string
+	Steps    int
+	Rebuilds int
+	// Worst holds the maximum deviation components seen over all compared
+	// steps.
+	Worst core.StateDiff
+}
+
+// Differential runs base under the combo's configuration in lockstep with
+// the recorded reference trajectory, comparing positions, velocities,
+// forces and potential energy after every step, and returns the worst
+// deviations. It does not judge them; callers apply a Tolerance.
+func Differential(base *atom.System, cfg core.Config, ref []core.Snapshot) (DiffResult, error) {
+	if len(ref) == 0 {
+		return DiffResult{}, fmt.Errorf("verify: empty reference trajectory")
+	}
+	sim, err := core.New(base.Clone(), cfg)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	defer sim.Close()
+	res := DiffResult{Steps: len(ref) - 1}
+	res.Worst = sim.Snapshot().Diff(ref[0])
+	for _, want := range ref[1:] {
+		sim.Step()
+		res.Worst = res.Worst.Merge(sim.Snapshot().Diff(want))
+	}
+	res.Rebuilds = sim.Rebuilds()
+	return res, nil
+}
+
+// RunDifferential executes the full matrix for one workload: it warms the
+// system, records the serial reference trajectory, then checks every combo
+// against it. Combo "serial/privatized" is included as a self-check — it
+// must match the reference bit for bit.
+func RunDifferential(w Workload, threads int) ([]DiffResult, error) {
+	base, err := w.Warm()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := ReferenceTrajectory(base, Reference().Apply(w.Cfg), w.Steps)
+	if err != nil {
+		return nil, fmt.Errorf("reference %s: %w", w.Name, err)
+	}
+	var out []DiffResult
+	for _, c := range Combos(threads) {
+		r, err := Differential(base, c.Apply(w.Cfg), ref)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", w.Name, c.Name, err)
+		}
+		r.Workload = w.Name
+		r.Combo = c.Name
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package verify
+
+import (
+	_ "embed"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+
+	"mw/internal/core"
+	"mw/internal/vec"
+	"mw/internal/workload"
+)
+
+// DefaultQuantum is the position quantization used by the committed golden
+// fixtures: 1e-6 Å. It sits far above the ~1e-15 Å noise a compiler or
+// instruction-scheduling change could introduce into the (fully
+// deterministic) serial engine, and far below any genuine physics change,
+// so checksums are stable across toolchains yet still pin the trajectory.
+const DefaultQuantum = 1e-6
+
+// Checksum hashes positions with FNV-1a after quantizing every coordinate
+// to the given quantum. Two trajectories agree iff every coordinate rounds
+// to the same multiple of the quantum.
+func Checksum(pos []vec.Vec3, quantum float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x float64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(math.Round(x/quantum))))
+		h.Write(buf[:])
+	}
+	for _, p := range pos {
+		put(p.X)
+		put(p.Y)
+		put(p.Z)
+	}
+	return h.Sum64()
+}
+
+// TrajectorySignature runs the serial reference engine on a fresh instance
+// of the benchmark and returns checksums of the positions at step 0 (after
+// the bootstrap force evaluation) and after every `every` further steps.
+func TrajectorySignature(b *workload.Benchmark, steps, every int, quantum float64) ([]uint64, error) {
+	if every <= 0 || steps%every != 0 {
+		return nil, fmt.Errorf("verify: steps %d must be a positive multiple of every %d", steps, every)
+	}
+	sim, err := core.New(b.Sys.Clone(), Reference().Apply(b.Cfg))
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+	sums := []uint64{Checksum(sim.Sys.Pos, quantum)}
+	for done := 0; done < steps; done += every {
+		sim.Run(every)
+		sums = append(sums, Checksum(sim.Sys.Pos, quantum))
+	}
+	return sums, nil
+}
+
+// Golden is one workload's committed trajectory signature.
+type Golden struct {
+	Steps     int      `json:"steps"`
+	Every     int      `json:"every"`
+	Checksums []string `json:"checksums"` // hex, one per sampled step
+}
+
+// GoldenFile is the on-disk fixture format (testdata/golden.json).
+type GoldenFile struct {
+	Comment   string            `json:"comment"`
+	Quantum   float64           `json:"quantum"`
+	Workloads map[string]Golden `json:"workloads"`
+}
+
+//go:embed testdata/golden.json
+var goldenJSON []byte
+
+// EmbeddedGolden returns the fixtures compiled into the binary, so the
+// mwverify command needs no working directory.
+func EmbeddedGolden() (*GoldenFile, error) {
+	var g GoldenFile
+	if err := json.Unmarshal(goldenJSON, &g); err != nil {
+		return nil, fmt.Errorf("verify: embedded golden fixtures: %w", err)
+	}
+	return &g, nil
+}
+
+// Save writes the fixtures as indented JSON.
+func (g *GoldenFile) Save(path string) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatChecksum renders a checksum the way fixtures store it.
+func FormatChecksum(c uint64) string { return fmt.Sprintf("%016x", c) }
+
+// CheckGolden recomputes the signature for the named workload and compares
+// it against the fixture. A mismatch names the first diverging sample.
+func CheckGolden(g *GoldenFile, name string) error {
+	fix, ok := g.Workloads[name]
+	if !ok {
+		return fmt.Errorf("verify: no golden fixture for %q", name)
+	}
+	b := workload.ByName(name)
+	if b == nil {
+		return fmt.Errorf("verify: unknown workload %q", name)
+	}
+	sums, err := TrajectorySignature(b, fix.Steps, fix.Every, g.Quantum)
+	if err != nil {
+		return err
+	}
+	if len(sums) != len(fix.Checksums) {
+		return fmt.Errorf("verify: %s produced %d samples, fixture has %d", name, len(sums), len(fix.Checksums))
+	}
+	for i, want := range fix.Checksums {
+		if got := FormatChecksum(sums[i]); got != want {
+			return fmt.Errorf("verify: %s trajectory diverged at step %d: checksum %s, fixture %s "+
+				"(if the physics change is intentional, regenerate with "+
+				"`go test ./internal/verify -run TestGolden -update`)",
+				name, i*fix.Every, got, want)
+		}
+	}
+	return nil
+}
+
+// RegenerateGolden computes fresh fixtures for the three paper workloads
+// with the default sampling (120 steps, every 20).
+func RegenerateGolden() (*GoldenFile, error) {
+	g := &GoldenFile{
+		Comment: "FNV-1a checksums of quantized serial-reference trajectories; " +
+			"regenerate with `go test ./internal/verify -run TestGolden -update`",
+		Quantum:   DefaultQuantum,
+		Workloads: map[string]Golden{},
+	}
+	for _, b := range workload.All() {
+		const steps, every = 120, 20
+		sums, err := TrajectorySignature(b, steps, every, g.Quantum)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", b.Name, err)
+		}
+		fix := Golden{Steps: steps, Every: every}
+		for _, s := range sums {
+			fix.Checksums = append(fix.Checksums, FormatChecksum(s))
+		}
+		g.Workloads[b.Name] = fix
+	}
+	return g, nil
+}

@@ -1,0 +1,122 @@
+package verify
+
+import (
+	"flag"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mw/internal/vec"
+	"mw/internal/workload"
+)
+
+// Run `go test ./internal/verify -run TestGolden -update` after an
+// intentional physics change to regenerate testdata/golden.json.
+var update = flag.Bool("update", false, "regenerate golden trajectory fixtures")
+
+// TestGoldenTrajectories is the regression gate: the serial reference
+// trajectory of each paper workload must reproduce the committed checksums.
+func TestGoldenTrajectories(t *testing.T) {
+	if *update {
+		g, err := RegenerateGolden()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Save("testdata/golden.json"); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("regenerated testdata/golden.json — commit it and rebuild so the embedded copy matches")
+	}
+	g, err := EmbeddedGolden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckGolden(g, b.Name); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestChecksumQuantization pins the fixture robustness contract: noise far
+// below the quantum never changes a checksum; a move above it always does.
+func TestChecksumQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pos := make([]vec.Vec3, 200)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*40, rng.Float64()*40, rng.Float64()*40)
+	}
+	base := Checksum(pos, DefaultQuantum)
+
+	jittered := append([]vec.Vec3(nil), pos...)
+	for i := range jittered {
+		// ±1e-10 Å — four decades below the quantum; boundary-straddling
+		// coordinates are measure-zero for random positions.
+		jittered[i] = jittered[i].Add(vec.New(1e-10*(rng.Float64()-0.5), 1e-10*(rng.Float64()-0.5), 0))
+	}
+	if got := Checksum(jittered, DefaultQuantum); got != base {
+		t.Errorf("sub-quantum jitter changed checksum: %016x vs %016x", got, base)
+	}
+
+	moved := append([]vec.Vec3(nil), pos...)
+	moved[17] = moved[17].Add(vec.New(10*DefaultQuantum, 0, 0))
+	if got := Checksum(moved, DefaultQuantum); got == base {
+		t.Error("supra-quantum move left checksum unchanged")
+	}
+}
+
+// TestChecksumOrderSensitive: swapping two atoms must change the checksum —
+// the fixture pins per-atom identity, not just the point cloud.
+func TestChecksumOrderSensitive(t *testing.T) {
+	pos := []vec.Vec3{vec.New(1, 2, 3), vec.New(4, 5, 6), vec.New(7, 8, 9)}
+	a := Checksum(pos, DefaultQuantum)
+	pos[0], pos[1] = pos[1], pos[0]
+	if b := Checksum(pos, DefaultQuantum); a == b {
+		t.Error("atom swap left checksum unchanged")
+	}
+}
+
+// TestTrajectorySignatureValidation covers the parameter contract.
+func TestTrajectorySignatureValidation(t *testing.T) {
+	b := workload.Salt()
+	if _, err := TrajectorySignature(b, 10, 3, DefaultQuantum); err == nil {
+		t.Error("steps not a multiple of every should error")
+	}
+	if _, err := TrajectorySignature(b, 10, 0, DefaultQuantum); err == nil {
+		t.Error("zero every should error")
+	}
+	sums, err := TrajectorySignature(b, 4, 2, DefaultQuantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Errorf("got %d samples, want 3 (steps 0, 2, 4)", len(sums))
+	}
+}
+
+// TestCheckGoldenNamesDivergence makes sure a fabricated mismatch produces
+// the actionable regeneration message.
+func TestCheckGoldenNamesDivergence(t *testing.T) {
+	g, err := EmbeddedGolden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := &GoldenFile{Quantum: g.Quantum, Workloads: map[string]Golden{}}
+	fix := g.Workloads["salt"]
+	fix.Checksums = append([]string(nil), fix.Checksums...)
+	fix.Checksums[2] = "deadbeefdeadbeef"
+	broken.Workloads["salt"] = fix
+	err = CheckGolden(broken, "salt")
+	if err == nil {
+		t.Fatal("corrupted fixture passed")
+	}
+	for _, want := range []string{"step 40", "-update"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("divergence error %q missing %q", err, want)
+		}
+	}
+}

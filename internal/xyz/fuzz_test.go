@@ -1,0 +1,42 @@
+package xyz
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrames feeds arbitrary bytes to the trajectory parser: malformed
+// input must produce an error, never a panic or a pathological allocation.
+func FuzzReadFrames(f *testing.F) {
+	f.Add("2\nframe\nAr 1.0 2.0 3.0\nAr 4.0 5.0 6.0\n")
+	f.Add("1\n\nNa 0 0 0\n2\n\nCl 1 1 1\nCl 2 2 2\n") // two frames
+	f.Add("notanumber\n")
+	f.Add("-3\nc\n")
+	f.Add("3\nc\nAr 1 2\n")        // short atom line
+	f.Add("2\nc\nAr x y z\n")      // bad coordinates
+	f.Add("5\nc\nAr 1 2 3\n")      // truncated frame
+	// Regression: a header claiming 10^15 atoms used to preallocate the
+	// whole slice before reading a single atom line.
+	f.Add("1000000000000000\nboom\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		frames, err := ReadFrames(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, fr := range frames {
+			if len(fr.Symbols) != len(fr.Pos) {
+				t.Fatalf("frame %d: %d symbols, %d positions", i, len(fr.Symbols), len(fr.Pos))
+			}
+		}
+	})
+}
+
+// TestHugeAtomCountHeader pins the allocation cap: the parser must reach the
+// "truncated frame" error without first allocating for the claimed count.
+func TestHugeAtomCountHeader(t *testing.T) {
+	_, err := ReadFrames(strings.NewReader("1000000000000000\nboom\n"))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("want truncated-frame error, got %v", err)
+	}
+}

@@ -71,7 +71,14 @@ func ReadFrames(r io.Reader) ([]Frame, error) {
 		if !sc.Scan() {
 			return nil, fmt.Errorf("xyz: missing comment line")
 		}
-		f := Frame{Comment: sc.Text(), Symbols: make([]string, 0, n), Pos: make([]vec.Vec3, 0, n)}
+		// Cap the preallocation: n comes straight from the file, and a
+		// header claiming 10^15 atoms must not translate into a huge
+		// allocation before the (inevitably truncated) frame is read.
+		capHint := n
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		f := Frame{Comment: sc.Text(), Symbols: make([]string, 0, capHint), Pos: make([]vec.Vec3, 0, capHint)}
 		for i := 0; i < n; i++ {
 			if !sc.Scan() {
 				return nil, fmt.Errorf("xyz: truncated frame (atom %d of %d)", i, n)
