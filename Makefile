@@ -4,13 +4,20 @@ GO ?= go
 # again under the race detector in `make verify`.
 RACE_PKGS := ./internal/core ./internal/pool ./internal/verify
 
-.PHONY: build test vet race fuzz verify clean
+.PHONY: build test vet lint race race-bench fuzz verify clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: go vet, the project analyzers (hotalloc, latchcheck,
+# privforce, vecvalue — see internal/analysis) and the escape-budget gate
+# that diffs `-gcflags=-m` hot-loop escapes against the checked-in baseline.
+lint: vet
+	$(GO) run ./cmd/mwlint ./...
+	$(GO) run ./cmd/mwlint -escapes
 
 test:
 	$(GO) test ./...
@@ -20,6 +27,14 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# One step of every benchmark workload under the race detector: -benchtime=1x
+# drives the full phase pipeline (fan-out, latch, reduction) across all queue
+# topologies without the cost of a timed run.
+race-bench:
+	$(GO) test -race -count=1 -run '^$$' \
+		-bench 'BenchmarkStep|BenchmarkQueueTopology|BenchmarkForceReduction' \
+		-benchtime 1x .
+
 # Short fuzz smoke of the parsers (seed corpus always runs under plain
 # `go test`; this adds a minute of coverage-guided exploration).
 fuzz:
@@ -27,7 +42,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrames -fuzztime=30s ./internal/xyz
 
 # The full correctness gate — what CI runs. See README.md §Verification.
-verify: vet build test race
+verify: lint build test race race-bench
 
 clean:
 	$(GO) clean ./...

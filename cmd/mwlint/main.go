@@ -1,0 +1,143 @@
+// mwlint runs the project's static-analysis suite (internal/analysis): the
+// hotalloc, latchcheck, privforce and vecvalue analyzers over the given
+// package patterns, or — with -escapes — the escape-budget gate that diffs
+// the compiler's `-gcflags=-m` heap-escape diagnostics for //mw:hotpath
+// loops against a checked-in baseline.
+//
+// Usage:
+//
+//	mwlint [packages]            run the AST analyzers (default ./...)
+//	mwlint -escapes              run the escape-budget gate
+//	mwlint -escapes -update      regenerate the escape baseline
+//
+// mwlint exits 0 on a clean tree, 1 on findings, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mw/internal/analysis"
+	"mw/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	escapes := fs.Bool("escapes", false, "run the escape-budget gate instead of the AST analyzers")
+	update := fs.Bool("update", false, "with -escapes: regenerate the baseline from the current tree")
+	chdir := fs.String("C", ".", "directory inside the module to run from")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	root, err := analysis.ModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintln(stderr, "mwlint:", err)
+		return 2
+	}
+	if *escapes {
+		return runEscapes(root, *update, stdout, stderr)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return runAnalyzers(root, patterns, stdout, stderr)
+}
+
+func runAnalyzers(root string, patterns []string, stdout, stderr io.Writer) int {
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "mwlint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "mwlint:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		fmt.Fprintf(stdout, "mwlint: %d packages clean\n", len(pkgs))
+		return 0
+	}
+	for _, d := range diags {
+		d.Pos.Filename = relTo(root, d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, summaryTable(root, diags))
+	return 1
+}
+
+// summaryTable renders per-file per-rule finding counts with the same table
+// formatting the benchmark harness uses.
+func summaryTable(root string, diags []analysis.Diagnostic) string {
+	type key struct{ file, rule string }
+	counts := map[key]int{}
+	for _, d := range diags {
+		counts[key{relTo(root, d.Pos.Filename), d.Rule}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].rule < keys[j].rule
+	})
+	tb := report.NewTable(fmt.Sprintf("mwlint: %d findings", len(diags)), "file", "rule", "count")
+	for _, k := range keys {
+		tb.AddRow(k.file, k.rule, counts[k])
+	}
+	return tb.String()
+}
+
+func runEscapes(root string, update bool, stdout, stderr io.Writer) int {
+	gate := analysis.DefaultEscapeGate(root)
+	rep, err := gate.Check(update)
+	if err != nil {
+		fmt.Fprintln(stderr, "mwlint:", err)
+		return 2
+	}
+	if update {
+		fmt.Fprintf(stdout, "mwlint: escape baseline updated, %d hot-loop escapes recorded in %s\n",
+			len(rep.InScope), relTo(root, gate.Baseline))
+		return 0
+	}
+	if len(rep.Stale) > 0 {
+		fmt.Fprintf(stdout, "mwlint: %d stale baseline entries (rerun with -escapes -update):\n", len(rep.Stale))
+		for _, k := range rep.Stale {
+			fmt.Fprintf(stdout, "  stale: %s\n", k)
+		}
+	}
+	if rep.Failed() {
+		tb := report.NewTable(fmt.Sprintf("mwlint: %d new hot-loop heap escapes", len(rep.New)), "escape")
+		for _, k := range rep.New {
+			tb.AddRow(k)
+		}
+		fmt.Fprint(stdout, tb.String())
+		fmt.Fprintln(stdout, "mwlint: new heap escapes in //mw:hotpath loops; fix them or update the baseline deliberately")
+		return 1
+	}
+	fmt.Fprintf(stdout, "mwlint: escapes ok, %d in-scope escapes all baselined\n", len(rep.InScope))
+	return 0
+}
+
+func relTo(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mw/internal/analysis"
+)
+
+// TestRunCleanTree runs the full analyzer suite over the repository through
+// the CLI entry point: the tree must be clean and the exit code 0.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "..", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "packages clean") {
+		t.Errorf("missing clean summary in output: %q", out.String())
+	}
+}
+
+// TestRunEscapeGate runs the escape gate through the CLI: baseline must be
+// in sync with the tree.
+func TestRunEscapeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go build; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "..", "-escapes"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "escapes ok") {
+		t.Errorf("missing escape summary in output: %q", out.String())
+	}
+}
+
+// TestRunFindingsExitOne feeds the analyzers a fixture package that violates
+// the rules and checks the non-zero exit plus the per-file per-rule table.
+func TestRunFindingsExitOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	// The vecvalue fixture directory is a plain Go package; pointing the CLI
+	// at it exercises the findings path end to end.
+	code := run([]string{"-C", "..", "./internal/analysis/testdata/vecvalue"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[vecvalue]") {
+		t.Errorf("no vecvalue diagnostics in output:\n%s", text)
+	}
+	if !strings.Contains(text, "findings") || !strings.Contains(text, "count") {
+		t.Errorf("no summary table in output:\n%s", text)
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestSummaryTable checks the table aggregation independent of any loaded
+// package.
+func TestSummaryTable(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{Rule: "hotalloc", Message: "a"},
+		{Rule: "hotalloc", Message: "b"},
+		{Rule: "vecvalue", Message: "c"},
+	}
+	diags[0].Pos.Filename = "/root/x/a.go"
+	diags[1].Pos.Filename = "/root/x/a.go"
+	diags[2].Pos.Filename = "/root/x/b.go"
+	got := summaryTable("/root/x", diags)
+	for _, want := range []string{"a.go", "b.go", "hotalloc", "vecvalue", "3 findings"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary table missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "2") {
+		t.Errorf("aggregated count missing:\n%s", got)
+	}
+}

@@ -13,9 +13,9 @@ import (
 	"log"
 	"math/rand"
 
-	"mw/internal/analysis"
 	"mw/internal/atom"
 	"mw/internal/core"
+	"mw/internal/observables"
 	"mw/internal/report"
 	"mw/internal/vec"
 )
@@ -61,7 +61,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sim.Run(equilSteps)
-		msd := analysis.NewMSD(s)
+		msd := observables.NewMSD(s)
 		var m float64
 		for k := 0; k < sampleSteps; k++ {
 			sim.Step()

@@ -1,187 +1,170 @@
-// Package analysis provides the standard observables a molecular dynamics
-// user computes from trajectories: radial distribution functions, mean
-// squared displacement, velocity autocorrelation, and the virial pressure.
-// These are the quantities the Molecular Workbench GUI plots for students;
-// here they double as physics-level validation of the engine.
+// Package analysis is the engine's static-analysis suite: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis driving the
+// project-specific analyzers behind cmd/mwlint and `make lint`.
+//
+// The paper's memory study (§V-B) found the Java engine losing half its
+// throughput to short-lived 3-float wrapper objects and its parallel runtime
+// resting on hand-maintained invariants (privatized force arrays, latch
+// discipline, per-worker queues). The analyzers in this package turn those
+// findings into machine-checked rules:
+//
+//   - hotalloc: no per-iteration heap allocation inside //mw:hotpath loops;
+//   - latchcheck: CountDownLatch/CyclicBarrier discipline (count vs. spawned
+//     work, Await with no CountDown, copying synchronizer values);
+//   - privforce: writes to the shared System.Force array only from
+//     //mw:forcewriter reduction entry points;
+//   - vecvalue: vec.Vec3 travels by value, never behind a pointer.
+//
+// Hot functions are marked with a `//mw:hotpath` directive comment on the
+// declaration; sanctioned force-reduction entry points with
+// `//mw:forcewriter`. The companion escape-budget gate (escapes.go) checks
+// the compiler's own escape analysis against a checked-in baseline for the
+// same annotated functions.
 package analysis
 
 import (
-	"math"
-
-	"mw/internal/atom"
-	"mw/internal/cells"
-	"mw/internal/units"
-	"mw/internal/vec"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
 )
 
-// RDF accumulates the radial distribution function g(r) over snapshots.
-type RDF struct {
-	RMax   float64
-	Bins   []float64 // accumulated pair counts per shell
-	nAtoms int
-	frames int
-	volume float64
+// Analyzer is one named rule: it inspects a type-checked package and reports
+// diagnostics through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
 }
 
-// NewRDF creates an accumulator with nbins shells up to rmax.
-func NewRDF(rmax float64, nbins int) *RDF {
-	if rmax <= 0 || nbins <= 0 {
-		panic("analysis: invalid RDF parameters")
-	}
-	return &RDF{RMax: rmax, Bins: make([]float64, nbins)}
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
 }
 
-// Accumulate adds one snapshot (all pairs, minimum image).
-func (r *RDF) Accumulate(s *atom.System) {
-	n := s.N()
-	dr := r.RMax / float64(len(r.Bins))
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := s.Box.MinImage(s.Pos[j].Sub(s.Pos[i])).Norm()
-			if d < r.RMax {
-				r.Bins[int(d/dr)] += 2 // each pair counts for both atoms
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
+}
+
+// Pass couples an analyzer invocation to one loaded package.
+type Pass struct {
+	*Package
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package and returns all diagnostics in
+// file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, rule: a.Name, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
-	r.nAtoms = n
-	r.frames++
-	r.volume = s.Box.Volume()
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
 }
 
-// G returns the normalized g(r) at bin centers.
-func (r *RDF) G() (rs, g []float64) {
-	if r.frames == 0 || r.nAtoms == 0 {
-		return nil, nil
+// All returns the full analyzer suite in the order mwlint runs it.
+func All() []*Analyzer {
+	return []*Analyzer{HotAlloc, LatchCheck, PrivForce, VecValue}
+}
+
+// Directive names used by the analyzers.
+const (
+	// HotPathDirective marks a function whose loops must not allocate.
+	HotPathDirective = "//mw:hotpath"
+	// ForceWriterDirective marks a sanctioned reduction entry point that may
+	// touch the shared System.Force array from parallel task bodies.
+	ForceWriterDirective = "//mw:forcewriter"
+)
+
+// HasDirective reports whether the comment group carries the directive
+// (exact comment text, optionally followed by an explanation after a space).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
 	}
-	dr := r.RMax / float64(len(r.Bins))
-	rho := float64(r.nAtoms) / r.volume
-	rs = make([]float64, len(r.Bins))
-	g = make([]float64, len(r.Bins))
-	for b := range r.Bins {
-		rs[b] = (float64(b) + 0.5) * dr
-		shell := 4 * math.Pi * rs[b] * rs[b] * dr
-		ideal := rho * shell * float64(r.nAtoms) * float64(r.frames)
-		if ideal > 0 {
-			g[b] = r.Bins[b] / ideal
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
 		}
 	}
-	return rs, g
+	return false
 }
 
-// MSD tracks mean squared displacement from a reference snapshot, with
-// periodic-image unwrapping.
-type MSD struct {
-	ref    []vec.Vec3
-	prev   []vec.Vec3
-	unwrap []vec.Vec3 // accumulated unwrapped displacement
-	box    atom.Box
-}
-
-// NewMSD captures the reference positions.
-func NewMSD(s *atom.System) *MSD {
-	return &MSD{
-		ref:    append([]vec.Vec3(nil), s.Pos...),
-		prev:   append([]vec.Vec3(nil), s.Pos...),
-		unwrap: make([]vec.Vec3, s.N()),
-		box:    s.Box,
-	}
-}
-
-// Update advances the unwrapped displacement using minimum-image steps and
-// returns the current MSD in Å².
-func (m *MSD) Update(s *atom.System) float64 {
-	var sum float64
-	for i := range m.ref {
-		step := m.box.MinImage(s.Pos[i].Sub(m.prev[i]))
-		m.unwrap[i] = m.unwrap[i].Add(step)
-		m.prev[i] = s.Pos[i]
-		sum += m.unwrap[i].Norm2()
-	}
-	return sum / float64(len(m.ref))
-}
-
-// VACF accumulates the normalized velocity autocorrelation C(k) between the
-// reference snapshot's velocities and later ones.
-type VACF struct {
-	v0     []vec.Vec3
-	norm   float64
-	Series []float64
-}
-
-// NewVACF captures reference velocities.
-func NewVACF(s *atom.System) *VACF {
-	v := &VACF{v0: append([]vec.Vec3(nil), s.Vel...)}
-	for _, u := range v.v0 {
-		v.norm += u.Norm2()
-	}
-	return v
-}
-
-// Sample appends C(now) = <v(0)·v(t)> / <v(0)²>.
-func (v *VACF) Sample(s *atom.System) float64 {
-	var dot float64
-	for i, u := range v.v0 {
-		dot += u.Dot(s.Vel[i])
-	}
-	c := 0.0
-	if v.norm > 0 {
-		c = dot / v.norm
-	}
-	v.Series = append(v.Series, c)
-	return c
-}
-
-// Pressure returns the instantaneous virial pressure of an LJ system in
-// eV/Å³: P = (N·k_B·T + W/3) / V with W = Σ_pairs f·r. Only Lennard-Jones
-// pair interactions contribute to the virial here (the paper's benchmarks
-// are evaluated in closed boxes; pressure is an engine-validation
-// diagnostic for periodic LJ systems).
-func Pressure(s *atom.System, lj *LJVirial) float64 {
-	if !s.Box.Periodic {
-		panic("analysis: pressure needs a periodic box")
-	}
-	w := lj.Virial(s)
-	n := float64(s.NumMobile())
-	v := s.Box.Volume()
-	return (n*units.Boltzmann*s.Temperature() + w/3) / v
-}
-
-// LJVirial computes the Lennard-Jones pair virial with the same cutoff and
-// combination rules as the engine's force kernel.
-type LJVirial struct {
-	Cutoff float64
-	Skin   float64
-	nl     *cells.NeighborList
-}
-
-// NewLJVirial creates a virial calculator.
-func NewLJVirial(cutoff, skin float64) *LJVirial {
-	return &LJVirial{Cutoff: cutoff, Skin: skin, nl: cells.NewNeighborList(cutoff, skin)}
-}
-
-// Virial returns W = Σ_pairs f(r)·r for the LJ interactions.
-func (l *LJVirial) Virial(s *atom.System) float64 {
-	l.nl.Build(s)
-	c2 := l.Cutoff * l.Cutoff
-	var w float64
-	for i := 0; i < s.N(); i++ {
-		ei := s.Elements[s.Elem[i]]
-		for _, j := range l.nl.Of(i) {
-			if s.Excl.Excluded(int32(i), j) {
-				continue
-			}
-			d := s.Box.MinImage(s.Pos[j].Sub(s.Pos[i]))
-			r2 := d.Norm2()
-			if r2 >= c2 || r2 == 0 {
-				continue
-			}
-			sigma, eps := atom.MixLJ(ei, s.Elements[s.Elem[j]])
-			sr2 := sigma * sigma / r2
-			sr6 := sr2 * sr2 * sr2
-			sr12 := sr6 * sr6
-			// f·r = 24ε(2(σ/r)¹² − (σ/r)⁶)
-			w += 24 * eps * (2*sr12 - sr6)
+// FuncsWithDirective returns the file's top-level function declarations
+// marked with the directive.
+func FuncsWithDirective(f *ast.File, directive string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && HasDirective(fd.Doc, directive) {
+			out = append(out, fd)
 		}
 	}
-	return w
+	return out
+}
+
+// WalkLoops traverses root and invokes fn for every node with the number of
+// enclosing for/range statements (within root) at that node. The root node
+// itself is visited with depth 0.
+func WalkLoops(root ast.Node, fn func(n ast.Node, loopDepth int)) {
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		fn(n, depth)
+		inner := depth
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inner++
+		}
+		for _, child := range children(n) {
+			walk(child, inner)
+		}
+	}
+	walk(root, 0)
+}
+
+// children returns the direct AST children of n in source order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false // do not descend past direct children
+	})
+	return out
 }

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixtureTest loads the fixture package in dir (relative to the enclosing
+// module root), runs the analyzer over it, and checks the diagnostics against
+// `// want "regexp"` comments in the fixture sources — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the local
+// driver.
+//
+// A want comment expects its line to produce one diagnostic per quoted
+// regexp; lines without a want comment must be silent.
+func RunFixtureTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(root, dir, "mwlint.fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// line key → unmatched expectations / reported diagnostics.
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		fileName := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				k := key{fileName, pkg.Fset.Position(c.Pos()).Line}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", fileName, k.line, p, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		exp := wants[k]
+		matched := -1
+		for i, rx := range exp {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k] = append(exp[:matched], exp[matched+1:]...)
+	}
+	for k, exp := range wants {
+		for _, rx := range exp {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." "..."` comment.
+func parseWant(comment string) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len("want "):])
+	var out []string
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, false
+		}
+		prefix, err := quotedPrefix(rest)
+		if err != nil {
+			return nil, false
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, unq)
+		rest = strings.TrimSpace(rest[len(prefix):])
+	}
+	return out, len(out) > 0
+}
+
+// quotedPrefix returns the leading quoted string literal of s.
+func quotedPrefix(s string) (string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated quote in %q", s)
+}

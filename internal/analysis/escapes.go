@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape-budget gate closes the loop the AST analyzers cannot: hotalloc
+// bans allocation *syntax* in hot loops, but the compiler's escape analysis
+// is the ground truth for what actually reaches the heap (a temporary the
+// inliner eliminates costs nothing; an innocuous-looking closure capture
+// costs an allocation per call). `mwlint -escapes` runs `go build
+// -gcflags=-m` over the hot packages, keeps the "escapes to heap" /
+// "moved to heap" diagnostics that land inside a loop of a //mw:hotpath
+// function, and diffs them against a checked-in baseline. Any new entry
+// fails CI; `-update` regenerates the baseline after a deliberate,
+// understood change.
+//
+// Baseline entries are keyed by file and enclosing function, not line
+// number, so unrelated edits to a file do not churn the baseline.
+
+// EscapeGate configures one gate run.
+type EscapeGate struct {
+	ModuleRoot string
+	Patterns   []string // package patterns whose hot functions are gated
+	Baseline   string   // path to the checked-in baseline file
+}
+
+// DefaultEscapeGate gates the packages the paper's §V analysis identifies as
+// allocation-sensitive.
+func DefaultEscapeGate(moduleRoot string) *EscapeGate {
+	return &EscapeGate{
+		ModuleRoot: moduleRoot,
+		Patterns: []string{
+			"./internal/forces", "./internal/cells", "./internal/core", "./internal/pool",
+		},
+		Baseline: filepath.Join(moduleRoot, "internal", "analysis", "testdata", "escapes.baseline"),
+	}
+}
+
+// EscapeDiag is one escape-analysis diagnostic from the compiler.
+type EscapeDiag struct {
+	File string // path as printed by the compiler (module-root relative)
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Key is the baseline identity of the diagnostic once attributed to a
+// function: "file: func: message".
+func (d EscapeDiag) Key(fn string) string {
+	return fmt.Sprintf("%s: %s: %s", d.File, fn, d.Msg)
+}
+
+// EscapeReport is the outcome of a gate run.
+type EscapeReport struct {
+	InScope []string // all hot-loop escape keys observed this run
+	New     []string // observed but not in the baseline — the gate failure
+	Stale   []string // in the baseline but no longer observed
+}
+
+// Failed reports whether the run found escapes not covered by the baseline.
+func (r *EscapeReport) Failed() bool { return len(r.New) > 0 }
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// ParseEscapeDiags extracts heap-escape diagnostics from raw
+// `go build -gcflags=-m` output. Inlining chatter, leaking-param notes and
+// `# package` headers are dropped.
+func ParseEscapeDiags(out string) []EscapeDiag {
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		diags = append(diags, EscapeDiag{File: m[1], Line: ln, Col: col, Msg: msg})
+	}
+	return diags
+}
+
+// hotLoopIndex maps source lines to the enclosing hot function when the line
+// sits inside a loop of that function.
+type hotLoopIndex struct {
+	// byFile[file] holds (funcName, loop line range) triples.
+	byFile map[string][]hotLoopRange
+}
+
+type hotLoopRange struct {
+	fn       string
+	lo, hi   int // loop statement line span, inclusive
+	fnLo     int // function start line (for stable attribution)
+	fnHiLine int
+}
+
+// funcAt returns the hot function owning a loop that spans the line.
+func (ix *hotLoopIndex) funcAt(file string, line int) (string, bool) {
+	for suffix, ranges := range ix.byFile {
+		if file != suffix && !strings.HasSuffix(file, "/"+suffix) && !strings.HasSuffix(suffix, "/"+file) {
+			continue
+		}
+		for _, r := range ranges {
+			if line >= r.lo && line <= r.hi {
+				return r.fn, true
+			}
+		}
+	}
+	return "", false
+}
+
+// buildHotLoopIndex parses the gated packages (syntax only) and records the
+// loop line ranges of every //mw:hotpath function.
+func (g *EscapeGate) buildHotLoopIndex() (*hotLoopIndex, error) {
+	listed, err := goList(g.ModuleRoot, append([]string{"-json=ImportPath,Dir,GoFiles"}, g.Patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	ix := &hotLoopIndex{byFile: map[string][]hotLoopRange{}}
+	fset := token.NewFileSet()
+	for _, lp := range listed {
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(g.ModuleRoot, path)
+			if err != nil {
+				rel = path
+			}
+			rel = filepath.ToSlash(rel)
+			for _, fd := range FuncsWithDirective(f, HotPathDirective) {
+				if fd.Body == nil {
+					continue
+				}
+				fnName := fd.Name.Name
+				fnLo := fset.Position(fd.Pos()).Line
+				fnHi := fset.Position(fd.End()).Line
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						ix.byFile[rel] = append(ix.byFile[rel], hotLoopRange{
+							fn:       fnName,
+							lo:       fset.Position(n.Pos()).Line,
+							hi:       fset.Position(n.End()).Line,
+							fnLo:     fnLo,
+							fnHiLine: fnHi,
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return ix, nil
+}
+
+// compilerEscapeOutput runs the compiler with escape-analysis diagnostics
+// over the gated packages. The build cache replays diagnostics for cached
+// compilations, so repeat runs stay fast.
+func (g *EscapeGate) compilerEscapeOutput() (string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, g.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = g.ModuleRoot
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, buf.String())
+	}
+	return buf.String(), nil
+}
+
+// Check runs the gate: compile, attribute diagnostics to hot loops, diff
+// against the baseline. With update=true the baseline file is rewritten to
+// the observed set and the report never fails.
+func (g *EscapeGate) Check(update bool) (*EscapeReport, error) {
+	out, err := g.compilerEscapeOutput()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := g.buildHotLoopIndex()
+	if err != nil {
+		return nil, err
+	}
+	report := &EscapeReport{}
+	seen := map[string]bool{}
+	for _, d := range ParseEscapeDiags(out) {
+		fn, ok := ix.funcAt(d.File, d.Line)
+		if !ok {
+			continue
+		}
+		key := d.Key(fn)
+		if !seen[key] {
+			seen[key] = true
+			report.InScope = append(report.InScope, key)
+		}
+	}
+	sort.Strings(report.InScope)
+
+	if update {
+		return report, g.writeBaseline(report.InScope)
+	}
+	baseline, err := g.readBaseline()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range report.InScope {
+		if !baseline[key] {
+			report.New = append(report.New, key)
+		}
+	}
+	for key := range baseline {
+		if !seen[key] {
+			report.Stale = append(report.Stale, key)
+		}
+	}
+	sort.Strings(report.Stale)
+	return report, nil
+}
+
+func (g *EscapeGate) readBaseline() (map[string]bool, error) {
+	data, err := os.ReadFile(g.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("escape baseline (run `mwlint -escapes -update` to create it): %w", err)
+	}
+	set := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		set[line] = true
+	}
+	return set, nil
+}
+
+func (g *EscapeGate) writeBaseline(keys []string) error {
+	var b strings.Builder
+	b.WriteString("# Escape-analysis baseline for //mw:hotpath loops.\n")
+	b.WriteString("# One `file: func: message` entry per tolerated heap escape inside a hot\n")
+	b.WriteString("# loop. Regenerate with `go run ./cmd/mwlint -escapes -update` after a\n")
+	b.WriteString("# deliberate change; `mwlint -escapes` fails CI on any entry not listed.\n")
+	for _, k := range keys {
+		b.WriteString(k + "\n")
+	}
+	return os.WriteFile(g.Baseline, []byte(b.String()), 0o644)
+}

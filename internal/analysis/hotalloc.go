@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags per-iteration heap allocation inside the loops of functions
+// annotated //mw:hotpath — the Go analogue of the paper's §V-B finding that
+// short-lived 3-float wrapper objects allocated in the force loops polluted
+// the caches and halved throughput.
+//
+// Inside a loop of a hot function it reports:
+//   - &T{...} composite literals (the classic escaping temporary);
+//   - slice and map composite literals;
+//   - make and new calls;
+//   - func literals (closure allocation per iteration);
+//   - implicit interface conversions of non-pointer values (boxing).
+//
+// Amortized growth via append into a caller-provided or capacity-guarded
+// buffer is deliberately allowed: that is the engine's sanctioned reuse
+// idiom (see cells.AppendNeighbors). Allocation outside loops — once per
+// phase or per call — is likewise allowed; the rule targets per-pair and
+// per-atom churn.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags heap allocation inside loops of //mw:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range FuncsWithDirective(f, HotPathDirective) {
+			if fd.Body == nil {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	WalkLoops(fd.Body, func(n ast.Node, loopDepth int) {
+		if loopDepth == 0 {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&%s composite literal allocates in a loop of hot function %s",
+					typeString(pass, lit), name)
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal allocates in a loop of hot function %s",
+					typeString(pass, n), name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocated in a loop of hot function %s", name)
+		case *ast.CallExpr:
+			checkHotCall(pass, n, name)
+		}
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, hot string) {
+	// Builtin allocators.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in a loop of hot function %s", b.Name(), hot)
+			}
+			return
+		}
+	}
+	// Explicit conversion T(x): flag conversions *to* an interface.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to %s boxes %s on the heap in hot function %s",
+				tv.Type, pass.Info.TypeOf(call.Args[0]), hot)
+		}
+		return
+	}
+	// Ordinary call: implicit interface conversions at the call boundary.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && !isTypeParam(pt) && boxes(pass, arg) {
+			pass.Reportf(arg.Pos(), "passing %s as %s boxes it on the heap in hot function %s",
+				pass.Info.TypeOf(arg), pt, hot)
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface allocates: a non-constant
+// value of concrete non-pointer-shaped type does; pointers, channels, maps
+// and funcs fit in the interface word, and constants become static data.
+func boxes(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value != nil { // constants are materialized statically
+		return false
+	}
+	t := tv.Type
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}
+
+func typeString(pass *Pass, lit *ast.CompositeLit) string {
+	if t := pass.Info.TypeOf(lit); t != nil {
+		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	return "composite"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) {
+	RunFixtureTest(t, HotAlloc, "testdata/hotalloc")
+}

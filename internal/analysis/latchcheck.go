@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// LatchCheck enforces the latch/barrier discipline the paper's phase
+// structure depends on (§II-B: fan work out, count down a latch, await the
+// latch). It reports:
+//
+//   - copying a CountDownLatch, CyclicBarrier, or any other value whose type
+//     transitively contains a sync lock, by parameter, assignment, or range
+//     (a copied latch has its own counter: waiters on the original hang);
+//   - pool.NewLatch(0) and pool.NewBarrier(n<=0) with constant argument
+//     (Await returns immediately / constructor panics);
+//   - a latch that is created locally, Awaited, and never CountDowned nor
+//     passed anywhere that could count it down — a guaranteed deadlock;
+//   - provable count mismatches: the latch is initialized to len(X) or a
+//     constant, but the loop spawning the CountDown closures iterates over a
+//     different collection or a different constant trip count.
+var LatchCheck = &Analyzer{
+	Name: "latchcheck",
+	Doc:  "flags CountDownLatch/CyclicBarrier misuse and copied synchronizers",
+	Run:  runLatchCheck,
+}
+
+const poolPkgPath = "mw/internal/pool"
+
+func runLatchCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSyncCopies(pass, fd)
+			checkLatchLifecycles(pass, fd)
+		}
+	}
+	return nil
+}
+
+// --- rule 1: synchronizers must not travel by value -------------------------
+
+func checkSyncCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			t := pass.Info.TypeOf(field.Type)
+			if t != nil && containsLock(t) {
+				pass.Reportf(field.Type.Pos(), "%s %s by value copies its internal lock; use a pointer", what, t)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				// x := *latch and friends: an explicit dereference copy.
+				if u, ok := ast.Unparen(rhs).(*ast.StarExpr); ok {
+					if t := pass.Info.TypeOf(u); t != nil && containsLock(t) {
+						pass.Reportf(rhs.Pos(), "dereference copies %s and its internal lock", t)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.Info.TypeOf(n.Value); t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range copies %s elements and their internal locks; iterate by index", t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// containsLock reports whether t (not a pointer to t) transitively contains
+// a sync primitive or pool synchronizer that must not be copied.
+func containsLock(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if pkg := obj.Pkg(); pkg != nil {
+				switch pkg.Path() {
+				case "sync":
+					switch obj.Name() {
+					case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+						return true
+					}
+				case poolPkgPath:
+					switch obj.Name() {
+					case "CountDownLatch", "CyclicBarrier":
+						return true
+					}
+				}
+			}
+			return walk(named.Underlying())
+		}
+		switch t := t.(type) {
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				if walk(t.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(t.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// --- rules 2-4: latch lifecycle within one function -------------------------
+
+// latchUse gathers everything a function does with one locally created latch.
+type latchUse struct {
+	arg        ast.Expr // NewLatch argument
+	awaits     int
+	countDowns []*ast.CallExpr
+	escapes    bool // passed, stored, or returned: counting may happen elsewhere
+}
+
+func checkLatchLifecycles(pass *Pass, fd *ast.FuncDecl) {
+	latches := map[types.Object]*latchUse{}
+
+	// Pass A: find `l := pool.NewLatch(n)` creations and constant-arg misuse.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != poolPkgPath {
+			return true
+		}
+		switch fn.Name() {
+		case "NewLatch":
+			if len(call.Args) == 1 {
+				if v, ok := constIntArg(pass, call.Args[0]); ok && v == 0 {
+					pass.Reportf(call.Pos(), "latch initialized to 0: Await returns immediately, synchronizing nothing")
+				}
+			}
+		case "NewBarrier":
+			if len(call.Args) == 1 {
+				if v, ok := constIntArg(pass, call.Args[0]); ok && v <= 0 {
+					pass.Reportf(call.Pos(), "barrier party count %d: NewBarrier panics for counts < 1", v)
+				}
+			}
+		}
+		return true
+	})
+
+	// Creations assigned to a fresh local: `l := pool.NewLatch(n)`.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn := calleeOf(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != poolPkgPath || fn.Name() != "NewLatch" {
+			return true
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			latches[obj] = &latchUse{arg: call.Args[0]}
+		}
+		return true
+	})
+	if len(latches) == 0 {
+		return
+	}
+
+	// Pass B: classify every use of each latch object.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		use, tracked := latches[obj]
+		if !tracked {
+			return true
+		}
+		switch method := methodCallOn(pass, fd.Body, id); method {
+		case "Await":
+			use.awaits++
+		case "CountDown":
+			use.countDowns = append(use.countDowns, nil)
+		case "Count":
+			// read-only
+		default:
+			use.escapes = true // argument, assignment, field store, return, ...
+		}
+		return true
+	})
+
+	for obj, use := range latches {
+		if use.awaits > 0 && len(use.countDowns) == 0 && !use.escapes {
+			pass.Reportf(use.arg.Pos(),
+				"latch %s is Awaited but never CountDowned and never escapes: Await deadlocks", obj.Name())
+		}
+	}
+
+	checkLatchCounts(pass, fd, latches)
+}
+
+// checkLatchCounts compares the latch's initial count with the trip count of
+// the loop that spawns its CountDown closures, reporting only provable
+// mismatches.
+func checkLatchCounts(pass *Pass, fd *ast.FuncDecl, latches map[types.Object]*latchUse) {
+	for obj, use := range latches {
+		if use.escapes {
+			continue
+		}
+		loops := countDownLoops(pass, fd, obj)
+		if len(loops) != 1 {
+			continue // zero or ambiguous spawn sites: stay silent
+		}
+		loop := loops[0]
+		switch arg := ast.Unparen(use.arg).(type) {
+		case *ast.CallExpr: // NewLatch(len(X))
+			lenOf := lenArgObj(pass, arg)
+			if lenOf == nil {
+				continue
+			}
+			if rng, ok := loop.(*ast.RangeStmt); ok {
+				if rngObj := exprObj(pass, rng.X); rngObj != nil && rngObj != lenOf {
+					pass.Reportf(use.arg.Pos(),
+						"latch %s counts len(%s) but its CountDown tasks are spawned ranging over %s",
+						obj.Name(), lenOf.Name(), rngObj.Name())
+				}
+			}
+		case *ast.BasicLit: // NewLatch(3)
+			want, ok := constIntArg(pass, arg)
+			if !ok {
+				continue
+			}
+			if got, ok := constTripCount(pass, loop); ok && got != want {
+				pass.Reportf(use.arg.Pos(),
+					"latch %s counts %d but the spawning loop runs %d iterations", obj.Name(), want, got)
+			}
+		case *ast.Ident: // NewLatch(n)
+			if f, ok := loop.(*ast.ForStmt); ok {
+				if bound := forUpperBound(f); bound != nil {
+					bObj := exprObj(pass, bound)
+					aObj := pass.Info.Uses[arg]
+					if bObj != nil && aObj != nil && bObj != aObj {
+						// Same spelled variable is fine; two different locals
+						// with possibly different values is the §II-B bug.
+						if bound, ok := bound.(*ast.Ident); ok && bound.Name != arg.Name {
+							pass.Reportf(use.arg.Pos(),
+								"latch %s counts %s but the spawning loop is bounded by %s",
+								obj.Name(), arg.Name, bound.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// countDownLoops returns the loops in fd that contain a closure calling
+// obj.CountDown (the spawn-site shape of schedule/RunPhase).
+func countDownLoops(pass *Pass, fd *ast.FuncDecl, obj types.Object) []ast.Stmt {
+	var out []ast.Stmt
+	seen := map[ast.Stmt]bool{}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "CountDown" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		// Require the CountDown to sit inside a func literal (a task body)
+		// and find the innermost loop outside that literal.
+		inClosure := false
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch s := stack[i].(type) {
+			case *ast.FuncLit:
+				inClosure = true
+			case *ast.ForStmt, *ast.RangeStmt:
+				if inClosure {
+					if loop := s.(ast.Stmt); !seen[loop] {
+						seen[loop] = true
+						out = append(out, loop)
+					}
+					return true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// --- small syntax/type helpers ----------------------------------------------
+
+func calleeOf(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func constIntArg(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// lenArgObj returns the object X in a len(X) call, or nil.
+func lenArgObj(pass *Pass, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+		return nil
+	}
+	return exprObj(pass, call.Args[0])
+}
+
+func exprObj(pass *Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return pass.Info.Uses[id]
+	}
+	return nil
+}
+
+// forUpperBound returns B in `for i := ...; i < B; ...` / `i <= B`.
+func forUpperBound(f *ast.ForStmt) ast.Expr {
+	cmp, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch cmp.Op.String() {
+	case "<", "<=":
+		return cmp.Y
+	}
+	return nil
+}
+
+// constTripCount evaluates the trip count of `for i := a; i < b; i++` with
+// constant bounds, or a range over a fixed-length array.
+func constTripCount(pass *Pass, loop ast.Stmt) (int64, bool) {
+	f, ok := loop.(*ast.ForStmt)
+	if !ok || f.Cond == nil {
+		return 0, false
+	}
+	cmp, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op.String() != "<" {
+		return 0, false
+	}
+	hi, ok := constIntArg(pass, cmp.Y)
+	if !ok {
+		return 0, false
+	}
+	lo := int64(0)
+	if init, ok := f.Init.(*ast.AssignStmt); ok && len(init.Rhs) == 1 {
+		if v, ok := constIntArg(pass, init.Rhs[0]); ok {
+			lo = v
+		} else {
+			return 0, false
+		}
+	}
+	if hi < lo {
+		return 0, true
+	}
+	return hi - lo, true
+}
+
+// methodCallOn reports the method name when the identifier use at id is the
+// receiver of a method call `id.M(...)`; otherwise "".
+func methodCallOn(pass *Pass, root ast.Node, id *ast.Ident) string {
+	method := ""
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n != ast.Node(id) || method != "" {
+			return true
+		}
+		// stack: ... CallExpr SelectorExpr Ident(id)?
+		if len(stack) >= 3 {
+			if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+					method = sel.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+	return method
+}

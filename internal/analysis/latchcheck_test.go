@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLatchCheck(t *testing.T) {
+	RunFixtureTest(t, LatchCheck, "testdata/latchcheck")
+}

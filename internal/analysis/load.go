@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given flags/patterns and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error"
+
+// Load type-checks the packages matching the patterns (resolved relative to
+// dir, which must lie inside a module) and returns them ready for analysis.
+// Test files are not included: the analyzers guard the engine, not its tests.
+//
+// Dependencies are resolved through the compiler's export data, obtained via
+// `go list -export` — entirely offline and toolchain-exact, which is what
+// lets this package avoid a vendored copy of go/packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, append([]string{"-e", "-export", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportMap(listed)
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var paths []string
+		for _, f := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, lp.Dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of a single directory as one package
+// with the given import path, resolving imports against the module rooted at
+// moduleRoot. This is the fixture loader used by RunFixtureTest: files under
+// testdata/ are invisible to `go list`, but their imports of real module
+// packages (mw/internal/vec, mw/internal/pool, ...) still resolve.
+func LoadDir(moduleRoot, dir, importPath string) (*Package, error) {
+	listed, err := goList(moduleRoot, "-e", "-export", "-deps", listFields, "./...")
+	if err != nil {
+		return nil, err
+	}
+	exports := exportMap(listed)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	return typeCheck(fset, newExportImporter(fset, exports), importPath, dir, paths)
+}
+
+func exportMap(listed []*listedPackage) map[string]string {
+	m := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			m[lp.ImportPath] = lp.Export
+		}
+	}
+	return m
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, filePaths []string) (*Package, error) {
+	var files []*ast.File
+	for _, p := range filePaths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadRealPackages exercises the export-data loader on the live tree:
+// the hot packages must load, type-check, and carry their directives.
+func TestLoadRealPackages(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/forces", "./internal/pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	hot := 0
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Fatalf("%s: missing type information", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			hot += len(FuncsWithDirective(f, HotPathDirective))
+		}
+	}
+	if hot == 0 {
+		t.Fatal("no //mw:hotpath functions found in internal/forces + internal/pool; annotations lost?")
+	}
+}
+
+// TestRunCleanOnTree is the gate the Makefile relies on: the analyzer suite
+// must be silent on the current tree.
+func TestRunCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString("\n  " + d.String())
+		}
+		t.Fatalf("mwlint analyzers report findings on the tree:%s", sb.String())
+	}
+}
+
+func TestParseWant(t *testing.T) {
+	got, ok := parseWant("// want `a b` \"c\\\"d\"")
+	if !ok || len(got) != 2 || got[0] != "a b" || got[1] != `c"d` {
+		t.Fatalf("parseWant: got %q ok=%v", got, ok)
+	}
+	if _, ok := parseWant("// plain comment mentioning want nothing"); ok {
+		t.Fatal("parseWant matched a non-want comment")
+	}
+	if _, ok := parseWant("// want"); ok {
+		t.Fatal("parseWant matched a want with no patterns")
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PrivForce guards the engine's core data-race invariant (paper §II-B, PR 1's
+// stale-force bug): worker tasks accumulate into privatized per-worker force
+// arrays; the shared System.Force array is written only by the sanctioned
+// reduction entry points. Any function literal is treated as a potential
+// task body (they are what schedule, Submit, Execute and `go` run
+// concurrently), so inside a func literal it reports:
+//
+//   - assignments through an index of System.Force;
+//   - binding the System.Force slice to a local or passing it to a call
+//     (aliasing grants unsynchronized write access to the whole array).
+//
+// A top-level function annotated //mw:forcewriter is sanctioned: its task
+// bodies may write Force because they are the reduction (reducePhase), the
+// shared-mode zeroing (predictorPhase), or the mutex-guarded shared-array
+// path (forcePhase).
+var PrivForce = &Analyzer{
+	Name: "privforce",
+	Doc:  "flags writes to the shared System.Force array from task bodies outside //mw:forcewriter entry points",
+	Run:  runPrivForce,
+}
+
+const atomPkgPath = "mw/internal/atom"
+
+func runPrivForce(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || HasDirective(fd.Doc, ForceWriterDirective) {
+				continue
+			}
+			checkForceWrites(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkForceWrites(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range m.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isSystemForce(pass, idx.X) {
+						pass.Reportf(lhs.Pos(),
+							"write to shared System.Force from a task body; accumulate into the worker's private array (enclosing %s lacks %s)",
+							fd.Name.Name, ForceWriterDirective)
+					}
+				}
+				for _, rhs := range m.Rhs {
+					if isSystemForce(pass, rhs) {
+						pass.Reportf(rhs.Pos(),
+							"aliasing shared System.Force inside a task body grants unsynchronized write access (enclosing %s lacks %s)",
+							fd.Name.Name, ForceWriterDirective)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range m.Args {
+					if isSystemForce(pass, arg) {
+						pass.Reportf(arg.Pos(),
+							"passing shared System.Force to a call inside a task body; pass the worker's private array (enclosing %s lacks %s)",
+							fd.Name.Name, ForceWriterDirective)
+					}
+				}
+			}
+			return true
+		})
+		return false // the inner walk already covered nested literals
+	})
+}
+
+// isSystemForce reports whether e is the selector <sys>.Force with <sys> of
+// type atom.System or *atom.System.
+func isSystemForce(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Force" {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "System" && obj.Pkg() != nil && obj.Pkg().Path() == atomPkgPath
+}

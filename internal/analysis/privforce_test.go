@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPrivForce(t *testing.T) {
+	RunFixtureTest(t, PrivForce, "testdata/privforce")
+}

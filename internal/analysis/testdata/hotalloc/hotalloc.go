@@ -1,0 +1,92 @@
+// Fixture for the hotalloc analyzer: per-iteration allocation in annotated
+// hot loops, mirroring the shapes of the real force kernels.
+package hotalloc
+
+import (
+	"fmt"
+
+	"mw/internal/vec"
+)
+
+type result struct {
+	PE float64
+}
+
+type sink interface{ Consume(any) }
+
+// accumulate mimics forces.LJ.AccumulateRange with the §V-B regression
+// deliberately reintroduced: a heap-escaping vec.Vec3 temporary per pair.
+//
+//mw:hotpath
+func accumulate(pos []vec.Vec3, f []vec.Vec3) float64 {
+	var pe float64
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			d := &vec.Vec3{X: pos[j].X - pos[i].X} // want `&vec.Vec3 composite literal allocates in a loop of hot function accumulate`
+			pe += d.X
+			f[i] = f[i].Add(*d)
+		}
+	}
+	return pe
+}
+
+//mw:hotpath
+func perIterationSlices(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8)   // want `make allocates in a loop of hot function perIterationSlices`
+		pair := []int{i, i + 1} // want `\[\]int literal allocates in a loop of hot function perIterationSlices`
+		total += buf[0] + pair[0]
+	}
+	return total
+}
+
+//mw:hotpath
+func perIterationClosures(n int, run func(func())) {
+	for i := 0; i < n; i++ {
+		i := i
+		run(func() { _ = i }) // want `closure allocated in a loop of hot function perIterationClosures`
+	}
+}
+
+//mw:hotpath
+func boxing(vals []float64, s sink) string {
+	msg := ""
+	for _, v := range vals {
+		s.Consume(v)          // want `passing float64 as .* boxes it on the heap in hot function boxing`
+		msg = fmt.Sprint("x") // constant argument: no boxing, no finding
+	}
+	return msg
+}
+
+//mw:hotpath
+func explicitConversion(vals []result) any {
+	var a any
+	for _, v := range vals {
+		a = any(v) // want `conversion to .* boxes .*result on the heap in hot function explicitConversion`
+	}
+	return a
+}
+
+// Allocation outside the loop is the sanctioned once-per-call reuse idiom.
+//
+//mw:hotpath
+func reuseIsAllowed(pos []vec.Vec3, buf []int32) []int32 {
+	if cap(buf) < len(pos) {
+		buf = make([]int32, 0, len(pos)) // outside any loop: allowed
+	}
+	buf = buf[:0]
+	for i := range pos {
+		buf = append(buf, int32(i)) // amortized append: allowed
+	}
+	return buf
+}
+
+// Un-annotated functions may allocate freely.
+func coldPath(n int) []*result {
+	var out []*result
+	for i := 0; i < n; i++ {
+		out = append(out, &result{PE: float64(i)})
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Fixture for the latchcheck analyzer: the latch/barrier discipline of the
+// paper's phase structure (fan out, count down, await).
+package latchcheck
+
+import (
+	"sync"
+
+	"mw/internal/pool"
+)
+
+// correctPhase is the sanctioned §II-B shape: latch count equals spawned
+// tasks, every task counts down. No findings.
+func correctPhase(ex pool.Executor, chunks []pool.Task) {
+	latch := pool.NewLatch(len(chunks))
+	for _, c := range chunks {
+		c := c
+		ex.Execute(func() {
+			c()
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}
+
+// wrongCollection counts one collection but spawns over another — the count
+// mismatch that leaves Await hanging (or releases it early).
+func wrongCollection(ex pool.Executor, chunks, extras []pool.Task) {
+	latch := pool.NewLatch(len(chunks)) // want `latch latch counts len\(chunks\) but its CountDown tasks are spawned ranging over extras`
+	for _, c := range extras {
+		c := c
+		ex.Execute(func() {
+			c()
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}
+
+// wrongConstant counts 3 but spawns 4 workers.
+func wrongConstant(ex pool.Executor) {
+	latch := pool.NewLatch(3) // want `latch latch counts 3 but the spawning loop runs 4 iterations`
+	for w := 0; w < 4; w++ {
+		ex.Execute(func() {
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}
+
+// wrongBound counts n but bounds the spawning loop by m.
+func wrongBound(ex pool.Executor, n, m int) {
+	latch := pool.NewLatch(n) // want `latch latch counts n but the spawning loop is bounded by m`
+	for w := 0; w < m; w++ {
+		ex.Execute(func() {
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}
+
+// neverCounted awaits a latch nothing will ever count down.
+func neverCounted() {
+	latch := pool.NewLatch(1) // want `latch latch is Awaited but never CountDowned and never escapes: Await deadlocks`
+	latch.Await()
+}
+
+// zeroLatch synchronizes nothing.
+func zeroLatch() {
+	latch := pool.NewLatch(0) // want `latch initialized to 0: Await returns immediately, synchronizing nothing`
+	latch.Await()
+	_ = latch
+}
+
+// badBarrier panics at construction.
+func badBarrier() *pool.CyclicBarrier {
+	return pool.NewBarrier(0) // want `barrier party count 0: NewBarrier panics for counts < 1`
+}
+
+// escapingLatchIsFine hands the latch to a helper; counting may happen there.
+func escapingLatchIsFine(register func(*pool.CountDownLatch)) {
+	latch := pool.NewLatch(1)
+	register(latch)
+	latch.Await()
+}
+
+// copies demonstrates the by-value rules.
+func copies(l pool.CountDownLatch) { // want `parameter mw/internal/pool.CountDownLatch by value copies its internal lock`
+	_ = l
+}
+
+func copyByDeref(l *pool.CountDownLatch) {
+	c := *l // want `dereference copies mw/internal/pool.CountDownLatch and its internal lock`
+	_ = c
+}
+
+func rangeCopies(barriers []pool.CyclicBarrier) {
+	for _, b := range barriers { // want `range copies mw/internal/pool.CyclicBarrier elements and their internal locks; iterate by index`
+		_ = b
+	}
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copyGuarded(g guarded) int { // want `parameter .*latchcheck.guarded by value copies its internal lock`
+	return g.n
+}
+
+// Pointers are the correct spelling everywhere.
+func pointersAreFine(l *pool.CountDownLatch, b *pool.CyclicBarrier, g *guarded) {
+	l.CountDown()
+	_ = b.Parties()
+	g.mu.Lock()
+	g.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+// Fixture for the privforce analyzer: the privatized-force invariant from
+// paper §II-B — worker tasks never write the shared System.Force array.
+package privforce
+
+import (
+	"mw/internal/atom"
+	"mw/internal/pool"
+	"mw/internal/vec"
+)
+
+// racyForcePhase is PR 1's stale-force bug reintroduced: tasks accumulate
+// straight into the shared array with no mutex and no privatization.
+func racyForcePhase(ex pool.Executor, s *atom.System, chunks [][2]int) {
+	latch := pool.NewLatch(len(chunks))
+	for _, ch := range chunks {
+		ch := ch
+		ex.Execute(func() {
+			for i := ch[0]; i < ch[1]; i++ {
+				s.Force[i] = s.Force[i].Add(vec.New(1, 0, 0)) // want `write to shared System.Force from a task body`
+			}
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}
+
+// aliasedForce binds the shared slice inside the task, which is the same
+// race with one extra step.
+func aliasedForce(ex pool.Executor, s *atom.System) {
+	ex.Execute(func() {
+		f := s.Force // want `aliasing shared System.Force inside a task body grants unsynchronized write access`
+		f[0] = vec.Zero
+	})
+}
+
+// passedForce hands the shared array to an accumulator from a goroutine.
+func passedForce(s *atom.System, accumulate func([]vec.Vec3)) {
+	go func() {
+		accumulate(s.Force) // want `passing shared System.Force to a call inside a task body`
+	}()
+}
+
+// serialWriteIsFine: outside any func literal the engine is single-threaded
+// (setup, verification, serial fallback paths).
+func serialWriteIsFine(s *atom.System) {
+	for i := range s.Force {
+		s.Force[i] = vec.Zero
+	}
+}
+
+// privatizedIsFine is the sanctioned §II-B shape: each worker owns a private
+// array; no shared writes from the task body.
+func privatizedIsFine(ex pool.Executor, s *atom.System, priv [][]vec.Vec3) {
+	latch := pool.NewLatch(len(priv))
+	for w := range priv {
+		w := w
+		ex.Execute(func() {
+			f := priv[w]
+			for i := range f {
+				f[i] = f[i].Add(vec.New(0, 1, 0))
+			}
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}
+
+// reduce is a sanctioned reduction entry point: the annotation records that
+// its task bodies partition Force disjointly.
+//
+//mw:forcewriter
+func reduce(ex pool.Executor, s *atom.System, priv [][]vec.Vec3, chunks [][2]int) {
+	latch := pool.NewLatch(len(chunks))
+	for _, ch := range chunks {
+		ch := ch
+		ex.Execute(func() {
+			for i := ch[0]; i < ch[1]; i++ {
+				f := priv[0][i]
+				for w := 1; w < len(priv); w++ {
+					f = f.Add(priv[w][i])
+				}
+				s.Force[i] = f // sanctioned by //mw:forcewriter
+			}
+			latch.CountDown()
+		})
+	}
+	latch.Await()
+}

@@ -1,0 +1,43 @@
+// Fixture for the vecvalue analyzer: vec.Vec3 is a value type (vec package
+// doc, paper §V-B); pointers to it reintroduce the Java wrapper objects.
+package vecvalue
+
+import "mw/internal/vec"
+
+type particle struct {
+	Pos vec.Vec3  // value field: correct
+	Vel *vec.Vec3 // want `\*mw/internal/vec.Vec3 in a signature or struct: pass vec.Vec3 by value`
+}
+
+var scratch *vec.Vec3 // want `\*mw/internal/vec.Vec3 variable: keep vec.Vec3 as a value`
+
+func displace(p *vec.Vec3, d vec.Vec3) { // want `\*mw/internal/vec.Vec3 in a signature or struct: pass vec.Vec3 by value`
+	*p = p.Add(d)
+}
+
+func newOrigin() *vec.Vec3 { // want `\*mw/internal/vec.Vec3 in a signature or struct: pass vec.Vec3 by value`
+	return new(vec.Vec3) // want `new\(vec.Vec3\) heap-allocates a 3-float wrapper; declare a value`
+}
+
+func wrapperObject() *vec.Vec3 { // want `\*mw/internal/vec.Vec3 in a signature or struct: pass vec.Vec3 by value`
+	return &vec.Vec3{X: 1} // want `&vec.Vec3\{...\} allocates the paper's 3-float wrapper object; use a value`
+}
+
+func addressOfValue(pos []vec.Vec3) {
+	p := &pos[0] // want `taking the address of a vec.Vec3 forces it off the register path`
+	p.X = 2
+}
+
+func pointerSlice(n int) []*vec.Vec3 { // want `\[\]\*mw/internal/vec.Vec3 in a signature or struct: pass vec.Vec3 by value`
+	return nil
+}
+
+// Values everywhere is the sanctioned shape.
+func valuesAreFine(pos []vec.Vec3, d vec.Vec3) vec.Vec3 {
+	out := vec.Zero
+	for i := range pos {
+		pos[i] = pos[i].Add(d)
+		out = out.Add(pos[i])
+	}
+	return out
+}

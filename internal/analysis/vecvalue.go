@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// VecValue enforces the repository's founding layout decision (vec package
+// doc, paper §V-B): vec.Vec3 is a value type, full stop. The Java engine
+// lost half its live heap to heap-allocated 3-float wrappers; in Go the
+// equivalent regression is a *vec.Vec3 creeping into a signature or struct,
+// which forces heap allocation and defeats register passing. It reports:
+//
+//   - *vec.Vec3 parameters, results, receivers, struct fields, and var
+//     declarations (including slices/arrays/maps of *vec.Vec3);
+//   - new(vec.Vec3) and &vec.Vec3{...};
+//   - taking the address of a vec.Vec3 value.
+//
+// internal/jheap is exempt by design: it exists to model the Java boxed
+// layout for the cache-pollution experiments.
+var VecValue = &Analyzer{
+	Name: "vecvalue",
+	Doc:  "flags *vec.Vec3 pointers and heap-allocated vec.Vec3 values",
+	Run:  runVecValue,
+}
+
+const (
+	vecPkgPath   = "mw/internal/vec"
+	jheapPkgPath = "mw/internal/jheap"
+)
+
+func runVecValue(pass *Pass) error {
+	if pass.Path == jheapPkgPath || pass.Path == vecPkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				if t := pass.Info.TypeOf(n.Type); hasVec3Pointer(t) {
+					pass.Reportf(n.Type.Pos(), "%s in a signature or struct: pass vec.Vec3 by value to keep it in registers", t)
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if t := pass.Info.TypeOf(n.Type); hasVec3Pointer(t) {
+						pass.Reportf(n.Type.Pos(), "%s variable: keep vec.Vec3 as a value", t)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+						if isVec3(pass.Info.TypeOf(n.Args[0])) {
+							pass.Reportf(n.Pos(), "new(vec.Vec3) heap-allocates a 3-float wrapper; declare a value")
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && isVec3(pass.Info.TypeOf(n.X)) {
+					if _, isLit := n.X.(*ast.CompositeLit); isLit {
+						pass.Reportf(n.Pos(), "&vec.Vec3{...} allocates the paper's 3-float wrapper object; use a value")
+					} else {
+						pass.Reportf(n.Pos(), "taking the address of a vec.Vec3 forces it off the register path")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isVec3 reports whether t is exactly the named type vec.Vec3.
+func isVec3(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Vec3" && obj.Pkg() != nil && obj.Pkg().Path() == vecPkgPath
+}
+
+// hasVec3Pointer reports whether t is, or shallowly contains, *vec.Vec3
+// (direct pointer, or slice/array/map/chan of it).
+func hasVec3Pointer(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return isVec3(t.Elem())
+	case *types.Slice:
+		return hasVec3Pointer(t.Elem())
+	case *types.Array:
+		return hasVec3Pointer(t.Elem())
+	case *types.Map:
+		return hasVec3Pointer(t.Elem()) || hasVec3Pointer(t.Key())
+	case *types.Chan:
+		return hasVec3Pointer(t.Elem())
+	}
+	return false
+}

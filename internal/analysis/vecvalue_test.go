@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestVecValue(t *testing.T) {
+	RunFixtureTest(t, VecValue, "testdata/vecvalue")
+}

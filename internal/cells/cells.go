@@ -90,6 +90,8 @@ func (g *Grid) coord(x, inv float64, n int) int {
 
 // Assign distributes all atoms of s into cells. It must be called before
 // Neighbors and after any batch of position updates.
+//
+//mw:hotpath
 func (g *Grid) Assign(s *atom.System) {
 	n := s.N()
 	if cap(g.next) < n {
@@ -111,6 +113,8 @@ func (g *Grid) Assign(s *atom.System) {
 // extended slice. The j > i half-pairing is exactly Molecular Workbench's
 // scheme: each pair is processed once, by its lower-indexed atom, which is
 // why lower-numbered atoms carry more work (paper §II-B).
+//
+//mw:hotpath
 func (g *Grid) AppendNeighbors(s *atom.System, i int, rng float64, buf []int32) []int32 {
 	r2 := rng * rng
 	pi := s.Pos[i]
@@ -199,6 +203,8 @@ func NewNeighborList(cutoff, skin float64) *NeighborList {
 }
 
 // Build (re)constructs the list from scratch using linked cells: O(N).
+//
+//mw:hotpath
 func (nl *NeighborList) Build(s *atom.System) {
 	n := s.N()
 	rng := nl.Cutoff + nl.Skin

@@ -19,6 +19,8 @@ type RangeList struct {
 
 // BuildRange fills rl with the neighbors (j > i, within rng) of atoms
 // [lo, hi) using the already-Assigned grid. Storage is reused across calls.
+//
+//mw:hotpath
 func (g *Grid) BuildRange(s *atom.System, rng float64, lo, hi int, rl *RangeList) {
 	rl.Lo, rl.Hi = lo, hi
 	n := hi - lo
@@ -40,6 +42,8 @@ func (g *Grid) BuildRange(s *atom.System, rng float64, lo, hi int, rl *RangeList
 // from it must not be mirrored to f[j]; the benefit is a perfectly uniform
 // per-atom load shape, the ablation DESIGN.md calls out against §II-B's
 // front-loaded half lists.
+//
+//mw:hotpath
 func (g *Grid) BuildRangeFull(s *atom.System, rng float64, lo, hi int, rl *RangeList) {
 	rl.Lo, rl.Hi = lo, hi
 	n := hi - lo
@@ -88,6 +92,8 @@ func (g *Grid) BuildRangeFull(s *atom.System, rng float64, lo, hi int, rl *Range
 }
 
 // Of returns the neighbor slice of atom i, which must lie in [Lo, Hi).
+//
+//mw:hotpath
 func (rl *RangeList) Of(i int) []int32 {
 	k := i - rl.Lo
 	return rl.Neighbors[rl.Offsets[k]:rl.Offsets[k+1]]
@@ -99,6 +105,8 @@ func (rl *RangeList) Len() int { return len(rl.Neighbors) }
 // MaxDisplacement2 returns the largest squared displacement of atoms
 // [lo, hi) from their reference positions — the per-chunk half of the
 // neighbor-list validity check (phase 2).
+//
+//mw:hotpath
 func MaxDisplacement2(s *atom.System, ref []vec.Vec3, lo, hi int) float64 {
 	var mx float64
 	for i := lo; i < hi; i++ {

@@ -7,14 +7,17 @@ import (
 
 // Thin adapters so the force-phase dispatch reads uniformly.
 
+//mw:hotpath
 func accumulateBonds(sim *Simulation, lo, hi int, f []vec.Vec3) float64 {
 	return forces.AccumulateBondsRange(sim.Sys, sim.Sys.Bonds, lo, hi, f)
 }
 
+//mw:hotpath
 func accumulateAngles(sim *Simulation, lo, hi int, f []vec.Vec3) float64 {
 	return forces.AccumulateAnglesRange(sim.Sys, sim.Sys.Angles, lo, hi, f)
 }
 
+//mw:hotpath
 func accumulateTorsions(sim *Simulation, lo, hi int, f []vec.Vec3) float64 {
 	return forces.AccumulateTorsionsRange(sim.Sys, sim.Sys.Torsions, lo, hi, f)
 }

@@ -166,6 +166,9 @@ func (sim *Simulation) finishPhase(ph Phase, start time.Time) {
 // step (velocity Verlet's half-kick + drift, or Beeman's weighted-
 // acceleration drift), then handle wall collisions. It also clears the
 // shared force array for the shared-mutex reduction mode.
+//
+//mw:hotpath
+//mw:forcewriter
 func (sim *Simulation) predictorPhase() {
 	s := sim.Sys
 	dt := sim.Cfg.Dt
@@ -200,6 +203,8 @@ func (sim *Simulation) predictorPhase() {
 
 // neighborCheckPhase is phase 2: decide whether the neighbor list is still
 // valid by measuring the maximum displacement since the last rebuild.
+//
+//mw:hotpath
 func (sim *Simulation) neighborCheckPhase() {
 	if !sim.listValid {
 		// Nothing to check; a rebuild is already pending.
@@ -266,6 +271,9 @@ func (sim *Simulation) forceItemCount() int {
 // chunk rebuilds its range list immediately before consuming it; then all
 // force families accumulate into per-worker privatized arrays (or the shared
 // array under a mutex in the ablation mode).
+//
+//mw:hotpath
+//mw:forcewriter
 func (sim *Simulation) forcePhase() {
 	s := sim.Sys
 	rebuild := !sim.listValid
@@ -347,6 +355,9 @@ func (sim *Simulation) forcePhase() {
 // reducePhase is phase 5: fold the privatized force arrays into the shared
 // one and clear them for the next step. In shared-mutex mode forces are
 // already in place and only the energy is folded.
+//
+//mw:hotpath
+//mw:forcewriter
 func (sim *Simulation) reducePhase() {
 	var pe float64
 	for _, p := range sim.peWorker {
@@ -379,6 +390,8 @@ func (sim *Simulation) reducePhase() {
 // correctorPhase is phase 6: compute the new acceleration from the reduced
 // forces and complete the velocity update (velocity Verlet's second
 // half-kick, or Beeman's weighted three-acceleration corrector).
+//
+//mw:hotpath
 func (sim *Simulation) correctorPhase() {
 	s := sim.Sys
 	dt := sim.Cfg.Dt

@@ -15,6 +15,8 @@ import (
 
 // AccumulateBondsRange adds harmonic stretch forces for bonds[lo:hi] into f
 // and returns their potential energy: V = ½ K (r - R0)².
+//
+//mw:hotpath
 func AccumulateBondsRange(s *atom.System, bonds []atom.Bond, lo, hi int, f []vec.Vec3) float64 {
 	var pe float64
 	box := s.Box
@@ -38,6 +40,8 @@ func AccumulateBondsRange(s *atom.System, bonds []atom.Bond, lo, hi int, f []vec
 // AccumulateAnglesRange adds harmonic angle-bend forces for angles[lo:hi]
 // into f and returns their potential energy: V = ½ K (θ - θ0)², with θ the
 // angle at vertex J of the triplet I-J-K.
+//
+//mw:hotpath
 func AccumulateAnglesRange(s *atom.System, angles []atom.Angle, lo, hi int, f []vec.Vec3) float64 {
 	var pe float64
 	box := s.Box
@@ -83,6 +87,8 @@ func AccumulateAnglesRange(s *atom.System, angles []atom.Angle, lo, hi int, f []
 // V = ½ V0 (1 - cos(N(φ - φ0))) over the dihedral φ of the chain I-J-K-L.
 // The gradient follows the standard formulation (Allen & Tildesley; see the
 // numerical-gradient tests).
+//
+//mw:hotpath
 func AccumulateTorsionsRange(s *atom.System, torsions []atom.Torsion, lo, hi int, f []vec.Vec3) float64 {
 	var pe float64
 	box := s.Box
@@ -125,6 +131,8 @@ func AccumulateTorsionsRange(s *atom.System, torsions []atom.Torsion, lo, hi int
 
 // AccumulateMorseRange adds Morse bond forces for morses[lo:hi] into f and
 // returns their potential energy: V = D·(1 − e^{−A(r−R0)})².
+//
+//mw:hotpath
 func AccumulateMorseRange(s *atom.System, morses []atom.Morse, lo, hi int, f []vec.Vec3) float64 {
 	var pe float64
 	box := s.Box

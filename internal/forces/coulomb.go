@@ -22,6 +22,8 @@ type Coulomb struct {
 // where ci indexes positions lo ≤ ci < hi of the charged list, into f, and
 // returns their potential energy. The charged list is the System's
 // ChargedIndices(); passing it in lets the engine compute it once per run.
+//
+//mw:hotpath
 func (c Coulomb) AccumulateRange(s *atom.System, charged []int32, lo, hi int, f []vec.Vec3) float64 {
 	var pe float64
 	soft2 := c.Softening * c.Softening
@@ -66,6 +68,8 @@ type Field struct {
 
 // AccumulateRange adds field forces for atoms lo ≤ i < hi. Potential energy
 // of uniform fields is gauge-dependent; it is not accumulated.
+//
+//mw:hotpath
 func (fl Field) AccumulateRange(s *atom.System, lo, hi int, f []vec.Vec3) {
 	for i := lo; i < hi; i++ {
 		fi := f[i]

@@ -71,6 +71,8 @@ func NewLJ(elements []atom.Element, cutoff float64) *LJ {
 // Pairs of two fixed atoms are skipped: the nanocar's immovable gold
 // platform atoms do not interact with one another (paper §III), which is
 // what lowers that benchmark's effective atom count.
+//
+//mw:hotpath
 func (lj *LJ) AccumulateRange(s *atom.System, nl *cells.NeighborList, lo, hi int, f []vec.Vec3) float64 {
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
@@ -116,6 +118,8 @@ func (lj *LJ) Accumulate(s *atom.System, nl *cells.NeighborList, f []vec.Vec3) f
 // AccumulateRangeList adds LJ forces for all pairs held by a per-chunk
 // RangeList into f and returns their potential energy. This is the fused
 // phase-3+4 fast path of the parallel engine.
+//
+//mw:hotpath
 func (lj *LJ) AccumulateRangeList(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
@@ -158,6 +162,8 @@ func (lj *LJ) AccumulateRangeList(s *atom.System, rl *cells.RangeList, f []vec.V
 // energy is halved so the total matches the half-list path. Because no
 // worker ever writes another worker's atoms, this path needs no privatized
 // arrays for the LJ term; the trade is ~2× the pair arithmetic.
+//
+//mw:hotpath
 func (lj *LJ) AccumulateRangeListFull(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff

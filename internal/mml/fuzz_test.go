@@ -22,7 +22,7 @@ func FuzzLoadSystem(f *testing.F) {
 	// the max index was checked) and crash inside BuildExclusions.
 	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]},{"el":"C","p":[2,1,1]}],"angles":[[-1,0,1,1,1.5]],`)))
 	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]},{"el":"C","p":[2,1,1]}],"torsions":[[0,1,-5,1,1,2,0]],`)))
-	f.Add([]byte(model(`"atoms":[{"el":"Xx","p":[1,1,1]}],`)))      // unknown element
+	f.Add([]byte(model(`"atoms":[{"el":"Xx","p":[1,1,1]}],`)))                       // unknown element
 	f.Add([]byte(model(`"atoms":[{"el":"C","p":[1,1,1]}],"bonds":[[0,7,20,1.5]],`))) // out of range
 	f.Add([]byte(`{"version":99}`))
 	f.Add([]byte(`{`))

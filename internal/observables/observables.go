@@ -1,0 +1,187 @@
+// Package observables provides the standard observables a molecular dynamics
+// user computes from trajectories: radial distribution functions, mean
+// squared displacement, velocity autocorrelation, and the virial pressure.
+// These are the quantities the Molecular Workbench GUI plots for students;
+// here they double as physics-level validation of the engine.
+package observables
+
+import (
+	"math"
+
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/units"
+	"mw/internal/vec"
+)
+
+// RDF accumulates the radial distribution function g(r) over snapshots.
+type RDF struct {
+	RMax   float64
+	Bins   []float64 // accumulated pair counts per shell
+	nAtoms int
+	frames int
+	volume float64
+}
+
+// NewRDF creates an accumulator with nbins shells up to rmax.
+func NewRDF(rmax float64, nbins int) *RDF {
+	if rmax <= 0 || nbins <= 0 {
+		panic("analysis: invalid RDF parameters")
+	}
+	return &RDF{RMax: rmax, Bins: make([]float64, nbins)}
+}
+
+// Accumulate adds one snapshot (all pairs, minimum image).
+func (r *RDF) Accumulate(s *atom.System) {
+	n := s.N()
+	dr := r.RMax / float64(len(r.Bins))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := s.Box.MinImage(s.Pos[j].Sub(s.Pos[i])).Norm()
+			if d < r.RMax {
+				r.Bins[int(d/dr)] += 2 // each pair counts for both atoms
+			}
+		}
+	}
+	r.nAtoms = n
+	r.frames++
+	r.volume = s.Box.Volume()
+}
+
+// G returns the normalized g(r) at bin centers.
+func (r *RDF) G() (rs, g []float64) {
+	if r.frames == 0 || r.nAtoms == 0 {
+		return nil, nil
+	}
+	dr := r.RMax / float64(len(r.Bins))
+	rho := float64(r.nAtoms) / r.volume
+	rs = make([]float64, len(r.Bins))
+	g = make([]float64, len(r.Bins))
+	for b := range r.Bins {
+		rs[b] = (float64(b) + 0.5) * dr
+		shell := 4 * math.Pi * rs[b] * rs[b] * dr
+		ideal := rho * shell * float64(r.nAtoms) * float64(r.frames)
+		if ideal > 0 {
+			g[b] = r.Bins[b] / ideal
+		}
+	}
+	return rs, g
+}
+
+// MSD tracks mean squared displacement from a reference snapshot, with
+// periodic-image unwrapping.
+type MSD struct {
+	ref    []vec.Vec3
+	prev   []vec.Vec3
+	unwrap []vec.Vec3 // accumulated unwrapped displacement
+	box    atom.Box
+}
+
+// NewMSD captures the reference positions.
+func NewMSD(s *atom.System) *MSD {
+	return &MSD{
+		ref:    append([]vec.Vec3(nil), s.Pos...),
+		prev:   append([]vec.Vec3(nil), s.Pos...),
+		unwrap: make([]vec.Vec3, s.N()),
+		box:    s.Box,
+	}
+}
+
+// Update advances the unwrapped displacement using minimum-image steps and
+// returns the current MSD in Å².
+func (m *MSD) Update(s *atom.System) float64 {
+	var sum float64
+	for i := range m.ref {
+		step := m.box.MinImage(s.Pos[i].Sub(m.prev[i]))
+		m.unwrap[i] = m.unwrap[i].Add(step)
+		m.prev[i] = s.Pos[i]
+		sum += m.unwrap[i].Norm2()
+	}
+	return sum / float64(len(m.ref))
+}
+
+// VACF accumulates the normalized velocity autocorrelation C(k) between the
+// reference snapshot's velocities and later ones.
+type VACF struct {
+	v0     []vec.Vec3
+	norm   float64
+	Series []float64
+}
+
+// NewVACF captures reference velocities.
+func NewVACF(s *atom.System) *VACF {
+	v := &VACF{v0: append([]vec.Vec3(nil), s.Vel...)}
+	for _, u := range v.v0 {
+		v.norm += u.Norm2()
+	}
+	return v
+}
+
+// Sample appends C(now) = <v(0)·v(t)> / <v(0)²>.
+func (v *VACF) Sample(s *atom.System) float64 {
+	var dot float64
+	for i, u := range v.v0 {
+		dot += u.Dot(s.Vel[i])
+	}
+	c := 0.0
+	if v.norm > 0 {
+		c = dot / v.norm
+	}
+	v.Series = append(v.Series, c)
+	return c
+}
+
+// Pressure returns the instantaneous virial pressure of an LJ system in
+// eV/Å³: P = (N·k_B·T + W/3) / V with W = Σ_pairs f·r. Only Lennard-Jones
+// pair interactions contribute to the virial here (the paper's benchmarks
+// are evaluated in closed boxes; pressure is an engine-validation
+// diagnostic for periodic LJ systems).
+func Pressure(s *atom.System, lj *LJVirial) float64 {
+	if !s.Box.Periodic {
+		panic("analysis: pressure needs a periodic box")
+	}
+	w := lj.Virial(s)
+	n := float64(s.NumMobile())
+	v := s.Box.Volume()
+	return (n*units.Boltzmann*s.Temperature() + w/3) / v
+}
+
+// LJVirial computes the Lennard-Jones pair virial with the same cutoff and
+// combination rules as the engine's force kernel.
+type LJVirial struct {
+	Cutoff float64
+	Skin   float64
+	nl     *cells.NeighborList
+}
+
+// NewLJVirial creates a virial calculator.
+func NewLJVirial(cutoff, skin float64) *LJVirial {
+	return &LJVirial{Cutoff: cutoff, Skin: skin, nl: cells.NewNeighborList(cutoff, skin)}
+}
+
+// Virial returns W = Σ_pairs f(r)·r for the LJ interactions.
+func (l *LJVirial) Virial(s *atom.System) float64 {
+	l.nl.Build(s)
+	c2 := l.Cutoff * l.Cutoff
+	var w float64
+	for i := 0; i < s.N(); i++ {
+		ei := s.Elements[s.Elem[i]]
+		for _, j := range l.nl.Of(i) {
+			if s.Excl.Excluded(int32(i), j) {
+				continue
+			}
+			d := s.Box.MinImage(s.Pos[j].Sub(s.Pos[i]))
+			r2 := d.Norm2()
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			sigma, eps := atom.MixLJ(ei, s.Elements[s.Elem[j]])
+			sr2 := sigma * sigma / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			// f·r = 24ε(2(σ/r)¹² − (σ/r)⁶)
+			w += 24 * eps * (2*sr12 - sr6)
+		}
+	}
+	return w
+}

@@ -70,6 +70,8 @@ func (p *FixedPool) worker(w int) {
 }
 
 // Execute implements Executor.
+//
+//mw:hotpath
 func (p *FixedPool) Execute(t Task) { p.queue.Put(t) }
 
 // Workers implements Executor.
@@ -148,6 +150,8 @@ func (p *PinnedPools) worker(w int) {
 // Submit enqueues a task on worker w's private queue. This is the mechanism
 // for directing "tasks and computations using the same subsets of the
 // simulation data … to the same thread" (temporal cache locality, §V-B).
+//
+//mw:hotpath
 func (p *PinnedPools) Submit(w int, t Task) {
 	if w < 0 || w >= len(p.queues) {
 		panic(fmt.Sprintf("pool: worker %d out of range [0,%d)", w, len(p.queues)))
@@ -156,6 +160,8 @@ func (p *PinnedPools) Submit(w int, t Task) {
 }
 
 // Execute implements Executor with round-robin placement (no affinity).
+//
+//mw:hotpath
 func (p *PinnedPools) Execute(t Task) {
 	// Round-robin over queue lengths: place on the shortest queue to mimic a
 	// submitter with no locality preference.

@@ -48,6 +48,8 @@ func (q *Queue) lock() {
 }
 
 // Put appends a task. It panics if the queue is closed.
+//
+//mw:hotpath
 func (q *Queue) Put(t Task) {
 	q.lock()
 	if q.closed {
@@ -62,6 +64,8 @@ func (q *Queue) Put(t Task) {
 
 // Take removes the oldest task, blocking while the queue is empty. It
 // returns ok=false once the queue is closed and drained.
+//
+//mw:hotpath
 func (q *Queue) Take() (Task, bool) {
 	q.lock()
 	for len(q.tasks) == 0 && !q.closed {
@@ -79,6 +83,8 @@ func (q *Queue) Take() (Task, bool) {
 }
 
 // TryTake removes a task without blocking; ok=false if none available.
+//
+//mw:hotpath
 func (q *Queue) TryTake() (Task, bool) {
 	q.lock()
 	defer q.mu.Unlock()

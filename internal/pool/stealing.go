@@ -37,12 +37,14 @@ type deque struct {
 	items []WTask
 }
 
+//mw:hotpath
 func (d *deque) pushBottom(t WTask) {
 	d.mu.Lock()
 	d.items = append(d.items, t)
 	d.mu.Unlock()
 }
 
+//mw:hotpath
 func (d *deque) popBottom() (WTask, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -54,6 +56,7 @@ func (d *deque) popBottom() (WTask, bool) {
 	return t, true
 }
 
+//mw:hotpath
 func (d *deque) stealTop() (WTask, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -90,6 +93,8 @@ func NewStealingPools(n int) *StealingPools {
 // SubmitFor enqueues a task on the owner's deque. Any worker may end up
 // executing it. Tasks submitted from inside other tasks are not supported
 // once Shutdown has been called.
+//
+//mw:hotpath
 func (p *StealingPools) SubmitFor(owner int, t WTask) {
 	p.mu.Lock()
 	if p.stopped {
@@ -135,6 +140,8 @@ func (p *StealingPools) worker(w int) {
 }
 
 // find pops locally or steals from victims in round-robin order.
+//
+//mw:hotpath
 func (p *StealingPools) find(w int) (WTask, bool) {
 	if t, ok := p.deques[w].popBottom(); ok {
 		return t, false

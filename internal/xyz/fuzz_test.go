@@ -12,9 +12,9 @@ func FuzzReadFrames(f *testing.F) {
 	f.Add("1\n\nNa 0 0 0\n2\n\nCl 1 1 1\nCl 2 2 2\n") // two frames
 	f.Add("notanumber\n")
 	f.Add("-3\nc\n")
-	f.Add("3\nc\nAr 1 2\n")        // short atom line
-	f.Add("2\nc\nAr x y z\n")      // bad coordinates
-	f.Add("5\nc\nAr 1 2 3\n")      // truncated frame
+	f.Add("3\nc\nAr 1 2\n")   // short atom line
+	f.Add("2\nc\nAr x y z\n") // bad coordinates
+	f.Add("5\nc\nAr 1 2 3\n") // truncated frame
 	// Regression: a header claiming 10^15 atoms used to preallocate the
 	// whole slice before reading a single atom line.
 	f.Add("1000000000000000\nboom\n")
