@@ -4,7 +4,7 @@ GO ?= go
 # again under the race detector in `make verify`.
 RACE_PKGS := ./internal/core ./internal/pool ./internal/verify
 
-.PHONY: build test vet lint race race-bench fuzz verify clean
+.PHONY: build test vet lint race race-bench telemetry-overhead fuzz verify clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ race-bench:
 		-bench 'BenchmarkStep|BenchmarkQueueTopology|BenchmarkForceReduction' \
 		-benchtime 1x .
 
+# Observer-effect regression gate: the live telemetry layer must stay under
+# a 2% overhead on every paper workload (§IV-A methodology applied to
+# internal/telemetry itself). Fails the build on a breach.
+telemetry-overhead:
+	$(GO) run ./cmd/mwbench observer-native -gate
+
 # Short fuzz smoke of the parsers (seed corpus always runs under plain
 # `go test`; this adds a minute of coverage-guided exploration).
 fuzz:
@@ -42,7 +48,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrames -fuzztime=30s ./internal/xyz
 
 # The full correctness gate — what CI runs. See README.md §Verification.
-verify: lint build test race race-bench
+verify: lint build test race race-bench telemetry-overhead
 
 clean:
 	$(GO) clean ./...

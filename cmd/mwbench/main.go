@@ -15,6 +15,8 @@
 //	fig1-native         Fig 1     wall-clock speedup on this host
 //	fig2                Fig 2     thread-to-core affinity without pinning
 //	observer            §IV-A     monitor observer effect
+//	observer-native     §IV-A     live telemetry layer's own observer effect
+//	                              (-gate enforces the overhead budget)
 //	sampling            §IV-B     sampler granularity vs ground truth
 //	threadview          §IV-C     per-thread view, truth vs sampled display
 //	imbalance           §IV       force-phase load balance per partition
@@ -28,6 +30,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -43,7 +46,7 @@ func main() {
 	if os.Args[1] == "all" {
 		for _, name := range []string{
 			"table1", "table2", "fig1", "fig2", "table3",
-			"observer", "sampling", "threadview", "imbalance", "packing", "pollution",
+			"observer", "observer-native", "sampling", "threadview", "imbalance", "packing", "pollution",
 			"scaling", "pme", "ablation",
 		} {
 			if code := run(os.Stdout, os.Stderr, name, nil); code != 0 {
@@ -63,7 +66,12 @@ func run(stdout, stderr io.Writer, name string, args []string) int {
 		fmt.Fprintf(stderr, "unknown experiment %q\n\n", name)
 		usage(stderr)
 		return 2
+	case err == errBadFlags:
+		return 2
 	case err != nil:
+		// Experiments that fail a gate still return their report; show it so
+		// the failure is diagnosable from the build log alone.
+		fmt.Fprint(stdout, out)
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
@@ -71,7 +79,34 @@ func run(stdout, stderr io.Writer, name string, args []string) int {
 	return 0
 }
 
-var errUnknown = fmt.Errorf("unknown experiment")
+var (
+	errUnknown = fmt.Errorf("unknown experiment")
+	// errBadFlags: the FlagSet already printed the diagnostic and usage.
+	errBadFlags = fmt.Errorf("bad flags")
+)
+
+// observerNative runs the live-telemetry observer-effect experiment; with
+// -gate the overhead budget becomes a hard failure (the CI regression gate).
+func observerNative(args []string) (string, error) {
+	fs := flag.NewFlagSet("observer-native", flag.ContinueOnError)
+	steps := fs.Int("steps", 0, "timesteps per trial (0 = default)")
+	trials := fs.Int("trials", 0, "paired trials per mode (0 = default)")
+	budget := fs.Float64("budget", 0, "ring-recorder overhead budget in percent (0 = 2%)")
+	gate := fs.Bool("gate", false, "exit non-zero if the ring recorder breaches the budget")
+	if err := fs.Parse(args); err != nil {
+		return "", errBadFlags
+	}
+	r, err := experiments.ObserverNative(*steps, *trials, *budget)
+	if err != nil {
+		return "", err
+	}
+	if *gate {
+		if err := r.Gate(); err != nil {
+			return r.Report, err
+		}
+	}
+	return r.Report, nil
+}
 
 func experiment(name string, args []string) (string, error) {
 	switch name {
@@ -105,6 +140,8 @@ func experiment(name string, args []string) (string, error) {
 			return "", err
 		}
 		return r.Report, nil
+	case "observer-native":
+		return observerNative(args)
 	case "sampling":
 		return experiments.Sampling(0).Report, nil
 	case "threadview":
@@ -160,6 +197,7 @@ func experiment(name string, args []string) (string, error) {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: mwbench <experiment>
-experiments: table1 table2 table3 fig1 fig1-native fig2 observer sampling
-             threadview imbalance packing pollution scaling pme ablation all`)
+experiments: table1 table2 table3 fig1 fig1-native fig2 observer
+             observer-native sampling threadview imbalance packing pollution
+             scaling pme ablation all`)
 }

@@ -20,6 +20,7 @@ import (
 	"mw/internal/core"
 	"mw/internal/mml"
 	"mw/internal/report"
+	"mw/internal/telemetry"
 	"mw/internal/workload"
 	"mw/internal/xyz"
 )
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		thermo    = fs.String("thermostat", "none", "temperature control: none, rescale, berendsen, langevin")
 		trajPath  = fs.String("traj", "", "write an XYZ trajectory (one frame per -report-every interval)")
 		target    = fs.Float64("target-temp", 300, "thermostat target temperature (K)")
+		teleAddr  = fs.String("telemetry-addr", "", "serve live telemetry (JSON, Prometheus, pprof) on this address, e.g. :8077 (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,6 +113,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "unknown queue topology %q\n", *queues)
 		return 2
+	}
+
+	// The engine always runs instrumented — the ring-buffer recorder is the
+	// low-overhead monitor the observer-native experiment gates under 2%, so
+	// there is no "fast path without it" worth a flag. -telemetry-addr only
+	// decides whether the state is additionally served over HTTP for mwtop.
+	rec := telemetry.NewRecorder(*threads, core.PhaseNames())
+	cfg.Telemetry = rec
+	if *teleAddr != "" {
+		srv, addr, err := telemetry.Serve(*teleAddr, rec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "telemetry: http://%s/telemetry.json (JSON), /metrics (Prometheus), /debug/pprof/\n", addr)
 	}
 
 	sim, err := core.New(b.Sys, cfg)
@@ -181,10 +199,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		float64(nsteps)*cfg.Dt/1000, wall.Round(time.Millisecond),
 		float64(nsteps)/wall.Seconds())
 
-	t := report.NewTable("Per-phase wall time", "Phase", "Total (ms)", "Mean/step (µs)")
+	snap := rec.Snapshot(0)
+	t := report.NewTable("Per-phase wall time", "Phase", "Total (ms)", "Mean/step (µs)", "p50 (µs)", "p99 (µs)")
 	for ph := core.PhasePredictor; ph < core.NumPhases; ph++ {
 		total := sim.PhaseWall[ph].Sum()
-		t.AddRow(ph.String(), total*1e3, total/float64(nsteps)*1e6)
+		t.AddRow(ph.String(), total*1e3, total/float64(nsteps)*1e6,
+			snap.Phases[ph].P50Micros, snap.Phases[ph].P99Micros)
 	}
 	fmt.Fprint(stdout, t.String())
 

@@ -75,3 +75,22 @@ func TestEndToEndRun(t *testing.T) {
 		t.Errorf("reloaded model output:\n%s", out2.String())
 	}
 }
+
+func TestTelemetryAddrServesWhileRunning(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-bench", "lj-gas", "-n", "3", "-steps", "10", "-threads", "2",
+		"-telemetry-addr", "127.0.0.1:0",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "telemetry: http://127.0.0.1:") {
+		t.Errorf("expected the bound telemetry address in output:\n%s", s)
+	}
+	// The final phase table is enriched from the same recorder.
+	if !strings.Contains(s, "p99 (µs)") {
+		t.Errorf("expected quantile columns in the phase table:\n%s", s)
+	}
+}

@@ -1,0 +1,130 @@
+// Command mwtop is "top" for a running engine: it polls the telemetry
+// endpoint an mwsim started with -telemetry-addr and renders a live
+// per-phase / per-worker view of the simulation — phase latency quantiles
+// from the log-bucketed histograms, and each worker's chunk, steal and park
+// counters. It is the read side of the §IV lesson the telemetry package
+// implements: watching the engine must not perturb it, so mwtop only ever
+// reads atomic snapshots over HTTP.
+//
+// Usage:
+//
+//	mwsim -bench salt -threads 4 -ps 50 -telemetry-addr :8077 &
+//	mwtop -addr localhost:8077
+//	mwtop -addr localhost:8077 -once -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"mw/internal/report"
+	"mw/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "localhost:8077", "telemetry address of a running mwsim (-telemetry-addr)")
+		interval = fs.Duration("interval", time.Second, "refresh interval")
+		once     = fs.Bool("once", false, "print one snapshot and exit")
+		asJSON   = fs.Bool("json", false, "emit the raw snapshot JSON instead of tables")
+		events   = fs.Int("events", 10, "recent events to show (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	for {
+		snap, err := fetch(*addr, *events)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		} else {
+			render(stdout, snap, !*once)
+		}
+		if *once {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch pulls one snapshot from the telemetry endpoint.
+func fetch(addr string, events int) (*telemetry.Snapshot, error) {
+	url := fmt.Sprintf("http://%s/telemetry.json?events=%d", addr, events)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("mwtop: %w (is mwsim running with -telemetry-addr?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mwtop: %s returned %s", url, resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mwtop: decoding snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// render writes the snapshot as tables; clear redraws in place (watch mode).
+func render(w io.Writer, snap *telemetry.Snapshot, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(w, "mwtop — step %d, %d workers, up %.1fs, %d dropped events\n",
+		snap.Steps, snap.Workers, snap.UptimeSeconds, snap.Dropped)
+
+	pt := report.NewTable("Phases (wall time per instance)",
+		"Phase", "Count", "Mean (µs)", "p50 (µs)", "p90 (µs)", "p99 (µs)", "Total (s)")
+	for _, p := range snap.Phases {
+		pt.AddRow(p.Phase, float64(p.Count), p.MeanMicros, p.P50Micros, p.P90Micros, p.P99Micros, p.TotalSeconds)
+	}
+	fmt.Fprint(w, pt.String())
+
+	wt := report.NewTable("Workers",
+		"Worker", "Chunks", "Steals", "Parks", "Parked (s)", "Busy (s)")
+	for _, wv := range snap.PerWorker {
+		var busy float64
+		for _, s := range wv.BusySeconds {
+			busy += s
+		}
+		wt.AddRow(fmt.Sprintf("%d", wv.Worker),
+			float64(wv.Chunks), float64(wv.Steals), float64(wv.Parks), wv.ParkSeconds, busy)
+	}
+	fmt.Fprint(w, wt.String())
+
+	if len(snap.Recent) > 0 {
+		fmt.Fprintln(w, "Recent events:")
+		for _, ev := range snap.Recent {
+			who := "coord"
+			if ev.Worker >= 0 {
+				who = fmt.Sprintf("w%d", ev.Worker)
+			}
+			label := ev.Kind
+			if ev.Phase != "" {
+				label += " " + ev.Phase
+			}
+			fmt.Fprintf(w, "  %9.3fs  %-6s step %-6d %s\n",
+				float64(ev.AtUS)/1e6, who, ev.Step, label)
+		}
+	}
+}

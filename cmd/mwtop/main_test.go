@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mw/internal/telemetry"
+)
+
+// liveRecorder builds a recorder with a little of everything in it and
+// serves it the way a running mwsim would.
+func liveRecorder() *telemetry.Recorder {
+	rec := telemetry.NewRecorder(2, []string{"predictor", "force"})
+	rec.PhaseBegin(1, 1)
+	rec.Chunk(0, 1)
+	rec.Chunk(1, 1)
+	rec.Steal(1)
+	rec.Park(0, 3*time.Millisecond)
+	rec.PhaseEnd(1, 1, 8*time.Millisecond, []time.Duration{3 * time.Millisecond, 5 * time.Millisecond})
+	rec.StepDone(1)
+	return rec
+}
+
+func TestOnceRendersTables(t *testing.T) {
+	srv := httptest.NewServer(telemetry.Handler(liveRecorder()))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", addr, "-once"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"mwtop — step 1, 2 workers",
+		"Phases (wall time per instance)",
+		"force",
+		"Workers",
+		"Recent events:",
+		"steal",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "\x1b[2J") {
+		t.Error("-once must not emit watch-mode clear-screen escapes")
+	}
+}
+
+func TestOnceJSONRoundTrips(t *testing.T) {
+	srv := httptest.NewServer(telemetry.Handler(liveRecorder()))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", addr, "-once", "-json", "-events", "4"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("-json output is not a snapshot: %v\n%s", err, out.String())
+	}
+	if snap.Workers != 2 || snap.Steps != 1 {
+		t.Errorf("snapshot: workers=%d steps=%d, want 2/1", snap.Workers, snap.Steps)
+	}
+	if len(snap.Recent) == 0 || len(snap.Recent) > 4 {
+		t.Errorf("recent events: got %d, want 1..4", len(snap.Recent))
+	}
+}
+
+func TestUnreachableEndpointExits1(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:1", "-once"}, &out, &errw); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "telemetry-addr") {
+		t.Errorf("diagnostic should point at -telemetry-addr: %q", errw.String())
+	}
+}
+
+func TestBadFlagsExit2(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errw); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

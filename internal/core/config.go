@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mw/internal/forces"
+	"mw/internal/telemetry"
 )
 
 // Partition selects how work chunks are assigned to workers within a phase
@@ -173,6 +174,16 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
+// PhaseNames returns the phase-name table indexed by Phase — the table a
+// telemetry.Recorder for this engine should be built with.
+func PhaseNames() []string {
+	names := make([]string, NumPhases)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		names[ph] = ph.String()
+	}
+	return names
+}
+
 // Instrument receives engine events; implementations live in
 // internal/perfmon. A nil instrument costs two branch checks per phase.
 // Instrument implementations are themselves the subject of the paper's §IV-A
@@ -222,6 +233,13 @@ type Config struct {
 	Field forces.Field
 	// Instrument optionally receives per-phase events.
 	Instrument Instrument
+	// Telemetry optionally receives live engine events — phase begin/end,
+	// per-chunk completions, and (via the pool executors) steals and parks.
+	// Unlike Instrument, which the perfmon experiments swap per run, this is
+	// the always-on production monitor: a telemetry.Recorder here costs a
+	// few nanoseconds per event (the observer-native experiment gates it
+	// under 2%), and nil costs one branch per phase plus one per chunk.
+	Telemetry telemetry.Sink
 	// ChunkHook, when set, is invoked by the worker after every processed
 	// work chunk. It is the injection point for fine-grained monitors (the
 	// JaMON-style per-work-unit instrumentation whose observer effect §IV-A

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime/trace"
 	"sync/atomic"
 	"time"
 
@@ -10,11 +12,27 @@ import (
 	"mw/internal/vec"
 )
 
+// phaseRegion holds static runtime/trace region names per phase, so opening
+// a region never builds a string on the schedule path.
+var phaseRegion = [NumPhases]string{
+	"mw.predictor", "mw.neighbor-check", "mw.force", "mw.reduce", "mw.corrector",
+}
+
+// beginPhase emits the telemetry phase-begin event; paired with the
+// phase-end emitted by finishPhase.
+func (sim *Simulation) beginPhase(ph Phase) {
+	if tele := sim.Cfg.Telemetry; tele != nil {
+		tele.PhaseBegin(sim.step, uint8(ph))
+	}
+}
+
 // schedule executes items 0..count-1 across the workers according to the
 // configured partition strategy, with a barrier at the end (the engine's
 // inter-phase synchronization). fn must be safe for concurrent invocation
 // with distinct worker ids; each item is processed exactly once.
 func (sim *Simulation) schedule(ph Phase, count int, fn func(worker, item int)) {
+	defer trace.StartRegion(context.Background(), phaseRegion[ph]).End()
+	sim.beginPhase(ph)
 	start := time.Now()
 	w := sim.Cfg.Threads
 	if hook := sim.Cfg.ChunkHook; hook != nil {
@@ -22,6 +40,14 @@ func (sim *Simulation) schedule(ph Phase, count int, fn func(worker, item int)) 
 		fn = func(worker, item int) {
 			inner(worker, item)
 			hook(worker)
+		}
+	}
+	if tele := sim.Cfg.Telemetry; tele != nil {
+		phase := uint8(ph)
+		inner := fn
+		fn = func(worker, item int) {
+			inner(worker, item)
+			tele.Chunk(worker, phase)
 		}
 	}
 	if (sim.ex == nil && sim.stealing == nil) || w == 1 || count == 0 {
@@ -160,6 +186,9 @@ func (sim *Simulation) finishPhase(ph Phase, start time.Time) {
 	if sim.Cfg.Instrument != nil {
 		sim.Cfg.Instrument.PhaseDone(sim.step, ph, wall, sim.busy)
 	}
+	if tele := sim.Cfg.Telemetry; tele != nil {
+		tele.PhaseEnd(sim.step, uint8(ph), wall, sim.busy)
+	}
 }
 
 // predictorPhase is phase 1: advance positions with a second-order Taylor
@@ -208,6 +237,7 @@ func (sim *Simulation) predictorPhase() {
 func (sim *Simulation) neighborCheckPhase() {
 	if !sim.listValid {
 		// Nothing to check; a rebuild is already pending.
+		sim.beginPhase(PhaseNeighborCheck)
 		for w := range sim.busy {
 			sim.busy[w] = 0
 		}
@@ -365,6 +395,7 @@ func (sim *Simulation) reducePhase() {
 	}
 	sim.pe = pe
 	if sim.Cfg.Reduce == ReduceSharedMutex {
+		sim.beginPhase(PhaseReduce)
 		for w := range sim.busy {
 			sim.busy[w] = 0
 		}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/trace"
 	"sync"
 	"time"
 
@@ -145,18 +147,36 @@ func New(sys *atom.System, cfg Config) (*Simulation, error) {
 	}
 
 	// Initial force evaluation fills Force and Acc. It is bootstrap, not a
-	// timestep: instruments must not see it as a phase instance. The force
-	// array must be cleared first: a system cloned from a previous run
-	// carries that run's forces, and the shared-mutex mode accumulates into
-	// Force in place (privatized mode overwrites it during reduce, but
+	// timestep: instruments and telemetry must not see it as a phase
+	// instance (nor its tasks as chunks or parks) — counting bootstrap is
+	// exactly the metric pollution the maintenance paths elsewhere avoid.
+	// The force array must be cleared first: a system cloned from a previous
+	// run carries that run's forces, and the shared-mutex mode accumulates
+	// into Force in place (privatized mode overwrites it during reduce, but
 	// zeroing is cheap and keeps both modes on the same contract).
 	sys.ZeroForces()
-	inst := sim.Cfg.Instrument
+	inst, tele := sim.Cfg.Instrument, sim.Cfg.Telemetry
 	sim.Cfg.Instrument = nil
+	sim.Cfg.Telemetry = nil
 	sim.listValid = false
 	sim.forcePhase()
 	sim.reducePhase()
 	sim.Cfg.Instrument = inst
+	sim.Cfg.Telemetry = tele
+	if tele != nil {
+		// Pool-level events (steals, parks) flow to the same sink, armed
+		// only now so bootstrap parks are invisible.
+		switch {
+		case sim.pinned != nil:
+			sim.pinned.SetTelemetry(tele)
+		case sim.stealing != nil:
+			sim.stealing.SetTelemetry(tele)
+		case sim.ex != nil:
+			if fp, ok := sim.ex.(*pool.FixedPool); ok {
+				fp.SetTelemetry(tele)
+			}
+		}
+	}
 	for i := range sys.Acc {
 		sys.Acc[i] = sys.Force[i].Scale(sys.InvMass[i] * units.ForceToAccel)
 	}
@@ -185,6 +205,7 @@ func (sim *Simulation) Close() {
 // Step advances the simulation by one timestep through the full phase
 // sequence.
 func (sim *Simulation) Step() {
+	region := trace.StartRegion(context.Background(), "mw.step")
 	sim.step++
 	sim.predictorPhase()
 	sim.neighborCheckPhase()
@@ -196,6 +217,10 @@ func (sim *Simulation) Step() {
 	sim.correctorPhase()
 	if sim.Cfg.Thermostat != nil {
 		sim.Cfg.Thermostat.Apply(sim.Sys, sim.Cfg.Dt)
+	}
+	region.End()
+	if tele := sim.Cfg.Telemetry; tele != nil {
+		tele.StepDone(sim.step)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"mw/internal/atom"
 	"mw/internal/cells"
 	"mw/internal/forces"
+	"mw/internal/telemetry"
 	"mw/internal/vec"
 )
 
@@ -509,5 +510,64 @@ func TestSnapshotDiff(t *testing.T) {
 	}
 	if s := d.String(); !strings.Contains(s, "pos=") {
 		t.Errorf("diff string %q", s)
+	}
+}
+
+func TestTelemetryObservesEngineNotBootstrap(t *testing.T) {
+	// The recorder wired through Config.Telemetry must see every timestep's
+	// phases and chunks — and nothing from New's bootstrap force evaluation,
+	// which is setup, not simulation (the same contract Instrument has).
+	rec := telemetry.NewRecorder(2, PhaseNames())
+	sim := mustSim(t, ljGas(4, 2.2, 120, true), Config{
+		Threads: 2, ChunkAtoms: 8, Telemetry: rec,
+	})
+	defer sim.Close()
+
+	if snap := rec.Snapshot(0); snap.Phases[PhaseForce].Count != 0 {
+		t.Fatalf("bootstrap leaked into telemetry: force-phase count %d before any Step",
+			snap.Phases[PhaseForce].Count)
+	}
+
+	const steps = 5
+	sim.Run(steps)
+	snap := rec.Snapshot(16)
+	if snap.Steps != steps {
+		t.Errorf("steps: got %d want %d", snap.Steps, steps)
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		if got := snap.Phases[ph].Count; got != steps {
+			t.Errorf("phase %v: count %d want %d", ph, got, steps)
+		}
+	}
+	// 64 atoms in chunks of 8 → 8 chunks per atom-partitioned phase; the
+	// force phase adds its (empty) bonded families' zero chunks on top, so
+	// just require a sensible total split across both workers.
+	var chunks int64
+	for _, wv := range snap.PerWorker {
+		chunks += wv.Chunks
+	}
+	if chunks < int64(steps)*3*8 {
+		t.Errorf("chunk events: got %d, want at least %d", chunks, steps*3*8)
+	}
+	if len(snap.Recent) == 0 {
+		t.Error("expected recent events after a run")
+	}
+}
+
+func TestTelemetryWorksAcrossTopologies(t *testing.T) {
+	for _, q := range []QueueTopology{SharedQueue, PerWorkerQueues, WorkStealingQueues} {
+		rec := telemetry.NewRecorder(2, PhaseNames())
+		sim := mustSim(t, ljGas(3, 2.2, 120, true), Config{
+			Threads: 2, ChunkAtoms: 4, LJCutoff: 2.5, Skin: 0.4, Queues: q, Telemetry: rec,
+		})
+		sim.Run(3)
+		sim.Close()
+		snap := rec.Snapshot(0)
+		if snap.Phases[PhaseForce].Count != 3 {
+			t.Errorf("%v: force-phase count %d want 3", q, snap.Phases[PhaseForce].Count)
+		}
+		if snap.Dropped != 0 {
+			t.Errorf("%v: %d dropped events", q, snap.Dropped)
+		}
 	}
 }

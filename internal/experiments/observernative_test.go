@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserverNativeProducesRowsAndReport(t *testing.T) {
+	// Tiny steps/trials: this exercises the full off/ring/naive pipeline,
+	// not the timing quality, so the budget is set high enough that host
+	// noise cannot fail the run.
+	r, err := ObserverNative(2, 1, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.OffWall <= 0 || row.RingWall <= 0 || row.NaiveWall <= 0 {
+			t.Errorf("%s: non-positive wall times: off=%v ring=%v naive=%v",
+				row.Workload, row.OffWall, row.RingWall, row.NaiveWall)
+		}
+		if row.RingChunkEvents == 0 {
+			t.Errorf("%s: recorder saw no chunk events", row.Workload)
+		}
+	}
+	if !strings.Contains(r.Report, "observer effect") {
+		t.Errorf("report missing title:\n%s", r.Report)
+	}
+	if !strings.Contains(r.Report, "PASS") && !strings.Contains(r.Report, "FAIL") {
+		t.Errorf("report has no verdict:\n%s", r.Report)
+	}
+}
+
+func TestObserverNativeGate(t *testing.T) {
+	res := &ObserverNativeResult{
+		BudgetPct: 2,
+		Rows: []ObserverNativeRow{
+			{Workload: "ok", RingOverheadPct: 1.2, RingChunkEvents: 10},
+		},
+	}
+	if err := res.Gate(); err != nil {
+		t.Errorf("in-budget row failed the gate: %v", err)
+	}
+	res.Rows = append(res.Rows, ObserverNativeRow{Workload: "hot", RingOverheadPct: 2.5, RingChunkEvents: 10})
+	if err := res.Gate(); err == nil || !strings.Contains(err.Error(), "hot") {
+		t.Errorf("over-budget row not reported: %v", err)
+	}
+	res.Rows = []ObserverNativeRow{{Workload: "empty", RingOverheadPct: 0}}
+	if err := res.Gate(); err == nil || !strings.Contains(err.Error(), "measured nothing") {
+		t.Errorf("zero-event row not reported: %v", err)
+	}
+}
+
+func TestOverheadEstimateTakesTheSmallerBound(t *testing.T) {
+	ms := func(vs ...float64) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v * float64(time.Millisecond))
+		}
+		return out
+	}
+	// Two preempted ring trials inflate the median to 10%, but the min
+	// walls agree at 100ms: the floor estimator wins and reports 0.
+	off := ms(100, 100, 100)
+	ring := ms(110, 110, 100)
+	if got := overheadEstimate(ring, off); got != 0 {
+		t.Errorf("outlier trials: got %.3f%%, want 0", got)
+	}
+	// A genuine 10% cost moves every trial together: both estimators see
+	// it and the gate cannot be dodged.
+	ring = ms(110, 110, 110)
+	if got := overheadEstimate(ring, off); got < 9.9 || got > 10.1 {
+		t.Errorf("real cost: got %.3f%%, want ~10", got)
+	}
+	// Drift: the off series never lands a quiet slot as low as its true
+	// floor in the same trials the ring does, but pairing cancels it.
+	off = ms(100, 120, 140)
+	ring = ms(101, 121, 141)
+	if got := overheadEstimate(ring, off); got > 1.1 {
+		t.Errorf("drift: got %.3f%%, want ~<=1", got)
+	}
+	// A clamped negative is noise, not a speedup.
+	if got := overheadEstimate(ms(95, 96, 97), ms(100, 100, 100)); got != 0 {
+		t.Errorf("faster-than-off: got %.3f%%, want 0", got)
+	}
+	if got := overheadEstimate(nil, nil); got != 0 {
+		t.Errorf("empty series: got %.3f%%, want 0", got)
+	}
+}
+
+func TestMedianOverheadPct(t *testing.T) {
+	d := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v)
+		}
+		return out
+	}
+	if got := medianOverheadPct(d(102, 104, 199), d(100, 100, 100)); got != 4 {
+		t.Errorf("odd count: got %v, want 4 (median ignores the outlier)", got)
+	}
+	if got := medianOverheadPct(d(102, 104), d(100, 100)); got != 3 {
+		t.Errorf("even count: got %v, want 3", got)
+	}
+	if got := medianOverheadPct(d(90, 95, 98), d(100, 100, 100)); got != 0 {
+		t.Errorf("negative median clamps: got %v, want 0", got)
+	}
+}

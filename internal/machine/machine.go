@@ -96,8 +96,8 @@ func Run(cfg Config, streams []memtrace.Stream, repeat int) (Result, error) {
 		// model the coarse thread-state view of §IV-B). Unprovoked
 		// migration churn matches Fig 2's observed rate (~100+/s for
 		// unpinned threads).
-		BlockProb:   0.005,
-		WakeProb:    0.98,
+		BlockProb:   sched.Prob(0.005),
+		WakeProb:    sched.Prob(0.98),
 		MigrateProb: 0.1,
 		Seed:        cfg.Seed,
 	})

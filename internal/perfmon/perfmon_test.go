@@ -248,3 +248,33 @@ func TestStopwatch(t *testing.T) {
 		t.Error("stopwatch did not record into monitor")
 	}
 }
+
+func TestSamplerGapOnlySamplesAreNotFalsePositives(t *testing.T) {
+	// Regression: a sample whose running threads all sit in trace gaps
+	// (intervals with Step = -1, i.e. work outside any timestep's phase)
+	// used to be counted as a false positive even though the display showed
+	// no phase at all. Thread 0 runs non-phase work for 10 ms while thread 1
+	// waits: an imbalance *pattern*, but not a phase artifact.
+	tl := &Timeline{
+		Threads: [][]Interval{
+			{{Start: 0, End: 10 * time.Millisecond, State: StateRunning, Step: -1}},
+			{}, // always waiting
+		},
+		Horizon: 10 * time.Millisecond,
+	}
+	rep := Sampler{Period: 4 * time.Millisecond}.Run(tl, 1.0)
+	if rep.Samples != 3 {
+		t.Fatalf("got %d samples, want 3", rep.Samples)
+	}
+	if rep.FalsePositives != 0 {
+		t.Errorf("gap-only samples produced %d false positives, want 0", rep.FalsePositives)
+	}
+
+	// Control: the same shape inside a real (non-event) phase interval must
+	// still be flagged as a stale-display false positive.
+	tl.Threads[0][0].Step = 7
+	rep = Sampler{Period: 4 * time.Millisecond}.Run(tl, 1.0)
+	if rep.FalsePositives == 0 {
+		t.Error("phase-backed imbalance pattern with no true event must stay a false positive")
+	}
+}

@@ -102,15 +102,22 @@ func (s Sampler) Run(tl *Timeline, threshold float64) SampleReport {
 			}
 		}
 		// An "imbalance pattern": some threads running while others wait.
+		// A sample only counts as a false positive when some running thread
+		// actually sits in a phase interval (step ≥ 0): if every running
+		// thread is in a trace gap, nothing was displayed *as a phase*, so
+		// there is no spurious phase imbalance to mis-attribute.
 		if nRun > 0 && nWait > 0 {
-			overlapsTrue := false
+			overlapsTrue, anyPhase := false, false
 			for th := 0; th < nth; th++ {
-				if running[th] && steps[th] >= 0 && trueEvents[steps[th]] {
-					detected[steps[th]] = true
-					overlapsTrue = true
+				if running[th] && steps[th] >= 0 {
+					anyPhase = true
+					if trueEvents[steps[th]] {
+						detected[steps[th]] = true
+						overlapsTrue = true
+					}
 				}
 			}
-			if !overlapsTrue {
+			if anyPhase && !overlapsTrue {
 				rep.FalsePositives++
 			}
 		}

@@ -1,10 +1,22 @@
 package pool
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// spawnLabeled starts fn as a worker goroutine carrying pprof labels, so CPU
+// profiles of a running engine split per pool kind and per worker.
+func spawnLabeled(kind string, w int, fn func()) {
+	go pprof.Do(context.Background(),
+		pprof.Labels("mw_pool", kind, "mw_worker", strconv.Itoa(w)),
+		func(context.Context) { fn() })
+}
 
 // Executor is the role java.util.concurrent.ExecutorService plays in
 // Molecular Workbench: accept tasks, run them on a fixed set of workers.
@@ -31,8 +43,9 @@ type WorkerStats struct {
 // will be picked up by the next available thread. On the other hand … all
 // threads are contending for access to that single resource."
 type FixedPool struct {
-	queue   *Queue
-	n       int
+	queue *Queue
+	n     int
+	teleSlot
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	stats   []WorkerStats
@@ -47,7 +60,8 @@ func NewFixedPool(n int) *FixedPool {
 	p := &FixedPool{queue: NewQueue(), n: n, stats: make([]WorkerStats, n)}
 	p.wg.Add(n)
 	for w := 0; w < n; w++ {
-		go p.worker(w)
+		w := w
+		spawnLabeled("fixed", w, func() { p.worker(w) })
 	}
 	return p
 }
@@ -55,7 +69,12 @@ func NewFixedPool(n int) *FixedPool {
 func (p *FixedPool) worker(w int) {
 	defer p.wg.Done()
 	for {
-		t, ok := p.queue.Take()
+		t, ok, waited := p.queue.TakeTimed()
+		if waited > 0 {
+			if tele := p.load(); tele != nil {
+				tele.Park(w, waited)
+			}
+		}
 		if !ok {
 			return
 		}
@@ -109,7 +128,9 @@ func (p *FixedPool) QueueStats() (enqueued, dequeued, contended int64) {
 // one-queue-per-thread layout of §II-B: no queue contention, but an
 // overloaded queue leaves other workers idle.
 type PinnedPools struct {
-	queues  []*Queue
+	queues []*Queue
+	rr     atomic.Uint64 // round-robin ticket counter for Execute
+	teleSlot
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	stats   []WorkerStats
@@ -125,7 +146,8 @@ func NewPinnedPools(n int) *PinnedPools {
 	p.wg.Add(n)
 	for w := 0; w < n; w++ {
 		p.queues[w] = NewQueue()
-		go p.worker(w)
+		w := w
+		spawnLabeled("pinned", w, func() { p.worker(w) })
 	}
 	return p
 }
@@ -133,7 +155,12 @@ func NewPinnedPools(n int) *PinnedPools {
 func (p *PinnedPools) worker(w int) {
 	defer p.wg.Done()
 	for {
-		t, ok := p.queues[w].Take()
+		t, ok, waited := p.queues[w].TakeTimed()
+		if waited > 0 {
+			if tele := p.load(); tele != nil {
+				tele.Park(w, waited)
+			}
+		}
 		if !ok {
 			return
 		}
@@ -159,19 +186,17 @@ func (p *PinnedPools) Submit(w int, t Task) {
 	p.queues[w].Put(t)
 }
 
-// Execute implements Executor with round-robin placement (no affinity).
+// Execute implements Executor with true round-robin placement (no
+// affinity): an atomic ticket counter deals tasks to the private queues in
+// strict rotation. The previous shortest-queue scan read every queue's Len
+// and then Put non-atomically, so concurrent submitters raced to the same
+// momentarily-short queue and fast workers made every length read 0 —
+// collapsing "no locality preference" into "everything on queue 0".
 //
 //mw:hotpath
 func (p *PinnedPools) Execute(t Task) {
-	// Round-robin over queue lengths: place on the shortest queue to mimic a
-	// submitter with no locality preference.
-	best, bestLen := 0, int(^uint(0)>>1)
-	for i, q := range p.queues {
-		if l := q.Len(); l < bestLen {
-			best, bestLen = i, l
-		}
-	}
-	p.queues[best].Put(t)
+	w := int((p.rr.Add(1) - 1) % uint64(len(p.queues)))
+	p.queues[w].Put(t)
 }
 
 // Workers implements Executor.

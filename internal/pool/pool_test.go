@@ -449,3 +449,67 @@ func TestSingleQueueContentionExceedsPerWorkerQueues(t *testing.T) {
 			sharedContended, privContended)
 	}
 }
+
+func TestQueueMaintenancePathsLeaveContentionUntouched(t *testing.T) {
+	// Regression: Close and Len used to go through the counting lock(), so
+	// the §II-B "threads contending for a single resource" counter included
+	// monitoring and maintenance acquisitions. Hammering Len (and a final
+	// Close) from many goroutines with no worker traffic must leave the
+	// counter exactly where worker traffic put it.
+	q := NewQueue()
+	for i := 0; i < 100; i++ {
+		q.Put(func() {})
+	}
+	for i := 0; i < 50; i++ {
+		q.TryTake()
+	}
+	_, _, before := q.Stats()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				q.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	if _, _, after := q.Stats(); after != before {
+		t.Errorf("Len/Close polling moved the contention counter: %d → %d", before, after)
+	}
+}
+
+func TestPinnedPoolsExecuteRoundRobinExact(t *testing.T) {
+	// Regression: Execute claimed round-robin but did a racy shortest-queue
+	// scan; with fast workers every Len read 0 and placement collapsed onto
+	// queue 0. True round-robin deals exactly tasks/workers to each private
+	// queue — and each queue is consumed only by its own worker, so the
+	// per-worker task counts are the placement distribution.
+	const workers, perWorker = 4, 100
+	p := NewPinnedPools(workers)
+	const tasks = workers * perWorker
+	latch := NewLatch(tasks)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ { // concurrent submitters exercise the atomicity
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < tasks/4; i++ {
+				p.Execute(func() { <-gate; latch.CountDown() })
+			}
+		}()
+	}
+	wg.Wait()
+	close(gate)
+	latch.Await()
+	p.Shutdown()
+	for w, s := range p.Stats() {
+		if s.Tasks != perWorker {
+			t.Errorf("worker %d executed %d tasks, want exactly %d", w, s.Tasks, perWorker)
+		}
+	}
+}

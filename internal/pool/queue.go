@@ -14,6 +14,7 @@ package pool
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Task is one unit of work submitted to an executor.
@@ -40,6 +41,11 @@ func NewQueue() *Queue {
 	return q
 }
 
+// lock acquires the queue mutex and counts the acquisition as contended if
+// the lock was already held. Only the worker-facing operations (Put, Take,
+// TryTake) go through it: maintenance and monitoring paths (Close, Len) use
+// the mutex directly so that polling the queue does not pollute the §II-B
+// contention counter it is trying to observe.
 func (q *Queue) lock() {
 	if !q.mu.TryLock() {
 		q.contended.Add(1)
@@ -67,19 +73,34 @@ func (q *Queue) Put(t Task) {
 //
 //mw:hotpath
 func (q *Queue) Take() (Task, bool) {
+	t, ok, _ := q.TakeTimed()
+	return t, ok
+}
+
+// TakeTimed is Take plus a measurement of how long the caller blocked
+// waiting for a task — 0 when one was immediately available. Pool workers
+// report the blocked time as park events to telemetry; the clock only runs
+// on the empty-queue path, so a loaded queue pays nothing for it.
+//
+//mw:hotpath
+func (q *Queue) TakeTimed() (t Task, ok bool, waited time.Duration) {
 	q.lock()
-	for len(q.tasks) == 0 && !q.closed {
-		q.nonEmpty.Wait()
+	if len(q.tasks) == 0 && !q.closed {
+		t0 := time.Now()
+		for len(q.tasks) == 0 && !q.closed {
+			q.nonEmpty.Wait()
+		}
+		waited = time.Since(t0)
 	}
 	if len(q.tasks) == 0 {
 		q.mu.Unlock()
-		return nil, false
+		return nil, false, waited
 	}
-	t := q.tasks[0]
+	t = q.tasks[0]
 	q.tasks = q.tasks[1:]
 	q.dequeued.Add(1)
 	q.mu.Unlock()
-	return t, true
+	return t, true, waited
 }
 
 // TryTake removes a task without blocking; ok=false if none available.
@@ -100,15 +121,16 @@ func (q *Queue) TryTake() (Task, bool) {
 // Close marks the queue closed; blocked Take calls drain remaining tasks and
 // then return ok=false.
 func (q *Queue) Close() {
-	q.lock()
+	q.mu.Lock()
 	q.closed = true
 	q.mu.Unlock()
 	q.nonEmpty.Broadcast()
 }
 
-// Len returns the current number of queued tasks.
+// Len returns the current number of queued tasks. It is a monitoring path
+// and deliberately bypasses the contention accounting.
 func (q *Queue) Len() int {
-	q.lock()
+	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.tasks)
 }

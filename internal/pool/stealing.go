@@ -3,6 +3,7 @@ package pool
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WTask is a work item that learns which worker executed it — needed by
@@ -18,6 +19,7 @@ type WTask func(worker int)
 type StealingPools struct {
 	deques []*deque
 	n      int
+	teleSlot
 
 	mu      sync.Mutex
 	idle    *sync.Cond
@@ -85,7 +87,8 @@ func NewStealingPools(n int) *StealingPools {
 	}
 	p.wg.Add(n)
 	for w := 0; w < n; w++ {
-		go p.worker(w)
+		w := w
+		spawnLabeled("stealing", w, func() { p.worker(w) })
 	}
 	return p
 }
@@ -122,6 +125,9 @@ func (p *StealingPools) worker(w int) {
 			p.executed[w].Add(1)
 			if stolen {
 				p.steals[w].Add(1)
+				if tele := p.load(); tele != nil {
+					tele.Steal(w)
+				}
 			}
 			continue
 		}
@@ -131,11 +137,21 @@ func (p *StealingPools) worker(w int) {
 		// Nothing found: park until a newer submit or shutdown. Comparing
 		// against the sequence observed BEFORE the sweep closes the race
 		// where a task lands mid-sweep.
+		var waited time.Duration
 		p.mu.Lock()
-		for p.seq == seen && !p.stopped {
-			p.idle.Wait()
+		if p.seq == seen && !p.stopped {
+			t0 := time.Now()
+			for p.seq == seen && !p.stopped {
+				p.idle.Wait()
+			}
+			waited = time.Since(t0)
 		}
 		p.mu.Unlock()
+		if waited > 0 {
+			if tele := p.load(); tele != nil {
+				tele.Park(w, waited)
+			}
+		}
 	}
 }
 

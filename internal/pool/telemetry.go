@@ -1,0 +1,49 @@
+package pool
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Telemetry receives pool-level scheduling events: steals and parks. It is a
+// narrow structural subset of internal/telemetry's Sink, declared here so the
+// pool does not depend on the telemetry package; a *telemetry.Recorder (or
+// any Sink) satisfies it directly.
+type Telemetry interface {
+	// Steal is called by the executing worker after it runs a task taken
+	// from another worker's deque.
+	Steal(worker int)
+	// Park is called after a worker blocked waiting for work, with the time
+	// it spent blocked.
+	Park(worker int, wait time.Duration)
+}
+
+// teleRef boxes the interface so pools can install it atomically while
+// workers are already running: workers load the pointer once per event, which
+// is race-free without touching the queue locks.
+type teleRef struct{ t Telemetry }
+
+// teleSlot is the shared install/load mechanics embedded in each pool type.
+type teleSlot struct {
+	ref atomic.Pointer[teleRef]
+}
+
+// SetTelemetry installs (or, with nil, removes) the event sink. Safe to call
+// while workers run; events race-freely start flowing to the new sink.
+func (s *teleSlot) SetTelemetry(t Telemetry) {
+	if t == nil {
+		s.ref.Store(nil)
+		return
+	}
+	s.ref.Store(&teleRef{t: t})
+}
+
+// load returns the installed sink or nil.
+//
+//mw:hotpath
+func (s *teleSlot) load() Telemetry {
+	if r := s.ref.Load(); r != nil {
+		return r.t
+	}
+	return nil
+}

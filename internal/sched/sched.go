@@ -37,16 +37,21 @@ type Config struct {
 	BackgroundDuty float64
 	// BlockProb is the per-quantum probability that a running worker parks
 	// at a synchronization point. Irregular applications with per-phase
-	// barriers park constantly; default 0.4.
-	BlockProb float64
+	// barriers park constantly; nil defaults to 0.4. The field is a pointer
+	// so that an explicit Prob(0) ("never parks") is distinguishable from
+	// unset — a plain float64 zero value used to be silently replaced by
+	// the default, making that scenario impossible to simulate.
+	BlockProb *float64
 	// WakeProb is the per-quantum probability that a parked worker wakes.
-	// Default 0.9 (barriers are short).
-	WakeProb float64
+	// nil defaults to 0.9 (barriers are short); Prob(0) means parked
+	// threads never wake.
+	WakeProb *float64
 	// StayBias is the probability that the scheduler keeps a woken thread
 	// on its previous core when that core is not the least loaded (soft
-	// affinity). Default 0.3 — the paper observed "the degree of thread
-	// affinity was quite low".
-	StayBias float64
+	// affinity). nil defaults to 0.3 — the paper observed "the degree of
+	// thread affinity was quite low" — and Prob(0) means no deliberate
+	// affinity bias at all.
+	StayBias *float64
 	// MigrateProb is the per-quantum probability that a *running* unpinned
 	// thread is moved anyway (rebalancing, interrupt steering, JVM service
 	// threads displacing it) — the churn Fig 2 shows even for threads that
@@ -57,18 +62,22 @@ type Config struct {
 	Seed      int64
 }
 
+// Prob returns a pointer to p, for setting the Config probability fields
+// whose zero value must stay distinguishable from "unset".
+func Prob(p float64) *float64 { return &p }
+
+// orDefault resolves an optional probability: nil means the default, an
+// explicit pointer — including Prob(0) — is honored as configured.
+func orDefault(p *float64, def float64) float64 {
+	if p == nil {
+		return def
+	}
+	return *p
+}
+
 func (c Config) withDefaults() Config {
 	if c.Threads <= 0 {
 		c.Threads = 1
-	}
-	if c.BlockProb == 0 {
-		c.BlockProb = 0.4
-	}
-	if c.WakeProb == 0 {
-		c.WakeProb = 0.9
-	}
-	if c.StayBias == 0 {
-		c.StayBias = 0.3
 	}
 	if c.QuantumUS <= 0 {
 		c.QuantumUS = 1000
@@ -86,6 +95,11 @@ const Parked = -1
 type Scheduler struct {
 	cfg Config
 	rng *rand.Rand
+
+	// Resolved probabilities (Config pointers with defaults applied).
+	blockProb float64
+	wakeProb  float64
+	stayBias  float64
 
 	cores      int
 	workerCore []int // current core or Parked
@@ -114,6 +128,9 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		blockProb:  orDefault(cfg.BlockProb, 0.4),
+		wakeProb:   orDefault(cfg.WakeProb, 0.9),
+		stayBias:   orDefault(cfg.StayBias, 0.3),
 		cores:      cores,
 		workerCore: make([]int, cfg.Threads),
 		prevCore:   make([]int, cfg.Threads),
@@ -182,7 +199,7 @@ func (s *Scheduler) Step() {
 		switch {
 		case s.workerCore[w] != Parked:
 			// Running: maybe park at a synchronization point.
-			if s.rng.Float64() < s.cfg.BlockProb {
+			if s.rng.Float64() < s.blockProb {
 				s.prevCore[w] = s.workerCore[w]
 				s.workerCore[w] = Parked
 				continue
@@ -206,7 +223,7 @@ func (s *Scheduler) Step() {
 			}
 		default:
 			// Parked: maybe wake; placement decision happens here.
-			if s.rng.Float64() < s.cfg.WakeProb {
+			if s.rng.Float64() < s.wakeProb {
 				s.place(w)
 			}
 		}
@@ -253,7 +270,7 @@ func (s *Scheduler) place(w int) {
 		}
 	}
 	best := prev
-	if !prevTies || s.rng.Float64() >= s.cfg.StayBias {
+	if !prevTies || s.rng.Float64() >= s.stayBias {
 		best = candidates[s.rng.Intn(len(candidates))]
 	}
 	if best != prev {
@@ -288,7 +305,10 @@ func (s *Scheduler) BackgroundAt(q int) []int8 { return s.bgTrace[q] }
 
 // LoadMatrix buckets worker w's trace into the Fig 2 heat map: rows are
 // cores, columns time buckets, values the fraction of each bucket's quanta
-// the worker spent on that core.
+// the worker spent on that core. Each bucket is normalized by the number of
+// quanta it actually covers — when quanta does not divide evenly into
+// buckets the widths differ, and normalizing by the average width would push
+// the wider buckets' fractions past 1.
 func (s *Scheduler) LoadMatrix(w, buckets int) [][]float64 {
 	if buckets <= 0 || s.quanta == 0 {
 		return nil
@@ -298,6 +318,14 @@ func (s *Scheduler) LoadMatrix(w, buckets int) [][]float64 {
 		m[c] = make([]float64, buckets)
 	}
 	per := float64(s.quanta) / float64(buckets)
+	width := make([]int, buckets)
+	for q := 0; q < s.quanta; q++ {
+		b := int(float64(q) / per)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		width[b]++
+	}
 	for q, c := range s.trace[w] {
 		if c < 0 {
 			continue
@@ -306,7 +334,7 @@ func (s *Scheduler) LoadMatrix(w, buckets int) [][]float64 {
 		if b >= buckets {
 			b = buckets - 1
 		}
-		m[c][b] += 1 / per
+		m[c][b] += 1 / float64(width[b])
 	}
 	return m
 }

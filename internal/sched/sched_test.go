@@ -149,7 +149,7 @@ func TestLoadMatrixProperties(t *testing.T) {
 }
 
 func TestParkedFractionTracksBlockProb(t *testing.T) {
-	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, BlockProb: 0.5, WakeProb: 0.5, Seed: 11})
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, BlockProb: Prob(0.5), WakeProb: Prob(0.5), Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestParkedFractionTracksBlockProb(t *testing.T) {
 func TestStayBiasOneKeepsThreadPut(t *testing.T) {
 	// With full stay bias and an idle machine, the previous core always ties
 	// for least loaded and is always kept: no migrations.
-	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, Background: 0, StayBias: 1, Seed: 13})
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, Background: 0, StayBias: Prob(1), Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,5 +213,99 @@ func TestZeroMaskMeansUnrestricted(t *testing.T) {
 	s.Run(2000)
 	if v := s.CoresVisited(0, 2000); v < 2 {
 		t.Errorf("zero mask behaved as pinned (visited %d cores)", v)
+	}
+}
+
+func TestExplicitZeroBlockProbNeverParks(t *testing.T) {
+	// Regression: a plain-float64 BlockProb of 0 used to be silently
+	// replaced by the 0.4 default, so "never parks" was unsimulatable.
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 2, BlockProb: Prob(0), Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5000)
+	for w := 0; w < 2; w++ {
+		for q := 0; q < s.Quanta(); q++ {
+			if s.CoreAt(w, q) == Parked {
+				t.Fatalf("worker %d parked at q=%d despite BlockProb=Prob(0)", w, q)
+			}
+		}
+	}
+	if got := s.blockProb; got != 0 {
+		t.Errorf("resolved blockProb = %v, want 0", got)
+	}
+}
+
+func TestExplicitZeroWakeProbNeverWakes(t *testing.T) {
+	// BlockProb 1 parks the worker on the first quantum; WakeProb Prob(0)
+	// must keep it parked forever rather than decaying to the 0.9 default.
+	s, err := New(Config{Machine: topo.CoreI7, Threads: 1, BlockProb: Prob(1), WakeProb: Prob(0), Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	for q := 1; q < s.Quanta(); q++ {
+		if s.CoreAt(0, q) != Parked {
+			t.Fatalf("worker woke at q=%d despite WakeProb=Prob(0)", q)
+		}
+	}
+}
+
+func TestExplicitZeroStayBiasHonored(t *testing.T) {
+	// With StayBias Prob(0) on an idle machine every wake placement is a
+	// uniform pick over the 4 tied cores, so the migration-per-wake rate is
+	// 3/4. Under the silently-applied 0.3 default it is 0.7·3/4 = 0.525.
+	// The observed rate over many wakes separates the two cleanly.
+	s, err := New(Config{
+		Machine: topo.CoreI7, Threads: 1, Background: 0,
+		BlockProb: Prob(0.5), WakeProb: Prob(1), StayBias: Prob(0), Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const quanta = 20000
+	s.Run(quanta)
+	wakes := 0
+	tr := s.Trace(0)
+	for q := 1; q < len(tr); q++ {
+		if tr[q-1] == Parked && tr[q] != Parked {
+			wakes++
+		}
+	}
+	if wakes < 1000 {
+		t.Fatalf("too few wakes (%d) for a stable rate", wakes)
+	}
+	rate := float64(s.Migrations(0)) / float64(wakes)
+	if rate < 0.65 {
+		t.Errorf("migration-per-wake rate %.3f; want ≈0.75 (unbiased), got the biased default instead?", rate)
+	}
+	if got := s.stayBias; got != 0 {
+		t.Errorf("resolved stayBias = %v, want 0", got)
+	}
+}
+
+func TestLoadMatrixNonDivisibleBuckets(t *testing.T) {
+	// Regression: with quanta % buckets != 0 every bucket used to be
+	// normalized by the average width quanta/buckets, so the wider buckets'
+	// column sums exceeded 1 (10 quanta / 4 buckets: bucket 0 covers 3
+	// quanta but was normalized by 2.5 → 1.2).
+	s, err := New(Config{
+		Machine: topo.CoreI7, Threads: 1,
+		Affinity:  []topo.CPUMask{topo.MaskOf(0)},
+		BlockProb: Prob(0), Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	m := s.LoadMatrix(0, 4)
+	for b := 0; b < 4; b++ {
+		col := 0.0
+		for c := range m {
+			col += m[c][b]
+		}
+		if math.Abs(col-1) > 1e-9 {
+			t.Errorf("bucket %d column sum = %v, want exactly 1 (always-running pinned thread)", b, col)
+		}
 	}
 }

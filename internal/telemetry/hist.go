@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log₂ duration buckets: bucket b counts
+// durations in [2^(b-1), 2^b) ns, so the last bucket starts at ~9 minutes
+// and everything longer saturates into it.
+const histBuckets = 40
+
+// Histogram is a log-bucketed latency histogram. Observe is a single
+// bounds-check plus two atomic adds on state owned by one writer, so it is
+// safe (and cheap) to read concurrently while the owner keeps recording.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64 // total nanoseconds
+	n      atomic.Int64
+}
+
+// Observe records one duration.
+//
+//mw:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, histBuckets)
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the log buckets: it
+// finds the bucket holding the q·n-th observation and returns the geometric
+// midpoint of that bucket's range. Log-bucket resolution means the estimate
+// is within a factor √2 of the true value — plenty for a live phase table.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.counts[b].Load()
+		if cum >= target {
+			return bucketMid(b)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// bucketMid returns the geometric midpoint of bucket b's range
+// [2^(b-1), 2^b) ns; bucket 0 holds only zero durations.
+func bucketMid(b int) time.Duration {
+	if b == 0 {
+		return 0
+	}
+	lo := math.Exp2(float64(b - 1))
+	return time.Duration(lo * math.Sqrt2)
+}

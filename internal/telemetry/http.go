@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the telemetry HTTP surface for a live recorder:
+//
+//	/telemetry.json  expvar-style JSON snapshot (what cmd/mwtop consumes)
+//	/metrics         Prometheus text exposition
+//	/debug/pprof/    the standard profiles; worker goroutines carry
+//	                 mw_pool/mw_worker pprof labels, so CPU profiles split
+//	                 per worker
+//	/                a tiny index
+//
+// The snapshot endpoints read only atomic state, so hitting them while a
+// simulation runs costs the engine nothing but cache traffic.
+func Handler(r *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, req *http.Request) {
+		events := 64
+		if req.URL.Query().Get("events") != "" {
+			fmt.Sscanf(req.URL.Query().Get("events"), "%d", &events)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot(events))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writePrometheus(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "mw telemetry — %d workers, step %d, up %.1fs\n\n"+
+			"  /telemetry.json   JSON snapshot (mwtop)\n"+
+			"  /metrics          Prometheus text\n"+
+			"  /debug/pprof/     profiles (workers labeled mw_worker=N)\n",
+			r.Workers(), r.Steps(), r.Uptime().Seconds())
+	})
+	return mux
+}
+
+// Serve starts the telemetry endpoint on addr (":0" picks a free port) and
+// returns the server and the bound address. The server runs until Close.
+func Serve(addr string, r *Recorder) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// writePrometheus renders the recorder as Prometheus text exposition.
+func writePrometheus(w http.ResponseWriter, r *Recorder) {
+	snap := r.Snapshot(0)
+	fmt.Fprintf(w, "# TYPE mw_steps_total counter\nmw_steps_total %d\n", snap.Steps)
+	fmt.Fprintf(w, "# TYPE mw_uptime_seconds gauge\nmw_uptime_seconds %g\n", snap.UptimeSeconds)
+	fmt.Fprintf(w, "# TYPE mw_dropped_events_total counter\nmw_dropped_events_total %d\n", snap.Dropped)
+
+	fmt.Fprintf(w, "# TYPE mw_phase_wall_seconds_total counter\n")
+	for _, p := range snap.Phases {
+		fmt.Fprintf(w, "mw_phase_wall_seconds_total{phase=%q} %g\n", p.Phase, p.TotalSeconds)
+	}
+	fmt.Fprintf(w, "# TYPE mw_phase_count_total counter\n")
+	for _, p := range snap.Phases {
+		fmt.Fprintf(w, "mw_phase_count_total{phase=%q} %d\n", p.Phase, p.Count)
+	}
+	// Log₂ histogram as a Prometheus cumulative histogram; bucket b's upper
+	// bound is 2^b ns expressed in seconds.
+	fmt.Fprintf(w, "# TYPE mw_phase_wall_duration_seconds histogram\n")
+	for _, p := range snap.Phases {
+		var cum uint64
+		for b, c := range p.Buckets {
+			cum += c
+			if c == 0 && b != len(p.Buckets)-1 {
+				continue
+			}
+			le := math.Exp2(float64(b)) / 1e9
+			fmt.Fprintf(w, "mw_phase_wall_duration_seconds_bucket{phase=%q,le=%q} %d\n",
+				p.Phase, fmt.Sprintf("%g", le), cum)
+		}
+		fmt.Fprintf(w, "mw_phase_wall_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", p.Phase, cum)
+		fmt.Fprintf(w, "mw_phase_wall_duration_seconds_sum{phase=%q} %g\n", p.Phase, p.TotalSeconds)
+		fmt.Fprintf(w, "mw_phase_wall_duration_seconds_count{phase=%q} %d\n", p.Phase, p.Count)
+	}
+
+	fmt.Fprintf(w, "# TYPE mw_worker_chunks_total counter\n")
+	for _, wv := range snap.PerWorker {
+		fmt.Fprintf(w, "mw_worker_chunks_total{worker=\"%d\"} %d\n", wv.Worker, wv.Chunks)
+	}
+	fmt.Fprintf(w, "# TYPE mw_worker_steals_total counter\n")
+	for _, wv := range snap.PerWorker {
+		fmt.Fprintf(w, "mw_worker_steals_total{worker=\"%d\"} %d\n", wv.Worker, wv.Steals)
+	}
+	fmt.Fprintf(w, "# TYPE mw_worker_parks_total counter\n")
+	for _, wv := range snap.PerWorker {
+		fmt.Fprintf(w, "mw_worker_parks_total{worker=\"%d\"} %d\n", wv.Worker, wv.Parks)
+	}
+	fmt.Fprintf(w, "# TYPE mw_worker_park_seconds_total counter\n")
+	for _, wv := range snap.PerWorker {
+		fmt.Fprintf(w, "mw_worker_park_seconds_total{worker=\"%d\"} %g\n", wv.Worker, wv.ParkSeconds)
+	}
+	fmt.Fprintf(w, "# TYPE mw_worker_busy_seconds_total counter\n")
+	for _, wv := range snap.PerWorker {
+		for ph, s := range wv.BusySeconds {
+			fmt.Fprintf(w, "mw_worker_busy_seconds_total{worker=\"%d\",phase=%q} %g\n",
+				wv.Worker, snap.Phases[ph].Phase, s)
+		}
+	}
+}

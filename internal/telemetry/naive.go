@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// NaiveSink is the deliberately JaMON-like control monitor for the
+// observer-native experiment: every event from every worker serializes on
+// one mutex and updates string-keyed maps, stamping a time.Now() inside the
+// critical section — the synchronized-monitor design whose updates "were
+// serializing the overall performance of MW" (§IV-A). It exists to be
+// measured, not used: the experiment shows it blowing the overhead budget
+// the ring-buffer Recorder stays under.
+type NaiveSink struct {
+	mu     sync.Mutex
+	phases []string
+	counts map[string]int64
+	nanos  map[string]int64
+	last   map[string]time.Time
+	steps  int64
+}
+
+// NewNaiveSink creates the control monitor for the given phase-name table.
+func NewNaiveSink(phases []string) *NaiveSink {
+	return &NaiveSink{
+		phases: append([]string(nil), phases...),
+		counts: map[string]int64{},
+		nanos:  map[string]int64{},
+		last:   map[string]time.Time{},
+	}
+}
+
+func (n *NaiveSink) label(phase uint8) string {
+	if int(phase) < len(n.phases) {
+		return n.phases[phase]
+	}
+	return "unknown"
+}
+
+// record is the shared mutex-per-event path: map lookups, a timestamp and
+// an inter-arrival update, all under one global lock.
+func (n *NaiveSink) record(label string) {
+	now := time.Now()
+	n.mu.Lock()
+	n.counts[label]++
+	if prev, ok := n.last[label]; ok {
+		n.nanos[label] += int64(now.Sub(prev))
+	}
+	n.last[label] = now
+	n.mu.Unlock()
+}
+
+// PhaseBegin implements Sink.
+func (n *NaiveSink) PhaseBegin(step int, phase uint8) { n.record(n.label(phase)) }
+
+// PhaseEnd implements Sink.
+func (n *NaiveSink) PhaseEnd(step int, phase uint8, wall time.Duration, workerBusy []time.Duration) {
+	n.record(n.label(phase))
+}
+
+// Chunk implements Sink — the per-work-unit path the experiment hammers.
+func (n *NaiveSink) Chunk(worker int, phase uint8) { n.record(n.label(phase)) }
+
+// Steal implements Sink.
+func (n *NaiveSink) Steal(worker int) { n.record("steal") }
+
+// Park implements Sink.
+func (n *NaiveSink) Park(worker int, wait time.Duration) { n.record("park") }
+
+// StepDone implements Sink.
+func (n *NaiveSink) StepDone(step int) {
+	n.mu.Lock()
+	n.steps = int64(step)
+	n.mu.Unlock()
+}
+
+// Count returns the number of events recorded for a label.
+func (n *NaiveSink) Count(label string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counts[label]
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Snapshot is a consistent-enough view of a live Recorder, cheap to take
+// while the engine keeps running: counters are atomic loads, rings are
+// copied without locks, and the producer is never blocked — the snapshot
+// itself obeys the observer-effect budget.
+type Snapshot struct {
+	TakenAt       time.Time       `json:"taken_at"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Steps         int64           `json:"steps"`
+	Workers       int             `json:"workers"`
+	Dropped       int64           `json:"dropped_events"`
+	Phases        []PhaseSnapshot `json:"phases"`
+	PerWorker     []WorkerView    `json:"per_worker"`
+	// Recent holds the most recent decoded events across all rings, oldest
+	// first, capped by the Snapshot call's limit.
+	Recent []Event `json:"recent_events,omitempty"`
+}
+
+// PhaseSnapshot aggregates one phase's wall-time histogram.
+type PhaseSnapshot struct {
+	Phase        string   `json:"phase"`
+	Count        int64    `json:"count"`
+	TotalSeconds float64  `json:"total_seconds"`
+	MeanMicros   float64  `json:"mean_us"`
+	P50Micros    float64  `json:"p50_us"`
+	P90Micros    float64  `json:"p90_us"`
+	P99Micros    float64  `json:"p99_us"`
+	Buckets      []uint64 `json:"buckets,omitempty"`
+}
+
+// WorkerView is one worker's accumulated counters and per-phase busy time.
+type WorkerView struct {
+	Worker       int       `json:"worker"`
+	Chunks       int64     `json:"chunks"`
+	Steals       int64     `json:"steals"`
+	Parks        int64     `json:"parks"`
+	ParkSeconds  float64   `json:"park_seconds"`
+	BusySeconds  []float64 `json:"busy_seconds_per_phase"`
+	BusyP99Micro []float64 `json:"busy_p99_us_per_phase"`
+}
+
+// Snapshot captures the recorder state. recentEvents caps how many decoded
+// ring events are included (0 = none).
+func (r *Recorder) Snapshot(recentEvents int) Snapshot {
+	snap := Snapshot{
+		TakenAt:       time.Now(),
+		UptimeSeconds: r.Uptime().Seconds(),
+		Steps:         r.steps.Load(),
+		Workers:       r.Workers(),
+		Dropped:       r.dropped.Load(),
+	}
+	coord := r.coord()
+	for ph, name := range r.phases {
+		h := &coord.hist[ph]
+		snap.Phases = append(snap.Phases, PhaseSnapshot{
+			Phase:        name,
+			Count:        h.Count(),
+			TotalSeconds: h.Sum().Seconds(),
+			MeanMicros:   micros(h.Mean()),
+			P50Micros:    micros(h.Quantile(0.50)),
+			P90Micros:    micros(h.Quantile(0.90)),
+			P99Micros:    micros(h.Quantile(0.99)),
+			Buckets:      h.Buckets(),
+		})
+	}
+	for w := 0; w < r.Workers(); w++ {
+		s := &r.shards[w]
+		wv := WorkerView{
+			Worker:      w,
+			Chunks:      s.chunks.Load(),
+			Steals:      s.steals.Load(),
+			Parks:       s.parks.Load(),
+			ParkSeconds: time.Duration(s.parkNanos.Load()).Seconds(),
+		}
+		for ph := range r.phases {
+			wv.BusySeconds = append(wv.BusySeconds, s.hist[ph].Sum().Seconds())
+			wv.BusyP99Micro = append(wv.BusyP99Micro, micros(s.hist[ph].Quantile(0.99)))
+		}
+		snap.PerWorker = append(snap.PerWorker, wv)
+	}
+	if recentEvents > 0 {
+		perShard := recentEvents/len(r.shards) + 1
+		for i := range r.shards {
+			owner := i
+			if i == len(r.shards)-1 {
+				owner = -1 // coordinator
+			}
+			for _, ev := range r.shards[i].ring.snapshot(perShard) {
+				snap.Recent = append(snap.Recent, r.decode(owner, ev))
+			}
+		}
+		sort.SliceStable(snap.Recent, func(i, j int) bool {
+			return snap.Recent[i].AtUS < snap.Recent[j].AtUS
+		})
+		if len(snap.Recent) > recentEvents {
+			snap.Recent = snap.Recent[len(snap.Recent)-recentEvents:]
+		}
+	}
+	return snap
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
