@@ -4,7 +4,7 @@ GO ?= go
 # again under the race detector in `make verify`.
 RACE_PKGS := ./internal/core ./internal/pool ./internal/verify
 
-.PHONY: build test vet lint race race-bench telemetry-overhead fuzz verify clean
+.PHONY: build test vet lint race race-bench telemetry-overhead fuzz verify clean bench-json benchdiff
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,18 @@ telemetry-overhead:
 fuzz:
 	$(GO) test -fuzz=FuzzLoadSystem -fuzztime=30s ./internal/mml
 	$(GO) test -fuzz=FuzzReadFrames -fuzztime=30s ./internal/xyz
+	$(GO) test -fuzz=FuzzReorderTopology -fuzztime=30s ./internal/atom
+
+# Benchmark-regression harness (§V-A gate): measures the LJ kernels, whole
+# engine steps and per-phase latency percentiles into the next free
+# BENCH_<n>.json. Compare against the committed baseline with
+# `make benchdiff NEW=BENCH_1.json [TOL=0.15]`.
+bench-json:
+	$(GO) run ./cmd/mwbench bench-json
+
+TOL ?= 0.15
+benchdiff:
+	$(GO) run ./cmd/mwbench benchdiff -base BENCH_0.json -new $(NEW) -tol $(TOL)
 
 # The full correctness gate — what CI runs. See README.md §Verification.
 verify: lint build test race race-bench telemetry-overhead

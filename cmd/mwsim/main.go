@@ -39,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ps        = fs.Float64("ps", 1, "picoseconds to simulate")
 		partition = fs.String("partition", "cyclic", "work partition: cyclic, block, guided, dynamic")
 		queues    = fs.String("queues", "shared", "queue topology: shared, per-worker, stealing")
+		reorder   = fs.Bool("reorder", false, "sort atoms into Morton cell order on neighbor-list rebuilds (output stays in file order)")
+		halflist  = fs.Bool("halflist", true, "Newton-3 half neighbor lists (false = full lists, no mirrored force writes)")
 		n         = fs.Int("n", 5, "lattice size for -bench lj-gas (n³ atoms)")
 		temp      = fs.Float64("temp", 120, "temperature for -bench lj-gas (K)")
 		every     = fs.Int("report-every", 0, "print diagnostics every k steps (0 = summary only)")
@@ -78,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := b.Cfg
 	cfg.Threads = *threads
+	cfg.Reorder = *reorder
+	if !*halflist {
+		cfg.PairLists = core.FullLists
+	}
 	switch *partition {
 	case "cyclic":
 		cfg.Partition = core.PartitionCyclic
@@ -158,7 +164,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 		traj = xyz.NewWriter(f)
-		if err := traj.WriteFrame(b.Sys, "t=0"); err != nil {
+		// Trajectory frames and saved models are always in file (original)
+		// atom order, even when -reorder has permuted the live arrays.
+		if err := traj.WriteFrame(sim.SystemInOriginalOrder(), "t=0"); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -176,7 +184,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "step %6d  t=%7.2f ps  E=%12.4f eV  T=%7.1f K  rebuilds=%d\n",
 				done, float64(done)*cfg.Dt/1000, sim.TotalEnergy(), sim.Sys.Temperature(), sim.Rebuilds())
 			if traj != nil {
-				if err := traj.WriteFrame(b.Sys, fmt.Sprintf("t=%g fs", float64(done)*cfg.Dt)); err != nil {
+				if err := traj.WriteFrame(sim.SystemInOriginalOrder(), fmt.Sprintf("t=%g fs", float64(done)*cfg.Dt)); err != nil {
 					fmt.Fprintln(stderr, err)
 					return 1
 				}
@@ -185,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		sim.Run(nsteps)
 		if traj != nil {
-			if err := traj.WriteFrame(b.Sys, "final"); err != nil {
+			if err := traj.WriteFrame(sim.SystemInOriginalOrder(), "final"); err != nil {
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
@@ -209,7 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprint(stdout, t.String())
 
 	if *savePath != "" {
-		if err := mml.SaveFile(*savePath, mml.FromSystem(b.Name, b.Sys, cfg)); err != nil {
+		if err := mml.SaveFile(*savePath, mml.FromSystem(b.Name, sim.SystemInOriginalOrder(), cfg)); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

@@ -65,6 +65,25 @@ func privatizedIsFine(ex pool.Executor, s *atom.System, priv [][]vec.Vec3) {
 	latch.Await()
 }
 
+// halfListMirroredWrite is the Newton-3 trap specific to half neighbor
+// lists: the owner's write to its own range looks disjoint, but the mirrored
+// f[j] write lands in other workers' ranges — done on the shared array
+// instead of a private one, it races exactly like racyForcePhase, just
+// hidden behind the pair loop. This is why the engine's half-list kernels
+// take a caller-provided f (per-worker private in privatized mode).
+func halfListMirroredWrite(ex pool.Executor, s *atom.System, pairs [][2]int32) {
+	latch := pool.NewLatch(1)
+	ex.Execute(func() {
+		for _, p := range pairs {
+			i, j := p[0], p[1]
+			s.Force[i] = s.Force[i].Add(vec.New(0, 0, 1))  // want `write to shared System.Force from a task body`
+			s.Force[j] = s.Force[j].Add(vec.New(0, 0, -1)) // want `write to shared System.Force from a task body`
+		}
+		latch.CountDown()
+	})
+	latch.Await()
+}
+
 // reduce is a sanctioned reduction entry point: the annotation records that
 // its task bodies partition Force disjointly.
 //

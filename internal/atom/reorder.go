@@ -1,0 +1,237 @@
+package atom
+
+import (
+	"fmt"
+
+	"mw/internal/vec"
+)
+
+// Atom reordering: applying a spatial-sort permutation to every per-atom
+// array of a System and remapping the topology (bond terms, exclusions) to
+// the new indices. This is the engine-native realization of the paper's
+// §V-A data reordering — the part that "was not practical in Java" because
+// the JVM owns object addresses; with SoA slices the permutation is just a
+// gather.
+//
+// The permutation convention throughout is gather order:
+//
+//	order[newIndex] = oldIndex
+//
+// so new slot k receives the atom previously at order[k]. The inverse map
+// (old → new), needed to remap topology indices and to report original atom
+// IDs in trajectories, is maintained alongside.
+
+// CheckOrder verifies that order is a permutation of [0, n). It returns a
+// descriptive error (never panics) for wrong length, out-of-range entries
+// and duplicates — the malformed inputs the reorder fuzz target feeds.
+func CheckOrder(order []int32, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("atom: order length %d, system has %d atoms", len(order), n)
+	}
+	seen := make([]bool, n)
+	for k, o := range order {
+		if o < 0 || int(o) >= n {
+			return fmt.Errorf("atom: order[%d] = %d out of range [0,%d)", k, o, n)
+		}
+		if seen[o] {
+			return fmt.Errorf("atom: order[%d] = %d duplicated", k, o)
+		}
+		seen[o] = true
+	}
+	return nil
+}
+
+// Reorderer applies permutations to Systems while reusing all scratch
+// storage, so steady-state reorders (one per neighbor-list rebuild in the
+// engine) allocate nothing. The zero value is ready to use.
+type Reorderer struct {
+	inv  []int32 // old index → new index
+	v3   []vec.Vec3
+	f64  []float64
+	i16  []int16
+	bool []bool
+
+	// Topology scratch is double-buffered: Apply hands one buffer to the
+	// system and remaps into the other on the next call, so the slice a
+	// system arrived with — possibly shared with its Clone siblings — is
+	// never written, only replaced.
+	bonds    [2][]Bond
+	angles   [2][]Angle
+	torsions [2][]Torsion
+	morses   [2][]Morse
+	sel      int
+}
+
+// Inverse returns the old→new index map of the most recent Apply. The slice
+// aliases internal storage and is invalidated by the next Apply.
+func (r *Reorderer) Inverse() []int32 { return r.inv }
+
+// Apply permutes s in place so that new slot k holds the atom previously at
+// order[k]: all per-atom arrays are gathered, every topology term index i is
+// rewritten to inverse(i), and the exclusion set (if present) is rebuilt.
+// The input is validated first; on error the system is untouched.
+//
+// Bond-term slices are replaced, not rewritten: Clone shares them between
+// systems on the premise that they are immutable, so remapping buffers the
+// terms through the Reorderer's own storage.
+func (r *Reorderer) Apply(s *System, order []int32) error {
+	n := s.N()
+	if err := CheckOrder(order, n); err != nil {
+		return err
+	}
+	if err := checkTopology(s, n); err != nil {
+		return err
+	}
+	if cap(r.inv) < n {
+		r.inv = make([]int32, n)
+	}
+	r.inv = r.inv[:n]
+	for k, o := range order {
+		r.inv[o] = int32(k)
+	}
+
+	r.permuteAtoms(s, order)
+	r.remapTopology(s)
+	if s.Excl != nil {
+		s.BuildExclusions()
+	}
+	return nil
+}
+
+// checkTopology validates every bond-term index against n with descriptive
+// errors; unlike Validate it is complete for all four term families (the
+// reorder fuzz target feeds deliberately corrupt topologies).
+func checkTopology(s *System, n int) error {
+	in := func(i int32) bool { return i >= 0 && int(i) < n }
+	for k, b := range s.Bonds {
+		if !in(b.I) || !in(b.J) {
+			return fmt.Errorf("atom: bond %d references atom out of range (%d-%d, n=%d)", k, b.I, b.J, n)
+		}
+		if b.I == b.J {
+			return fmt.Errorf("atom: bond %d is degenerate (%d-%d)", k, b.I, b.J)
+		}
+	}
+	for k, a := range s.Angles {
+		if !in(a.I) || !in(a.J) || !in(a.K) {
+			return fmt.Errorf("atom: angle %d references atom out of range (%d-%d-%d, n=%d)", k, a.I, a.J, a.K, n)
+		}
+	}
+	for k, t := range s.Torsions {
+		if !in(t.I) || !in(t.J) || !in(t.K) || !in(t.L) {
+			return fmt.Errorf("atom: torsion %d references atom out of range (%d-%d-%d-%d, n=%d)", k, t.I, t.J, t.K, t.L, n)
+		}
+	}
+	for k, m := range s.Morses {
+		if !in(m.I) || !in(m.J) {
+			return fmt.Errorf("atom: morse %d references atom out of range (%d-%d, n=%d)", k, m.I, m.J, n)
+		}
+		if m.I == m.J {
+			return fmt.Errorf("atom: morse %d is degenerate (%d-%d)", k, m.I, m.J)
+		}
+	}
+	return nil
+}
+
+// permuteAtoms gathers every per-atom array through the scratch buffers.
+//
+//mw:hotpath
+func (r *Reorderer) permuteAtoms(s *System, order []int32) {
+	n := len(order)
+	if cap(r.v3) < n {
+		r.v3 = make([]vec.Vec3, n)
+	}
+	v3 := r.v3[:n]
+	gatherV3(s.Pos, v3, order)
+	gatherV3(s.Vel, v3, order)
+	gatherV3(s.Acc, v3, order)
+	gatherV3(s.Force, v3, order)
+
+	if cap(r.f64) < n {
+		r.f64 = make([]float64, n)
+	}
+	f64 := r.f64[:n]
+	gatherF64(s.Mass, f64, order)
+	gatherF64(s.InvMass, f64, order)
+	gatherF64(s.Charge, f64, order)
+
+	if cap(r.i16) < n {
+		r.i16 = make([]int16, n)
+	}
+	i16 := r.i16[:n]
+	for k, o := range order {
+		i16[k] = s.Elem[o]
+	}
+	copy(s.Elem, i16)
+
+	if cap(r.bool) < n {
+		r.bool = make([]bool, n)
+	}
+	bl := r.bool[:n]
+	for k, o := range order {
+		bl[k] = s.Fixed[o]
+	}
+	copy(s.Fixed, bl)
+}
+
+// gatherV3 permutes arr in place through scratch: arr[k] = arr[order[k]].
+func gatherV3(arr, scratch []vec.Vec3, order []int32) {
+	for k, o := range order {
+		scratch[k] = arr[o]
+	}
+	copy(arr, scratch)
+}
+
+// gatherF64 is gatherV3 for float64 arrays.
+func gatherF64(arr, scratch []float64, order []int32) {
+	for k, o := range order {
+		scratch[k] = arr[o]
+	}
+	copy(arr, scratch)
+}
+
+// remapTopology rewrites all term indices through r.inv into the inactive
+// scratch buffer of each family and hands that buffer to the system. The
+// system's previous slices are left untouched: they may be shared with Clone
+// siblings, so they must never serve as scratch. Two buffers suffice because
+// the engine applies a Reorderer to one live system; its slice from the last
+// Apply is replaced (not written) before the other buffer comes around again.
+func (r *Reorderer) remapTopology(s *System) {
+	inv := r.inv
+	a, b := r.sel, 1-r.sel
+	r.sel = b
+	if len(s.Bonds) > 0 {
+		buf := append(r.bonds[a][:0], s.Bonds...)
+		for i := range buf {
+			buf[i].I = inv[buf[i].I]
+			buf[i].J = inv[buf[i].J]
+		}
+		r.bonds[a], s.Bonds = buf, buf
+	}
+	if len(s.Angles) > 0 {
+		buf := append(r.angles[a][:0], s.Angles...)
+		for i := range buf {
+			buf[i].I = inv[buf[i].I]
+			buf[i].J = inv[buf[i].J]
+			buf[i].K = inv[buf[i].K]
+		}
+		r.angles[a], s.Angles = buf, buf
+	}
+	if len(s.Torsions) > 0 {
+		buf := append(r.torsions[a][:0], s.Torsions...)
+		for i := range buf {
+			buf[i].I = inv[buf[i].I]
+			buf[i].J = inv[buf[i].J]
+			buf[i].K = inv[buf[i].K]
+			buf[i].L = inv[buf[i].L]
+		}
+		r.torsions[a], s.Torsions = buf, buf
+	}
+	if len(s.Morses) > 0 {
+		buf := append(r.morses[a][:0], s.Morses...)
+		for i := range buf {
+			buf[i].I = inv[buf[i].I]
+			buf[i].J = inv[buf[i].J]
+		}
+		r.morses[a], s.Morses = buf, buf
+	}
+}

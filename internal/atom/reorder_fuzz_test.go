@@ -1,0 +1,119 @@
+package atom
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mw/internal/vec"
+)
+
+// FuzzReorderTopology drives the reorder pass's validation with arbitrary
+// permutations and arbitrary (frequently malformed: duplicate, negative,
+// out-of-range) bond-term indices decoded from the fuzz input. The contract
+// under test: Reorderer.Apply either succeeds — in which case the system
+// must still Validate and the permutation must invert cleanly — or returns
+// an error; it must never panic and never mutate the system on the error
+// path. This sits alongside the mml/xyz parser fuzzers as the third
+// untrusted-input surface (model files carry topology, and the engine
+// remaps it on every reorder).
+func FuzzReorderTopology(f *testing.F) {
+	// Seeds: identity, a valid shuffle with valid bonds, and three corrupt
+	// shapes (out-of-range bond, duplicate order entry, negative index).
+	f.Add(uint8(4), []byte{0, 1, 2, 3}, []byte{0, 1, 1, 2})
+	f.Add(uint8(4), []byte{3, 2, 1, 0}, []byte{0, 3, 2, 1})
+	f.Add(uint8(4), []byte{0, 1, 2, 9}, []byte{0, 1, 0, 1})
+	f.Add(uint8(4), []byte{1, 1, 2, 3}, []byte{2, 3, 3, 3})
+	f.Add(uint8(3), []byte{0, 255, 2}, []byte{0, 2, 255, 1, 0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, n uint8, orderBytes, topoBytes []byte) {
+		if n == 0 || n > 64 {
+			return
+		}
+		s := NewSystem(NewBox(100, 100, 100, false))
+		for i := 0; i < int(n); i++ {
+			s.AddAtom(0, vec.New(float64(i)+0.5, 1, 1), vec.Zero, 0, false)
+		}
+		order := make([]int32, 0, len(orderBytes))
+		for _, b := range orderBytes {
+			order = append(order, int32(int8(b))) // signed: negatives reachable
+		}
+		// Decode topology terms round-robin across the four families.
+		for k := 0; k+1 < len(topoBytes); k += 2 {
+			i, j := int32(int8(topoBytes[k])), int32(int8(topoBytes[k+1]))
+			switch k / 2 % 4 {
+			case 0:
+				s.Bonds = append(s.Bonds, Bond{I: i, J: j, K: 1, R0: 1})
+			case 1:
+				s.Angles = append(s.Angles, Angle{I: i, J: j, K: (i + j) / 2, KTheta: 1})
+			case 2:
+				s.Torsions = append(s.Torsions, Torsion{I: i, J: j, K: i, L: j, V0: 1, N: 1})
+			default:
+				s.Morses = append(s.Morses, Morse{I: i, J: j, D: 1, A: 1, R0: 1})
+			}
+		}
+		before := s.Clone()
+		before.Bonds = append([]Bond(nil), s.Bonds...)
+
+		var r Reorderer
+		err := r.Apply(s, order)
+		if err != nil {
+			// Error path: the system must be byte-identical to before.
+			for i := range s.Pos {
+				if s.Pos[i] != before.Pos[i] {
+					t.Fatalf("error path mutated positions: %v", err)
+				}
+			}
+			for i := range s.Bonds {
+				if s.Bonds[i] != before.Bonds[i] {
+					t.Fatalf("error path mutated bonds: %v", err)
+				}
+			}
+			return
+		}
+		// Success path: everything in range, invertible.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Apply accepted input but left an invalid system: %v", err)
+		}
+		undo := append([]int32(nil), r.Inverse()...)
+		if err := r.Apply(s, undo); err != nil {
+			t.Fatalf("inverse of an accepted permutation rejected: %v", err)
+		}
+		for i := range s.Pos {
+			if s.Pos[i] != before.Pos[i] {
+				t.Fatal("permute+inverse is not the identity")
+			}
+		}
+		for i := range s.Bonds {
+			if s.Bonds[i] != before.Bonds[i] {
+				t.Fatal("bond remap+inverse is not the identity")
+			}
+		}
+	})
+}
+
+// FuzzCheckOrder stresses the permutation validator alone with raw
+// little-endian int32s — it must classify, never panic, and accept exactly
+// the true permutations.
+func FuzzCheckOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0}, uint8(2))
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0}, uint8(2))
+	f.Add([]byte{255, 255, 255, 255}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, n uint8) {
+		order := make([]int32, 0, len(raw)/4)
+		for k := 0; k+3 < len(raw); k += 4 {
+			order = append(order, int32(binary.LittleEndian.Uint32(raw[k:])))
+		}
+		err := CheckOrder(order, int(n))
+		seen := map[int32]bool{}
+		valid := len(order) == int(n)
+		for _, o := range order {
+			if o < 0 || int(o) >= int(n) || seen[o] {
+				valid = false
+				break
+			}
+			seen[o] = true
+		}
+		if valid != (err == nil) {
+			t.Fatalf("CheckOrder(%v, %d) = %v, reference says valid=%v", order, n, err, valid)
+		}
+	})
+}

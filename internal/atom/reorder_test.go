@@ -1,0 +1,251 @@
+package atom
+
+import (
+	"math/rand"
+	"testing"
+
+	"mw/internal/vec"
+)
+
+// buildTestSystem makes a small bonded system with every term family.
+func buildTestSystem(n int, rng *rand.Rand) *System {
+	s := NewSystem(NewBox(30, 30, 30, false))
+	for i := 0; i < n; i++ {
+		p := vec.New(2+rng.Float64()*26, 2+rng.Float64()*26, 2+rng.Float64()*26)
+		v := vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.01)
+		s.AddAtom(int16(i%3), p, v, float64(i%3)-1, i%7 == 0)
+	}
+	for i := 0; i+1 < n; i += 3 {
+		s.Bonds = append(s.Bonds, Bond{I: int32(i), J: int32(i + 1), K: 5, R0: 2})
+	}
+	for i := 0; i+2 < n; i += 5 {
+		s.Angles = append(s.Angles, Angle{I: int32(i), J: int32(i + 1), K: int32(i + 2), KTheta: 1, Theta0: 2})
+	}
+	for i := 0; i+3 < n; i += 7 {
+		s.Torsions = append(s.Torsions, Torsion{I: int32(i), J: int32(i + 1), K: int32(i + 2), L: int32(i + 3), V0: 0.2, N: 3})
+	}
+	for i := 0; i+1 < n; i += 11 {
+		s.Morses = append(s.Morses, Morse{I: int32(i), J: int32(i + 1), D: 1, A: 1, R0: 2})
+	}
+	s.BuildExclusions()
+	return s
+}
+
+func randomOrder(n int, rng *rand.Rand) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+	return order
+}
+
+// TestReorderRoundTrip applies a random permutation and then its inverse;
+// the system must come back identical, including remapped topology.
+func TestReorderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := buildTestSystem(40, rng)
+	orig := s.Clone()
+
+	order := randomOrder(s.N(), rng)
+	var r Reorderer
+	if err := r.Apply(s, order); err != nil {
+		t.Fatal(err)
+	}
+	// Forward check: new slot k must hold old atom order[k].
+	for k, o := range order {
+		if s.Pos[k] != orig.Pos[o] || s.Elem[k] != orig.Elem[o] || s.Charge[k] != orig.Charge[o] {
+			t.Fatalf("slot %d does not hold original atom %d", k, o)
+		}
+	}
+	// The inverse gather order is Inverse() itself: undoing places old atom o
+	// (now at inv[o]) back at slot o.
+	undo := append([]int32(nil), r.Inverse()...)
+	if err := r.Apply(s, undo); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.N(); i++ {
+		if s.Pos[i] != orig.Pos[i] || s.Vel[i] != orig.Vel[i] || s.Acc[i] != orig.Acc[i] ||
+			s.Force[i] != orig.Force[i] || s.Mass[i] != orig.Mass[i] || s.InvMass[i] != orig.InvMass[i] ||
+			s.Charge[i] != orig.Charge[i] || s.Elem[i] != orig.Elem[i] || s.Fixed[i] != orig.Fixed[i] {
+			t.Fatalf("atom %d not restored by inverse permutation", i)
+		}
+	}
+	if len(s.Bonds) != len(orig.Bonds) {
+		t.Fatal("bond count changed")
+	}
+	for i := range s.Bonds {
+		if s.Bonds[i] != orig.Bonds[i] {
+			t.Fatalf("bond %d not restored: %+v vs %+v", i, s.Bonds[i], orig.Bonds[i])
+		}
+	}
+	for i := range s.Angles {
+		if s.Angles[i] != orig.Angles[i] {
+			t.Fatalf("angle %d not restored", i)
+		}
+	}
+	for i := range s.Torsions {
+		if s.Torsions[i] != orig.Torsions[i] {
+			t.Fatalf("torsion %d not restored", i)
+		}
+	}
+	for i := range s.Morses {
+		if s.Morses[i] != orig.Morses[i] {
+			t.Fatalf("morse %d not restored", i)
+		}
+	}
+}
+
+// TestReorderPreservesExclusions: exclusion queries must be invariant under
+// the index relabeling.
+func TestReorderPreservesExclusions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := buildTestSystem(36, rng)
+	orig := s.Clone()
+	order := randomOrder(s.N(), rng)
+	var r Reorderer
+	if err := r.Apply(s, order); err != nil {
+		t.Fatal(err)
+	}
+	inv := r.Inverse()
+	n := s.N()
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if got, want := s.Excl.Excluded(inv[i], inv[j]), orig.Excl.Excluded(i, j); got != want {
+				t.Fatalf("exclusion (%d,%d) changed across reorder: got %v want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestReorderLeavesSharedTopologyUntouched: Clone shares bond slices; a
+// reorder of the clone must not corrupt the original's terms.
+func TestReorderLeavesSharedTopologyUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := buildTestSystem(30, rng)
+	c := s.Clone()
+	wantBonds := append([]Bond(nil), s.Bonds...)
+	var r Reorderer
+	if err := r.Apply(c, randomOrder(c.N(), rng)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantBonds {
+		if s.Bonds[i] != wantBonds[i] {
+			t.Fatalf("shared bond %d mutated by clone reorder", i)
+		}
+	}
+}
+
+// TestReorderRepeatedApplySharedTopology is the regression test for the
+// scratch-aliasing bug: the first Apply must not capture the system's
+// original (shared) topology slice as scratch, or the SECOND Apply rewrites
+// the original through the shared backing array. Two Applies through one
+// Reorderer on two clones of the same parent must leave the parent intact.
+func TestReorderRepeatedApplySharedTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	parent := buildTestSystem(30, rng)
+	wantBonds := append([]Bond(nil), parent.Bonds...)
+	wantAngles := append([]Angle(nil), parent.Angles...)
+	var r Reorderer
+	for trial := 0; trial < 3; trial++ {
+		c := parent.Clone()
+		if err := r.Apply(c, randomOrder(c.N(), rng)); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantBonds {
+			if parent.Bonds[i] != wantBonds[i] {
+				t.Fatalf("trial %d: parent bond %d clobbered through scratch aliasing", trial, i)
+			}
+		}
+		for i := range wantAngles {
+			if parent.Angles[i] != wantAngles[i] {
+				t.Fatalf("trial %d: parent angle %d clobbered through scratch aliasing", trial, i)
+			}
+		}
+	}
+}
+
+// TestReorderScratchReuse: steady-state Apply must not allocate beyond the
+// first call's scratch growth (minus the unavoidable CheckOrder seen-bitmap
+// and exclusion rebuild, which this topology-free system avoids).
+func TestReorderScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSystem(NewBox(30, 30, 30, false))
+	for i := 0; i < 200; i++ {
+		s.AddAtom(0, vec.New(1+rng.Float64()*28, 1+rng.Float64()*28, 1+rng.Float64()*28), vec.Zero, 0, false)
+	}
+	orders := [][]int32{randomOrder(200, rng), randomOrder(200, rng)}
+	var r Reorderer
+	for _, o := range orders { // warm scratch
+		if err := r.Apply(s, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := r.Apply(s, orders[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Apply(s, orders[1]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// CheckOrder's seen bitmap is the only per-call allocation (2 calls/run).
+	if allocs > 2 {
+		t.Errorf("steady-state Apply allocates %.0f/run, want ≤ 2", allocs)
+	}
+}
+
+// TestReorderRejectsMalformedOrder exercises the validation paths.
+func TestReorderRejectsMalformedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := buildTestSystem(10, rng)
+	var r Reorderer
+	for name, order := range map[string][]int32{
+		"short":        {0, 1, 2},
+		"out-of-range": {0, 1, 2, 3, 4, 5, 6, 7, 8, 12},
+		"negative":     {0, 1, 2, 3, 4, 5, 6, 7, 8, -1},
+		"duplicate":    {0, 1, 2, 3, 4, 5, 6, 7, 8, 8},
+	} {
+		before := s.Clone()
+		if err := r.Apply(s, order); err == nil {
+			t.Errorf("%s order accepted", name)
+		}
+		for i := range s.Pos {
+			if s.Pos[i] != before.Pos[i] {
+				t.Fatalf("%s order mutated the system despite the error", name)
+			}
+		}
+	}
+}
+
+// TestReorderRejectsCorruptTopology: out-of-range or degenerate terms must
+// produce errors, never panics (the fuzz target's contract).
+func TestReorderRejectsCorruptTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	order := []int32{1, 0, 2, 3, 4, 5, 6, 7, 8, 9}
+	var r Reorderer
+	cases := map[string]func(*System){
+		"bond-oob":     func(s *System) { s.Bonds = append(s.Bonds, Bond{I: 0, J: 99}) },
+		"bond-neg":     func(s *System) { s.Bonds = append(s.Bonds, Bond{I: -2, J: 1}) },
+		"bond-self":    func(s *System) { s.Bonds = append(s.Bonds, Bond{I: 3, J: 3}) },
+		"angle-oob":    func(s *System) { s.Angles = append(s.Angles, Angle{I: 0, J: 1, K: 42}) },
+		"torsion-oob":  func(s *System) { s.Torsions = append(s.Torsions, Torsion{I: 0, J: 1, K: 2, L: -7}) },
+		"morse-oob":    func(s *System) { s.Morses = append(s.Morses, Morse{I: 10, J: 1}) },
+		"morse-self":   func(s *System) { s.Morses = append(s.Morses, Morse{I: 2, J: 2}) },
+		"angle-neg":    func(s *System) { s.Angles = append(s.Angles, Angle{I: -1, J: 1, K: 2}) },
+		"torsion-oob2": func(s *System) { s.Torsions = append(s.Torsions, Torsion{I: 0, J: 1, K: 2, L: 98}) },
+	}
+	for name, corrupt := range cases {
+		s := NewSystem(NewBox(20, 20, 20, false))
+		for i := 0; i < 10; i++ {
+			s.AddAtom(0, vec.New(rng.Float64()*19, rng.Float64()*19, rng.Float64()*19), vec.Zero, 0, false)
+		}
+		corrupt(s)
+		if err := r.Apply(s, order); err == nil {
+			t.Errorf("%s: corrupt topology accepted", name)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package bench is the benchmark-regression harness gating the cell-ordered
+// hot path: it measures the LJ force kernels and whole engine steps
+// (ns/op, allocs/op, bytes/op) plus per-phase latency percentiles from the
+// telemetry histograms, serializes everything as a JSON report
+// (BENCH_<n>.json via `make bench-json`), and diffs reports within a
+// tolerance so a PR that slows a kernel or adds a hot-loop allocation fails
+// visibly instead of silently (`mwbench benchdiff`).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/core"
+	"mw/internal/forces"
+	"mw/internal/telemetry"
+	"mw/internal/vec"
+	"mw/internal/workload"
+)
+
+// Schema identifies the report layout; bump on incompatible changes.
+const Schema = 1
+
+// Result is one measured benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// PhasePercentiles is one engine phase's latency distribution, read from the
+// telemetry recorder's ring histograms after a timed run.
+type PhasePercentiles struct {
+	Phase     string  `json:"phase"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// WorkloadPhases couples a workload + engine configuration with its phase
+// percentiles.
+type WorkloadPhases struct {
+	Workload string             `json:"workload"`
+	Config   string             `json:"config"`
+	Steps    int                `json:"steps"`
+	Phases   []PhasePercentiles `json:"phases"`
+}
+
+// Report is the serialized output of one harness run.
+type Report struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	Benchmarks []Result         `json:"benchmarks"`
+	Phases     []WorkloadPhases `json:"phases"`
+
+	// KernelSpeedup is the headline §V-A number: the seed half-list LJ kernel
+	// (exclusion check, file-ordered atoms) over the cell-ordered one
+	// (exclusion-free, Morton-ordered atoms) on Al-1000.
+	KernelSpeedup float64 `json:"kernel_speedup"`
+}
+
+// Options tunes a harness run; the zero value uses the defaults the committed
+// baselines were generated with.
+type Options struct {
+	// BenchTime is the minimum measuring window per benchmark (default 500ms).
+	BenchTime time.Duration
+	// Steps is the length of the phase-percentile runs (default 150).
+	Steps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BenchTime <= 0 {
+		o.BenchTime = 500 * time.Millisecond
+	}
+	if o.Steps <= 0 {
+		o.Steps = 150
+	}
+	return o
+}
+
+// nsPerOp times f over at least the measuring window (and at least 3 runs
+// after one warmup) and returns mean nanoseconds per call.
+func nsPerOp(window time.Duration, f func()) float64 {
+	f() // warmup
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < window || iters < 3 {
+		f()
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// bytesPerOp measures mean heap bytes allocated per call.
+func bytesPerOp(f func()) float64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const n = 5
+	for i := 0; i < n; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc-m0.TotalAlloc) / n
+}
+
+// allocsPerOp measures mean heap allocations per call. It is
+// testing.AllocsPerRun without importing the testing package into a
+// non-test binary (mwbench links this package).
+func allocsPerOp(f func()) float64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const n = 5
+	for i := 0; i < n; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / n
+}
+
+func measure(name string, window time.Duration, f func()) Result {
+	return Result{
+		Name:        name,
+		NsPerOp:     nsPerOp(window, f),
+		AllocsPerOp: allocsPerOp(f),
+		BytesPerOp:  bytesPerOp(f),
+	}
+}
+
+// mortonOrder computes the gather permutation sorting s into Morton cell
+// order under g (the same stable counting sort the engine's reorder pass
+// uses, reimplemented here so the harness can prepare a cell-ordered system
+// without driving the whole engine).
+func mortonOrder(g *cells.Grid, s *atom.System) []int32 {
+	g.Assign(s)
+	ranks := g.MortonRanks()
+	n := s.N()
+	nc := g.NumCells()
+	keys := make([]int32, n)
+	counts := make([]int32, nc+1)
+	for i := 0; i < n; i++ {
+		k := ranks[g.CellIndexOf(s.Pos[i])]
+		keys[i] = k
+		counts[k+1]++
+	}
+	for r := 0; r < nc; r++ {
+		counts[r+1] += counts[r]
+	}
+	order := make([]int32, n)
+	for i := 0; i < n; i++ {
+		order[counts[keys[i]]] = int32(i)
+		counts[keys[i]]++
+	}
+	return order
+}
+
+// kernelSetup holds one prepared Al-1000 instance for kernel benchmarks.
+type kernelSetup struct {
+	sys *atom.System
+	lj  *forces.LJ
+	rl  cells.RangeList
+	f   []vec.Vec3
+}
+
+func newKernelSetup(morton bool) (*kernelSetup, error) {
+	b := workload.Al1000()
+	sys := b.Sys
+	rng := b.Cfg.LJCutoff + b.Cfg.Skin
+	g := cells.NewGrid(sys.Box, rng)
+	if morton {
+		order := mortonOrder(g, sys)
+		var r atom.Reorderer
+		if err := r.Apply(sys, order); err != nil {
+			return nil, err
+		}
+	}
+	g.Assign(sys)
+	ks := &kernelSetup{
+		sys: sys,
+		lj:  forces.NewLJ(sys.Elements, b.Cfg.LJCutoff),
+		f:   make([]vec.Vec3, sys.N()),
+	}
+	g.BuildRange(sys, rng, 0, sys.N(), &ks.rl)
+	return ks, nil
+}
+
+// Run executes the full harness and returns the report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	// LJ kernel benchmarks on Al-1000 (Excl.Len() == 0, so the exclusion-free
+	// kernels are the ones the engine actually selects for it).
+	seed, err := newKernelSetup(false)
+	if err != nil {
+		return nil, err
+	}
+	sorted, err := newKernelSetup(true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("kernel/lj-halflist/seed", opts.BenchTime, func() {
+			seed.lj.AccumulateRangeList(seed.sys, &seed.rl, seed.f)
+		}),
+		measure("kernel/lj-halflist-noexcl/seed-order", opts.BenchTime, func() {
+			seed.lj.AccumulateRangeListNoExcl(seed.sys, &seed.rl, seed.f)
+		}),
+		measure("kernel/lj-halflist-noexcl/morton-order", opts.BenchTime, func() {
+			sorted.lj.AccumulateRangeListNoExcl(sorted.sys, &sorted.rl, sorted.f)
+		}),
+		measure("kernel/lj-halflist-fast/morton-order", opts.BenchTime, func() {
+			sorted.lj.AccumulateRangeListFast(sorted.sys, &sorted.rl, sorted.f)
+		}),
+		measure("kernel/lj-fulllist-noexcl/morton-order", opts.BenchTime, func() {
+			sorted.lj.AccumulateRangeListFullNoExcl(sorted.sys, &sorted.rl, sorted.f)
+		}),
+	)
+	// Headline §V-A ratio: the seed kernel over the kernel the engine
+	// actually runs on Al-1000 with the hot path on.
+	rep.KernelSpeedup = rep.Benchmarks[0].NsPerOp / rep.Benchmarks[3].NsPerOp
+
+	// Whole-engine step benchmarks: the seed configuration against the
+	// cell-ordered hot path, per Table I workload.
+	for _, wl := range workload.All() {
+		for _, mode := range []struct {
+			name string
+			mut  func(*core.Config)
+		}{
+			{"seed", func(c *core.Config) {}},
+			{"cell-ordered", func(c *core.Config) {
+				c.Reorder = true
+				c.Partition = core.PartitionGuided
+			}},
+		} {
+			cfg := wl.Cfg
+			mode.mut(&cfg)
+			sim, err := core.New(wl.Sys.Clone(), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", wl.Name, mode.name, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks,
+				measure(fmt.Sprintf("step/%s/%s", wl.Name, mode.name), opts.BenchTime, sim.Step))
+			sim.Close()
+		}
+	}
+
+	// Phase percentiles from the telemetry histograms, seed vs cell-ordered.
+	for _, mode := range []struct {
+		name    string
+		reorder bool
+	}{{"seed", false}, {"cell-ordered", true}} {
+		wl := workload.Al1000()
+		cfg := wl.Cfg
+		if mode.reorder {
+			cfg.Reorder = true
+			cfg.Partition = core.PartitionGuided
+		}
+		rec := telemetry.NewRecorder(cfg.Threads, core.PhaseNames())
+		cfg.Telemetry = rec
+		sim, err := core.New(wl.Sys.Clone(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("phases %s: %w", mode.name, err)
+		}
+		sim.Run(opts.Steps)
+		sim.Close()
+		snap := rec.Snapshot(0)
+		wp := WorkloadPhases{Workload: wl.Name, Config: mode.name, Steps: opts.Steps}
+		for _, ph := range snap.Phases {
+			wp.Phases = append(wp.Phases, PhasePercentiles{
+				Phase:     ph.Phase,
+				P50Micros: ph.P50Micros,
+				P99Micros: ph.P99Micros,
+			})
+		}
+		rep.Phases = append(rep.Phases, wp)
+	}
+	return rep, nil
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %d, this binary speaks %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// NextPath returns dir's first unused BENCH_<n>.json path.
+func NextPath(dir string) string {
+	for n := 0; ; n++ {
+		p := fmt.Sprintf("%s/BENCH_%d.json", dir, n)
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p
+		}
+	}
+}

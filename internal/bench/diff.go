@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffResult is one benchmark's base-vs-new comparison.
+type DiffResult struct {
+	Name       string
+	BaseNs     float64
+	NewNs      float64
+	Ratio      float64 // NewNs / BaseNs
+	AllocDelta float64 // new allocs/op − base allocs/op
+	Regressed  bool
+}
+
+// Diff compares cur against base within tol (fractional: 0.15 allows a 15%
+// slowdown before flagging). A benchmark regresses when its time ratio
+// exceeds 1+tol or it allocates where the baseline did not — the alloc gate
+// is exact, because a single hot-loop allocation is a GC-pressure change, not
+// noise. Benchmarks present in only one report are listed but never fail the
+// diff (renames should not brick CI); a schema mismatch already failed in
+// ReadFile. The returned report is always complete; err != nil iff at least
+// one benchmark regressed.
+func Diff(base, cur *Report, tol float64) (string, []DiffResult, error) {
+	if tol <= 0 {
+		tol = 0.15
+	}
+	baseBy := map[string]Result{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchdiff: tolerance %.0f%%  (base %s/%s %s, new %s/%s %s)\n",
+		tol*100, base.GOOS, base.GOARCH, base.GoVersion, cur.GOOS, cur.GOARCH, cur.GoVersion)
+	if base.GoVersion != cur.GoVersion || base.CPUs != cur.CPUs {
+		sb.WriteString("note: toolchain or machine differs from baseline; timings are indicative only\n")
+	}
+	fmt.Fprintf(&sb, "%-45s %12s %12s %7s %8s\n", "benchmark", "base ns/op", "new ns/op", "ratio", "Δallocs")
+
+	var out []DiffResult
+	var regressed []string
+	seen := map[string]bool{}
+	for _, c := range cur.Benchmarks {
+		seen[c.Name] = true
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-45s %12s %12.0f %7s %8s  (new)\n", c.Name, "-", c.NsPerOp, "-", "-")
+			continue
+		}
+		d := DiffResult{
+			Name:       c.Name,
+			BaseNs:     b.NsPerOp,
+			NewNs:      c.NsPerOp,
+			Ratio:      c.NsPerOp / b.NsPerOp,
+			AllocDelta: c.AllocsPerOp - b.AllocsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+tol || (b.AllocsPerOp < 0.5 && c.AllocsPerOp >= 0.5)
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+			regressed = append(regressed, d.Name)
+		}
+		fmt.Fprintf(&sb, "%-45s %12.0f %12.0f %6.2fx %8.1f%s\n",
+			d.Name, d.BaseNs, d.NewNs, d.Ratio, d.AllocDelta, mark)
+		out = append(out, d)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(&sb, "%-45s %12.0f %12s %7s %8s  (removed)\n", b.Name, b.NsPerOp, "-", "-", "-")
+		}
+	}
+	fmt.Fprintf(&sb, "kernel speedup (seed kernel / cell-ordered kernel on Al-1000): base %.2fx, new %.2fx\n",
+		base.KernelSpeedup, cur.KernelSpeedup)
+	if len(regressed) > 0 {
+		return sb.String(), out, fmt.Errorf("bench: %d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), tol*100, strings.Join(regressed, ", "))
+	}
+	return sb.String(), out, nil
+}
+
+// Summary renders the report as a table for terminal output.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bench: %s %s/%s, %d CPUs\n", r.GoVersion, r.GOOS, r.GOARCH, r.CPUs)
+	fmt.Fprintf(&sb, "%-45s %12s %10s %10s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(&sb, "%-45s %12.0f %10.1f %10.0f\n", b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+	}
+	fmt.Fprintf(&sb, "kernel speedup (seed vs cell-ordered, Al-1000): %.2fx\n", r.KernelSpeedup)
+	for _, wp := range r.Phases {
+		fmt.Fprintf(&sb, "phases %s/%s (%d steps):", wp.Workload, wp.Config, wp.Steps)
+		for _, ph := range wp.Phases {
+			fmt.Fprintf(&sb, "  %s p50=%.1fµs p99=%.1fµs", ph.Phase, ph.P50Micros, ph.P99Micros)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

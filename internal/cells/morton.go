@@ -1,0 +1,57 @@
+package cells
+
+import "sort"
+
+// Morton (Z-order) indexing of grid cells. Interleaving the bits of the
+// three cell coordinates produces a space-filling traversal in which cells
+// that are close in index are close in space, so sorting atoms by the Morton
+// rank of their cell turns the linked-cell neighbor structure into nearly
+// contiguous memory accesses — the spatial data reordering the paper's §V-A
+// concluded "was not practical in Java" because JVM heap addresses are not
+// under program control. In Go the SoA slices are, so the engine can apply
+// the permutation for real (MD-Bench calls this cell-ordered traversal; see
+// EXPERIMENTS.md §V-A "engine-native packing").
+
+// morton3 interleaves the low 21 bits of x, y and z (bit k of x lands at bit
+// 3k), giving the Z-order key of a cell coordinate triple.
+func morton3(x, y, z uint32) uint64 {
+	return spread3(x) | spread3(y)<<1 | spread3(z)<<2
+}
+
+// spread3 spaces the low 21 bits of v three apart (the classic magic-number
+// dilation).
+func spread3(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// MortonRanks returns rank[c] = position of flat cell index c in the Morton
+// traversal of the grid, so sorting atoms by rank[cellIndex(pos)] yields the
+// Z-order atom layout. The slice is freshly allocated; callers cache it for
+// the grid's lifetime (the engine recomputes it only when the grid itself is
+// recreated).
+func (g *Grid) MortonRanks() []int32 {
+	nc := g.NumCells()
+	keys := make([]uint64, nc)
+	order := make([]int32, nc)
+	for z := 0; z < g.Dims[2]; z++ {
+		for y := 0; y < g.Dims[1]; y++ {
+			for x := 0; x < g.Dims[0]; x++ {
+				c := (z*g.Dims[1]+y)*g.Dims[0] + x
+				keys[c] = morton3(uint32(x), uint32(y), uint32(z))
+				order[c] = int32(c)
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	ranks := make([]int32, nc)
+	for r, c := range order {
+		ranks[c] = int32(r)
+	}
+	return ranks
+}

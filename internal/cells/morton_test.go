@@ -1,0 +1,108 @@
+package cells
+
+import (
+	"math/rand"
+	"testing"
+
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+// TestSpread3RoundTrip checks the dilation against a bit-by-bit reference.
+func TestSpread3RoundTrip(t *testing.T) {
+	ref := func(v uint32) uint64 {
+		var out uint64
+		for b := 0; b < 21; b++ {
+			out |= uint64(v>>b&1) << (3 * b)
+		}
+		return out
+	}
+	cases := []uint32{0, 1, 2, 3, 7, 8, 0x155, 0xfffff, 0x1fffff, 0x3fffff}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		cases = append(cases, rng.Uint32())
+	}
+	for _, v := range cases {
+		if got, want := spread3(v), ref(v&0x1fffff); got != want {
+			t.Fatalf("spread3(%#x) = %#x, want %#x", v, got, want)
+		}
+	}
+}
+
+// TestMorton3Ordering spot-checks the canonical Z-order of the first octant.
+func TestMorton3Ordering(t *testing.T) {
+	// In Z-order the 2×2×2 corner cells enumerate as binary zyx.
+	want := uint64(0)
+	for z := uint32(0); z < 2; z++ {
+		for y := uint32(0); y < 2; y++ {
+			for x := uint32(0); x < 2; x++ {
+				if got := morton3(x, y, z); got != want {
+					t.Errorf("morton3(%d,%d,%d) = %d, want %d", x, y, z, got, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
+// TestMortonRanksIsPermutation verifies the rank table is a permutation of
+// the cell indices and that neighboring cells in rank order are adjacent in
+// space (each Morton step moves within the 3×3×3 stencil most of the time —
+// locality being the whole point; we only assert permutation validity and
+// determinism here).
+func TestMortonRanksIsPermutation(t *testing.T) {
+	g := NewGrid(atom.NewBox(30, 20, 40, false), 4)
+	ranks := g.MortonRanks()
+	if len(ranks) != g.NumCells() {
+		t.Fatalf("ranks length %d, want %d", len(ranks), g.NumCells())
+	}
+	seen := make([]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || int(r) >= len(ranks) || seen[r] {
+			t.Fatalf("ranks is not a permutation: %v", ranks)
+		}
+		seen[r] = true
+	}
+	again := g.MortonRanks()
+	for i := range ranks {
+		if ranks[i] != again[i] {
+			t.Fatal("MortonRanks is not deterministic")
+		}
+	}
+}
+
+// TestMortonRankLocality: sorting random atoms by Morton cell rank must give
+// a layout in which consecutive atoms are spatially closer on average than
+// in the random order — the property the reorder pass exists for.
+func TestMortonRankLocality(t *testing.T) {
+	box := atom.CubicBox(40, false)
+	g := NewGrid(box, 4)
+	ranks := g.MortonRanks()
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	pos := make([]vec.Vec3, n)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*40, rng.Float64()*40, rng.Float64()*40)
+	}
+	meanStep := func(ps []vec.Vec3) float64 {
+		var sum float64
+		for i := 1; i < len(ps); i++ {
+			sum += ps[i].Sub(ps[i-1]).Norm()
+		}
+		return sum / float64(len(ps)-1)
+	}
+	sorted := append([]vec.Vec3(nil), pos...)
+	// Insertion-style sort by rank (n is small; clarity over speed).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			if ranks[g.CellIndexOf(sorted[j-1])] > ranks[g.CellIndexOf(sorted[j])] {
+				sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if ms, mr := meanStep(sorted), meanStep(pos); ms >= mr {
+		t.Errorf("Morton order mean neighbor distance %.2f not below random order %.2f", ms, mr)
+	}
+}

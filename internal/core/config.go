@@ -224,6 +224,19 @@ type Config struct {
 	// PairLists selects half (default, the paper's scheme) or full
 	// neighbor lists.
 	PairLists PairListMode
+	// Reorder enables the engine-native spatial data reordering of §V-A: on
+	// every neighbor-list rebuild, atoms are permuted into Morton (Z-order)
+	// cell order — positions, velocities, forces, charges gathered, bond
+	// indices remapped, exclusions rebuilt — so the half-list traversal
+	// walks nearly contiguous memory. An inverse index map is maintained;
+	// Snapshot, SystemInOriginalOrder and OriginalIDs report original atom
+	// IDs, so trajectories and the verify matrix are unaffected by the
+	// relabeling. Off by default (golden trajectories are bit-identical
+	// with the feature off). With Reorder on, atom chunk boundaries are
+	// aligned to Morton cell blocks, so guided/dynamic partitions deal out
+	// contiguous blocks of cells in decreasing batches (the hybrid
+	// cell-task scheme of Mangiardi & Meyer, arXiv:1611.00075).
+	Reorder bool
 	// Integrator selects the predictor-corrector scheme (default velocity
 	// Verlet).
 	Integrator IntegratorMode

@@ -272,6 +272,7 @@ func (sim *Simulation) neighborCheckPhase() {
 // rebuildPhase is the unfused variant of phase 3 (ablation only): assign the
 // grid and rebuild every chunk's range list as a standalone barriered phase.
 func (sim *Simulation) rebuildPhase() {
+	sim.maybeReorder()
 	sim.grid.Assign(sim.Sys)
 	rng := sim.Cfg.LJCutoff + sim.Cfg.Skin
 	sim.schedule(PhaseForce, sim.atomChunks.count, func(_, item int) {
@@ -308,6 +309,10 @@ func (sim *Simulation) forcePhase() {
 	s := sim.Sys
 	rebuild := !sim.listValid
 	if rebuild {
+		// Spatial reordering (when enabled) rides the rebuild cadence: the
+		// permutation is only worth applying when the lists are about to be
+		// reconstructed anyway, and it must precede cell assignment.
+		sim.maybeReorder()
 		// Cell assignment is O(N) with tiny constants; done serially before
 		// the parallel fused loop (MW does the same under its fused loop's
 		// first barrier).
@@ -343,12 +348,23 @@ func (sim *Simulation) forcePhase() {
 				if rebuild {
 					sim.grid.BuildRangeFull(s, rng, lo, hi, rl)
 				}
-				pe = sim.lj.AccumulateRangeListFull(s, rl, f)
+				if sim.noExcl {
+					pe = sim.lj.AccumulateRangeListFullNoExcl(s, rl, f)
+				} else {
+					pe = sim.lj.AccumulateRangeListFull(s, rl, f)
+				}
 			} else {
 				if rebuild {
 					sim.grid.BuildRange(s, rng, lo, hi, rl)
 				}
-				pe = sim.lj.AccumulateRangeList(s, rl, f)
+				switch {
+				case sim.fastLJ:
+					pe = sim.lj.AccumulateRangeListFast(s, rl, f)
+				case sim.noExcl:
+					pe = sim.lj.AccumulateRangeListNoExcl(s, rl, f)
+				default:
+					pe = sim.lj.AccumulateRangeList(s, rl, f)
+				}
 			}
 			if hasField {
 				sim.Cfg.Field.AccumulateRange(s, lo, hi, f)

@@ -28,6 +28,15 @@ type Simulation struct {
 	grid *cells.Grid
 
 	charged []int32
+	// noExcl selects the exclusion-free LJ kernels: true when the system has
+	// no excluded pairs, so the per-pair ExclusionSet call can be dropped
+	// from the innermost loop. Those kernels are bitwise-identical to the
+	// reference math. fastLJ additionally selects the single-reciprocal
+	// half-list kernel, whose FP association differs at the ulp level — it is
+	// gated on the opt-in reorder hot path (plus no exclusions and no fixed
+	// atoms) so default-path golden trajectories never move.
+	noExcl bool
+	fastLJ bool
 
 	// Neighbor-list state: per-atom-chunk range lists plus the reference
 	// positions from the last rebuild (for the phase-2 validity check).
@@ -54,6 +63,9 @@ type Simulation struct {
 
 	forceMu sync.Mutex // guards Sys.Force in shared-mutex mode
 
+	// ro is the §V-A engine-native spatial reordering state (Cfg.Reorder).
+	ro reorderState
+
 	// Chunk geometry.
 	atomChunks, coulChunks, bondChunks, angleChunks, torsChunks, morseChunks chunkSet
 
@@ -66,9 +78,12 @@ type Simulation struct {
 	WorkerBusy [NumPhases][]time.Duration
 }
 
-// chunkSet is a uniform partition of [0, total) into chunks of size size.
+// chunkSet is a partition of [0, total) into chunks: uniform chunks of size
+// size, or — when cuts is set — explicit boundaries (the Morton cell-block
+// alignment of the reorder pass, where every chunk covers whole cells).
 type chunkSet struct {
 	total, size, count int
+	cuts               []int32 // nil for uniform chunks; else length count+1
 }
 
 func newChunkSet(total, size int) chunkSet {
@@ -79,7 +94,17 @@ func newChunkSet(total, size int) chunkSet {
 	return chunkSet{total: total, size: size, count: count}
 }
 
+// newCutChunkSet builds a chunkSet from explicit ascending boundaries
+// (cuts[0] = 0, cuts[len-1] = total).
+func newCutChunkSet(cuts []int32) chunkSet {
+	total := int(cuts[len(cuts)-1])
+	return chunkSet{total: total, count: len(cuts) - 1, cuts: cuts}
+}
+
 func (c chunkSet) bounds(i int) (lo, hi int) {
+	if c.cuts != nil {
+		return int(c.cuts[i]), int(c.cuts[i+1])
+	}
 	lo = i * c.size
 	hi = lo + c.size
 	if hi > c.total {
@@ -110,10 +135,31 @@ func New(sys *atom.System, cfg Config) (*Simulation, error) {
 		coul:    forces.Coulomb{Softening: cfg.CoulombSoftening},
 		grid:    cells.NewGrid(sys.Box, rng),
 		charged: sys.ChargedIndices(),
+		noExcl:  sys.Excl.Len() == 0,
+	}
+	if cfg.Reorder && sim.noExcl {
+		sim.fastLJ = true
+		for _, fx := range sys.Fixed {
+			if fx {
+				sim.fastLJ = false
+				break
+			}
+		}
 	}
 	n := sys.N()
 	w := cfg.Threads
-	sim.atomChunks = newChunkSet(n, cfg.ChunkAtoms)
+	// With Reorder on, sort the system into Morton cell order up front so
+	// the atom-chunk boundaries computed next can align to cell blocks:
+	// under guided/dynamic partitions the shared cursor then deals out
+	// contiguous blocks of whole cells in decreasing batches.
+	if cfg.Reorder {
+		sim.maybeReorder()
+	}
+	if cfg.Reorder && n > 0 && sim.ro.cellPop != nil {
+		sim.atomChunks = newCutChunkSet(cellChunkCuts(sim.ro.cellPop, n, cfg.ChunkAtoms))
+	} else {
+		sim.atomChunks = newChunkSet(n, cfg.ChunkAtoms)
+	}
 	sim.coulChunks = newChunkSet(len(sim.charged), cfg.ChunkAtoms/2+1)
 	sim.bondChunks = newChunkSet(len(sys.Bonds), cfg.ChunkAtoms)
 	sim.angleChunks = newChunkSet(len(sys.Angles), cfg.ChunkAtoms)

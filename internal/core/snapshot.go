@@ -21,15 +21,28 @@ type Snapshot struct {
 }
 
 // Snapshot captures the current state. It must be called between steps, not
-// from an Instrument callback mid-phase.
+// from an Instrument callback mid-phase. Snapshots are always expressed in
+// original atom IDs: when the reorder pass has permuted the system, the
+// arrays are scattered back through the inverse index map, so snapshots of
+// reordered and file-ordered runs of the same physics are directly
+// comparable (this is what lets the verify differential matrix include
+// -reorder combos without any special casing).
 func (sim *Simulation) Snapshot() Snapshot {
-	return Snapshot{
+	snap := Snapshot{
 		Step:  sim.step,
 		PE:    sim.pe,
 		Pos:   append([]vec.Vec3(nil), sim.Sys.Pos...),
 		Vel:   append([]vec.Vec3(nil), sim.Sys.Vel...),
 		Force: append([]vec.Vec3(nil), sim.Sys.Force...),
 	}
+	if orig := sim.ro.orig; orig != nil {
+		for slot, id := range orig {
+			snap.Pos[id] = sim.Sys.Pos[slot]
+			snap.Vel[id] = sim.Sys.Vel[slot]
+			snap.Force[id] = sim.Sys.Force[slot]
+		}
+	}
+	return snap
 }
 
 // StateDiff holds the maximum absolute component-wise deviations between two

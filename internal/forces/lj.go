@@ -17,6 +17,8 @@
 package forces
 
 import (
+	"math"
+
 	"mw/internal/atom"
 	"mw/internal/cells"
 	"mw/internal/vec"
@@ -150,6 +152,142 @@ func (lj *LJ) AccumulateRangeList(s *atom.System, rl *cells.RangeList, f []vec.V
 			fs := 24 * eps * (2*sr12 - sr6) / r2
 			fi = fi.AddScaled(-fs, d)
 			f[j] = f[j].AddScaled(fs, d)
+		}
+		f[i] = fi
+	}
+	return pe
+}
+
+// AccumulateRangeListNoExcl is AccumulateRangeList specialized for systems
+// with no exclusion pairs (salt and Al-1000: no bonded topology, so every
+// neighbor pair interacts). Dropping the per-pair ExclusionSet call — a
+// non-inlinable function with a nil check and a slice walk — from the
+// innermost loop is a measurable win on exactly the rebuild-heavy LJ
+// workload the paper profiles; combined with Morton reordering this is the
+// engine's fastest symmetric (Newton-3) path. The engine selects it
+// automatically; callers may use it directly only when Excl.Len() == 0.
+//
+//mw:hotpath
+func (lj *LJ) AccumulateRangeListNoExcl(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	box := s.Box
+	for i := rl.Lo; i < rl.Hi; i++ {
+		pi := s.Pos[i]
+		ei := int(s.Elem[i])
+		fi := f[i]
+		fixedI := s.Fixed[i]
+		for _, j := range rl.Of(i) {
+			if fixedI && s.Fixed[j] {
+				continue
+			}
+			d := box.MinImage(s.Pos[j].Sub(pi))
+			r2 := d.Norm2()
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			k := ei*lj.nelem + int(s.Elem[j])
+			sr2 := lj.sigma2[k] / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			eps := lj.eps[k]
+			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			fs := 24 * eps * (2*sr12 - sr6) / r2
+			fi = fi.AddScaled(-fs, d)
+			f[j] = f[j].AddScaled(fs, d)
+		}
+		f[i] = fi
+	}
+	return pe
+}
+
+// AccumulateRangeListFast is the cell-ordered hot-path kernel: exclusion
+// check and fixed-pair check dropped, and the two per-pair divisions fused
+// into one reciprocal (sr2 and fs both multiply by 1/r2). The reciprocal
+// changes floating-point association at the ulp level, so unlike the NoExcl
+// kernels this one is NOT bitwise-identical to the reference path — the
+// engine selects it only when the reorder hot path is explicitly enabled
+// (Cfg.Reorder), where the differential matrix bounds the deviation, never
+// on the default path that golden trajectories pin. Preconditions:
+// Excl.Len() == 0 and no fixed atoms.
+//
+//mw:hotpath
+func (lj *LJ) AccumulateRangeListFast(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	// The displacement is computed on scalars with the minimum-image wrap
+	// inlined behind one perfectly-predicted branch: Box.MinImage is a real
+	// (non-inlined) call, and at ~30 pairs per atom the call overhead is a
+	// measurable slice of the whole kernel.
+	periodic := s.Box.Periodic
+	lx, ly, lz := s.Box.L.X, s.Box.L.Y, s.Box.L.Z
+	for i := rl.Lo; i < rl.Hi; i++ {
+		pi := s.Pos[i]
+		ei := int(s.Elem[i])
+		fix, fiy, fiz := f[i].X, f[i].Y, f[i].Z
+		for _, j := range rl.Of(i) {
+			q := s.Pos[j]
+			dx, dy, dz := q.X-pi.X, q.Y-pi.Y, q.Z-pi.Z
+			if periodic {
+				dx -= lx * math.Round(dx/lx)
+				dy -= ly * math.Round(dy/ly)
+				dz -= lz * math.Round(dz/lz)
+			}
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			inv := 1 / r2
+			k := ei*lj.nelem + int(s.Elem[j])
+			sr2 := lj.sigma2[k] * inv
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			eps := lj.eps[k]
+			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			fs := 24 * eps * (2*sr12 - sr6) * inv
+			fix -= fs * dx
+			fiy -= fs * dy
+			fiz -= fs * dz
+			f[j].X += fs * dx
+			f[j].Y += fs * dy
+			f[j].Z += fs * dz
+		}
+		f[i] = vec.Vec3{X: fix, Y: fiy, Z: fiz}
+	}
+	return pe
+}
+
+// AccumulateRangeListFullNoExcl is the full-list analogue of
+// AccumulateRangeListNoExcl: no mirrored write, halved pair energy, no
+// exclusion check. Valid only when Excl.Len() == 0.
+//
+//mw:hotpath
+func (lj *LJ) AccumulateRangeListFullNoExcl(s *atom.System, rl *cells.RangeList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	box := s.Box
+	for i := rl.Lo; i < rl.Hi; i++ {
+		pi := s.Pos[i]
+		ei := int(s.Elem[i])
+		fi := f[i]
+		fixedI := s.Fixed[i]
+		for _, j := range rl.Of(i) {
+			if fixedI && s.Fixed[j] {
+				continue
+			}
+			d := box.MinImage(s.Pos[j].Sub(pi))
+			r2 := d.Norm2()
+			if r2 >= c2 || r2 == 0 {
+				continue
+			}
+			k := ei*lj.nelem + int(s.Elem[j])
+			sr2 := lj.sigma2[k] / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			eps := lj.eps[k]
+			pe += 0.5 * (4*eps*(sr12-sr6) - lj.shift[k])
+			fs := 24 * eps * (2*sr12 - sr6) / r2
+			fi = fi.AddScaled(-fs, d)
 		}
 		f[i] = fi
 	}

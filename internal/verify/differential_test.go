@@ -12,16 +12,19 @@ const testThreads = 4
 
 // TestCombosCoverMatrix guards the acceptance criterion: every executor
 // topology (serial, shared queue, per-worker queues, work stealing) must be
-// crossed with every reduction mode (privatized, shared mutex).
+// crossed with every reduction mode (privatized, shared mutex), and the
+// cell-ordered hot path (reorder + guided) must cover all four topologies
+// plus a full-list variant.
 func TestCombosCoverMatrix(t *testing.T) {
 	combos := Combos(testThreads)
-	if len(combos) != 8 {
-		t.Fatalf("got %d combos, want 8 (4 topologies × 2 reduce modes)", len(combos))
+	if len(combos) != 13 {
+		t.Fatalf("got %d combos, want 13 (4 topologies × 2 reduce modes + 4 reorder + 1 reorder/full-lists)", len(combos))
 	}
 	seen := map[string]bool{}
 	for _, c := range combos {
 		seen[c.Name] = true
-		if c.Name != "serial/privatized" && c.Name != "serial/shared-mutex" && c.Threads < 2 {
+		if c.Name != "serial/privatized" && c.Name != "serial/shared-mutex" &&
+			c.Name != "serial/reorder+guided" && c.Threads < 2 {
 			t.Errorf("parallel combo %s has %d threads", c.Name, c.Threads)
 		}
 	}
@@ -30,6 +33,17 @@ func TestCombosCoverMatrix(t *testing.T) {
 			if !seen[topo+"/"+red] {
 				t.Errorf("matrix missing %s/%s", topo, red)
 			}
+		}
+		if !seen[topo+"/reorder+guided"] {
+			t.Errorf("matrix missing %s/reorder+guided", topo)
+		}
+	}
+	if !seen["shared-queue/reorder+guided+full-lists"] {
+		t.Error("matrix missing the reorder + full-lists variant")
+	}
+	for _, c := range combos {
+		if c.Reorder && c.Partition != core.PartitionGuided {
+			t.Errorf("%s: reorder combos must use the guided partition", c.Name)
 		}
 	}
 }

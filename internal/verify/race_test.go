@@ -1,0 +1,41 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"mw/internal/core"
+)
+
+// TestGuidedReorderRaceMatrix steps every Table I workload under the guided
+// partition with Morton reordering across all three parallel queue
+// topologies. Functionally it is subsumed by the differential matrix; it
+// exists as a focused target for `make race`: the cell-aligned cut chunks
+// change which atom ranges the guided executor's shared cursor deals out, so
+// the mirrored Newton-3 writes and the privatized reduce must be re-proven
+// race-free under that geometry (the race detector needs the code to run,
+// not to be compared).
+func TestGuidedReorderRaceMatrix(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, q := range []core.QueueTopology{core.SharedQueue, core.PerWorkerQueues, core.WorkStealingQueues} {
+			w, q := w, q
+			t.Run(fmt.Sprintf("%s/%s", w.Name, q), func(t *testing.T) {
+				t.Parallel()
+				cfg := w.Cfg
+				cfg.Threads = testThreads
+				cfg.Queues = q
+				cfg.Partition = core.PartitionGuided
+				cfg.Reorder = true
+				sim, err := core.New(w.Sys.Clone(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sim.Close()
+				sim.Run(8)
+				if sim.StepCount() != 8 {
+					t.Fatalf("ran %d steps, want 8", sim.StepCount())
+				}
+			})
+		}
+	}
+}

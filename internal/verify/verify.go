@@ -29,12 +29,16 @@ import (
 )
 
 // Combo is one executor-topology × reduction-mode cell of the verification
-// matrix.
+// matrix, optionally layered with the §V-A cell-ordered hot path (Morton
+// reorder + guided cell-block chunking) and the pair-list mode.
 type Combo struct {
-	Name    string
-	Threads int
-	Queues  core.QueueTopology
-	Reduce  core.ReduceMode
+	Name      string
+	Threads   int
+	Queues    core.QueueTopology
+	Reduce    core.ReduceMode
+	Partition core.Partition
+	PairLists core.PairListMode
+	Reorder   bool
 }
 
 // Apply overlays the combo onto a benchmark's recommended config.
@@ -42,13 +46,18 @@ func (c Combo) Apply(cfg core.Config) core.Config {
 	cfg.Threads = c.Threads
 	cfg.Queues = c.Queues
 	cfg.Reduce = c.Reduce
+	cfg.Partition = c.Partition
+	cfg.PairLists = c.PairLists
+	cfg.Reorder = c.Reorder
 	return cfg
 }
 
 // Combos enumerates the full verification matrix for the given parallel
 // worker count: the serial topology and all three queue topologies, each
-// under both reduction modes. The first entry (serial + privatized) is the
-// reference configuration the rest are compared against.
+// under both reduction modes; then the cell-ordered hot path (Morton reorder
+// + guided partition) across all four topologies, including one full-list
+// variant. The first entry (serial + privatized) is the reference
+// configuration the rest are compared against.
 func Combos(threads int) []Combo {
 	if threads < 2 {
 		threads = 4
@@ -71,6 +80,31 @@ func Combos(threads int) []Combo {
 			})
 		}
 	}
+	// Cell-ordered hot path: atoms permuted into Morton order, guided
+	// partition dealing contiguous cell blocks. Snapshots are always in
+	// original IDs, so these compare against the same reference.
+	out = append(out, Combo{
+		Name:      "serial/reorder+guided",
+		Threads:   1,
+		Partition: core.PartitionGuided,
+		Reorder:   true,
+	})
+	for _, q := range []core.QueueTopology{core.SharedQueue, core.PerWorkerQueues, core.WorkStealingQueues} {
+		out = append(out, Combo{
+			Name:      fmt.Sprintf("%s/reorder+guided", q),
+			Threads:   threads,
+			Queues:    q,
+			Partition: core.PartitionGuided,
+			Reorder:   true,
+		})
+	}
+	out = append(out, Combo{
+		Name:      "shared-queue/reorder+guided+full-lists",
+		Threads:   threads,
+		Partition: core.PartitionGuided,
+		PairLists: core.FullLists,
+		Reorder:   true,
+	})
 	return out
 }
 
