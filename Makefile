@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages whose tests exercise the concurrent engine and therefore run
 # again under the race detector in `make verify`.
-RACE_PKGS := ./internal/core ./internal/pool ./internal/verify
+RACE_PKGS := ./internal/core ./internal/pool ./internal/verify ./internal/tracing
 
-.PHONY: build test vet lint race race-bench telemetry-overhead fuzz verify clean bench-json benchdiff
+.PHONY: build test vet lint race race-bench telemetry-overhead trace-smoke fuzz verify clean bench-json benchdiff
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ race-bench:
 telemetry-overhead:
 	$(GO) run ./cmd/mwbench observer-native -gate
 
+# Trace-timeline smoke: a short traced Al-1000 run whose exported Chrome
+# trace JSON must pass structural validation (record validates what it
+# wrote; export re-validates the artifact from disk). CI uploads the file.
+trace-smoke:
+	$(GO) run ./cmd/mwtrace record -bench Al-1000 -threads 4 -steps 120 -o mw.trace.json
+	$(GO) run ./cmd/mwtrace export -in mw.trace.json
+
 # Short fuzz smoke of the parsers (seed corpus always runs under plain
 # `go test`; this adds a minute of coverage-guided exploration).
 fuzz:
@@ -60,7 +67,7 @@ benchdiff:
 	$(GO) run ./cmd/mwbench benchdiff -base BENCH_0.json -new $(NEW) -tol $(TOL)
 
 # The full correctness gate — what CI runs. See README.md §Verification.
-verify: lint build test race race-bench telemetry-overhead
+verify: lint build test race race-bench telemetry-overhead trace-smoke
 
 clean:
 	$(GO) clean ./...

@@ -21,6 +21,7 @@ import (
 	"mw/internal/mml"
 	"mw/internal/report"
 	"mw/internal/telemetry"
+	"mw/internal/tracing"
 	"mw/internal/workload"
 	"mw/internal/xyz"
 )
@@ -50,6 +51,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trajPath  = fs.String("traj", "", "write an XYZ trajectory (one frame per -report-every interval)")
 		target    = fs.Float64("target-temp", 300, "thermostat target temperature (K)")
 		teleAddr  = fs.String("telemetry-addr", "", "serve live telemetry (JSON, Prometheus, pprof) on this address, e.g. :8077 (empty = off)")
+		tracePath = fs.String("trace", "", "export the run as Chrome trace JSON to this path (open in ui.perfetto.dev)")
+		traceRing = fs.Int("trace-ring", 256, "step records retained by the tracer's flight ring")
+		flightDir = fs.String("flight-dir", "", "dump flight-<step>.trace.json here when a step breaches the anomaly threshold")
+		anomaly   = fs.Float64("anomaly-factor", 8, "anomaly threshold: step wall time vs rolling p99 multiple (<0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,6 +132,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// decides whether the state is additionally served over HTTP for mwtop.
 	rec := telemetry.NewRecorder(*threads, core.PhaseNames())
 	cfg.Telemetry = rec
+	// -trace / -flight-dir upgrade the recorder to the structured tracer: the
+	// same rings underneath, plus the per-step span timeline and the
+	// anomaly-triggered flight recorder. The plain recorder stays the default
+	// so untraced runs keep the exact path the observer gate measures.
+	var tracer *tracing.Tracer
+	if *tracePath != "" || *flightDir != "" {
+		tracer = tracing.New(rec, tracing.Config{
+			RingSteps:     *traceRing,
+			AnomalyFactor: *anomaly,
+			FlightDir:     *flightDir,
+			OnFlight: func(path string, step int) {
+				if path != "" {
+					fmt.Fprintf(stderr, "anomaly at step %d — flight dump %s\n", step, path)
+				}
+			},
+		})
+		cfg.Telemetry = tracer
+	}
 	if *teleAddr != "" {
 		srv, addr, err := telemetry.Serve(*teleAddr, rec)
 		if err != nil {
@@ -215,6 +238,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			snap.Phases[ph].P50Micros, snap.Phases[ph].P99Micros)
 	}
 	fmt.Fprint(stdout, t.String())
+
+	if tracer != nil && *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := tracer.Export(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote trace timeline to %s (%d retained steps) — open in ui.perfetto.dev\n",
+			*tracePath, len(tracer.Records()))
+	}
+	if tracer != nil {
+		if anomalies := tracer.Anomalies(); anomalies > 0 {
+			dumps, last := tracer.FlightDumps()
+			fmt.Fprintf(stdout, "anomalous steps: %d (flight dumps: %d, last %s)\n", anomalies, dumps, last)
+		}
+	}
 
 	if *savePath != "" {
 		if err := mml.SaveFile(*savePath, mml.FromSystem(b.Name, sim.SystemInOriginalOrder(), cfg)); err != nil {

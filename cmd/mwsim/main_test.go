@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mw/internal/tracing"
 )
 
 func TestBadFlagsExit2(t *testing.T) {
@@ -31,6 +33,34 @@ func TestLoadMissingFileExits1(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"-load", filepath.Join(t.TempDir(), "nope.mml")}, &out, &errw); code != 1 {
 		t.Errorf("exit %d, want 1", code)
+	}
+}
+
+// TestTraceFlagExportsValidTimeline checks that -trace writes a
+// Perfetto-loadable Chrome trace for a short parallel run.
+func TestTraceFlagExportsValidTimeline(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.trace.json")
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-bench", "lj-gas", "-n", "3", "-threads", "2", "-steps", "25",
+		"-trace", trace,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "wrote trace timeline") {
+		t.Errorf("summary missing trace line:\n%s", out.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tracing.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("-trace output invalid: %v", err)
+	}
+	if st.Tracks != 3 {
+		t.Errorf("tracks = %d, want 3 (coordinator + 2 workers)", st.Tracks)
 	}
 }
 

@@ -100,15 +100,30 @@ func render(w io.Writer, snap *telemetry.Snapshot, clear bool) {
 	}
 	fmt.Fprint(w, pt.String())
 
+	// Total phase instances with straggler attribution: the blame share
+	// denominator. Zero on a fresh start (no barrier has completed yet) or a
+	// serial run (one worker cannot straggle itself) — render "-" then
+	// rather than a 0% that looks like a measurement.
+	var attributed int64
+	for _, wv := range snap.PerWorker {
+		attributed += wv.Straggler
+	}
 	wt := report.NewTable("Workers",
-		"Worker", "Chunks", "Steals", "Parks", "Parked (s)", "Busy (s)")
+		"Worker", "Chunks", "Steals", "Parks", "Parked (s)", "Busy (s)", "Straggler", "Late (s)")
 	for _, wv := range snap.PerWorker {
 		var busy float64
 		for _, s := range wv.BusySeconds {
 			busy += s
 		}
+		straggler, late := "-", any("-")
+		if attributed > 0 {
+			straggler = fmt.Sprintf("%d (%.0f%%)", wv.Straggler,
+				100*float64(wv.Straggler)/float64(attributed))
+			late = wv.LatenessSeconds
+		}
 		wt.AddRow(fmt.Sprintf("%d", wv.Worker),
-			float64(wv.Chunks), float64(wv.Steals), float64(wv.Parks), wv.ParkSeconds, busy)
+			float64(wv.Chunks), float64(wv.Steals), float64(wv.Parks), wv.ParkSeconds, busy,
+			straggler, late)
 	}
 	fmt.Fprint(w, wt.String())
 

@@ -52,6 +52,45 @@ func TestOnceRendersTables(t *testing.T) {
 	}
 }
 
+func TestStragglerColumnRendered(t *testing.T) {
+	srv := httptest.NewServer(telemetry.Handler(liveRecorder()))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", addr, "-once"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Straggler") || !strings.Contains(s, "Late (s)") {
+		t.Errorf("Workers table missing straggler columns:\n%s", s)
+	}
+	// liveRecorder's one PhaseEnd blames worker 1 (5ms busy vs 3ms median).
+	if !strings.Contains(s, "1 (100%)") {
+		t.Errorf("worker 1 should carry 100%% of blame:\n%s", s)
+	}
+}
+
+func TestStragglerColumnDashBeforeFirstStep(t *testing.T) {
+	// A recorder with no completed phase barriers — mwtop attached the moment
+	// mwsim started. Blame must render as "-", not a fake 0%.
+	rec := telemetry.NewRecorder(2, []string{"predictor", "force"})
+	srv := httptest.NewServer(telemetry.Handler(rec))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", addr, "-once"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errw.String())
+	}
+	if strings.Contains(out.String(), "0 (0%)") || strings.Contains(out.String(), "NaN") {
+		t.Errorf("fresh-start blame must render as '-':\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "-") {
+		t.Errorf("expected '-' placeholder cells:\n%s", out.String())
+	}
+}
+
 func TestOnceJSONRoundTrips(t *testing.T) {
 	srv := httptest.NewServer(telemetry.Handler(liveRecorder()))
 	defer srv.Close()

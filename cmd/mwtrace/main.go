@@ -1,0 +1,416 @@
+// Command mwtrace is the engine's trace-timeline front end: it runs a
+// benchmark with the structured tracer installed and exports the span
+// timeline as Chrome trace-event JSON (open it in ui.perfetto.dev), or
+// analyzes what the tracer saw — barrier straggler blame, goroutine→CPU
+// affinity — without leaving the terminal.
+//
+// Usage:
+//
+//	mwtrace record -bench Al-1000 -threads 4 -steps 200 -o al.trace.json
+//	mwtrace export -in al.trace.json
+//	mwtrace top-stragglers -bench salt -threads 4 -steps 200
+//	mwtrace affinity -bench Al-1000 -threads 4 -steps 200 -markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mw/internal/core"
+	"mw/internal/report"
+	"mw/internal/telemetry"
+	"mw/internal/tracing"
+	"mw/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "record":
+		return cmdRecord(args[1:], stdout, stderr)
+	case "export":
+		return cmdExport(args[1:], stdout, stderr)
+	case "top-stragglers":
+		return cmdStragglers(args[1:], stdout, stderr)
+	case "affinity":
+		return cmdAffinity(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	}
+	fmt.Fprintf(stderr, "mwtrace: unknown subcommand %q\n", args[0])
+	usage(stderr)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `mwtrace <subcommand> [flags]
+
+  record          run a benchmark with tracing and export a Perfetto-loadable
+                  Chrome trace JSON timeline
+  export          validate and summarize an existing trace JSON file
+  top-stragglers  run a benchmark and report per-worker barrier blame
+  affinity        run a benchmark and report the goroutine→CPU placement
+                  matrix (the engine-native §IV-C trace)
+
+Run 'mwtrace <subcommand> -h' for flags.
+`)
+}
+
+// runFlags is the workload/tracer flag set shared by the run-a-benchmark
+// subcommands.
+type runFlags struct {
+	bench     *string
+	threads   *int
+	steps     *int
+	partition *string
+	queues    *string
+	reorder   *bool
+	n         *int
+	temp      *float64
+	ring      *int
+	factor    *float64
+	minSteps  *int
+	flightDir *string
+	cpuProf   *time.Duration
+	affEvery  *int
+}
+
+func addRunFlags(fs *flag.FlagSet) *runFlags {
+	return &runFlags{
+		bench:     fs.String("bench", "Al-1000", "benchmark: salt, nanocar, Al-1000, lj-gas"),
+		threads:   fs.Int("threads", 4, "worker threads"),
+		steps:     fs.Int("steps", 200, "timesteps to run"),
+		partition: fs.String("partition", "guided", "work partition: cyclic, block, guided, dynamic"),
+		queues:    fs.String("queues", "shared", "queue topology: shared, per-worker, stealing"),
+		reorder:   fs.Bool("reorder", false, "sort atoms into Morton cell order on rebuilds"),
+		n:         fs.Int("n", 5, "lattice size for -bench lj-gas (n³ atoms)"),
+		temp:      fs.Float64("temp", 120, "temperature for -bench lj-gas (K)"),
+		ring:      fs.Int("ring", 256, "step records retained in the flight ring"),
+		factor:    fs.Float64("anomaly-factor", 8, "flight-dump when a step exceeds this multiple of the rolling p99 (<0 = off)"),
+		minSteps:  fs.Int("min-steps", 32, "steps before anomaly detection arms"),
+		flightDir: fs.String("flight-dir", "", "directory for anomaly flight dumps (empty = count only)"),
+		cpuProf:   fs.Duration("cpu-profile", 0, "CPU profile duration captured after each flight dump (0 = off)"),
+		affEvery:  fs.Int("affinity-every", 256, "sample worker CPU every K chunks (<0 = off)"),
+	}
+}
+
+// trace runs the selected benchmark with a Tracer installed and returns the
+// tracer after nsteps.
+func (rf *runFlags) trace(stdout, stderr io.Writer) (*tracing.Tracer, *core.Simulation, int) {
+	var b *workload.Benchmark
+	if *rf.bench == "lj-gas" {
+		b = workload.LJGas(*rf.n, *rf.temp, true)
+	} else if b = workload.ByName(*rf.bench); b == nil {
+		fmt.Fprintf(stderr, "mwtrace: unknown benchmark %q (salt, nanocar, Al-1000, lj-gas)\n", *rf.bench)
+		return nil, nil, 2
+	}
+
+	cfg := b.Cfg
+	cfg.Threads = *rf.threads
+	cfg.Reorder = *rf.reorder
+	switch *rf.partition {
+	case "cyclic":
+		cfg.Partition = core.PartitionCyclic
+	case "block":
+		cfg.Partition = core.PartitionBlock
+	case "guided":
+		cfg.Partition = core.PartitionGuided
+	case "dynamic":
+		cfg.Partition = core.PartitionDynamic
+	default:
+		fmt.Fprintf(stderr, "mwtrace: unknown partition %q\n", *rf.partition)
+		return nil, nil, 2
+	}
+	switch *rf.queues {
+	case "shared":
+		cfg.Queues = core.SharedQueue
+	case "per-worker":
+		cfg.Queues = core.PerWorkerQueues
+	case "stealing":
+		cfg.Queues = core.WorkStealingQueues
+	default:
+		fmt.Fprintf(stderr, "mwtrace: unknown queue topology %q\n", *rf.queues)
+		return nil, nil, 2
+	}
+
+	rec := telemetry.NewRecorder(cfg.Threads, core.PhaseNames())
+	tr := tracing.New(rec, tracing.Config{
+		RingSteps:     *rf.ring,
+		AnomalyFactor: *rf.factor,
+		MinSteps:      *rf.minSteps,
+		FlightDir:     *rf.flightDir,
+		CPUProfile:    *rf.cpuProf,
+		AffinityEvery: *rf.affEvery,
+		OnFlight: func(path string, step int) {
+			if path != "" {
+				fmt.Fprintf(stderr, "mwtrace: anomaly at step %d — flight dump %s\n", step, path)
+			}
+		},
+	})
+	cfg.Telemetry = tr
+
+	sim, err := core.New(b.Sys, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, nil, 1
+	}
+	start := time.Now()
+	sim.Run(*rf.steps)
+	wall := time.Since(start)
+	fmt.Fprintf(stdout, "%s: %d steps, %d threads, %s/%s — %v (%.1f updates/s)\n",
+		b.Name, *rf.steps, cfg.Threads, cfg.Partition, cfg.Queues,
+		wall.Round(time.Millisecond), float64(*rf.steps)/wall.Seconds())
+	return tr, sim, 0
+}
+
+func cmdRecord(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwtrace record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rf := addRunFlags(fs)
+	out := fs.String("o", "mw.trace.json", "output trace JSON path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tr, sim, rc := rf.trace(stdout, stderr)
+	if rc != 0 {
+		return rc
+	}
+	defer sim.Close()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := tr.Export(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Re-read and validate what was just written: record is the CI
+	// trace-smoke producer, so the artifact must be proven loadable.
+	data, err := os.ReadFile(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := tracing.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwtrace: exported trace failed validation: %v\n", err)
+		return 1
+	}
+	retained := tr.Records()
+	fmt.Fprintf(stdout, "wrote %s: %d retained steps, %d spans, %d instants, %d tracks, %.1f ms timeline\n",
+		*out, len(retained), st.Spans, st.Instants, st.Tracks,
+		float64(st.LastUS-st.FirstUS)/1e3)
+	if anomalies := tr.Anomalies(); anomalies > 0 {
+		dumps, last := tr.FlightDumps()
+		fmt.Fprintf(stdout, "anomalies: %d (flight dumps: %d, last %s)\n", anomalies, dumps, last)
+	}
+	fmt.Fprintf(stdout, "open in ui.perfetto.dev (or chrome://tracing)\n")
+	return 0
+}
+
+func cmdExport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwtrace export", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "mw.trace.json", "trace JSON file to validate and summarize")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := tracing.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwtrace: %s: %v\n", *in, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: valid Chrome trace — %d events, %d spans, %d instants, %d tracks, %.1f ms timeline\n",
+		*in, st.Events, st.Spans, st.Instants, st.Tracks, float64(st.LastUS-st.FirstUS)/1e3)
+	t := report.NewTable("Tracks", "Tid", "Name", "Events")
+	for tid := 0; tid < len(st.PerTrack)+8; tid++ {
+		n, ok := st.PerTrack[tid]
+		if !ok {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", tid), st.TrackNames[tid], float64(n))
+	}
+	fmt.Fprint(stdout, t.String())
+	return 0
+}
+
+func cmdStragglers(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwtrace top-stragglers", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rf := addRunFlags(fs)
+	worst := fs.Int("worst", 3, "slowest steps to list")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tr, sim, rc := rf.trace(stdout, stderr)
+	if rc != 0 {
+		return rc
+	}
+	defer sim.Close()
+
+	recs := tr.Records()
+	phases := core.PhaseNames()
+	rows := tracing.Blame(recs, *rf.threads, len(phases))
+	t := report.NewTable(
+		fmt.Sprintf("Barrier blame (last %d steps)", len(recs)),
+		"Worker", "Stragglers", "Lateness (ms)", "Worst step", "Worst phase", "Worst (ms)")
+	for _, r := range rows {
+		if r.Stragglers == 0 {
+			t.AddRow(fmt.Sprintf("%d", r.Worker), "0", "-", "-", "-", "-")
+			continue
+		}
+		worstStep, worstPhase := "-", "-"
+		if r.WorstPhase != "" {
+			worstStep, worstPhase = fmt.Sprintf("%d", r.WorstStep), r.WorstPhase
+		}
+		t.AddRow(fmt.Sprintf("%d", r.Worker), float64(r.Stragglers),
+			float64(r.LatenessUS)/1e3, worstStep, worstPhase, float64(r.WorstLateUS)/1e3)
+	}
+	fmt.Fprint(stdout, t.String())
+
+	bp := report.NewTable("Blame by phase (straggler counts)",
+		append([]string{"Worker"}, phases...)...)
+	for _, r := range rows {
+		cells := make([]any, 1+len(phases))
+		cells[0] = fmt.Sprintf("%d", r.Worker)
+		for i, n := range r.ByPhase {
+			cells[1+i] = float64(n)
+		}
+		bp.AddRow(cells...)
+	}
+	fmt.Fprint(stdout, bp.String())
+
+	if *worst > 0 {
+		ws := tracing.WorstSteps(recs, *worst)
+		wt := report.NewTable("Slowest retained steps", "Step", "Wall (ms)", "Straggler (worst phase)", "Lateness (ms)")
+		for _, r := range ws {
+			straggler, phase, late := worstSpan(r)
+			if straggler < 0 {
+				wt.AddRow(fmt.Sprintf("%d", r.Step), float64(r.WallUS())/1e3, "-", "-")
+				continue
+			}
+			wt.AddRow(fmt.Sprintf("%d", r.Step), float64(r.WallUS())/1e3,
+				fmt.Sprintf("w%d (%s)", straggler, phase), float64(late)/1e3)
+		}
+		fmt.Fprint(stdout, wt.String())
+	}
+	return 0
+}
+
+// worstSpan finds the span with the largest lateness in one step record.
+func worstSpan(r *tracing.StepRecord) (straggler int, phase string, latenessUS int64) {
+	straggler = -1
+	for i := range r.Phases {
+		sp := &r.Phases[i]
+		if sp.Straggler >= 0 && sp.LatenessUS >= latenessUS {
+			straggler, phase, latenessUS = sp.Straggler, sp.Phase, sp.LatenessUS
+		}
+	}
+	return straggler, phase, latenessUS
+}
+
+func cmdAffinity(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwtrace affinity", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rf := addRunFlags(fs)
+	markdown := fs.Bool("markdown", false, "emit the matrix as a Markdown table (for EXPERIMENTS.md)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !tracing.AffinitySupported() {
+		fmt.Fprintln(stderr, "mwtrace: getcpu probe unsupported on this platform (Linux only)")
+		return 1
+	}
+	tr, sim, rc := rf.trace(stdout, stderr)
+	if rc != 0 {
+		return rc
+	}
+	defer sim.Close()
+
+	views := tr.Affinity()
+	ncpu := 0
+	for _, v := range views {
+		if len(v.PerCPU) > ncpu {
+			ncpu = len(v.PerCPU)
+		}
+	}
+	if *markdown {
+		writeAffinityMarkdown(stdout, views, ncpu)
+		return 0
+	}
+	headers := []string{"Worker", "Samples", "Migrations", "Last CPU"}
+	for c := 0; c < ncpu; c++ {
+		headers = append(headers, fmt.Sprintf("cpu%d", c))
+	}
+	t := report.NewTable("Goroutine→CPU affinity (1-in-K chunk probe)", headers...)
+	for _, v := range views {
+		cells := []any{fmt.Sprintf("%d", v.Worker), float64(v.Samples), float64(v.Migrations)}
+		if v.Samples == 0 {
+			cells = append(cells, "-")
+		} else {
+			cells = append(cells, fmt.Sprintf("%d", v.LastCPU))
+		}
+		for c := 0; c < ncpu; c++ {
+			var n int64
+			if c < len(v.PerCPU) {
+				n = v.PerCPU[c]
+			}
+			cells = append(cells, float64(n))
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Fprint(stdout, t.String())
+	return 0
+}
+
+// writeAffinityMarkdown emits the affinity matrix in the Markdown shape the
+// EXPERIMENTS §IV-C section uses, with per-CPU shares instead of raw counts.
+func writeAffinityMarkdown(w io.Writer, views []tracing.AffinityView, ncpu int) {
+	fmt.Fprint(w, "| Worker | Samples | Migrations |")
+	for c := 0; c < ncpu; c++ {
+		fmt.Fprintf(w, " cpu%d |", c)
+	}
+	fmt.Fprint(w, "\n|---|---|---|")
+	for c := 0; c < ncpu; c++ {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, v := range views {
+		fmt.Fprintf(w, "| %d | %d | %d |", v.Worker, v.Samples, v.Migrations)
+		for c := 0; c < ncpu; c++ {
+			var n int64
+			if c < len(v.PerCPU) {
+				n = v.PerCPU[c]
+			}
+			if v.Samples == 0 {
+				fmt.Fprint(w, " - |")
+			} else {
+				fmt.Fprintf(w, " %.0f%% |", 100*float64(n)/float64(v.Samples))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mw/internal/tracing"
+)
+
+// smallRun is a fast lj-gas workload shared by the subcommand tests.
+var smallRun = []string{"-bench", "lj-gas", "-n", "4", "-threads", "2", "-steps", "30"}
+
+func TestRecordExportRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace.json")
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"record", "-o", out}, smallRun...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("record exit %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "30 retained steps") {
+		t.Errorf("record summary missing step count:\n%s", stdout.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tracing.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	if st.Tracks != 3 {
+		t.Errorf("tracks = %d, want 3 (coordinator + 2 workers)", st.Tracks)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"export", "-in", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("export exit %d; stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"valid Chrome trace", "barrier (coordinator)", "worker 0"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("export summary missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestExportRejectsCorruptFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"E","ts":1,"tid":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"export", "-in", bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "without a matching B") {
+		t.Errorf("diagnostic should name the invariant: %q", stderr.String())
+	}
+}
+
+func TestTopStragglersRendersBlame(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"top-stragglers"}, smallRun...), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"Barrier blame", "Blame by phase", "Slowest retained steps", "force"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestAffinityRendersMatrix(t *testing.T) {
+	if !tracing.AffinitySupported() {
+		t.Skip("getcpu probe unsupported on this platform")
+	}
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"affinity", "-affinity-every", "8"}, smallRun...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Goroutine→CPU affinity") {
+		t.Errorf("output missing matrix table:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	args = append(args, "-markdown")
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("markdown exit %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "| Worker | Samples | Migrations |") {
+		t.Errorf("markdown output missing header:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownSubcommandExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown subcommand") {
+		t.Errorf("stderr should name the bad subcommand: %q", stderr.String())
+	}
+}
+
+func TestUnknownBenchmarkExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"record", "-bench", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

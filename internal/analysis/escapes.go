@@ -43,7 +43,7 @@ func DefaultEscapeGate(moduleRoot string) *EscapeGate {
 		ModuleRoot: moduleRoot,
 		Patterns: []string{
 			"./internal/forces", "./internal/cells", "./internal/core", "./internal/pool",
-			"./internal/telemetry", "./internal/atom",
+			"./internal/telemetry", "./internal/atom", "./internal/tracing",
 		},
 		Baseline: filepath.Join(moduleRoot, "internal", "analysis", "testdata", "escapes.baseline"),
 	}

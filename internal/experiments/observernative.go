@@ -10,20 +10,26 @@ import (
 	"mw/internal/core"
 	"mw/internal/report"
 	"mw/internal/telemetry"
+	"mw/internal/tracing"
 	"mw/internal/workload"
 )
 
 // ObserverNativeRow is one workload's measured observer effect for the real
 // telemetry layer: the same run with telemetry off, with the ring-buffer
-// Recorder, and with the deliberately JaMON-like mutex-per-event NaiveSink.
+// Recorder, with the full structured Tracer stacked on a recorder (spans,
+// straggler attribution, flight ring, affinity probe), and with the
+// deliberately JaMON-like mutex-per-event NaiveSink.
 type ObserverNativeRow struct {
-	Workload         string
-	OffWall          time.Duration // min-of-trials uninstrumented wall
-	RingWall         time.Duration
-	NaiveWall        time.Duration
-	RingOverheadPct  float64 // (ring-off)/off, clamped at 0
-	NaiveOverheadPct float64
-	RingChunkEvents  int64 // sanity: the recorder really saw the run
+	Workload          string
+	OffWall           time.Duration // min-of-trials uninstrumented wall
+	RingWall          time.Duration
+	TracerWall        time.Duration
+	NaiveWall         time.Duration
+	RingOverheadPct   float64 // (ring-off)/off, clamped at 0
+	TracerOverheadPct float64
+	NaiveOverheadPct  float64
+	RingChunkEvents   int64 // sanity: the recorder really saw the run
+	TracerSteps       int64 // sanity: the tracer really assembled records
 }
 
 // ObserverNativeResult is the §IV-A observer-effect methodology applied to
@@ -34,9 +40,9 @@ type ObserverNativeResult struct {
 	Report    string
 }
 
-// Gate returns an error if the ring-buffer recorder exceeded the overhead
-// budget on any workload — the regression gate `make telemetry-overhead`
-// fails the build on.
+// Gate returns an error if the ring-buffer recorder or the structured tracer
+// exceeded the overhead budget on any workload — the regression gate
+// `make telemetry-overhead` fails the build on.
 func (r *ObserverNativeResult) Gate() error {
 	for _, row := range r.Rows {
 		if row.RingOverheadPct >= r.BudgetPct {
@@ -44,8 +50,16 @@ func (r *ObserverNativeResult) Gate() error {
 				"telemetry observer effect: ring recorder costs %.2f%% on %s (budget %.1f%%); off=%v ring=%v",
 				row.RingOverheadPct, row.Workload, r.BudgetPct, row.OffWall, row.RingWall)
 		}
+		if row.TracerOverheadPct >= r.BudgetPct {
+			return fmt.Errorf(
+				"telemetry observer effect: structured tracer costs %.2f%% on %s (budget %.1f%%); off=%v tracer=%v",
+				row.TracerOverheadPct, row.Workload, r.BudgetPct, row.OffWall, row.TracerWall)
+		}
 		if row.RingChunkEvents == 0 {
 			return fmt.Errorf("telemetry observer effect: recorder saw no chunk events on %s — the gate measured nothing", row.Workload)
+		}
+		if row.TracerSteps == 0 {
+			return fmt.Errorf("telemetry observer effect: tracer assembled no step records on %s — the gate measured nothing", row.Workload)
 		}
 	}
 	return nil
@@ -126,16 +140,17 @@ func ObserverNative(steps, trials int, budgetPct float64) (*ObserverNativeResult
 		}
 
 		row := ObserverNativeRow{Workload: wl.name}
-		// Each trial runs all three modes back-to-back (order rotated across
+		// Each trial runs all four modes back-to-back (order rotated across
 		// trials) and contributes one PAIRED overhead sample per monitor:
 		// instrumented wall over that same trial's uninstrumented wall. Host
 		// drift on this class of machine swings absolute walls by ±10%
 		// between trials but moves the adjacent runs of one trial together,
 		// so the paired ratio cancels it; the median over trials then drops
 		// the preemption outliers min-of-trials is fragile to.
-		const nModes = 3
+		const nModes = 4
 		offW := make([]time.Duration, trials)
 		ringW := make([]time.Duration, trials)
+		tracerW := make([]time.Duration, trials)
 		naiveW := make([]time.Duration, trials)
 		for trial := 0; trial < trials; trial++ {
 			for i := 0; i < nModes; i++ {
@@ -157,6 +172,18 @@ func ObserverNative(steps, trials int, budgetPct float64) (*ObserverNativeResult
 						row.RingChunkEvents += wv.Chunks
 					}
 				case 2:
+					// The full production tracer: spans, straggler
+					// attribution, ring drain, affinity probe, anomaly
+					// detection armed (FlightDir empty, so anomalies are
+					// counted, never dumped mid-measurement).
+					tr := tracing.New(telemetry.NewRecorder(4, core.PhaseNames()), tracing.Config{})
+					d, err := runObserverNative(wl.mk, tr, steps)
+					if err != nil {
+						return nil, err
+					}
+					tracerW[trial] = d
+					row.TracerSteps += tr.TotalSteps()
+				case 3:
 					d, err := runObserverNative(wl.mk, telemetry.NewNaiveSink(core.PhaseNames()), steps)
 					if err != nil {
 						return nil, err
@@ -167,8 +194,10 @@ func ObserverNative(steps, trials int, budgetPct float64) (*ObserverNativeResult
 		}
 		row.OffWall = minWall(offW)
 		row.RingWall = minWall(ringW)
+		row.TracerWall = minWall(tracerW)
 		row.NaiveWall = minWall(naiveW)
 		row.RingOverheadPct = overheadEstimate(ringW, offW)
+		row.TracerOverheadPct = overheadEstimate(tracerW, offW)
 		row.NaiveOverheadPct = overheadEstimate(naiveW, offW)
 		res.Rows = append(res.Rows, row)
 	}
@@ -176,17 +205,17 @@ func ObserverNative(steps, trials int, budgetPct float64) (*ObserverNativeResult
 	t := report.NewTable(
 		fmt.Sprintf("Telemetry observer effect (native engine, %d steps × %d paired trials, budget %.1f%%)",
 			steps, trials, budgetPct),
-		"Workload", "Off", "Ring", "Naive", "Ring ovh %", "Naive ovh %", "Chunk events")
+		"Workload", "Off", "Ring", "Tracer", "Naive", "Ring ovh %", "Tracer ovh %", "Naive ovh %", "Chunk events")
 	for _, row := range res.Rows {
-		t.AddRow(row.Workload, row.OffWall, row.RingWall, row.NaiveWall,
-			row.RingOverheadPct, row.NaiveOverheadPct, row.RingChunkEvents)
+		t.AddRow(row.Workload, row.OffWall, row.RingWall, row.TracerWall, row.NaiveWall,
+			row.RingOverheadPct, row.TracerOverheadPct, row.NaiveOverheadPct, row.RingChunkEvents)
 	}
-	verdict := "PASS: ring recorder within budget on every workload"
+	verdict := "PASS: ring recorder and structured tracer within budget on every workload"
 	if err := res.Gate(); err != nil {
 		verdict = "FAIL: " + err.Error()
 	}
 	res.Report = t.String() + fmt.Sprintf(
-		"\n%s\npaper §IV-A: a monitor is only usable if it does not distort what it\nmeasures. The ring recorder (per-worker lock-free rings + atomics) must\nstay under the budget; the naive monitor (one mutex + string-keyed maps\nper event — JaMON's design) is run as the control and is expected to\ncost visibly more.\n", verdict)
+		"\n%s\npaper §IV-A: a monitor is only usable if it does not distort what it\nmeasures. The ring recorder (per-worker lock-free rings + atomics) and\nthe structured tracer stacked on it (span timeline, straggler\nattribution, flight ring, affinity probe) must stay under the budget;\nthe naive monitor (one mutex + string-keyed maps per event — JaMON's\ndesign) is run as the control and is expected to cost visibly more.\n", verdict)
 	return res, nil
 }
 

@@ -18,12 +18,15 @@ func TestObserverNativeProducesRowsAndReport(t *testing.T) {
 		t.Fatalf("rows = %d, want 3", len(r.Rows))
 	}
 	for _, row := range r.Rows {
-		if row.OffWall <= 0 || row.RingWall <= 0 || row.NaiveWall <= 0 {
-			t.Errorf("%s: non-positive wall times: off=%v ring=%v naive=%v",
-				row.Workload, row.OffWall, row.RingWall, row.NaiveWall)
+		if row.OffWall <= 0 || row.RingWall <= 0 || row.TracerWall <= 0 || row.NaiveWall <= 0 {
+			t.Errorf("%s: non-positive wall times: off=%v ring=%v tracer=%v naive=%v",
+				row.Workload, row.OffWall, row.RingWall, row.TracerWall, row.NaiveWall)
 		}
 		if row.RingChunkEvents == 0 {
 			t.Errorf("%s: recorder saw no chunk events", row.Workload)
+		}
+		if row.TracerSteps == 0 {
+			t.Errorf("%s: tracer assembled no step records", row.Workload)
 		}
 	}
 	if !strings.Contains(r.Report, "observer effect") {
@@ -38,19 +41,29 @@ func TestObserverNativeGate(t *testing.T) {
 	res := &ObserverNativeResult{
 		BudgetPct: 2,
 		Rows: []ObserverNativeRow{
-			{Workload: "ok", RingOverheadPct: 1.2, RingChunkEvents: 10},
+			{Workload: "ok", RingOverheadPct: 1.2, TracerOverheadPct: 1.4, RingChunkEvents: 10, TracerSteps: 5},
 		},
 	}
 	if err := res.Gate(); err != nil {
 		t.Errorf("in-budget row failed the gate: %v", err)
 	}
-	res.Rows = append(res.Rows, ObserverNativeRow{Workload: "hot", RingOverheadPct: 2.5, RingChunkEvents: 10})
+	res.Rows = append(res.Rows, ObserverNativeRow{Workload: "hot", RingOverheadPct: 2.5, RingChunkEvents: 10, TracerSteps: 5})
 	if err := res.Gate(); err == nil || !strings.Contains(err.Error(), "hot") {
 		t.Errorf("over-budget row not reported: %v", err)
+	}
+	res.Rows = []ObserverNativeRow{
+		{Workload: "hot-tracer", RingOverheadPct: 1.0, TracerOverheadPct: 2.5, RingChunkEvents: 10, TracerSteps: 5},
+	}
+	if err := res.Gate(); err == nil || !strings.Contains(err.Error(), "structured tracer") {
+		t.Errorf("over-budget tracer not reported: %v", err)
 	}
 	res.Rows = []ObserverNativeRow{{Workload: "empty", RingOverheadPct: 0}}
 	if err := res.Gate(); err == nil || !strings.Contains(err.Error(), "measured nothing") {
 		t.Errorf("zero-event row not reported: %v", err)
+	}
+	res.Rows = []ObserverNativeRow{{Workload: "no-steps", RingChunkEvents: 10}}
+	if err := res.Gate(); err == nil || !strings.Contains(err.Error(), "no step records") {
+		t.Errorf("zero-step tracer row not reported: %v", err)
 	}
 }
 

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDrainCursorSeesEachEventOnce(t *testing.T) {
+	r := NewRecorderSize(2, []string{"forces"}, 64)
+	var c DrainCursor
+
+	r.PhaseBegin(1, 0)
+	r.Chunk(0, 0)
+	r.Chunk(1, 0)
+	r.PhaseEnd(1, 0, time.Millisecond, []time.Duration{time.Millisecond, time.Millisecond})
+	r.StepDone(1)
+
+	count := map[string]int{}
+	r.Drain(&c, func(owner int, e Event) { count[e.Kind]++ })
+	if count["chunk"] != 2 || count["phase-begin"] != 1 || count["phase-end"] != 1 || count["step"] != 1 {
+		t.Fatalf("first drain counts = %v", count)
+	}
+
+	// A second drain with no new events yields nothing.
+	n := 0
+	r.Drain(&c, func(owner int, e Event) { n++ })
+	if n != 0 {
+		t.Fatalf("second drain returned %d events, want 0", n)
+	}
+
+	// New events after the cursor show up exactly once.
+	r.Steal(1)
+	r.Drain(&c, func(owner int, e Event) {
+		n++
+		if e.Kind != "steal" || e.Worker != 1 {
+			t.Errorf("unexpected event %+v", e)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("third drain returned %d events, want 1", n)
+	}
+	if c.Lost != 0 {
+		t.Errorf("Lost = %d, want 0", c.Lost)
+	}
+}
+
+func TestDrainCountsOverwrittenEventsAsLost(t *testing.T) {
+	r := NewRecorderSize(1, []string{"forces"}, 8)
+	var c DrainCursor
+	r.Drain(&c, func(int, Event) {}) // position at head
+	for i := 0; i < 20; i++ {
+		r.Chunk(0, 0)
+	}
+	n := 0
+	r.Drain(&c, func(int, Event) { n++ })
+	if n != 8 {
+		t.Errorf("drained %d events from an 8-slot ring, want 8", n)
+	}
+	if c.Lost != 12 {
+		t.Errorf("Lost = %d, want 12", c.Lost)
+	}
+}
+
+func TestStragglerAttribution(t *testing.T) {
+	r := NewRecorder(4, []string{"forces", "integrate"})
+	busy := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 9 * time.Millisecond}
+	r.PhaseEnd(1, 0, 9*time.Millisecond, busy)
+	r.PhaseEnd(1, 1, 9*time.Millisecond, busy)
+	r.PhaseEnd(2, 0, 9*time.Millisecond, []time.Duration{9 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 1 * time.Millisecond})
+
+	snap := r.Snapshot(0)
+	w3 := snap.PerWorker[3]
+	if w3.Straggler != 2 {
+		t.Errorf("worker 3 straggler count = %d, want 2", w3.Straggler)
+	}
+	if w3.StragglerByPhase[0] != 1 || w3.StragglerByPhase[1] != 1 {
+		t.Errorf("worker 3 per-phase blame = %v, want [1 1]", w3.StragglerByPhase)
+	}
+	// Lateness per instance: 9ms − median(1,2,3,9)=3ms → 6ms; two instances.
+	if got, want := w3.LatenessSeconds, 0.012; got < want*0.99 || got > want*1.01 {
+		t.Errorf("worker 3 lateness = %gs, want %gs", got, want)
+	}
+	if snap.PerWorker[0].Straggler != 1 {
+		t.Errorf("worker 0 straggler count = %d, want 1", snap.PerWorker[0].Straggler)
+	}
+	if snap.PerWorker[1].Straggler != 0 {
+		t.Errorf("worker 1 straggler count = %d, want 0", snap.PerWorker[1].Straggler)
+	}
+}
+
+func TestStragglerSkipsSerialRuns(t *testing.T) {
+	r := NewRecorder(1, []string{"forces"})
+	r.PhaseEnd(1, 0, time.Millisecond, []time.Duration{time.Millisecond})
+	if got := r.Snapshot(0).PerWorker[0].Straggler; got != 0 {
+		t.Errorf("serial run attributed a straggler (%d); one worker cannot straggle itself", got)
+	}
+}
+
+func TestTelemetryJSONEventsParam(t *testing.T) {
+	r := NewRecorderSize(1, []string{"forces"}, 16)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"?events=10", http.StatusOK},
+		{"", http.StatusOK},
+		{"?events=1", http.StatusOK},
+		{"?events=-5", http.StatusOK},        // clamped to 1
+		{"?events=999999999", http.StatusOK}, // clamped to ring capacity
+		{"?events=bogus", http.StatusBadRequest},
+		{"?events=1e9", http.StatusBadRequest},
+		{"?events=", http.StatusOK}, // empty = default
+	} {
+		resp, err := http.Get(srv.URL + "/telemetry.json" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET /telemetry.json%s: status %d, want %d", tc.query, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestEventCapacity(t *testing.T) {
+	r := NewRecorderSize(3, []string{"forces"}, 16)
+	// 3 workers + 1 coordinator shard, 16 slots each.
+	if got := r.EventCapacity(); got != 64 {
+		t.Errorf("EventCapacity = %d, want 64", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -25,8 +26,22 @@ func Handler(r *Recorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, req *http.Request) {
 		events := 64
-		if req.URL.Query().Get("events") != "" {
-			fmt.Sscanf(req.URL.Query().Get("events"), "%d", &events)
+		if s := req.URL.Query().Get("events"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("events=%q: not an integer", s), http.StatusBadRequest)
+				return
+			}
+			// Clamp to [1, total ring capacity]: negative or zero asks for
+			// nothing useful, and more events than the rings hold cannot
+			// exist.
+			if n < 1 {
+				n = 1
+			}
+			if m := r.EventCapacity(); n > m {
+				n = m
+			}
+			events = n
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

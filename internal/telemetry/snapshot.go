@@ -43,6 +43,12 @@ type WorkerView struct {
 	ParkSeconds  float64   `json:"park_seconds"`
 	BusySeconds  []float64 `json:"busy_seconds_per_phase"`
 	BusyP99Micro []float64 `json:"busy_p99_us_per_phase"`
+	// Barrier-straggler blame (coordinator-attributed at every phase
+	// barrier): how many phase instances this worker finished last, split
+	// per phase, and the total time it held barriers past the median worker.
+	Straggler        int64   `json:"straggler_phases"`
+	StragglerByPhase []int64 `json:"straggler_by_phase"`
+	LatenessSeconds  float64 `json:"lateness_seconds"`
 }
 
 // Snapshot captures the recorder state. recentEvents caps how many decoded
@@ -81,7 +87,11 @@ func (r *Recorder) Snapshot(recentEvents int) Snapshot {
 		for ph := range r.phases {
 			wv.BusySeconds = append(wv.BusySeconds, s.hist[ph].Sum().Seconds())
 			wv.BusyP99Micro = append(wv.BusyP99Micro, micros(s.hist[ph].Quantile(0.99)))
+			b := s.blame[ph].Load()
+			wv.StragglerByPhase = append(wv.StragglerByPhase, b)
+			wv.Straggler += b
 		}
+		wv.LatenessSeconds = time.Duration(s.lateNanos.Load()).Seconds()
 		snap.PerWorker = append(snap.PerWorker, wv)
 	}
 	if recentEvents > 0 {

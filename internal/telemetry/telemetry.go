@@ -165,9 +165,10 @@ func (r *ring) snapshot(max int) []uint64 {
 }
 
 // shard is one worker's private telemetry state. Counters are written only
-// by the owning worker (or, for the histograms, only by the coordinator at
-// phase barriers), so every update is an uncontended atomic on a line no
-// other writer touches — the sharded-monitor design §IV-A found necessary.
+// by the owning worker (or, for the histograms and blame counters, only by
+// the coordinator at phase barriers), so every update is an uncontended
+// atomic on a line no other writer touches — the sharded-monitor design
+// §IV-A found necessary.
 type shard struct {
 	ring      ring
 	hist      []Histogram // per phase: busy time (workers), wall time (coordinator)
@@ -175,7 +176,12 @@ type shard struct {
 	steals    atomic.Int64
 	parks     atomic.Int64
 	parkNanos atomic.Int64
-	_         [24]byte // keep neighboring shards' counters off one line
+	// Barrier-straggler blame, written by the coordinator in PhaseEnd: how
+	// many phase instances this worker finished last (per phase), and the
+	// total time it held the barrier past the median worker.
+	blame     []atomic.Int64 // per phase: times straggler
+	lateNanos atomic.Int64   // total lateness vs the median worker
+	_         [24]byte       // keep neighboring shards' counters off one line
 }
 
 // Recorder is the ring-buffer Sink. One shard per worker plus a coordinator
@@ -193,6 +199,10 @@ type Recorder struct {
 	// phase's begin time; ring order still disambiguates within a phase.
 	usHint  atomic.Int64
 	dropped atomic.Int64 // events with out-of-range worker ids
+	// busyScratch is the coordinator-only sort buffer for the PhaseEnd
+	// straggler attribution; preallocated so the attribution never touches
+	// the heap on the record path.
+	busyScratch []time.Duration
 }
 
 // NewRecorder creates a recorder for the given worker count and phase-name
@@ -211,13 +221,15 @@ func NewRecorderSize(workers int, phases []string, ringCap int) *Recorder {
 		phases = phases[:7]
 	}
 	r := &Recorder{
-		start:  time.Now(),
-		phases: append([]string(nil), phases...),
-		shards: make([]shard, workers+1),
+		start:       time.Now(),
+		phases:      append([]string(nil), phases...),
+		shards:      make([]shard, workers+1),
+		busyScratch: make([]time.Duration, workers),
 	}
 	for i := range r.shards {
 		r.shards[i].ring = newRing(ringCap)
 		r.shards[i].hist = make([]Histogram, len(phases))
+		r.shards[i].blame = make([]atomic.Int64, len(phases))
 	}
 	return r
 }
@@ -265,6 +277,40 @@ func (r *Recorder) PhaseEnd(step int, phase uint8, wall time.Duration, workerBus
 	for w := 0; w < n; w++ {
 		r.shards[w].hist[phase].Observe(workerBusy[w])
 	}
+	r.attributeStraggler(phase, workerBusy[:n])
+}
+
+// attributeStraggler charges this phase instance's barrier critical path to
+// the worker that finished last: the straggler's blame counter for the phase
+// is bumped and its lateness — how long it kept the barrier closed past the
+// median worker — accumulated. Coordinator-only, allocation-free (the sort
+// scratch is preallocated), so it rides PhaseEnd without touching the
+// observer budget.
+//
+//mw:hotpath
+func (r *Recorder) attributeStraggler(phase uint8, busy []time.Duration) {
+	if len(busy) < 2 {
+		return
+	}
+	straggler := 0
+	for w := 1; w < len(busy); w++ {
+		if busy[w] > busy[straggler] {
+			straggler = w
+		}
+	}
+	// Insertion sort into the scratch buffer: worker counts are single
+	// digits, so this is a handful of compares, not a heap allocation.
+	s := r.busyScratch[:0]
+	for _, b := range busy {
+		s = append(s, b)
+		for i := len(s) - 1; i > 0 && s[i-1] > s[i]; i-- {
+			s[i-1], s[i] = s[i], s[i-1]
+		}
+	}
+	late := busy[straggler] - s[len(s)/2]
+	sh := &r.shards[straggler]
+	sh.blame[phase].Add(1)
+	sh.lateNanos.Add(int64(late))
 }
 
 // Chunk implements Sink: the finest-grained event, one ring push in the
@@ -321,6 +367,59 @@ func (r *Recorder) StepDone(step int) {
 
 // Steps returns the last completed timestep.
 func (r *Recorder) Steps() int64 { return r.steps.Load() }
+
+// NowMicros returns the recorder's clock: µs since it was created — the
+// timebase every recorded event is stamped in.
+func (r *Recorder) NowMicros() int64 { return r.nowUS() }
+
+// EventCapacity returns the total number of ring slots across all shards —
+// the most events one Snapshot or Drain can ever return.
+func (r *Recorder) EventCapacity() int {
+	n := 0
+	for i := range r.shards {
+		n += len(r.shards[i].ring.slots)
+	}
+	return n
+}
+
+// DrainCursor remembers per-shard ring positions between Drain calls. The
+// zero value starts at the beginning of every ring.
+type DrainCursor struct {
+	heads []uint64
+	// Lost counts events that were overwritten before the cursor reached
+	// them (the consumer drained too rarely for the ring capacity).
+	Lost int64
+}
+
+// Drain decodes every event recorded since the cursor's previous position
+// and advances the cursor. It reads only atomic ring state, so it is safe
+// to call while producers keep recording; events pushed concurrently are
+// picked up by the next call. This is the feed for internal/tracing: the
+// span builder drains at step barriers, off the workers' critical paths.
+func (r *Recorder) Drain(c *DrainCursor, emit func(owner int, e Event)) {
+	if c.heads == nil {
+		c.heads = make([]uint64, len(r.shards))
+	}
+	for i := range r.shards {
+		rg := &r.shards[i].ring
+		h := rg.head.Load()
+		lo := c.heads[i]
+		if h-lo > uint64(len(rg.slots)) {
+			c.Lost += int64(h - lo - uint64(len(rg.slots)))
+			lo = h - uint64(len(rg.slots))
+		}
+		owner := i
+		if i == len(r.shards)-1 {
+			owner = -1 // coordinator shard
+		}
+		for j := lo; j != h; j++ {
+			if ev := rg.slots[j&rg.mask].Load(); ev != 0 {
+				emit(owner, r.decode(owner, ev))
+			}
+		}
+		c.heads[i] = h
+	}
+}
 
 // Uptime returns the time since the recorder was created.
 func (r *Recorder) Uptime() time.Duration { return time.Since(r.start) }

@@ -1,0 +1,39 @@
+package tracing
+
+// AffinityView is one worker's goroutine→CPU placement statistics from the
+// chunk-ride probe — the engine-native §IV-C trace. Samples land on whatever
+// CPU the worker goroutine's OS thread was running on at probe time, so the
+// per-CPU row is the real engine's affinity matrix, next to the simulated
+// perfmon threadview.
+type AffinityView struct {
+	Worker     int     `json:"worker"`
+	Samples    int64   `json:"samples"`
+	Migrations int64   `json:"migrations"`
+	LastCPU    int32   `json:"last_cpu"` // -1 before the first sample
+	PerCPU     []int64 `json:"per_cpu"`
+}
+
+// Affinity returns the per-worker affinity matrix accumulated so far. Safe
+// while the engine runs (atomic reads only). Empty samples on non-Linux
+// builds, where the getcpu probe is unavailable.
+func (t *Tracer) Affinity() []AffinityView {
+	out := make([]AffinityView, len(t.aff))
+	for w := range t.aff {
+		a := &t.aff[w]
+		v := AffinityView{
+			Worker:     w,
+			Samples:    a.samples.Load(),
+			Migrations: a.migrations.Load(),
+			LastCPU:    a.lastCPU.Load(),
+			PerCPU:     make([]int64, len(a.perCPU)),
+		}
+		for c := range a.perCPU {
+			v.PerCPU[c] = a.perCPU[c].Load()
+		}
+		out[w] = v
+	}
+	return out
+}
+
+// AffinitySupported reports whether the getcpu probe works on this platform.
+func AffinitySupported() bool { return currentCPU() >= 0 }

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package tracing
+
+// currentCPU is unavailable off Linux; the affinity probe degrades to a
+// no-op and Affinity reports zero samples.
+func currentCPU() int32 { return -1 }

@@ -1,0 +1,222 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event format (the JSON Perfetto and chrome://tracing
+// load): an object with a traceEvents array of events carrying ph (event
+// type), ts (µs), pid/tid (track), and name. The exporter lays the engine
+// out as one process with tid 0 = the barrier/coordinator track and
+// tid w+1 = worker w's track:
+//
+//   - per phase instance: a B/E span on the barrier track over the full
+//     barrier-to-barrier wall, with straggler attribution in args; on every
+//     worker track a B/E span over that worker's busy interval, then a
+//     "barrier-wait" span from the moment it finished until the barrier
+//     opened — the straggler is the worker with no wait bar.
+//   - steal and park ring events become instant ("i") marks on the thief's /
+//     parked worker's track.
+//   - per-span chunk counts (from the ring events) ride in args.
+
+// chromeEvent is one trace event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the enclosing object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// WriteChromeTrace exports step records as Chrome trace-event JSON, loadable
+// in ui.perfetto.dev. workers sizes the track set (use the engine's worker
+// count; ring events naming higher workers are dropped).
+func WriteChromeTrace(w io.Writer, recs []*StepRecord, workers int) error {
+	events := make([]chromeEvent, 0, 64)
+
+	meta := func(name string, tid int, args map[string]any) {
+		events = append(events, chromeEvent{Name: name, Ph: "M", Pid: tracePid, Tid: tid, Args: args})
+	}
+	meta("process_name", 0, map[string]any{"name": "mw engine"})
+	meta("thread_name", 0, map[string]any{"name": "barrier (coordinator)"})
+	meta("thread_sort_index", 0, map[string]any{"sort_index": -1})
+	for wk := 0; wk < workers; wk++ {
+		meta("thread_name", wk+1, map[string]any{"name": fmt.Sprintf("worker %d", wk)})
+	}
+
+	var data []chromeEvent
+	for _, rec := range recs {
+		// Chunk counts per (worker, phase index) for this step, from the
+		// drained ring events; steal/park become instants.
+		chunkCount := make(map[[2]int]int64)
+		for _, e := range rec.Events {
+			switch e.Kind {
+			case "chunk":
+				ph := phaseIndexOf(rec, e.Phase)
+				if e.Worker >= 0 && e.Worker < workers {
+					chunkCount[[2]int{e.Worker, ph}]++
+				}
+			case "steal", "park":
+				if e.Worker >= 0 && e.Worker < workers {
+					data = append(data, chromeEvent{
+						Name: e.Kind, Cat: "sched", Ph: "i", S: "t",
+						TS: e.AtUS, Pid: tracePid, Tid: e.Worker + 1,
+						Args: map[string]any{"step": e.Step},
+					})
+				}
+			}
+		}
+		for pi := range rec.Phases {
+			sp := &rec.Phases[pi]
+			if sp.EndUS == 0 {
+				continue // step cut mid-phase; skip the open span
+			}
+			args := map[string]any{"step": rec.Step}
+			if sp.Straggler >= 0 {
+				args["straggler"] = sp.Straggler
+				args["lateness_us"] = sp.LatenessUS
+				args["median_busy_us"] = sp.MedianUS
+			}
+			data = append(data,
+				chromeEvent{Name: sp.Phase, Cat: "phase", Ph: "B", TS: sp.BeginUS, Pid: tracePid, Tid: 0, Args: args},
+				chromeEvent{Name: sp.Phase, Cat: "phase", Ph: "E", TS: sp.EndUS, Pid: tracePid, Tid: 0})
+			for wk := 0; wk < len(sp.BusyUS) && wk < workers; wk++ {
+				busyEnd := sp.BeginUS + sp.BusyUS[wk]
+				if busyEnd > sp.EndUS {
+					busyEnd = sp.EndUS
+				}
+				wargs := map[string]any{"step": rec.Step, "busy_us": sp.BusyUS[wk]}
+				if n := chunkCount[[2]int{wk, int(sp.Index)}]; n > 0 {
+					wargs["chunks"] = n
+				}
+				data = append(data,
+					chromeEvent{Name: sp.Phase, Cat: "worker", Ph: "B", TS: sp.BeginUS, Pid: tracePid, Tid: wk + 1, Args: wargs},
+					chromeEvent{Name: sp.Phase, Cat: "worker", Ph: "E", TS: busyEnd, Pid: tracePid, Tid: wk + 1})
+				if busyEnd < sp.EndUS {
+					data = append(data,
+						chromeEvent{Name: "barrier-wait", Cat: "wait", Ph: "B", TS: busyEnd, Pid: tracePid, Tid: wk + 1},
+						chromeEvent{Name: "barrier-wait", Cat: "wait", Ph: "E", TS: sp.EndUS, Pid: tracePid, Tid: wk + 1})
+				}
+			}
+		}
+	}
+
+	// A stable sort by timestamp makes every track's event sequence
+	// monotonic while preserving the B-before-E emission order of
+	// zero-length spans and back-to-back span boundaries.
+	sort.SliceStable(data, func(i, j int) bool { return data[i].TS < data[j].TS })
+	events = append(events, data...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// phaseIndexOf maps a ring event's phase name back to the span index within
+// the record (-1 when absent).
+func phaseIndexOf(rec *StepRecord, phase string) int {
+	for i := range rec.Phases {
+		if rec.Phases[i].Phase == phase {
+			return int(rec.Phases[i].Index)
+		}
+	}
+	return -1
+}
+
+// Export writes every retained step record as Chrome trace JSON.
+func (t *Tracer) Export(w io.Writer) error {
+	return WriteChromeTrace(w, t.Records(), t.workers)
+}
+
+// TraceStats summarizes a validated trace.
+type TraceStats struct {
+	Events     int   // all non-metadata events
+	Spans      int   // matched B/E pairs
+	Instants   int   // "i" events
+	Tracks     int   // distinct tids with data events
+	FirstUS    int64 // earliest data-event timestamp
+	LastUS     int64 // latest data-event timestamp
+	PerTrack   map[int]int
+	TrackNames map[int]string
+}
+
+// ValidateChromeTrace decodes data and checks the structural invariants a
+// timeline viewer relies on: every non-metadata event carries a known phase
+// type, timestamps are monotonic non-decreasing per track (in array order),
+// and every track's B/E events balance — equal counts, never a close
+// without an open, and every E at or after its B. Returns summary stats.
+func ValidateChromeTrace(data []byte) (*TraceStats, error) {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		// Bare-array form is also legal Chrome trace JSON.
+		if err2 := json.Unmarshal(data, &tr.TraceEvents); err2 != nil {
+			return nil, fmt.Errorf("tracing: not Chrome trace JSON: %w", err)
+		}
+	}
+	st := &TraceStats{PerTrack: map[int]int{}, TrackNames: map[int]string{}}
+	lastTS := map[int]int64{}
+	stacks := map[int][]chromeEvent{}
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name == "thread_name" && ev.Args != nil {
+				if n, ok := ev.Args["name"].(string); ok {
+					st.TrackNames[ev.Tid] = n
+				}
+			}
+			continue
+		}
+		if last, seen := lastTS[ev.Tid]; seen && ev.TS < last {
+			return nil, fmt.Errorf("tracing: event %d (%s) on tid %d goes back in time: ts %d after %d",
+				i, ev.Name, ev.Tid, ev.TS, last)
+		}
+		lastTS[ev.Tid] = ev.TS
+		if st.Events == 0 || ev.TS < st.FirstUS {
+			st.FirstUS = ev.TS
+		}
+		if ev.TS > st.LastUS {
+			st.LastUS = ev.TS
+		}
+		st.Events++
+		st.PerTrack[ev.Tid]++
+		switch ev.Ph {
+		case "B":
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev)
+		case "E":
+			stk := stacks[ev.Tid]
+			if len(stk) == 0 {
+				return nil, fmt.Errorf("tracing: event %d: E %q on tid %d without a matching B", i, ev.Name, ev.Tid)
+			}
+			open := stk[len(stk)-1]
+			if ev.TS < open.TS {
+				return nil, fmt.Errorf("tracing: event %d: E %q on tid %d ends (ts %d) before its B (ts %d)",
+					i, ev.Name, ev.Tid, ev.TS, open.TS)
+			}
+			stacks[ev.Tid] = stk[:len(stk)-1]
+			st.Spans++
+		case "i", "I":
+			st.Instants++
+		default:
+			return nil, fmt.Errorf("tracing: event %d: unsupported phase type %q", i, ev.Ph)
+		}
+	}
+	for tid, stk := range stacks {
+		if len(stk) != 0 {
+			return nil, fmt.Errorf("tracing: tid %d has %d unclosed B events (first: %q)", tid, len(stk), stk[0].Name)
+		}
+	}
+	st.Tracks = len(st.PerTrack)
+	return st, nil
+}

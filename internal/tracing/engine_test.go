@@ -1,0 +1,80 @@
+package tracing
+
+import (
+	"bytes"
+	"testing"
+
+	"mw/internal/core"
+	"mw/internal/telemetry"
+	"mw/internal/workload"
+)
+
+// TestEngineTraceExport drives the real engine with a Tracer installed and
+// checks that the exported timeline is a valid Chrome trace with one track
+// per worker plus the barrier track — the CI trace-smoke in miniature.
+func TestEngineTraceExport(t *testing.T) {
+	b := workload.LJGas(4, 120, true)
+	cfg := b.Cfg
+	cfg.Threads = 4
+	cfg.Partition = core.PartitionGuided
+	rec := telemetry.NewRecorder(cfg.Threads, core.PhaseNames())
+	tr := New(rec, Config{RingSteps: 32, AnomalyFactor: -1, AffinityEvery: 16})
+	cfg.Telemetry = tr
+
+	sim, err := core.New(b.Sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	const steps = 8
+	sim.Run(steps)
+
+	recs := tr.Records()
+	if len(recs) != steps {
+		t.Fatalf("traced %d steps, want %d", len(recs), steps)
+	}
+	for _, r := range recs {
+		if len(r.Phases) != int(core.NumPhases) {
+			t.Fatalf("step %d: %d phase spans, want %d", r.Step, len(r.Phases), core.NumPhases)
+		}
+		for _, sp := range r.Phases {
+			if sp.EndUS < sp.BeginUS {
+				t.Errorf("step %d %s: span ends before it begins", r.Step, sp.Phase)
+			}
+			if len(sp.BusyUS) != cfg.Threads {
+				t.Errorf("step %d %s: %d busy entries, want %d", r.Step, sp.Phase, len(sp.BusyUS), cfg.Threads)
+			}
+			if sp.Straggler < 0 || sp.Straggler >= cfg.Threads {
+				t.Errorf("step %d %s: straggler %d out of range", r.Step, sp.Phase, sp.Straggler)
+			}
+		}
+		if len(r.Events) == 0 {
+			t.Errorf("step %d: no ring events attached", r.Step)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("engine trace invalid: %v", err)
+	}
+	if st.Tracks != cfg.Threads+1 {
+		t.Errorf("tracks = %d, want %d", st.Tracks, cfg.Threads+1)
+	}
+	if st.Spans < steps*int(core.NumPhases) {
+		t.Errorf("spans = %d, want at least %d (coordinator spans alone)", st.Spans, steps*int(core.NumPhases))
+	}
+
+	// The telemetry snapshot must carry the blame counters mwtop renders.
+	snap := rec.Snapshot(0)
+	var blamed int64
+	for _, wv := range snap.PerWorker {
+		blamed += wv.Straggler
+	}
+	if blamed == 0 {
+		t.Error("no straggler attribution in snapshot after a parallel run")
+	}
+}

@@ -1,0 +1,59 @@
+package tracing
+
+import "sort"
+
+// BlameRow is one worker's aggregate barrier blame over a set of step
+// records: how often it was the phase straggler and how much barrier time it
+// cost versus the median worker.
+type BlameRow struct {
+	Worker       int
+	Stragglers   int     // phase instances finished last
+	ByPhase      []int64 // indexed by phase Index
+	LatenessUS   int64   // total lateness vs median
+	WorstStep    int     // step of the single worst lateness
+	WorstPhase   string
+	WorstLateUS  int64
+	PhaseSamples int // phase instances with ≥2 workers observed
+}
+
+// Blame aggregates straggler attribution over records. phases sizes the
+// per-phase columns (use len of the engine's phase table).
+func Blame(recs []*StepRecord, workers, phases int) []BlameRow {
+	rows := make([]BlameRow, workers)
+	for w := range rows {
+		rows[w].Worker = w
+		rows[w].ByPhase = make([]int64, phases)
+	}
+	for _, rec := range recs {
+		for i := range rec.Phases {
+			sp := &rec.Phases[i]
+			if sp.Straggler < 0 || sp.Straggler >= workers {
+				continue
+			}
+			r := &rows[sp.Straggler]
+			r.Stragglers++
+			r.PhaseSamples++
+			if int(sp.Index) < phases {
+				r.ByPhase[sp.Index]++
+			}
+			r.LatenessUS += sp.LatenessUS
+			if sp.LatenessUS > r.WorstLateUS {
+				r.WorstLateUS = sp.LatenessUS
+				r.WorstStep = rec.Step
+				r.WorstPhase = sp.Phase
+			}
+		}
+	}
+	return rows
+}
+
+// WorstSteps returns up to k step records ordered by descending wall time —
+// the "which steps blew up" view of the flight ring.
+func WorstSteps(recs []*StepRecord, k int) []*StepRecord {
+	out := append([]*StepRecord(nil), recs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].WallUS() > out[j].WallUS() })
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

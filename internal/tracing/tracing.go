@@ -1,0 +1,426 @@
+// Package tracing is the engine's structured trace timeline — the paper's
+// §IV-B thread-view and §IV-C affinity analyses applied to the *real* engine
+// rather than the simulated internal/perfmon model.
+//
+// The Tracer wraps a telemetry.Recorder as the engine's telemetry.Sink.
+// Worker-side record paths (Chunk, Steal, Park) delegate straight to the
+// lock-free rings — plus, optionally, a 1-in-K goroutine→CPU affinity probe
+// — so tracing adds no new hot-path cost beyond what the observer-native
+// experiment already gates. All span assembly happens on the coordinator at
+// phase barriers and step boundaries, where the workers are idle by
+// construction: PhaseBegin/PhaseEnd delimit per-phase spans with per-worker
+// busy intervals and straggler attribution, and StepDone drains the rings
+// into the finished step's record.
+//
+// Completed step records accumulate in a bounded ring — the flight recorder.
+// Any run can be exported as Chrome-trace-event JSON and opened in
+// ui.perfetto.dev (one track per worker plus a barrier track); when a step
+// exceeds a configurable multiple of the rolling p99 the last N steps are
+// dumped automatically as flight-<step>.trace.json, optionally followed by a
+// short CPU profile of the aftermath.
+package tracing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mw/internal/telemetry"
+)
+
+// PhaseSpan is one phase instance of one step: the barrier-to-barrier wall
+// interval, each worker's busy time inside it, and the straggler attribution
+// (which worker held the barrier, and by how much over the median).
+type PhaseSpan struct {
+	Phase      string  `json:"phase"`
+	Index      uint8   `json:"index"`
+	BeginUS    int64   `json:"begin_us"`
+	EndUS      int64   `json:"end_us"`
+	BusyUS     []int64 `json:"busy_us"` // per worker
+	Straggler  int     `json:"straggler"`
+	MedianUS   int64   `json:"median_us"`
+	LatenessUS int64   `json:"lateness_us"` // straggler busy − median busy
+}
+
+// StepRecord is the structured trace of one completed timestep: its phase
+// spans plus the raw ring events (chunks, steals, parks) drained at the step
+// boundary.
+type StepRecord struct {
+	Step    int               `json:"step"`
+	StartUS int64             `json:"start_us"`
+	EndUS   int64             `json:"end_us"`
+	Phases  []PhaseSpan       `json:"phases"`
+	Events  []telemetry.Event `json:"events,omitempty"`
+}
+
+// WallUS returns the step's wall time in µs.
+func (r *StepRecord) WallUS() int64 { return r.EndUS - r.StartUS }
+
+// Config tunes the tracer. The zero value selects the defaults noted per
+// field.
+type Config struct {
+	// RingSteps is how many completed step records the flight ring retains
+	// (default 64).
+	RingSteps int
+	// AnomalyFactor triggers a flight dump when a step's wall time exceeds
+	// this multiple of the rolling p99 (default 8; <0 disables detection,
+	// 0 selects the default).
+	AnomalyFactor float64
+	// MinSteps is how many steps must complete before anomaly detection
+	// arms (default 32) — the rolling p99 is meaningless on a cold start.
+	MinSteps int
+	// FlightDir is where flight-<step>.trace.json dumps are written
+	// (default "": anomalies are counted but nothing is written).
+	FlightDir string
+	// CPUProfile, when positive, captures a CPU profile of that duration
+	// into flight-<step>.cpu.pprof after each flight dump (skipped silently
+	// if another profile is already running).
+	CPUProfile time.Duration
+	// AffinityEvery samples the executing worker's CPU every K chunk events
+	// (default 256; <0 disables sampling, 0 selects the default). On
+	// non-Linux builds the probe is a no-op.
+	AffinityEvery int
+	// DropEvents discards the drained ring events instead of retaining them
+	// on each step record (spans survive; instant steal/park markers and
+	// per-span chunk counts are lost from exports).
+	DropEvents bool
+	// OnFlight, when set, is called after each flight dump with the written
+	// path (empty when FlightDir is "") and the triggering step.
+	OnFlight func(path string, step int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSteps <= 0 {
+		c.RingSteps = 64
+	}
+	if c.AnomalyFactor == 0 {
+		c.AnomalyFactor = 8
+	}
+	if c.MinSteps <= 0 {
+		c.MinSteps = 32
+	}
+	if c.AffinityEvery == 0 {
+		c.AffinityEvery = 256
+	}
+	return c
+}
+
+// affShard is one worker's affinity-probe state, padded so neighboring
+// workers' counters stay off one cache line.
+type affShard struct {
+	chunks     atomic.Int64 // chunk events seen (probe trigger counter)
+	samples    atomic.Int64
+	migrations atomic.Int64
+	lastCPU    atomic.Int32
+	perCPU     []atomic.Int64
+	_          [24]byte
+}
+
+// Tracer implements telemetry.Sink over an inner Recorder and assembles the
+// per-step span timeline. Construct with New; install as core.Config
+// Telemetry.
+type Tracer struct {
+	rec *telemetry.Recorder
+	cfg Config
+
+	phases  []string
+	workers int
+
+	// Coordinator-only state (the engine calls PhaseBegin/PhaseEnd/StepDone
+	// from a single goroutine).
+	cur           *StepRecord
+	cursor        telemetry.DrainCursor
+	stepHist      telemetry.Histogram // step wall time, feeds the rolling p99
+	busyScratch   []int64
+	cooldownUntil int
+
+	// Flight ring of completed records, guarded for concurrent export.
+	mu      sync.Mutex
+	ring    []*StepRecord
+	ringPos int
+	total   int64 // completed steps ever traced
+
+	anomalies   atomic.Int64
+	flightDumps atomic.Int64
+	lastFlight  atomic.Value // string: last dump path
+	profiling   atomic.Bool  // single-flight guard for the CPU capture
+
+	aff []affShard
+}
+
+// New wraps rec in a Tracer. The recorder's worker count and phase-name
+// table define the timeline's tracks.
+func New(rec *telemetry.Recorder, cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	t := &Tracer{
+		rec:         rec,
+		cfg:         cfg,
+		phases:      rec.PhaseNames(),
+		workers:     rec.Workers(),
+		ring:        make([]*StepRecord, cfg.RingSteps),
+		busyScratch: make([]int64, rec.Workers()),
+		aff:         make([]affShard, rec.Workers()),
+	}
+	ncpu := runtime.NumCPU()
+	for i := range t.aff {
+		t.aff[i].lastCPU.Store(-1)
+		t.aff[i].perCPU = make([]atomic.Int64, ncpu)
+	}
+	t.cur = &StepRecord{StartUS: rec.NowMicros()}
+	t.lastFlight.Store("")
+	return t
+}
+
+// Recorder returns the wrapped telemetry recorder.
+func (t *Tracer) Recorder() *telemetry.Recorder { return t.rec }
+
+// PhaseBegin implements telemetry.Sink: delegate, then open a span on the
+// current step record (coordinator path).
+func (t *Tracer) PhaseBegin(step int, phase uint8) {
+	t.rec.PhaseBegin(step, phase)
+	name := ""
+	if int(phase) < len(t.phases) {
+		name = t.phases[phase]
+	}
+	t.cur.Phases = append(t.cur.Phases, PhaseSpan{
+		Phase:     name,
+		Index:     phase,
+		BeginUS:   t.rec.NowMicros(),
+		Straggler: -1,
+	})
+}
+
+// PhaseEnd implements telemetry.Sink: delegate, then close the open span
+// with per-worker busy times and straggler attribution (coordinator path).
+func (t *Tracer) PhaseEnd(step int, phase uint8, wall time.Duration, workerBusy []time.Duration) {
+	t.rec.PhaseEnd(step, phase, wall, workerBusy)
+	if len(t.cur.Phases) == 0 {
+		return
+	}
+	sp := &t.cur.Phases[len(t.cur.Phases)-1]
+	if sp.Index != phase || sp.EndUS != 0 {
+		return // unpaired end; drop rather than corrupt the last span
+	}
+	sp.EndUS = sp.BeginUS + int64(wall/time.Microsecond)
+	n := t.workers
+	if len(workerBusy) < n {
+		n = len(workerBusy)
+	}
+	if cap(sp.BusyUS) < n {
+		sp.BusyUS = make([]int64, n)
+	}
+	sp.BusyUS = sp.BusyUS[:n]
+	for w := 0; w < n; w++ {
+		sp.BusyUS[w] = int64(workerBusy[w] / time.Microsecond)
+	}
+	if n >= 2 {
+		s := t.busyScratch[:0]
+		straggler := 0
+		for w := 0; w < n; w++ {
+			if sp.BusyUS[w] > sp.BusyUS[straggler] {
+				straggler = w
+			}
+			s = append(s, sp.BusyUS[w])
+			for i := len(s) - 1; i > 0 && s[i-1] > s[i]; i-- {
+				s[i-1], s[i] = s[i], s[i-1]
+			}
+		}
+		sp.Straggler = straggler
+		sp.MedianUS = s[len(s)/2]
+		sp.LatenessUS = sp.BusyUS[straggler] - sp.MedianUS
+	}
+}
+
+// Chunk implements telemetry.Sink: delegate to the ring, and every K-th
+// chunk per worker run the goroutine→CPU affinity probe. The common path is
+// one counter increment and one branch on top of the recorder's push.
+//
+//mw:hotpath
+func (t *Tracer) Chunk(worker int, phase uint8) {
+	t.rec.Chunk(worker, phase)
+	if t.cfg.AffinityEvery > 0 && uint(worker) < uint(len(t.aff)) {
+		a := &t.aff[worker]
+		if a.chunks.Add(1)%int64(t.cfg.AffinityEvery) == 0 {
+			t.sampleAffinity(a)
+		}
+	}
+}
+
+// sampleAffinity records which CPU the calling worker goroutine is on right
+// now — the engine-native analogue of the paper's §IV-C thread-to-core
+// affinity trace. Runs on the worker, 1-in-K chunks, one getcpu syscall.
+func (t *Tracer) sampleAffinity(a *affShard) {
+	cpu := currentCPU()
+	if cpu < 0 {
+		return
+	}
+	a.samples.Add(1)
+	if last := a.lastCPU.Load(); last >= 0 && last != cpu {
+		a.migrations.Add(1)
+	}
+	a.lastCPU.Store(cpu)
+	if int(cpu) < len(a.perCPU) {
+		a.perCPU[cpu].Add(1)
+	}
+}
+
+// Steal implements telemetry.Sink (worker path, delegate only — the edge is
+// reconstructed from the ring at the step boundary).
+//
+//mw:hotpath
+func (t *Tracer) Steal(worker int) { t.rec.Steal(worker) }
+
+// Park implements telemetry.Sink (worker path, delegate only).
+//
+//mw:hotpath
+func (t *Tracer) Park(worker int, wait time.Duration) { t.rec.Park(worker, wait) }
+
+// StepDone implements telemetry.Sink: delegate, then finalize the step's
+// record — drain the rings for this step's chunk/steal/park events, run the
+// anomaly check against the rolling p99, rotate the flight ring, and start
+// the next record. Runs between steps on the coordinator, off every worker's
+// critical path.
+func (t *Tracer) StepDone(step int) {
+	t.rec.StepDone(step)
+	cur := t.cur
+	cur.Step = step
+	cur.EndUS = t.rec.NowMicros()
+	t.rec.Drain(&t.cursor, func(owner int, e telemetry.Event) {
+		if !t.cfg.DropEvents {
+			cur.Events = append(cur.Events, e)
+		}
+	})
+
+	wall := time.Duration(cur.WallUS()) * time.Microsecond
+	anomalous := false
+	if t.cfg.AnomalyFactor > 0 && t.stepHist.Count() >= int64(t.cfg.MinSteps) && step >= t.cooldownUntil {
+		if p99 := t.stepHist.Quantile(0.99); p99 > 0 && wall > time.Duration(t.cfg.AnomalyFactor*float64(p99)) {
+			anomalous = true
+		}
+	}
+	t.stepHist.Observe(wall)
+
+	t.mu.Lock()
+	evicted := t.ring[t.ringPos]
+	t.ring[t.ringPos] = cur
+	t.ringPos = (t.ringPos + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+
+	if anomalous {
+		t.anomalies.Add(1)
+		// Re-arm only after a full ring of fresh steps, so one pathology
+		// produces one dump, not a dump per step while it persists.
+		t.cooldownUntil = step + len(t.ring)
+		t.dumpFlight(step)
+	}
+
+	// Recycle the evicted record's storage for the next step.
+	next := evicted
+	if next == nil {
+		next = &StepRecord{}
+	}
+	next.Step = 0
+	next.StartUS = cur.EndUS
+	next.EndUS = 0
+	next.Phases = next.Phases[:0]
+	next.Events = next.Events[:0]
+	t.cur = next
+}
+
+// Records returns the retained completed step records, oldest first. The
+// records are the live ring entries; callers must treat them as read-only
+// and copy what they keep past the next len(ring) steps.
+func (t *Tracer) Records() []*StepRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recordsLocked()
+}
+
+func (t *Tracer) recordsLocked() []*StepRecord {
+	out := make([]*StepRecord, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		if r := t.ring[(t.ringPos+i)%len(t.ring)]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalSteps returns how many steps the tracer has completed tracing.
+func (t *Tracer) TotalSteps() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Anomalies returns how many steps breached the anomaly threshold.
+func (t *Tracer) Anomalies() int64 { return t.anomalies.Load() }
+
+// FlightDumps returns how many flight files were written, and the last path.
+func (t *Tracer) FlightDumps() (int64, string) {
+	return t.flightDumps.Load(), t.lastFlight.Load().(string)
+}
+
+// dumpFlight writes the ring (the last N steps, anomalous step included) as
+// a Chrome trace to FlightDir, then optionally captures a short CPU profile
+// of the aftermath.
+func (t *Tracer) dumpFlight(step int) {
+	path := ""
+	if t.cfg.FlightDir != "" {
+		t.mu.Lock()
+		recs := t.recordsLocked()
+		t.mu.Unlock()
+		path = filepath.Join(t.cfg.FlightDir, fmt.Sprintf("flight-%06d.trace.json", step))
+		if err := writeTraceFile(path, recs, t.workers); err == nil {
+			t.flightDumps.Add(1)
+			t.lastFlight.Store(path)
+		} else {
+			path = ""
+		}
+		if t.cfg.CPUProfile > 0 && t.profiling.CompareAndSwap(false, true) {
+			prof := filepath.Join(t.cfg.FlightDir, fmt.Sprintf("flight-%06d.cpu.pprof", step))
+			go t.captureCPU(prof)
+		}
+	}
+	if t.cfg.OnFlight != nil {
+		t.cfg.OnFlight(path, step)
+	}
+}
+
+// captureCPU profiles the process for cfg.CPUProfile — the "what was the
+// engine doing right after the anomaly" capture. Best-effort: if another
+// profile is active (the engine may be serving /debug/pprof/profile), the
+// capture is skipped.
+func (t *Tracer) captureCPU(path string) {
+	defer t.profiling.Store(false)
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		os.Remove(path)
+		return
+	}
+	time.Sleep(t.cfg.CPUProfile)
+	pprof.StopCPUProfile()
+}
+
+// writeTraceFile exports records as Chrome trace JSON to path.
+func writeTraceFile(path string, recs []*StepRecord, workers int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, recs, workers); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

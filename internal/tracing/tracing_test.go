@@ -1,0 +1,271 @@
+package tracing
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mw/internal/telemetry"
+)
+
+var testPhases = []string{"predictor", "neighbor-check", "force", "reduce", "corrector"}
+
+// driveStep pushes one synthetic engine step through the tracer: every phase
+// begins and ends with the given per-worker busy times, then the step
+// completes. busy[phase][worker].
+func driveStep(t *Tracer, step int, busy [][]time.Duration) {
+	for ph := range busy {
+		t.PhaseBegin(step, uint8(ph))
+		wall := time.Duration(0)
+		for _, b := range busy[ph] {
+			if b > wall {
+				wall = b
+			}
+		}
+		t.PhaseEnd(step, uint8(ph), wall, busy[ph])
+	}
+	t.StepDone(step)
+}
+
+func TestTracerBuildsStepRecords(t *testing.T) {
+	rec := telemetry.NewRecorder(3, testPhases)
+	tr := New(rec, Config{RingSteps: 8, AnomalyFactor: -1})
+	for step := 1; step <= 5; step++ {
+		busy := [][]time.Duration{
+			{1 * time.Millisecond, 2 * time.Millisecond, 9 * time.Millisecond},
+			{1 * time.Millisecond, 1 * time.Millisecond, 1 * time.Millisecond},
+		}
+		driveStep(tr, step, busy)
+	}
+	recs := tr.Records()
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	if got := tr.TotalSteps(); got != 5 {
+		t.Fatalf("TotalSteps = %d, want 5", got)
+	}
+	for i, r := range recs {
+		if r.Step != i+1 {
+			t.Errorf("record %d: step %d, want %d (oldest first)", i, r.Step, i+1)
+		}
+		if len(r.Phases) != 2 {
+			t.Fatalf("record %d: %d phase spans, want 2", i, len(r.Phases))
+		}
+		sp := r.Phases[0]
+		if sp.Phase != "predictor" || sp.EndUS < sp.BeginUS {
+			t.Errorf("record %d: bad span %+v", i, sp)
+		}
+		if sp.Straggler != 2 {
+			t.Errorf("record %d: straggler = %d, want 2 (busiest worker)", i, sp.Straggler)
+		}
+		// lateness = 9ms − median(1,2,9)=2ms = 7ms
+		if sp.LatenessUS != 7000 {
+			t.Errorf("record %d: lateness %d µs, want 7000", i, sp.LatenessUS)
+		}
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	rec := telemetry.NewRecorder(2, testPhases)
+	tr := New(rec, Config{RingSteps: 4, AnomalyFactor: -1})
+	for step := 1; step <= 10; step++ {
+		driveStep(tr, step, [][]time.Duration{{time.Millisecond, time.Millisecond}})
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want ring size 4", len(recs))
+	}
+	for i, want := range []int{7, 8, 9, 10} {
+		if recs[i].Step != want {
+			t.Errorf("record %d: step %d, want %d", i, recs[i].Step, want)
+		}
+	}
+}
+
+func TestChromeTraceExportGolden(t *testing.T) {
+	rec := telemetry.NewRecorder(2, testPhases)
+	tr := New(rec, Config{RingSteps: 8, AnomalyFactor: -1})
+	for step := 1; step <= 3; step++ {
+		driveStep(tr, step, [][]time.Duration{
+			{4 * time.Millisecond, 1 * time.Millisecond},
+			{2 * time.Millisecond, 2 * time.Millisecond},
+		})
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+	// Per step: 2 coordinator spans + 2 workers × (busy span + possible
+	// barrier-wait). Worker 0 phase 0 busy==wall → no wait; worker 1 phase 0
+	// waits; phase 1 both busy==wall → no waits. 3 steps × (2 + 4 + 1) = 21.
+	if st.Spans != 21 {
+		t.Errorf("spans = %d, want 21", st.Spans)
+	}
+	if st.Tracks != 3 {
+		t.Errorf("tracks = %d, want 3 (coordinator + 2 workers)", st.Tracks)
+	}
+	if st.TrackNames[0] != "barrier (coordinator)" || st.TrackNames[1] != "worker 0" {
+		t.Errorf("track names wrong: %v", st.TrackNames)
+	}
+}
+
+func TestValidateRejectsCorruptTraces(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{"traceEvents": "nope"}`,
+		"unmatched E":    `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}`,
+		"unclosed B":     `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":0}]}`,
+		"time reversal":  `{"traceEvents":[{"name":"x","ph":"i","ts":5,"pid":1,"tid":0},{"name":"y","ph":"i","ts":4,"pid":1,"tid":0}]}`,
+		"E before its B": `{"traceEvents":[{"name":"x","ph":"B","ts":5,"pid":1,"tid":0},{"name":"x","ph":"E","ts":4,"pid":1,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validator accepted corrupt trace", name)
+		}
+	}
+}
+
+func TestFlightRecorderTriggersExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	rec := telemetry.NewRecorder(2, testPhases)
+	var flights []int
+	tr := New(rec, Config{
+		RingSteps:     16,
+		AnomalyFactor: 16,
+		MinSteps:      8,
+		FlightDir:     dir,
+		OnFlight:      func(path string, step int) { flights = append(flights, step) },
+	})
+	step := 0
+	fast := func() {
+		step++
+		tr.PhaseBegin(step, 0)
+		time.Sleep(2 * time.Millisecond)
+		tr.PhaseEnd(step, 0, 2*time.Millisecond, []time.Duration{2 * time.Millisecond, time.Millisecond})
+		tr.StepDone(step)
+	}
+	for i := 0; i < 12; i++ {
+		fast()
+	}
+	if got := tr.Anomalies(); got != 0 {
+		t.Fatalf("anomalies after warmup = %d, want 0", got)
+	}
+	// The synthetically slow step: 200 ms against a rolling p99 in the
+	// low milliseconds — two decades above the 16× threshold.
+	step++
+	tr.PhaseBegin(step, 0)
+	time.Sleep(200 * time.Millisecond)
+	tr.PhaseEnd(step, 0, 200*time.Millisecond, []time.Duration{200 * time.Millisecond, time.Millisecond})
+	tr.StepDone(step)
+	for i := 0; i < 5; i++ {
+		fast()
+	}
+	if len(flights) != 1 {
+		t.Fatalf("flight dumps = %v, want exactly one (at the slow step)", flights)
+	}
+	if flights[0] != 13 {
+		t.Errorf("flight at step %d, want 13", flights[0])
+	}
+	dumps, last := tr.FlightDumps()
+	if dumps != 1 {
+		t.Fatalf("FlightDumps = %d, want 1", dumps)
+	}
+	want := filepath.Join(dir, "flight-000013.trace.json")
+	if last != want {
+		t.Errorf("flight path %q, want %q", last, want)
+	}
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("flight dump invalid: %v", err)
+	}
+	if st.Spans == 0 {
+		t.Error("flight dump has no spans")
+	}
+}
+
+func TestBlameAggregation(t *testing.T) {
+	rec := telemetry.NewRecorder(3, testPhases)
+	tr := New(rec, Config{RingSteps: 8, AnomalyFactor: -1})
+	// Worker 2 straggles the force phase twice; worker 0 straggles reduce
+	// once.
+	driveStep(tr, 1, [][]time.Duration{
+		{time.Millisecond, time.Millisecond, 5 * time.Millisecond},
+		{3 * time.Millisecond, time.Millisecond, time.Millisecond},
+	})
+	driveStep(tr, 2, [][]time.Duration{
+		{time.Millisecond, time.Millisecond, 6 * time.Millisecond},
+		{time.Millisecond, 2 * time.Millisecond, time.Millisecond},
+	})
+	rows := Blame(tr.Records(), 3, len(testPhases))
+	if rows[2].Stragglers != 2 {
+		t.Errorf("worker 2 stragglers = %d, want 2", rows[2].Stragglers)
+	}
+	if rows[2].ByPhase[0] != 2 {
+		t.Errorf("worker 2 phase-0 blame = %d, want 2", rows[2].ByPhase[0])
+	}
+	// 5ms−1ms + 6ms−1ms = 9ms
+	if rows[2].LatenessUS != 9000 {
+		t.Errorf("worker 2 lateness = %d µs, want 9000", rows[2].LatenessUS)
+	}
+	if rows[2].WorstStep != 2 || rows[2].WorstLateUS != 5000 {
+		t.Errorf("worker 2 worst = step %d %d µs, want step 2, 5000 µs", rows[2].WorstStep, rows[2].WorstLateUS)
+	}
+	if rows[0].Stragglers != 1 || rows[1].Stragglers != 1 {
+		t.Errorf("stragglers = %d/%d for workers 0/1, want 1/1", rows[0].Stragglers, rows[1].Stragglers)
+	}
+	worst := WorstSteps(tr.Records(), 1)
+	if len(worst) != 1 {
+		t.Fatalf("WorstSteps returned %d records", len(worst))
+	}
+}
+
+func TestAffinityProbe(t *testing.T) {
+	if !AffinitySupported() {
+		t.Skip("getcpu probe unsupported on this platform")
+	}
+	rec := telemetry.NewRecorder(2, testPhases)
+	tr := New(rec, Config{AffinityEvery: 4, AnomalyFactor: -1})
+	tr.PhaseBegin(1, 0)
+	for i := 0; i < 64; i++ {
+		tr.Chunk(0, 0)
+	}
+	tr.PhaseEnd(1, 0, time.Millisecond, []time.Duration{time.Millisecond, 0})
+	tr.StepDone(1)
+	aff := tr.Affinity()
+	if len(aff) != 2 {
+		t.Fatalf("affinity views = %d, want 2", len(aff))
+	}
+	if aff[0].Samples != 16 {
+		t.Errorf("worker 0 samples = %d, want 64/4 = 16", aff[0].Samples)
+	}
+	var inMatrix int64
+	for _, n := range aff[0].PerCPU {
+		inMatrix += n
+	}
+	if inMatrix != aff[0].Samples {
+		t.Errorf("matrix total %d != samples %d", inMatrix, aff[0].Samples)
+	}
+	if aff[1].Samples != 0 {
+		t.Errorf("idle worker sampled %d times, want 0", aff[1].Samples)
+	}
+}
+
+func TestAffinityDisabled(t *testing.T) {
+	rec := telemetry.NewRecorder(1, testPhases)
+	tr := New(rec, Config{AffinityEvery: -1, AnomalyFactor: -1})
+	for i := 0; i < 64; i++ {
+		tr.Chunk(0, 0)
+	}
+	if got := tr.Affinity()[0].Samples; got != 0 {
+		t.Errorf("samples with probe disabled = %d, want 0", got)
+	}
+}

@@ -17,8 +17,8 @@ const testThreads = 4
 // plus a full-list variant.
 func TestCombosCoverMatrix(t *testing.T) {
 	combos := Combos(testThreads)
-	if len(combos) != 13 {
-		t.Fatalf("got %d combos, want 13 (4 topologies × 2 reduce modes + 4 reorder + 1 reorder/full-lists)", len(combos))
+	if len(combos) != 14 {
+		t.Fatalf("got %d combos, want 14 (4 topologies × 2 reduce modes + 4 reorder + 1 reorder/full-lists + 1 reorder/tracing)", len(combos))
 	}
 	seen := map[string]bool{}
 	for _, c := range combos {
@@ -41,10 +41,47 @@ func TestCombosCoverMatrix(t *testing.T) {
 	if !seen["shared-queue/reorder+guided+full-lists"] {
 		t.Error("matrix missing the reorder + full-lists variant")
 	}
+	if !seen["shared-queue/reorder+guided+tracing"] {
+		t.Error("matrix missing the reorder + tracing variant")
+	}
 	for _, c := range combos {
 		if c.Reorder && c.Partition != core.PartitionGuided {
 			t.Errorf("%s: reorder combos must use the guided partition", c.Name)
 		}
+	}
+}
+
+// TestTracingChangesNoPhysics is the bitwise half of the tracing combo's
+// promise: the serial engine with the full tracer installed must produce
+// positions identical — not within tolerance, identical — to the serial
+// engine without it. (The parallel tracing combo goes through the
+// differential matrix above like every other cell.)
+func TestTracingChangesNoPhysics(t *testing.T) {
+	w := WorkloadByName("salt")
+	if w == nil {
+		t.Fatal("salt workload missing")
+	}
+	run := func(c Combo) []vec.Vec3 {
+		sim, err := core.New(w.Sys.Clone(), c.Apply(w.Cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		sim.Run(24)
+		return append([]vec.Vec3(nil), sim.SystemInOriginalOrder().Pos...)
+	}
+	plain := run(Combo{Name: "serial", Threads: 1})
+	traced := run(Combo{Name: "serial+tracing", Threads: 1, Tracing: true})
+	if len(plain) != len(traced) {
+		t.Fatalf("atom counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("atom %d position differs with tracing on: %v vs %v", i, plain[i], traced[i])
+		}
+	}
+	if Checksum(plain, DefaultQuantum) != Checksum(traced, DefaultQuantum) {
+		t.Error("golden checksum differs with tracing on")
 	}
 }
 

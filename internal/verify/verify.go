@@ -25,12 +25,15 @@ import (
 	"fmt"
 
 	"mw/internal/core"
+	"mw/internal/telemetry"
+	"mw/internal/tracing"
 	"mw/internal/workload"
 )
 
 // Combo is one executor-topology × reduction-mode cell of the verification
 // matrix, optionally layered with the §V-A cell-ordered hot path (Morton
-// reorder + guided cell-block chunking) and the pair-list mode.
+// reorder + guided cell-block chunking), the pair-list mode, and the
+// structured tracer (proving observation changes no physics).
 type Combo struct {
 	Name      string
 	Threads   int
@@ -39,6 +42,7 @@ type Combo struct {
 	Partition core.Partition
 	PairLists core.PairListMode
 	Reorder   bool
+	Tracing   bool
 }
 
 // Apply overlays the combo onto a benchmark's recommended config.
@@ -49,6 +53,18 @@ func (c Combo) Apply(cfg core.Config) core.Config {
 	cfg.Partition = c.Partition
 	cfg.PairLists = c.PairLists
 	cfg.Reorder = c.Reorder
+	if c.Tracing {
+		// The full tracer stack on small rings: spans, straggler
+		// attribution, drain, anomaly detection. The differential run then
+		// proves the instrumented engine's physics is bit-for-bit the
+		// uninstrumented engine's.
+		threads := c.Threads
+		if threads < 1 {
+			threads = 1
+		}
+		rec := telemetry.NewRecorderSize(threads, core.PhaseNames(), 1024)
+		cfg.Telemetry = tracing.New(rec, tracing.Config{RingSteps: 8})
+	}
 	return cfg
 }
 
@@ -104,6 +120,16 @@ func Combos(threads int) []Combo {
 		Partition: core.PartitionGuided,
 		PairLists: core.FullLists,
 		Reorder:   true,
+	})
+	// The tracing combo: the hardest layered configuration with the
+	// structured tracer installed, proving the trace timeline observes the
+	// physics without changing it.
+	out = append(out, Combo{
+		Name:      "shared-queue/reorder+guided+tracing",
+		Threads:   threads,
+		Partition: core.PartitionGuided,
+		Reorder:   true,
+		Tracing:   true,
 	})
 	return out
 }
