@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages whose tests exercise the concurrent engine and therefore run
 # again under the race detector in `make verify`.
-RACE_PKGS := ./internal/core ./internal/pool ./internal/verify ./internal/tracing
+RACE_PKGS := ./internal/core ./internal/pool ./internal/verify ./internal/tracing ./internal/serve
 
-.PHONY: build test vet lint race race-bench telemetry-overhead trace-smoke fuzz verify clean bench-json benchdiff
+.PHONY: build test vet lint race race-bench telemetry-overhead trace-smoke fuzz serve-smoke verify clean bench-json benchdiff
 
 build:
 	$(GO) build ./...
@@ -54,20 +54,37 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoadSystem -fuzztime=30s ./internal/mml
 	$(GO) test -fuzz=FuzzReadFrames -fuzztime=30s ./internal/xyz
 	$(GO) test -fuzz=FuzzReorderTopology -fuzztime=30s ./internal/atom
+	$(GO) test -run '^$$' -fuzz=FuzzSessionPath -fuzztime=30s ./internal/serve
+	$(GO) test -run '^$$' -fuzz=FuzzStepParams -fuzztime=30s ./internal/serve
+	$(GO) test -run '^$$' -fuzz=FuzzCreateModel -fuzztime=30s ./internal/serve
+
+# Service smoke: boot a real mwserved daemon, drive it with a short mwload
+# sweep (including an oversubscription burst), and fail unless mwload's
+# JSON report validates. CI uploads mwload.smoke.json.
+serve-smoke:
+	$(GO) build -o mwserved.smoke ./cmd/mwserved
+	./mwserved.smoke -addr 127.0.0.1:7977 -queue-depth 64 & pid=$$!; \
+	$(GO) run ./cmd/mwload -addr http://127.0.0.1:7977 -wait 15s \
+		-workload lj-gas -sessions 32 -steps 2 -nruns 2 \
+		-concurrency 4,16 -retries 8 -oversub 64 -json > mwload.smoke.json; \
+	status=$$?; kill $$pid 2>/dev/null; rm -f mwserved.smoke; \
+	exit $$status
 
 # Benchmark-regression harness (§V-A gate): measures the LJ kernels, whole
-# engine steps and per-phase latency percentiles into the next free
-# BENCH_<n>.json. Compare against the committed baseline with
-# `make benchdiff NEW=BENCH_1.json [TOL=0.15]`.
+# engine steps, per-phase latency percentiles and the mwserved tail-latency
+# sweep into the next free BENCH_<n>.json. Compare against the committed
+# baseline with `make benchdiff NEW=BENCH_2.json [TOL=0.15]`.
 bench-json:
 	$(GO) run ./cmd/mwbench bench-json
 
+# BENCH_1.json is the first baseline with serve/* rows (BENCH_0 predates
+# the service and stays as the kernel-history record).
 TOL ?= 0.15
 benchdiff:
-	$(GO) run ./cmd/mwbench benchdiff -base BENCH_0.json -new $(NEW) -tol $(TOL)
+	$(GO) run ./cmd/mwbench benchdiff -base BENCH_1.json -new $(NEW) -tol $(TOL)
 
 # The full correctness gate — what CI runs. See README.md §Verification.
-verify: lint build test race race-bench telemetry-overhead trace-smoke
+verify: lint build test race race-bench telemetry-overhead trace-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

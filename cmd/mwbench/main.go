@@ -119,10 +119,17 @@ func benchJSON(args []string) (string, error) {
 	out := fs.String("o", "", "output path (default: next free BENCH_<n>.json)")
 	benchtime := fs.Duration("benchtime", 0, "measuring window per benchmark (0 = 500ms)")
 	steps := fs.Int("steps", 0, "steps for the phase-percentile runs (0 = 150)")
+	serveSessions := fs.Int("serve-sessions", 0, "tenant sessions for the serve sweep (0 = 1024)")
+	skipServe := fs.Bool("skip-serve", false, "omit the service tail-latency section")
 	if err := fs.Parse(args); err != nil {
 		return "", errBadFlags
 	}
-	rep, err := bench.Run(bench.Options{BenchTime: *benchtime, Steps: *steps})
+	rep, err := bench.Run(bench.Options{
+		BenchTime:     *benchtime,
+		Steps:         *steps,
+		ServeSessions: *serveSessions,
+		SkipServe:     *skipServe,
+	})
 	if err != nil {
 		return "", err
 	}

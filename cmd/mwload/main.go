@@ -1,0 +1,201 @@
+// Command mwload is the tail-latency load harness for mwserved: the
+// speedup-sweep idiom applied to a service. It creates a fleet of tenant
+// sessions, then for each client-concurrency level drives one step request
+// per session per run (fixed NRUNS), reporting throughput and exact
+// p50/p99/p999 step latency per level.
+//
+// Usage:
+//
+//	mwload [-addr http://127.0.0.1:7977] [-wait 10s] [-workload Al-1000]
+//	       [-sessions 1000] [-steps 1] [-nruns 2] [-concurrency 16,64,256]
+//	       [-retries 8] [-json] [-oversub N]
+//
+// With -addr "" an in-process server is booted (flags -workers/-queues/
+// -queue-depth configure it), which makes the command self-contained for
+// smoke tests. -oversub N additionally fires an N-client burst with no
+// retries at a fresh fleet and reports how many requests were shed with
+// 429 — the admission-control check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mw/internal/core"
+	"mw/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// loadReport is mwload's JSON output: the sweep plus the optional
+// oversubscription probe.
+type loadReport struct {
+	Addr    string             `json:"addr"`
+	Sweep   *serve.SweepReport `json:"sweep"`
+	Oversub *oversubReport     `json:"oversub,omitempty"`
+}
+
+type oversubReport struct {
+	Burst   int   `json:"burst"`
+	Shed429 int64 `json:"shed_429"`
+	Healthy bool  `json:"healthy"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:7977", "server base URL (empty = boot in-process)")
+		wait        = fs.Duration("wait", 10*time.Second, "wait for /healthz before sweeping")
+		workloadF   = fs.String("workload", "Al-1000", "workload per session (salt, nanocar, Al-1000, lj-gas)")
+		sessions    = fs.Int("sessions", 64, "concurrent sessions")
+		steps       = fs.Int("steps", 1, "steps per request")
+		nruns       = fs.Int("nruns", 2, "runs per concurrency level")
+		concurrency = fs.String("concurrency", "1,8,64", "comma-separated client concurrency levels")
+		retries     = fs.Int("retries", 8, "retries after a 429")
+		jsonOut     = fs.Bool("json", false, "emit the report as JSON")
+		oversub     = fs.Int("oversub", 0, "also fire an N-client no-retry burst and report 429 shedding")
+		workers     = fs.Int("workers", 0, "in-process server: pool workers (0 = GOMAXPROCS)")
+		queues      = fs.String("queues", "shared", "in-process server: queue topology")
+		queueDepth  = fs.Int("queue-depth", 1024, "in-process server: step-queue depth")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mwload: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	levels, err := parseLevels(*concurrency)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwload: %v\n", err)
+		return 2
+	}
+
+	base := *addr
+	if base == "" {
+		var topo core.QueueTopology
+		switch *queues {
+		case "shared":
+			topo = core.SharedQueue
+		case "per-worker":
+			topo = core.PerWorkerQueues
+		case "stealing":
+			topo = core.WorkStealingQueues
+		default:
+			fmt.Fprintf(stderr, "mwload: unknown -queues %q (shared, per-worker, stealing)\n", *queues)
+			return 2
+		}
+		srv := serve.NewServer(serve.Config{
+			Workers:    *workers,
+			Queues:     topo,
+			QueueDepth: *queueDepth,
+			GCInterval: -1,
+		})
+		defer srv.Close()
+		httpSrv, bound, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "mwload: booting in-process server: %v\n", err)
+			return 1
+		}
+		defer httpSrv.Close()
+		base = "http://" + bound
+		fmt.Fprintf(stderr, "mwload: in-process server on %s (queues=%s)\n", base, topo)
+	}
+
+	if err := serve.WaitHealthy(base, *wait); err != nil {
+		fmt.Fprintf(stderr, "mwload: %v\n", err)
+		return 1
+	}
+
+	opts := serve.SweepOptions{
+		Workload:    *workloadF,
+		Sessions:    *sessions,
+		StepsPerReq: *steps,
+		NRuns:       *nruns,
+		Concurrency: levels,
+		Retries:     *retries,
+	}
+	rep, err := serve.RunSweep(base, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwload: %v\n", err)
+		return 1
+	}
+	out := loadReport{Addr: base, Sweep: rep}
+
+	if *oversub > 0 {
+		probeOpts := opts
+		probeOpts.Sessions = min(*sessions, 64)
+		shed, healthy, err := serve.OversubscribeProbe(base, probeOpts, *oversub)
+		if err != nil && shed == 0 {
+			fmt.Fprintf(stderr, "mwload: oversubscribe probe: %v\n", err)
+			return 1
+		}
+		out.Oversub = &oversubReport{Burst: *oversub, Shed429: shed, Healthy: healthy}
+	}
+
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintf(stderr, "mwload: report failed validation: %v\n", err)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mwload: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	printReport(stdout, &out)
+	return 0
+}
+
+func parseLevels(csv string) ([]int, error) {
+	var levels []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -concurrency entry %q", f)
+		}
+		levels = append(levels, n)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("-concurrency lists no levels")
+	}
+	return levels, nil
+}
+
+func printReport(w io.Writer, rep *loadReport) {
+	s := rep.Sweep
+	fmt.Fprintf(w, "mwload: %s — %d sessions × %d steps/req × %d runs against %s\n\n",
+		s.Workload, s.Sessions, s.StepsPerReq, s.NRuns, rep.Addr)
+	fmt.Fprintf(w, "%8s %10s %8s %12s %12s %10s %10s %10s\n",
+		"clients", "requests", "shed", "req/s", "steps/s", "p50(µs)", "p99(µs)", "p999(µs)")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%8d %10d %8d %12.1f %12.1f %10.0f %10.0f %10.0f\n",
+			r.Concurrency, r.Requests, r.Shed429, r.ReqPerSec, r.StepsPerSec,
+			r.P50us, r.P99us, r.P999us)
+	}
+	if rep.Oversub != nil {
+		verdict := "survived"
+		if !rep.Oversub.Healthy {
+			verdict = "UNHEALTHY"
+		}
+		fmt.Fprintf(w, "\noversubscribe: burst=%d shed(429)=%d server %s\n",
+			rep.Oversub.Burst, rep.Oversub.Shed429, verdict)
+	}
+}

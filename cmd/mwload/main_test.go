@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseLevels(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"1,8,64", []int{1, 8, 64}, false},
+		{" 2 , 4 ", []int{2, 4}, false},
+		{"16", []int{16}, false},
+		{"", nil, true},
+		{"a,b", nil, true},
+		{"0", nil, true},
+		{"-4", nil, true},
+		{"1.5", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := parseLevels(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseLevels(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseLevels(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseLevels(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-not-a-flag"},
+		{"-concurrency", "zero,0"},
+		{"-addr", "", "-queues", "quantum"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errBuf strings.Builder
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errBuf.String())
+		}
+	}
+}
+
+// TestRunInProcessJSON runs the whole harness against an in-process server
+// and checks the emitted JSON parses and validates.
+func TestRunInProcessJSON(t *testing.T) {
+	var out, errBuf strings.Builder
+	args := []string{
+		"-addr", "", "-workload", "lj-gas", "-sessions", "4", "-steps", "1",
+		"-nruns", "1", "-concurrency", "2", "-retries", "4", "-json",
+		"-oversub", "4", "-workers", "1",
+	}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errBuf.String())
+	}
+	var rep loadReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Sweep == nil {
+		t.Fatal("report has no sweep")
+	}
+	if err := rep.Sweep.Validate(); err != nil {
+		t.Errorf("emitted report fails validation: %v", err)
+	}
+	if rep.Oversub == nil || !rep.Oversub.Healthy {
+		t.Errorf("oversub section = %+v, want healthy", rep.Oversub)
+	}
+}
+
+// TestRunTableOutput checks the human-readable sweep table.
+func TestRunTableOutput(t *testing.T) {
+	var out, errBuf strings.Builder
+	args := []string{
+		"-addr", "", "-workload", "lj-gas", "-sessions", "3", "-steps", "1",
+		"-nruns", "1", "-concurrency", "1,3", "-workers", "1", "-queues", "per-worker",
+	}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"clients", "p99(µs)", "steps/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command mwserved is the multi-tenant simulation daemon: it multiplexes
+// many concurrent small simulations over one shared worker pool, batching
+// tenant steps through the engine's queue topologies, shedding load with
+// 429s when oversubscribed, and exposing sessions, trajectories and
+// telemetry over HTTP.
+//
+// Usage:
+//
+//	mwserved [-addr :7977] [-workers N] [-queues shared|per-worker|stealing]
+//	         [-max-sessions N] [-queue-depth N] [-max-batch N]
+//	         [-batch-window D] [-idle-timeout D] [-gc-interval D]
+//	         [-max-step N]
+//
+// The daemon runs until SIGINT/SIGTERM, then drains and closes every
+// session.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mw/internal/core"
+	"mw/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	quit := make(chan struct{})
+	go func() {
+		<-stop
+		close(quit)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, quit))
+}
+
+// run is main with its environment abstracted for tests: started (if
+// non-nil) receives the bound address once the listener is up, and closing
+// stop shuts the daemon down gracefully.
+func run(args []string, stdout, stderr io.Writer, started func(addr string), stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("mwserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7977", "listen address")
+		workers     = fs.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+		queues      = fs.String("queues", "shared", "queue topology: shared, per-worker, stealing")
+		maxSessions = fs.Int("max-sessions", 4096, "maximum live sessions")
+		queueDepth  = fs.Int("queue-depth", 1024, "bounded step-queue depth (admission control)")
+		maxBatch    = fs.Int("max-batch", 512, "max step requests coalesced per batch")
+		batchWindow = fs.Duration("batch-window", 0, "extra coalescing wait per batch (0 = none)")
+		idleTimeout = fs.Duration("idle-timeout", 5*time.Minute, "evict sessions idle longer than this")
+		gcInterval  = fs.Duration("gc-interval", 30*time.Second, "idle-GC sweep interval (<0 disables)")
+		maxStep     = fs.Int("max-step", 1000, "max steps per step request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mwserved: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	var topo core.QueueTopology
+	switch *queues {
+	case "shared":
+		topo = core.SharedQueue
+	case "per-worker":
+		topo = core.PerWorkerQueues
+	case "stealing":
+		topo = core.WorkStealingQueues
+	default:
+		fmt.Fprintf(stderr, "mwserved: unknown -queues %q (shared, per-worker, stealing)\n", *queues)
+		return 2
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Workers:            *workers,
+		Queues:             topo,
+		MaxSessions:        *maxSessions,
+		QueueDepth:         *queueDepth,
+		MaxBatch:           *maxBatch,
+		BatchWindow:        *batchWindow,
+		IdleTimeout:        *idleTimeout,
+		GCInterval:         *gcInterval,
+		MaxStepsPerRequest: *maxStep,
+	})
+	httpSrv, bound, err := srv.Serve(*addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwserved: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	fmt.Fprintf(stdout, "mwserved listening on %s (workers=%d queues=%s max-sessions=%d queue-depth=%d)\n",
+		bound, srv.Workers(), topo, *maxSessions, *queueDepth)
+	if started != nil {
+		started(bound)
+	}
+	<-stop
+	fmt.Fprintln(stdout, "mwserved: shutting down")
+	httpSrv.Close()
+	srv.Close()
+	return 0
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mw/internal/serve"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"-queues", "quantum"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errBuf strings.Builder
+		if code := run(args, &out, &errBuf, nil, nil); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errBuf.String())
+		}
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &out, &errBuf, nil, nil); code != 1 {
+		t.Errorf("run with bad addr = %d, want 1", code)
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on a free port, walks a session
+// through create/step/close over real HTTP, then shuts it down via the
+// stop channel and checks a clean exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	addrCh := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	var out, errBuf strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-queues", "stealing"},
+			&out, &errBuf, func(addr string) { addrCh <- addr }, stop)
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never started; stderr: %s", errBuf.String())
+	}
+	if err := serve.WaitHealthy(base, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(base+"/v1/sessions?workload=lj-gas&n=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s (%s)", resp.Status, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/sessions/"+created.ID+"/step?n=2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %s", resp.Status)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("daemon exit code %d, want 0 (stderr: %s)", code, errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "mwserved listening on") {
+		t.Errorf("startup banner missing from stdout: %q", out.String())
+	}
+}

@@ -62,6 +62,12 @@ type Report struct {
 	Benchmarks []Result         `json:"benchmarks"`
 	Phases     []WorkloadPhases `json:"phases"`
 
+	// Serve is the service-level tail-latency section (mwserved driven by
+	// the in-process load sweep). Its p99/throughput numbers also appear as
+	// serve/* rows in Benchmarks so Diff gates them like kernel timings.
+	// Absent when the harness ran with SkipServe.
+	Serve *ServeSection `json:"serve,omitempty"`
+
 	// KernelSpeedup is the headline §V-A number: the seed half-list LJ kernel
 	// (exclusion check, file-ordered atoms) over the cell-ordered one
 	// (exclusion-free, Morton-ordered atoms) on Al-1000.
@@ -75,6 +81,20 @@ type Options struct {
 	BenchTime time.Duration
 	// Steps is the length of the phase-percentile runs (default 150).
 	Steps int
+
+	// ServeSessions is the tenant-fleet size for the service sweep
+	// (default 1024 — above the 1000-session acceptance floor).
+	ServeSessions int
+	// ServeConcurrency lists the client concurrency levels (default 64, 512).
+	ServeConcurrency []int
+	// ServeNRuns is runs per concurrency level (default 2).
+	ServeNRuns int
+	// ServeStepsPerReq is engine steps per step request (default 1).
+	ServeStepsPerReq int
+	// ServeWorkload names the per-session workload (default Al-1000).
+	ServeWorkload string
+	// SkipServe omits the service section entirely.
+	SkipServe bool
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +103,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Steps <= 0 {
 		o.Steps = 150
+	}
+	if o.ServeSessions <= 0 {
+		o.ServeSessions = 1024
+	}
+	if len(o.ServeConcurrency) == 0 {
+		o.ServeConcurrency = []int{64, 512}
+	}
+	if o.ServeNRuns <= 0 {
+		o.ServeNRuns = 2
+	}
+	if o.ServeStepsPerReq <= 0 {
+		o.ServeStepsPerReq = 1
+	}
+	if o.ServeWorkload == "" {
+		o.ServeWorkload = "Al-1000"
 	}
 	return o
 }
@@ -290,6 +325,14 @@ func Run(opts Options) (*Report, error) {
 			})
 		}
 		rep.Phases = append(rep.Phases, wp)
+	}
+
+	// Service tail latency: mwserved under the load sweep, gated like any
+	// other benchmark through the serve/* rows.
+	if !opts.SkipServe {
+		if err := runServe(opts, rep); err != nil {
+			return nil, fmt.Errorf("serve bench: %w", err)
+		}
 	}
 	return rep, nil
 }

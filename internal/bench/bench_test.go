@@ -8,8 +8,16 @@ import (
 )
 
 // fastOpts keeps the harness test cheap; timings are meaningless at this
-// window, but the structure, alloc counts and serialization are exact.
-var fastOpts = Options{BenchTime: 10 * time.Millisecond, Steps: 10}
+// window, but the structure, alloc counts and serialization are exact. The
+// serve sweep shrinks to a handful of 27-atom sessions for the same reason.
+var fastOpts = Options{
+	BenchTime:        10 * time.Millisecond,
+	Steps:            10,
+	ServeSessions:    4,
+	ServeConcurrency: []int{2},
+	ServeNRuns:       1,
+	ServeWorkload:    "lj-gas",
+}
 
 func TestRunReportStructure(t *testing.T) {
 	rep, err := Run(fastOpts)
@@ -25,6 +33,7 @@ func TestRunReportStructure(t *testing.T) {
 		"step/salt/seed", "step/salt/cell-ordered",
 		"step/Al-1000/seed", "step/Al-1000/cell-ordered",
 		"step/nanocar/seed", "step/nanocar/cell-ordered",
+		"serve/lj-gas/c2/step", "serve/lj-gas/c2/step-p99",
 	}
 	byName := map[string]Result{}
 	for _, b := range rep.Benchmarks {
@@ -57,6 +66,34 @@ func TestRunReportStructure(t *testing.T) {
 	for _, wp := range rep.Phases {
 		if len(wp.Phases) == 0 {
 			t.Errorf("phase section %s/%s is empty", wp.Workload, wp.Config)
+		}
+	}
+	if rep.Serve == nil {
+		t.Fatal("report has no serve section")
+	}
+	if rep.Serve.Sessions != fastOpts.ServeSessions || len(rep.Serve.Rows) != 1 {
+		t.Errorf("serve section = %+v, want %d sessions and 1 row", rep.Serve, fastOpts.ServeSessions)
+	}
+	if !rep.Serve.OversubHealthy {
+		t.Error("server unhealthy after oversubscription probe")
+	}
+}
+
+// TestRunSkipServe verifies the serve section is optional — the knob the
+// CI race-bench path uses to stay cheap.
+func TestRunSkipServe(t *testing.T) {
+	opts := fastOpts
+	opts.SkipServe = true
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serve != nil {
+		t.Error("SkipServe report still has a serve section")
+	}
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, "serve/") {
+			t.Errorf("SkipServe report has row %s", b.Name)
 		}
 	}
 }

@@ -96,5 +96,15 @@ func (r *Report) Summary() string {
 		}
 		sb.WriteByte('\n')
 	}
+	if s := r.Serve; s != nil {
+		fmt.Fprintf(&sb, "serve %s: %d sessions × %d steps/req × %d runs over %d workers\n",
+			s.Workload, s.Sessions, s.StepsPerReq, s.NRuns, s.Workers)
+		for _, row := range s.Rows {
+			fmt.Fprintf(&sb, "  c=%-4d %10.1f req/s  p50=%.0fµs p99=%.0fµs p999=%.0fµs shed=%d\n",
+				row.Concurrency, row.ReqPerSec, row.P50us, row.P99us, row.P999us, row.Shed429)
+		}
+		fmt.Fprintf(&sb, "  oversubscribe: burst=%d shed(429)=%d healthy=%v\n",
+			s.OversubBurst, s.OversubShed429, s.OversubHealthy)
+	}
 	return sb.String()
 }

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"net/url"
+	"runtime"
+
+	"mw/internal/serve"
+)
+
+// ServeSection is the service-level result block: one load sweep against an
+// in-process mwserved (many concurrent tenant sessions, one shared pool)
+// plus an oversubscription probe against a deliberately tiny queue. The
+// sweep's throughput and p99 also land in Report.Benchmarks as serve/*
+// rows, so Diff applies the same regression gate to service tail latency
+// as to kernel timings.
+type ServeSection struct {
+	Workload    string           `json:"workload"`
+	Sessions    int              `json:"sessions"`
+	StepsPerReq int              `json:"steps_per_req"`
+	NRuns       int              `json:"nruns"`
+	Workers     int              `json:"workers"`
+	Rows        []serve.SweepRow `json:"rows"`
+
+	// Oversubscription probe: a no-retry burst against a queue-depth-8
+	// server. Shed429 > 0 with Healthy true is the "sheds load instead of
+	// collapsing" acceptance evidence.
+	OversubBurst   int   `json:"oversub_burst"`
+	OversubShed429 int64 `json:"oversub_shed_429"`
+	OversubHealthy bool  `json:"oversub_healthy"`
+}
+
+// serveWorkloadQuery returns extra create parameters for workloads that
+// take them. The lj-gas lattice is pinned to n=3 (27 atoms) — the smallest
+// legal size — so tiny test runs stay tiny.
+func serveWorkloadQuery(name string) url.Values {
+	if name == "lj-gas" {
+		return url.Values{"n": {"3"}}
+	}
+	return nil
+}
+
+// runServe boots an in-process service, runs the load sweep and the
+// oversubscription probe, and appends the serve/* benchmark rows.
+func runServe(opts Options, rep *Report) error {
+	srv := serve.NewServer(serve.Config{
+		MaxSessions: opts.ServeSessions + 64, // fleet plus probe headroom
+		GCInterval:  -1,                      // benchmarks manage their own lifecycle
+	})
+	defer srv.Close()
+	httpSrv, addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer httpSrv.Close()
+	base := "http://" + addr
+
+	sweep, err := serve.RunSweep(base, serve.SweepOptions{
+		Workload:      opts.ServeWorkload,
+		WorkloadQuery: serveWorkloadQuery(opts.ServeWorkload),
+		Sessions:      opts.ServeSessions,
+		StepsPerReq:   opts.ServeStepsPerReq,
+		NRuns:         opts.ServeNRuns,
+		Concurrency:   opts.ServeConcurrency,
+		Retries:       16,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sweep.Validate(); err != nil {
+		return fmt.Errorf("sweep report invalid: %w", err)
+	}
+
+	sect := &ServeSection{
+		Workload:    sweep.Workload,
+		Sessions:    sweep.Sessions,
+		StepsPerReq: sweep.StepsPerReq,
+		NRuns:       sweep.NRuns,
+		Workers:     srv.Workers(),
+		Rows:        sweep.Rows,
+	}
+	for _, row := range sweep.Rows {
+		prefix := fmt.Sprintf("serve/%s/c%d", sweep.Workload, row.Concurrency)
+		rep.Benchmarks = append(rep.Benchmarks,
+			// Mean service time per step request (1e9/ReqPerSec): the
+			// throughput row. Service benchmarks have no meaningful
+			// allocs/bytes per op; zero keeps the Diff alloc gate inert.
+			Result{Name: prefix + "/step", NsPerOp: 1e9 / row.ReqPerSec},
+			// Tail: p99 step-request latency in nanoseconds.
+			Result{Name: prefix + "/step-p99", NsPerOp: row.P99us * 1e3},
+		)
+	}
+
+	// Oversubscription probe: a separate server with an 8-deep queue and
+	// small batches, hit by a no-retry burst of heavy requests. The sweep
+	// server's production-depth queue is deliberately not reused — the
+	// probe must fill the queue while a batch holds the pool.
+	probeSrv := serve.NewServer(serve.Config{
+		Workers:    1,
+		QueueDepth: 8,
+		MaxBatch:   4,
+		GCInterval: -1,
+	})
+	defer probeSrv.Close()
+	probeHTTP, probeAddr, err := probeSrv.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer probeHTTP.Close()
+	burst := 8 * runtime.GOMAXPROCS(0)
+	if burst < 64 {
+		burst = 64
+	}
+	shed, healthy, err := serve.OversubscribeProbe("http://"+probeAddr, serve.SweepOptions{
+		Workload:      opts.ServeWorkload,
+		WorkloadQuery: serveWorkloadQuery(opts.ServeWorkload),
+		Sessions:      16,
+		StepsPerReq:   50,
+	}, burst)
+	if err != nil {
+		return fmt.Errorf("oversubscribe probe: %w", err)
+	}
+	sect.OversubBurst = burst
+	sect.OversubShed429 = shed
+	sect.OversubHealthy = healthy
+	rep.Serve = sect
+	return nil
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"mw/internal/pool"
+)
+
+// stepReq is one tenant's request to advance its simulation n steps. done
+// is buffered so the batch can complete a request whose client has already
+// disconnected without blocking a pool worker.
+type stepReq struct {
+	sess *Session
+	n    int
+	t0   time.Time
+	done chan stepResult
+}
+
+// stepResult is what a completed (or failed) step request reports back.
+type stepResult struct {
+	Step       int     `json:"step"`
+	PE         float64 `json:"pe"`
+	WallMicros float64 `json:"wall_us"`
+	Batch      int     `json:"batch"`
+	BatchSize  int     `json:"batch_size"`
+	err        *httpError
+}
+
+// retryAfter is the Retry-After hint on shed requests: roughly one batch's
+// worth of queue drain, deliberately coarse (the header has 1 s resolution).
+const retryAfter = "1"
+
+// enqueue admits a step request to the bounded queue. In non-blocking mode
+// a full queue sheds the request with 429 + Retry-After — the admission
+// control that keeps an oversubscribed server answering instead of
+// accumulating unbounded latency. Blocking mode is for streams, which are
+// long-lived and prefer waiting for a slot over mid-stream errors; the
+// bounded queue still applies backpressure through them.
+func (s *Server) enqueue(rq *stepReq, block bool) *httpError {
+	if s.closed.Load() {
+		return &httpError{http.StatusServiceUnavailable, "server shutting down"}
+	}
+	s.stepReqs.Add(1)
+	if block {
+		select {
+		case s.stepQ <- rq:
+			return nil
+		case <-s.quit:
+			return &httpError{http.StatusServiceUnavailable, "server shutting down"}
+		}
+	}
+	select {
+	case s.stepQ <- rq:
+		return nil
+	default:
+		s.shed.Add(1)
+		return &httpError{http.StatusTooManyRequests, "step queue full"}
+	}
+}
+
+// batcher is the single consumer of the step queue: it coalesces pending
+// requests from many tenants into one batch and fans the batch out over the
+// shared pool behind a latch barrier — pool.RunPhase's fan-out/latch/await
+// shape with sessions as the work chunks. While a batch executes, new
+// requests pile up in the queue, so batches grow with load and shrink when
+// load drops; BatchWindow adds an explicit coalescing wait for workloads
+// that prefer throughput over first-request latency.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case rq := <-s.stepQ:
+			s.runBatch(s.collect(rq))
+		case <-s.quit:
+			// Fail whatever is still queued so no handler waits forever.
+			for {
+				select {
+				case rq := <-s.stepQ:
+					rq.done <- stepResult{err: &httpError{
+						http.StatusServiceUnavailable, "server shutting down"}}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect assembles a batch: the triggering request, whatever else is
+// already queued, and — when a batch window is configured — whatever more
+// arrives within it.
+func (s *Server) collect(first *stepReq) []*stepReq {
+	batch := make([]*stepReq, 1, 16)
+	batch[0] = first
+drain:
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case rq := <-s.stepQ:
+			batch = append(batch, rq)
+		default:
+			break drain
+		}
+	}
+	if s.cfg.BatchWindow > 0 && len(batch) < s.cfg.MaxBatch {
+		timer := time.NewTimer(s.cfg.BatchWindow)
+		defer timer.Stop()
+	window:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case rq := <-s.stepQ:
+				batch = append(batch, rq)
+			case <-timer.C:
+				break window
+			case <-s.quit:
+				break window
+			}
+		}
+	}
+	return batch
+}
+
+// runBatch fans the batch out over the pool and blocks until the latch
+// barrier trips. Each task is one tenant's whole serial step run, so the
+// pool's queue topology is exercised exactly as in the paper's §II-B — just
+// with sessions instead of atom chunks.
+func (s *Server) runBatch(batch []*stepReq) {
+	seq := int(s.batchSeq.Add(1))
+	size := len(batch)
+	t0 := time.Now()
+	s.rec.PhaseBegin(seq, svcStep)
+	latch := pool.NewLatch(size)
+	for i, rq := range batch {
+		rq := rq
+		task := func() {
+			res := s.execStep(rq)
+			res.Batch = seq
+			res.BatchSize = size
+			rq.done <- res
+			latch.CountDown()
+		}
+		switch {
+		case s.fixed != nil:
+			s.fixed.Execute(task)
+		case s.pinned != nil:
+			s.pinned.Execute(task)
+		case s.stealing != nil:
+			s.stealing.SubmitFor(i%s.cfg.Workers, func(worker int) { task() })
+		}
+	}
+	latch.Await()
+	s.rec.PhaseEnd(seq, svcStep, time.Since(t0), nil)
+	s.batches.Add(1)
+	s.batchedReqs.Add(int64(size))
+}
+
+// execStep advances one session under its lock. A session evicted or closed
+// between enqueue and execution reports 409 — the request was admitted, the
+// tenant vanished.
+func (s *Server) execStep(rq *stepReq) stepResult {
+	sess := rq.sess
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return stepResult{err: &httpError{http.StatusConflict, "session closed"}}
+	}
+	sess.sim.Run(rq.n)
+	sess.steps.Add(int64(rq.n))
+	s.stepsTotal.Add(int64(rq.n))
+	sess.touch()
+	lat := time.Since(rq.t0)
+	sess.stepHist.Observe(lat)
+	s.stepLat.Observe(lat)
+	return stepResult{
+		Step:       sess.sim.StepCount(),
+		PE:         sess.sim.PE(),
+		WallMicros: float64(lat) / float64(time.Microsecond),
+	}
+}

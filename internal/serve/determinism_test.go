@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"mw/internal/core"
+	"mw/internal/vec"
+	"mw/internal/verify"
+	"mw/internal/workload"
+)
+
+// fromBody reconstructs a core.Snapshot from the HTTP snapshot JSON.
+// encoding/json emits shortest-round-trip float64 representations, so the
+// reconstruction is bit-exact — which is what lets this test demand an
+// identically-zero diff rather than a tolerance.
+func fromBody(b snapshotBody) core.Snapshot {
+	snap := core.Snapshot{
+		Step:  b.Step,
+		PE:    b.PE,
+		Pos:   make([]vec.Vec3, len(b.Pos)),
+		Vel:   make([]vec.Vec3, len(b.Vel)),
+		Force: make([]vec.Vec3, len(b.Force)),
+	}
+	for i := range b.Pos {
+		snap.Pos[i] = vec.New(b.Pos[i][0], b.Pos[i][1], b.Pos[i][2])
+		snap.Vel[i] = vec.New(b.Vel[i][0], b.Vel[i][1], b.Vel[i][2])
+		snap.Force[i] = vec.New(b.Force[i][0], b.Force[i][1], b.Force[i][2])
+	}
+	return snap
+}
+
+// TestServeDifferentialRow is the serve row of the differential matrix:
+// the same workload stepped through mwserved (HTTP create, one step per
+// request through the batch queue, HTTP snapshot each step) must produce a
+// trajectory bitwise identical to a direct serial core.Simulation run.
+// Sessions are forced Threads=1, so which pool worker runs a step must not
+// matter — any deviation here means the service layer touched the physics.
+func TestServeDifferentialRow(t *testing.T) {
+	const steps = 8
+	b := workload.LJGas(3, 120, true) // 27 atoms: fast, periodic, thermalized
+
+	// Direct reference: the exact config a session runs under.
+	cfg := b.Cfg
+	cfg.Threads = 1
+	ref, err := verify.ReferenceTrajectory(b.Sys, cfg, steps)
+	if err != nil {
+		t.Fatalf("reference trajectory: %v", err)
+	}
+
+	// Serve side: same workload materialized by the create handler. Two
+	// workers so batches really cross goroutines.
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, body := doReq(t, ts.Client(), http.MethodPost,
+		ts.URL+"/v1/sessions?workload=lj-gas&n=3&temp=120", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d, body %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("create response: %v", err)
+	}
+	base := ts.URL + "/v1/sessions/" + created.ID
+
+	getSnap := func() core.Snapshot {
+		t.Helper()
+		code, body := doReq(t, ts.Client(), http.MethodGet, base+"/snapshot", nil)
+		if code != http.StatusOK {
+			t.Fatalf("snapshot: status %d", code)
+		}
+		var sb snapshotBody
+		if err := json.Unmarshal(body, &sb); err != nil {
+			t.Fatalf("snapshot response: %v", err)
+		}
+		return fromBody(sb)
+	}
+
+	worst := getSnap().Diff(ref[0])
+	for i := 1; i <= steps; i++ {
+		if code, body := doReq(t, ts.Client(), http.MethodPost, base+"/step", nil); code != http.StatusOK {
+			t.Fatalf("step %d: status %d, body %s", i, code, body)
+		}
+		worst = worst.Merge(getSnap().Diff(ref[i]))
+	}
+	if worst != (core.StateDiff{}) {
+		t.Errorf("serve row deviates from direct serial run: %+v (must be identically zero)", worst)
+	}
+}

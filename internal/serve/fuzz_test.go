@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+// The fuzz targets share one small server per process. Its limits are
+// deliberately tiny so fuzzing explores the rejection paths cheaply
+// instead of running big simulations.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+	fuzzID   string // one live session, so the happy path is reachable
+)
+
+func fuzzHandler(tb testing.TB) (http.Handler, string) {
+	fuzzOnce.Do(func() {
+		fuzzSrv = NewServer(Config{
+			Workers:            1,
+			MaxSessions:        128,
+			MaxStepsPerRequest: 4,
+			MaxFramesPerStream: 4,
+			MaxStepsPerFrame:   4,
+			MaxAtoms:           64,
+			MaxBodyBytes:       1 << 16,
+			GCInterval:         -1,
+		})
+		sess, hErr := fuzzSrv.createFromWorkload(url.Values{"workload": {"lj-gas"}, "n": {"3"}})
+		if hErr != nil {
+			panic(fmt.Sprintf("fuzz server bootstrap: %d %s", hErr.code, hErr.msg))
+		}
+		fuzzID = sess.ID
+	})
+	return fuzzSrv.Handler(), fuzzID
+}
+
+// serveRaw runs one request against the in-process handler and returns the
+// status code and response body. Requests that cannot even be constructed
+// don't count as findings.
+func serveRaw(h http.Handler, method, target string, body []byte) (int, []byte, bool) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return 0, nil, false
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, "http://fuzz.local/", rd)
+	req.URL = u
+	req.URL.Scheme = "http"
+	req.URL.Host = "fuzz.local"
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes(), true
+}
+
+// FuzzSessionPath throws arbitrary session ids at every {id} route. The
+// contract: never panic, never 5xx, and only the one live id may answer
+// 2xx.
+func FuzzSessionPath(f *testing.F) {
+	f.Add("0123456789abcdef", 0)
+	f.Add("../../etc/passwd", 1)
+	f.Add("0123456789ABCDEF", 2)
+	f.Add("%2e%2e%2f", 3)
+	f.Add("deadbeef", 4)
+	f.Add("", 5)
+	f.Add("0123456789abcdef0123456789abcdef", 0)
+	h, liveID := fuzzHandler(f)
+	routes := []struct {
+		method, suffix string
+	}{
+		{http.MethodGet, ""},
+		{http.MethodGet, "/snapshot"},
+		{http.MethodGet, "/snapshot.xyz"},
+		{http.MethodGet, "/telemetry.json"},
+		{http.MethodGet, "/stream?frames=1"},
+		{http.MethodPost, "/step"},
+	}
+	f.Fuzz(func(t *testing.T, id string, route int) {
+		r := routes[((route%len(routes))+len(routes))%len(routes)]
+		target := "/v1/sessions/" + url.PathEscape(id) + r.suffix
+		code, _, ok := serveRaw(h, r.method, target, nil)
+		if !ok {
+			t.Skip()
+		}
+		if code >= 500 {
+			t.Fatalf("%s %s -> %d", r.method, target, code)
+		}
+		if code >= 200 && code < 300 && id != liveID {
+			t.Fatalf("%s %s -> %d for a non-live id %q", r.method, target, code, id)
+		}
+	})
+}
+
+// FuzzStepParams throws arbitrary query strings at the step and stream
+// endpoints of a live session: any response below 500 is acceptable, a
+// panic or 5xx is a finding.
+func FuzzStepParams(f *testing.F) {
+	f.Add("n=1", true)
+	f.Add("n=abc", true)
+	f.Add("n=-99999999999999999999", true)
+	f.Add("n=2&n=3", true)
+	f.Add("frames=2&every=2", false)
+	f.Add("frames=1e9", false)
+	f.Add("frames=%00", false)
+	f.Add("a=b&c=d", true)
+	h, liveID := fuzzHandler(f)
+	f.Fuzz(func(t *testing.T, rawQuery string, step bool) {
+		var target string
+		if step {
+			target = "/v1/sessions/" + liveID + "/step?" + rawQuery
+		} else {
+			target = "/v1/sessions/" + liveID + "/stream?" + rawQuery
+		}
+		method := http.MethodGet
+		if step {
+			method = http.MethodPost
+		}
+		code, _, ok := serveRaw(h, method, target, nil)
+		if !ok {
+			t.Skip()
+		}
+		if code >= 500 && code != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s -> %d", method, target, code)
+		}
+	})
+}
+
+// FuzzCreateModel uploads arbitrary bytes as MML models. The server must
+// answer 201 (and then close the session) or reject with a 4xx — never
+// panic, never 5xx, never leak sessions.
+func FuzzCreateModel(f *testing.F) {
+	model := func(atoms string) string {
+		return `{"version":1,"name":"f","box":{"l":[20,20,20],"periodic":true},` +
+			atoms + `"engine":{"dt":1,"lj_cutoff":6,"skin":0.5}}`
+	}
+	f.Add([]byte(model(`"atoms":[{"el":"Ar","p":[8,10,10]},{"el":"Ar","p":[12,10,10]}],`)))
+	f.Add([]byte(model(`"atoms":[{"el":"Na","p":[1,1,1],"q":1},{"el":"Cl","p":[3,1,1],"q":-1}],`)))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"name":"x","box":{"l":[1e300,1,1],"periodic":true},"atoms":[{"el":"Ar","p":[0,0,0]}],"engine":{"dt":1,"lj_cutoff":6,"skin":0.5}}`))
+	f.Add([]byte{})
+	h, _ := fuzzHandler(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		code, respBody, ok := serveRaw(h, http.MethodPost, "/v1/sessions", body)
+		if !ok {
+			t.Skip()
+		}
+		switch {
+		case code == http.StatusCreated:
+			// Clean up so the fuzz server doesn't fill with sessions.
+			var created struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(respBody, &created); err != nil {
+				t.Fatalf("201 with undecodable body %q: %v", respBody, err)
+			}
+			if delCode, _, _ := serveRaw(h, http.MethodDelete, "/v1/sessions/"+created.ID, nil); delCode != http.StatusNoContent {
+				t.Fatalf("cleanup DELETE of %s -> %d", created.ID, delCode)
+			}
+		case code >= 500:
+			t.Fatalf("POST /v1/sessions -> %d for %q", code, body)
+		case len(body) == 0 && code != http.StatusBadRequest:
+			t.Fatalf("empty create -> %d, want 400 (no workload, no body)", code)
+		}
+	})
+}

@@ -1,0 +1,645 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"mw/internal/core"
+	"mw/internal/mml"
+	"mw/internal/telemetry"
+	"mw/internal/workload"
+	"mw/internal/xyz"
+)
+
+// httpError is a handler failure: an HTTP status plus a one-line message.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) write(w http.ResponseWriter) {
+	if e.code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	http.Error(w, e.msg, e.code)
+}
+
+// intParam parses query parameter name as an integer: absent means def,
+// values outside [lo, hi] are clamped, and anything that is not an integer
+// is a 400 — the strconv+clamp+400-on-garbage contract every numeric
+// parameter on this surface follows (the telemetry events-param fix of
+// PR 5, applied here from the start instead of retrofitted).
+func intParam(q url.Values, name string, def, lo, hi int) (int, *httpError) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("%s=%q: not an integer", name, s)}
+	}
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	return n, nil
+}
+
+// floatParam is intParam for float64 parameters; NaN and infinities are
+// garbage, out-of-range values are clamped.
+func floatParam(q url.Values, name string, def, lo, hi float64) (float64, *httpError) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("%s=%q: not a finite number", name, s)}
+	}
+	return math.Min(math.Max(v, lo), hi), nil
+}
+
+// sessionIDLen is the length of server-issued session IDs (8 random bytes,
+// hex-encoded).
+const sessionIDLen = 16
+
+// validSessionID reports whether id has the shape this server issues —
+// anything else is a 400 (malformed), distinct from 404 (well-formed but
+// unknown). Session IDs arrive in URL paths from untrusted clients, so the
+// check is a strict character whitelist, not just a length test.
+func validSessionID(id string) bool {
+	if len(id) != sessionIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// session resolves the {id} path value to a live session: 400 for a
+// malformed id, 404 for a well-formed unknown one (including every id
+// whose session was closed or evicted — double-close is a clean 404).
+func (s *Server) session(r *http.Request) (*Session, *httpError) {
+	id := r.PathValue("id")
+	if !validSessionID(id) {
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("malformed session id %q", id)}
+	}
+	sess := s.lookup(id)
+	if sess == nil {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("no session %s", id)}
+	}
+	return sess, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler returns the service's full HTTP surface:
+//
+//	POST   /v1/sessions                  create (named workload or MML upload)
+//	GET    /v1/sessions                  list live sessions
+//	GET    /v1/sessions/{id}             session info
+//	POST   /v1/sessions/{id}/step        advance n steps through the batch queue
+//	GET    /v1/sessions/{id}/snapshot    full dynamical state as JSON
+//	GET    /v1/sessions/{id}/snapshot.xyz  one XYZ frame
+//	GET    /v1/sessions/{id}/stream      chunked XYZ trajectory (frames × every)
+//	GET    /v1/sessions/{id}/telemetry.json  per-tenant engine-phase recorder
+//	DELETE /v1/sessions/{id}             close (double-close: 404)
+//	GET    /v1/stats                     service counters + latency percentiles
+//	GET    /healthz                      liveness
+//	GET    /telemetry.json, /metrics, /debug/pprof/   the existing telemetry
+//	                                     surface over the service recorder,
+//	                                     with serve_* series prepended to
+//	                                     /metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	tele := telemetry.Handler(s.rec)
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot.xyz", s.handleSnapshotXYZ)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/sessions/{id}/telemetry.json", s.handleSessionTelemetry)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /telemetry.json", tele)
+	mux.Handle("GET /debug/pprof/", tele)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeServeMetrics(w)
+		// The service recorder's mw_* series follow on the same page.
+		tele.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "mwserved — %d sessions, %d workers (%s), up %.1fs\n\n"+
+			"  /v1/sessions      session lifecycle (POST create, DELETE close)\n"+
+			"  /v1/stats         service counters + step-latency percentiles\n"+
+			"  /telemetry.json   service recorder snapshot\n"+
+			"  /metrics          Prometheus text (serve_* + mw_*)\n"+
+			"  /debug/pprof/     profiles\n",
+			s.SessionCount(), s.cfg.Workers, s.cfg.Queues, s.Uptime().Seconds())
+	})
+	return mux
+}
+
+// createdInfo is the create response body.
+type createdInfo struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Atoms    int    `json:"atoms"`
+}
+
+// handleCreate admits a new session. With a request body, the body is an
+// MML model upload; otherwise the workload query parameter names a builtin
+// benchmark (salt, nanocar, Al-1000, lj-gas — lj-gas takes n and temp).
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		(&httpError{http.StatusBadRequest, "reading body: " + err.Error()}).write(w)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		(&httpError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("model larger than %d bytes", s.cfg.MaxBodyBytes)}).write(w)
+		return
+	}
+	var (
+		name string
+		sess *Session
+		hErr *httpError
+	)
+	if len(body) > 0 {
+		sess, hErr = s.createFromModel(body)
+	} else {
+		sess, hErr = s.createFromWorkload(r.URL.Query())
+	}
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	name = sess.Workload
+	writeJSON(w, http.StatusCreated, createdInfo{ID: sess.ID, Workload: name, Atoms: sess.Atoms})
+}
+
+func (s *Server) createFromWorkload(q url.Values) (*Session, *httpError) {
+	name := q.Get("workload")
+	switch name {
+	case "":
+		return nil, &httpError{http.StatusBadRequest, "missing workload parameter (or model body)"}
+	case "lj-gas":
+		// Lower bound 3: an n=2 lattice's periodic box (8.6 Å) is smaller
+		// than the configured interaction range and the engine rejects it.
+		n, hErr := intParam(q, "n", 5, 3, 12)
+		if hErr != nil {
+			return nil, hErr
+		}
+		temp, hErr := floatParam(q, "temp", 120, 1, 10000)
+		if hErr != nil {
+			return nil, hErr
+		}
+		b := workload.LJGas(n, temp, true)
+		return s.createSession(b.Name, b.Sys, b.Cfg)
+	default:
+		b := workload.ByName(name)
+		if b == nil {
+			return nil, &httpError{http.StatusBadRequest,
+				fmt.Sprintf("unknown workload %q (salt, nanocar, Al-1000, lj-gas)", name)}
+		}
+		return s.createSession(b.Name, b.Sys, b.Cfg)
+	}
+}
+
+// createFromModel materializes an uploaded MML document. Uploads are
+// untrusted: beyond mml's own validation, the server bounds the atom count
+// and the cell-grid extent (a model is one Validate call away from asking
+// the engine to allocate a box/cutoff ratio's cube worth of cells).
+func (s *Server) createFromModel(body []byte) (*Session, *httpError) {
+	m, err := mml.Load(bytes.NewReader(body))
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	sys, cfg, err := m.System()
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	if sys.N() == 0 {
+		return nil, &httpError{http.StatusBadRequest, "model has no atoms"}
+	}
+	if sys.N() > s.cfg.MaxAtoms {
+		return nil, &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("model has %d atoms, limit %d", sys.N(), s.cfg.MaxAtoms)}
+	}
+	if hErr := checkModelGeometry(sys.Box.L.X, sys.Box.L.Y, sys.Box.L.Z, cfg); hErr != nil {
+		return nil, hErr
+	}
+	name := m.Name
+	if name == "" {
+		name = "model"
+	}
+	return s.createSession(name, sys, cfg)
+}
+
+// checkModelGeometry bounds the uploaded geometry before the engine builds
+// a cell grid over it: each dimension must be a sane finite length and the
+// implied cell count must not explode.
+func checkModelGeometry(lx, ly, lz float64, cfg core.Config) *httpError {
+	const maxDim = 1e6 // Å
+	rng := cfg.LJCutoff + cfg.Skin
+	if rng <= 0 {
+		rng = 8.8 // the engine defaults the cutoff+skin to this
+	}
+	cells := 1.0
+	for _, l := range [3]float64{lx, ly, lz} {
+		if math.IsNaN(l) || math.IsInf(l, 0) || l <= 0 || l > maxDim {
+			return &httpError{http.StatusBadRequest,
+				fmt.Sprintf("box dimension %g outside (0, %g]", l, maxDim)}
+		}
+		cells *= math.Max(1, l/rng)
+	}
+	if cells > 1<<22 {
+		return &httpError{http.StatusBadRequest,
+			fmt.Sprintf("box/cutoff geometry implies %.0f cells, limit %d", cells, 1<<22)}
+	}
+	return nil
+}
+
+// sessionInfo is the list/info response row.
+type sessionInfo struct {
+	ID          string  `json:"id"`
+	Workload    string  `json:"workload"`
+	Atoms       int     `json:"atoms"`
+	Step        int64   `json:"step"`
+	AgeSeconds  float64 `json:"age_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+func (sess *Session) info() sessionInfo {
+	return sessionInfo{
+		ID:          sess.ID,
+		Workload:    sess.Workload,
+		Atoms:       sess.Atoms,
+		Step:        sess.steps.Load(),
+		AgeSeconds:  time.Since(sess.created).Seconds(),
+		IdleSeconds: sess.IdleFor().Seconds(),
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit, hErr := intParam(r.URL.Query(), "limit", 100, 1, 10000)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	s.mu.RLock()
+	out := make([]sessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		if len(out) >= limit {
+			break
+		}
+		out = append(out, sess.info())
+	}
+	total := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "sessions": out})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, hErr := s.session(r)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess, hErr := s.session(r)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	n, hErr := intParam(r.URL.Query(), "n", 1, 1, s.cfg.MaxStepsPerRequest)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	rq := &stepReq{sess: sess, n: n, t0: time.Now(), done: make(chan stepResult, 1)}
+	if hErr := s.enqueue(rq, false); hErr != nil {
+		hErr.write(w)
+		return
+	}
+	select {
+	case res := <-rq.done:
+		if res.err != nil {
+			res.err.write(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case <-r.Context().Done():
+		// Client gone; the batch still runs (done is buffered).
+	}
+}
+
+// snapshotBody is the full dynamical state of a session, arrays in
+// construction order. Float64 values survive the JSON round trip bit-for-
+// bit (encoding/json emits shortest-round-trip representations), which is
+// what lets the differential serve row demand bitwise equality through
+// this endpoint.
+type snapshotBody struct {
+	ID    string       `json:"id"`
+	Step  int          `json:"step"`
+	PE    float64      `json:"pe"`
+	Pos   [][3]float64 `json:"pos"`
+	Vel   [][3]float64 `json:"vel"`
+	Force [][3]float64 `json:"force"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, hErr := s.session(r)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	t0 := time.Now()
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		(&httpError{http.StatusConflict, "session closed"}).write(w)
+		return
+	}
+	snap := sess.sim.Snapshot()
+	sess.touch()
+	sess.mu.Unlock()
+
+	body := snapshotBody{
+		ID:    sess.ID,
+		Step:  snap.Step,
+		PE:    snap.PE,
+		Pos:   make([][3]float64, len(snap.Pos)),
+		Vel:   make([][3]float64, len(snap.Vel)),
+		Force: make([][3]float64, len(snap.Force)),
+	}
+	for i := range snap.Pos {
+		body.Pos[i] = [3]float64{snap.Pos[i].X, snap.Pos[i].Y, snap.Pos[i].Z}
+		body.Vel[i] = [3]float64{snap.Vel[i].X, snap.Vel[i].Y, snap.Vel[i].Z}
+		body.Force[i] = [3]float64{snap.Force[i].X, snap.Force[i].Y, snap.Force[i].Z}
+	}
+	seq := snap.Step
+	s.rec.PhaseBegin(seq, svcSnapshot)
+	s.rec.PhaseEnd(seq, svcSnapshot, time.Since(t0), nil)
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleSnapshotXYZ(w http.ResponseWriter, r *http.Request) {
+	sess, hErr := s.session(r)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if hErr := s.writeFrame(sess, xyz.NewWriter(w)); hErr != nil {
+		hErr.write(w)
+	}
+}
+
+// writeFrame emits one XYZ frame of the session's current state (atoms in
+// original construction order, like every trajectory writer in the repo).
+func (s *Server) writeFrame(sess *Session, xw *xyz.Writer) *httpError {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return &httpError{http.StatusConflict, "session closed"}
+	}
+	sys := sess.sim.SystemInOriginalOrder()
+	comment := fmt.Sprintf("session=%s step=%d pe=%.8f", sess.ID, sess.sim.StepCount(), sess.sim.PE())
+	sess.touch()
+	if err := xw.WriteFrame(sys, comment); err != nil {
+		return &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	return nil
+}
+
+// handleStream streams a trajectory as chunked XYZ: frames snapshots, each
+// preceded by every engine steps. Stepping goes through the same batch
+// queue as everything else — a stream is just a client that issues its
+// step requests in order — but enqueues blockingly: a long-lived stream
+// waits for queue slots rather than erroring mid-body.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sess, hErr := s.session(r)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	q := r.URL.Query()
+	frames, hErr := intParam(q, "frames", 10, 1, s.cfg.MaxFramesPerStream)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	every, hErr := intParam(q, "every", 1, 1, s.cfg.MaxStepsPerFrame)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	t0 := time.Now()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	xw := xyz.NewWriter(w)
+	// Frame 0 is the current state; each subsequent frame advances first.
+	if hErr := s.writeFrame(sess, xw); hErr != nil {
+		hErr.write(w)
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for f := 1; f < frames; f++ {
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		rq := &stepReq{sess: sess, n: every, t0: time.Now(), done: make(chan stepResult, 1)}
+		if hErr := s.enqueue(rq, true); hErr != nil {
+			return // headers are gone; just stop the stream
+		}
+		select {
+		case res := <-rq.done:
+			if res.err != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+		if hErr := s.writeFrame(sess, xw); hErr != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.rec.PhaseBegin(frames, svcStream)
+	s.rec.PhaseEnd(frames, svcStream, time.Since(t0), nil)
+}
+
+// handleSessionTelemetry exposes the tenant's own ring recorder — engine
+// phase histograms for just this session, same schema as /telemetry.json.
+func (s *Server) handleSessionTelemetry(w http.ResponseWriter, r *http.Request) {
+	sess, hErr := s.session(r)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	events, hErr := intParam(r.URL.Query(), "events", 0, 0, sess.rec.EventCapacity())
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.rec.Snapshot(events))
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validSessionID(id) {
+		(&httpError{http.StatusBadRequest, fmt.Sprintf("malformed session id %q", id)}).write(w)
+		return
+	}
+	if !s.closeSession(id) {
+		(&httpError{http.StatusNotFound, fmt.Sprintf("no session %s", id)}).write(w)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// latencySummary is a histogram's percentile digest.
+type latencySummary struct {
+	Count    int64   `json:"count"`
+	MeanUs   float64 `json:"mean_us"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	P999Us   float64 `json:"p999_us"`
+	TotalSec float64 `json:"total_seconds"`
+}
+
+func summarize(h *telemetry.Histogram) latencySummary {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return latencySummary{
+		Count:    h.Count(),
+		MeanUs:   us(h.Mean()),
+		P50Us:    us(h.Quantile(0.50)),
+		P99Us:    us(h.Quantile(0.99)),
+		P999Us:   us(h.Quantile(0.999)),
+		TotalSec: h.Sum().Seconds(),
+	}
+}
+
+// Stats is the /v1/stats body: admission, batching and latency counters
+// for the whole service.
+type Stats struct {
+	UptimeSeconds   float64        `json:"uptime_seconds"`
+	Workers         int            `json:"workers"`
+	Queues          string         `json:"queues"`
+	ActiveSessions  int            `json:"active_sessions"`
+	CreatedTotal    int64          `json:"created_total"`
+	ClosedTotal     int64          `json:"closed_total"`
+	EvictedTotal    int64          `json:"evicted_total"`
+	StepRequests    int64          `json:"step_requests_total"`
+	Shed429         int64          `json:"shed_429_total"`
+	StepsTotal      int64          `json:"steps_total"`
+	Batches         int64          `json:"batches_total"`
+	BatchedRequests int64          `json:"batched_requests_total"`
+	MeanBatch       float64        `json:"mean_batch_size"`
+	QueueLen        int            `json:"queue_len"`
+	QueueCap        int            `json:"queue_cap"`
+	StepLatency     latencySummary `json:"step_latency"`
+}
+
+// StatsNow assembles the current service counters.
+func (s *Server) StatsNow() Stats {
+	st := Stats{
+		UptimeSeconds:   s.Uptime().Seconds(),
+		Workers:         s.cfg.Workers,
+		Queues:          s.cfg.Queues.String(),
+		ActiveSessions:  s.SessionCount(),
+		CreatedTotal:    s.created.Load(),
+		ClosedTotal:     s.closedCount.Load(),
+		EvictedTotal:    s.evicted.Load(),
+		StepRequests:    s.stepReqs.Load(),
+		Shed429:         s.shed.Load(),
+		StepsTotal:      s.stepsTotal.Load(),
+		Batches:         s.batches.Load(),
+		BatchedRequests: s.batchedReqs.Load(),
+		QueueLen:        len(s.stepQ),
+		QueueCap:        cap(s.stepQ),
+		StepLatency:     summarize(&s.stepLat),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsNow())
+}
+
+// writeServeMetrics renders the service counters as Prometheus text; the
+// telemetry handler appends the mw_* recorder series after it.
+func (s *Server) writeServeMetrics(w io.Writer) {
+	st := s.StatsNow()
+	fmt.Fprintf(w, "# TYPE serve_sessions_active gauge\nserve_sessions_active %d\n", st.ActiveSessions)
+	fmt.Fprintf(w, "# TYPE serve_sessions_created_total counter\nserve_sessions_created_total %d\n", st.CreatedTotal)
+	fmt.Fprintf(w, "# TYPE serve_sessions_closed_total counter\nserve_sessions_closed_total %d\n", st.ClosedTotal)
+	fmt.Fprintf(w, "# TYPE serve_sessions_evicted_total counter\nserve_sessions_evicted_total %d\n", st.EvictedTotal)
+	fmt.Fprintf(w, "# TYPE serve_step_requests_total counter\nserve_step_requests_total %d\n", st.StepRequests)
+	fmt.Fprintf(w, "# TYPE serve_shed_429_total counter\nserve_shed_429_total %d\n", st.Shed429)
+	fmt.Fprintf(w, "# TYPE serve_steps_total counter\nserve_steps_total %d\n", st.StepsTotal)
+	fmt.Fprintf(w, "# TYPE serve_batches_total counter\nserve_batches_total %d\n", st.Batches)
+	fmt.Fprintf(w, "# TYPE serve_queue_len gauge\nserve_queue_len %d\n", st.QueueLen)
+	// Cumulative histogram over the step-latency log₂ buckets, same bucket
+	// convention as mw_phase_wall_duration_seconds.
+	fmt.Fprintf(w, "# TYPE serve_step_latency_seconds histogram\n")
+	var cum uint64
+	buckets := s.stepLat.Buckets()
+	for b, c := range buckets {
+		cum += c
+		if c == 0 && b != len(buckets)-1 {
+			continue
+		}
+		le := math.Exp2(float64(b)) / 1e9
+		fmt.Fprintf(w, "serve_step_latency_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", le), cum)
+	}
+	fmt.Fprintf(w, "serve_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "serve_step_latency_seconds_sum %g\n", s.stepLat.Sum().Seconds())
+	fmt.Fprintf(w, "serve_step_latency_seconds_count %d\n", s.stepLat.Count())
+}

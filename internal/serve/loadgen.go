@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the load-generation half of the service: a fixed-NRUNS ×
+// client-concurrency sweep in the same shape as the paper's speedup
+// harness — create a fleet of tenant sessions once, then for each client
+// concurrency level drive one step request per session per run and report
+// throughput plus exact p50/p99/p999 step latency. It lives in the package
+// (rather than cmd/mwload) so the bench regression harness and tests can
+// run sweeps in-process against an httptest server.
+
+// SweepOptions configures a load sweep.
+type SweepOptions struct {
+	Workload          string       // builtin workload name sent on create
+	WorkloadQuery     url.Values   // extra create params (e.g. n, temp for lj-gas)
+	Sessions          int          // concurrent sessions to create and keep live
+	StepsPerReq       int          // n on each step request
+	NRuns             int          // repetitions per concurrency level
+	Concurrency       []int        // client goroutine counts to sweep
+	CreateConcurrency int          // parallel creators during setup (default 32)
+	Retries           int          // per-request retries after a 429
+	Client            *http.Client // default: dedicated client, 60 s timeout
+	KeepSessions      bool         // leave sessions live after the sweep
+}
+
+func (o *SweepOptions) withDefaults() {
+	if o.Workload == "" {
+		o.Workload = "Al-1000"
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 16
+	}
+	if o.StepsPerReq <= 0 {
+		o.StepsPerReq = 1
+	}
+	if o.NRuns <= 0 {
+		o.NRuns = 2
+	}
+	if len(o.Concurrency) == 0 {
+		o.Concurrency = []int{1, 8, 64}
+	}
+	if o.CreateConcurrency <= 0 {
+		o.CreateConcurrency = 32
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+}
+
+// SweepRow is one concurrency level's aggregate over all runs.
+type SweepRow struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	Shed429     int64   `json:"shed_429"`
+	Errors      int64   `json:"errors"`
+	WallSeconds float64 `json:"wall_seconds"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	P999us      float64 `json:"p999_us"`
+}
+
+// SweepReport is the full result of one sweep.
+type SweepReport struct {
+	Workload    string     `json:"workload"`
+	Sessions    int        `json:"sessions"`
+	StepsPerReq int        `json:"steps_per_req"`
+	NRuns       int        `json:"nruns"`
+	Rows        []SweepRow `json:"rows"`
+}
+
+// Validate sanity-checks a report: the sweep ran, every row completed its
+// requests, and the percentile digests are ordered. The smoke target runs
+// this against mwload's JSON output.
+func (r *SweepReport) Validate() error {
+	if r.Sessions <= 0 || r.NRuns <= 0 || len(r.Rows) == 0 {
+		return fmt.Errorf("empty sweep report")
+	}
+	for _, row := range r.Rows {
+		if row.Concurrency <= 0 {
+			return fmt.Errorf("row with concurrency %d", row.Concurrency)
+		}
+		want := int64(r.Sessions) * int64(r.NRuns)
+		if row.Requests != want {
+			return fmt.Errorf("c=%d: %d requests, want %d", row.Concurrency, row.Requests, want)
+		}
+		if row.Errors > 0 {
+			return fmt.Errorf("c=%d: %d errors", row.Concurrency, row.Errors)
+		}
+		if row.WallSeconds <= 0 || row.StepsPerSec <= 0 {
+			return fmt.Errorf("c=%d: no throughput (wall=%g steps/s=%g)",
+				row.Concurrency, row.WallSeconds, row.StepsPerSec)
+		}
+		if !(row.P50us <= row.P99us && row.P99us <= row.P999us) {
+			return fmt.Errorf("c=%d: percentiles out of order (%g, %g, %g)",
+				row.Concurrency, row.P50us, row.P99us, row.P999us)
+		}
+	}
+	return nil
+}
+
+// WaitHealthy polls base's /healthz until it answers 200 or the timeout
+// elapses — how mwload (and the smoke target) syncs with a freshly booted
+// daemon.
+func WaitHealthy(base string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not healthy after %s: %v", base, timeout, err)
+			}
+			return fmt.Errorf("server at %s not healthy after %s", base, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// RunSweep creates o.Sessions sessions against base, then for each
+// concurrency level issues one step request per session per run, retrying
+// shed (429) requests up to o.Retries times. Latencies are recorded
+// exactly and sorted for the percentile digests — at sweep sizes the full
+// sample fits trivially in memory, so there is no reason to settle for the
+// server histogram's √2 bucket resolution.
+func RunSweep(base string, o SweepOptions) (*SweepReport, error) {
+	o.withDefaults()
+	ids, err := createSessions(base, &o)
+	if err != nil {
+		return nil, err
+	}
+	if !o.KeepSessions {
+		defer closeSessions(base, o.Client, ids)
+	}
+	rep := &SweepReport{
+		Workload:    o.Workload,
+		Sessions:    o.Sessions,
+		StepsPerReq: o.StepsPerReq,
+		NRuns:       o.NRuns,
+	}
+	for _, c := range o.Concurrency {
+		if c <= 0 {
+			return nil, fmt.Errorf("concurrency must be positive, got %d", c)
+		}
+		row, err := runLevel(base, &o, ids, c)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func createSessions(base string, o *SweepOptions) ([]string, error) {
+	q := url.Values{}
+	for k, vs := range o.WorkloadQuery {
+		q[k] = vs
+	}
+	q.Set("workload", o.Workload)
+	createURL := base + "/v1/sessions?" + q.Encode()
+
+	ids := make([]string, o.Sessions)
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+		next     atomic.Int64
+	)
+	workers := o.CreateConcurrency
+	if workers > o.Sessions {
+		workers = o.Sessions
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.Sessions || firstErr.Load() != nil {
+					return
+				}
+				id, err := createOne(o.Client, createURL)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ids[i] = id
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return nil, err.(error)
+	}
+	return ids, nil
+}
+
+func createOne(client *http.Client, createURL string) (string, error) {
+	resp, err := client.Post(createURL, "application/json", nil)
+	if err != nil {
+		return "", err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("create: %s: %s", resp.Status, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		return "", fmt.Errorf("create: decoding response: %v", err)
+	}
+	if !validSessionID(created.ID) {
+		return "", fmt.Errorf("create: server returned malformed id %q", created.ID)
+	}
+	return created.ID, nil
+}
+
+func closeSessions(base string, client *http.Client, ids []string) {
+	for _, id := range ids {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}
+
+// runLevel drives all sessions through c client goroutines for o.NRuns
+// runs and aggregates the row.
+func runLevel(base string, o *SweepOptions, ids []string, c int) (SweepRow, error) {
+	row := SweepRow{Concurrency: c}
+	var all []float64
+	for run := 0; run < o.NRuns; run++ {
+		lats, shed, errs, wall, err := runOnce(base, o, ids, c)
+		if err != nil {
+			return row, err
+		}
+		row.Requests += int64(len(lats))
+		row.Shed429 += shed
+		row.Errors += errs
+		row.WallSeconds += wall.Seconds()
+		all = append(all, lats...)
+	}
+	if row.WallSeconds > 0 {
+		row.ReqPerSec = float64(row.Requests) / row.WallSeconds
+		row.StepsPerSec = float64(row.Requests) * float64(o.StepsPerReq) / row.WallSeconds
+	}
+	sort.Float64s(all)
+	row.P50us = pct(all, 0.50)
+	row.P99us = pct(all, 0.99)
+	row.P999us = pct(all, 0.999)
+	return row, nil
+}
+
+// pct returns the q-th percentile of sorted microsecond samples (nearest-
+// rank).
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func runOnce(base string, o *SweepOptions, ids []string, c int) (lats []float64, shed, errs int64, wall time.Duration, err error) {
+	type clientResult struct {
+		lats []float64
+		shed int64
+		errs int64
+		err  error
+	}
+	results := make([]clientResult, c)
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	t0 := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				lat, s, e := stepOnce(o, base, ids[i])
+				res.shed += s
+				if e != nil {
+					res.errs++
+					if res.err == nil {
+						res.err = e
+					}
+					continue
+				}
+				res.lats = append(res.lats, lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall = time.Since(t0)
+	for i := range results {
+		lats = append(lats, results[i].lats...)
+		shed += results[i].shed
+		errs += results[i].errs
+		if err == nil {
+			err = results[i].err
+		}
+	}
+	// Errors are reported in the row, not fatal: Validate decides whether
+	// they sink the report.
+	err = nil
+	for i := range results {
+		if results[i].err != nil {
+			err = fmt.Errorf("c=%d: %v (and %d more errors)", c, results[i].err, errs-1)
+			break
+		}
+	}
+	return lats, shed, errs, wall, err
+}
+
+// stepOnce issues one step request, honoring 429 shedding with up to
+// o.Retries retries. The reported latency is the successful attempt's
+// round trip; shed counts every 429 seen along the way.
+func stepOnce(o *SweepOptions, base, id string) (latUs float64, shed int64, err error) {
+	stepURL := fmt.Sprintf("%s/v1/sessions/%s/step?n=%d", base, id, o.StepsPerReq)
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := o.Client.Post(stepURL, "application/json", nil)
+		if err != nil {
+			return 0, shed, err
+		}
+		lat := time.Since(t0)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return float64(lat) / float64(time.Microsecond), shed, nil
+		case http.StatusTooManyRequests:
+			shed++
+			if attempt >= o.Retries {
+				return 0, shed, fmt.Errorf("step %s: shed %d times, retries exhausted", id, shed)
+			}
+			// The server's Retry-After has 1 s resolution; at sweep scale a
+			// short bounded backoff drains faster without hammering.
+			time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
+		default:
+			return 0, shed, fmt.Errorf("step %s: %s: %s", id, resp.Status, body)
+		}
+	}
+}
+
+// OversubscribeProbe slams base with burst one-shot step requests (no
+// retries) against sess sessions and reports how many were shed with 429
+// and whether the server still answers /healthz afterwards — the
+// "sheds load instead of collapsing" acceptance check.
+func OversubscribeProbe(base string, o SweepOptions, burst int) (shed int64, healthy bool, err error) {
+	o.withDefaults()
+	o.Retries = 0
+	ids, err := createSessions(base, &o)
+	if err != nil {
+		return 0, false, err
+	}
+	defer closeSessions(base, o.Client, ids)
+	var (
+		wg       sync.WaitGroup
+		shedN    atomic.Int64
+		hardErrs atomic.Int64
+	)
+	for w := 0; w < burst; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, s, e := stepOnce(&o, base, ids[w%len(ids)])
+			shedN.Add(s)
+			if e != nil && s == 0 {
+				hardErrs.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	healthErr := WaitHealthy(base, 10*time.Second)
+	if hardErrs.Load() > 0 {
+		return shedN.Load(), healthErr == nil, fmt.Errorf("%d non-429 failures during burst", hardErrs.Load())
+	}
+	return shedN.Load(), healthErr == nil, healthErr
+}

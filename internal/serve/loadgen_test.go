@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+// TestRunSweep drives a full sweep against an in-process server and
+// validates the report — the same path mwload and the bench serve rows
+// use.
+func TestRunSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	rep, err := RunSweep(ts.URL, SweepOptions{
+		Workload:      "lj-gas",
+		WorkloadQuery: url.Values{"n": {"3"}},
+		Sessions:      6,
+		StepsPerReq:   2,
+		NRuns:         2,
+		Concurrency:   []int{2, 4},
+		Retries:       4,
+		Client:        ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report failed validation: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Requests != 12 { // 6 sessions × 2 runs
+			t.Errorf("c=%d: %d requests, want 12", row.Concurrency, row.Requests)
+		}
+		if row.StepsPerSec <= 0 || row.P99us <= 0 {
+			t.Errorf("c=%d: empty throughput/latency: %+v", row.Concurrency, row)
+		}
+	}
+}
+
+// TestSweepValidateCatchesBadReports pins Validate's checks.
+func TestSweepValidateCatchesBadReports(t *testing.T) {
+	good := SweepReport{
+		Sessions: 2, NRuns: 1, StepsPerReq: 1,
+		Rows: []SweepRow{{Concurrency: 1, Requests: 2, WallSeconds: 0.1, StepsPerSec: 20, P50us: 1, P99us: 2, P999us: 3}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	bad := []SweepReport{
+		{},
+		{Sessions: 2, NRuns: 1, Rows: []SweepRow{{Concurrency: 1, Requests: 1, WallSeconds: 0.1, StepsPerSec: 20}}},
+		{Sessions: 2, NRuns: 1, Rows: []SweepRow{{Concurrency: 1, Requests: 2, WallSeconds: 0.1, StepsPerSec: 20, Errors: 1}}},
+		{Sessions: 2, NRuns: 1, Rows: []SweepRow{{Concurrency: 1, Requests: 2, WallSeconds: 0.1, StepsPerSec: 20, P50us: 5, P99us: 2, P999us: 3}}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad report %d passed validation", i)
+		}
+	}
+}
+
+// TestOversubscribeProbe forces shedding: queue depth 1 and tiny batches,
+// so during each batch's barrier the queue is full and a no-retry burst
+// must see 429s — and the server must stay healthy.
+func TestOversubscribeProbe(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		MaxBatch:   2,
+	})
+	// 50 steps per request keeps each batch on the pool for a few
+	// milliseconds, so the burst reliably finds the 1-deep queue full.
+	shed, healthy, err := OversubscribeProbe(ts.URL, SweepOptions{
+		Workload:      "lj-gas",
+		WorkloadQuery: url.Values{"n": {"3"}},
+		Sessions:      4,
+		StepsPerReq:   50,
+		Client:        ts.Client(),
+	}, 24)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if !healthy {
+		t.Error("server unhealthy after burst")
+	}
+	if shed == 0 {
+		t.Error("no requests shed despite queue depth 1 under a 24-client burst")
+	}
+}
+
+// TestWaitHealthyTimeout verifies the failure path against a dead address.
+func TestWaitHealthyTimeout(t *testing.T) {
+	err := WaitHealthy("http://127.0.0.1:1", 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitHealthy succeeded against a closed port")
+	}
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+
+	"mw/internal/core"
+)
+
+// TestIntParam pins the strconv+clamp+400 contract at the unit level.
+func TestIntParam(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		want    int
+		wantErr bool
+	}{
+		{"absent", "", 7, false},
+		{"in range", "n=5", 5, false},
+		{"clamped low", "n=-3", 1, false},
+		{"clamped high", "n=9999", 100, false},
+		{"at bounds", "n=100", 100, false},
+		{"garbage", "n=abc", 0, true},
+		{"float", "n=1.5", 0, true},
+		{"scientific", "n=1e9", 0, true},
+		{"hex", "n=0x10", 0, true},
+		{"overflow", "n=99999999999999999999", 0, true},
+		{"empty value", "n=", 7, false},
+		{"trailing junk", "n=5x", 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := url.ParseQuery(tc.raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, hErr := intParam(q, "n", 7, 1, 100)
+			if tc.wantErr {
+				if hErr == nil || hErr.code != http.StatusBadRequest {
+					t.Fatalf("intParam(%q) = %d, %+v, want 400", tc.raw, got, hErr)
+				}
+				return
+			}
+			if hErr != nil {
+				t.Fatalf("intParam(%q) unexpected error %+v", tc.raw, hErr)
+			}
+			if got != tc.want {
+				t.Errorf("intParam(%q) = %d, want %d", tc.raw, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFloatParam(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		want    float64
+		wantErr bool
+	}{
+		{"absent", "", 120, false},
+		{"in range", "temp=200.5", 200.5, false},
+		{"clamped low", "temp=0.001", 1, false},
+		{"clamped high", "temp=1e12", 10000, false},
+		{"garbage", "temp=warm", 0, true},
+		{"nan", "temp=NaN", 0, true},
+		{"inf", "temp=Inf", 0, true},
+		{"neg inf", "temp=-Inf", 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := url.ParseQuery(tc.raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, hErr := floatParam(q, "temp", 120, 1, 10000)
+			if tc.wantErr {
+				if hErr == nil || hErr.code != http.StatusBadRequest {
+					t.Fatalf("floatParam(%q) = %g, %+v, want 400", tc.raw, got, hErr)
+				}
+				return
+			}
+			if hErr != nil {
+				t.Fatalf("floatParam(%q) unexpected error %+v", tc.raw, hErr)
+			}
+			if got != tc.want {
+				t.Errorf("floatParam(%q) = %g, want %g", tc.raw, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	good := []string{"0123456789abcdef", "deadbeefdeadbeef"}
+	bad := []string{
+		"", "short", "0123456789ABCDEF", "0123456789abcde!", "0123456789abcdeff",
+		"../../../../etc/", "0123456789abcdeg", "0123456789 bcdef",
+	}
+	for _, id := range good {
+		if !validSessionID(id) {
+			t.Errorf("validSessionID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range bad {
+		if validSessionID(id) {
+			t.Errorf("validSessionID(%q) = true, want false", id)
+		}
+	}
+}
+
+// TestBadParamsOverHTTP drives every numeric parameter on the surface with
+// garbage, out-of-range and boundary values and asserts the contract:
+// garbage is 400, out-of-range is clamped and served.
+func TestBadParamsOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := createTestSession(t, ts)
+	const unknown = "0123456789abcdef"
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		want   int
+	}{
+		// step n
+		{"step garbage n", "POST", "/v1/sessions/" + id + "/step?n=abc", 400},
+		{"step float n", "POST", "/v1/sessions/" + id + "/step?n=2.5", 400},
+		{"step negative n clamps", "POST", "/v1/sessions/" + id + "/step?n=-4", 200},
+		{"step huge n clamps", "POST", "/v1/sessions/" + id + "/step?n=99999999", 200},
+		// stream frames/every
+		{"stream garbage frames", "GET", "/v1/sessions/" + id + "/stream?frames=x", 400},
+		{"stream garbage every", "GET", "/v1/sessions/" + id + "/stream?frames=2&every=x", 400},
+		{"stream scientific frames", "GET", "/v1/sessions/" + id + "/stream?frames=1e3", 400},
+		{"stream clamps", "GET", "/v1/sessions/" + id + "/stream?frames=-1&every=-1", 200},
+		// list limit
+		{"list garbage limit", "GET", "/v1/sessions?limit=lots", 400},
+		{"list clamps limit", "GET", "/v1/sessions?limit=-5", 200},
+		// tenant telemetry events
+		{"telemetry garbage events", "GET", "/v1/sessions/" + id + "/telemetry.json?events=x", 400},
+		{"telemetry clamps events", "GET", "/v1/sessions/" + id + "/telemetry.json?events=999999999", 200},
+		// create params
+		{"create garbage n", "POST", "/v1/sessions?workload=lj-gas&n=two", 400},
+		{"create garbage temp", "POST", "/v1/sessions?workload=lj-gas&n=3&temp=cold", 400},
+		{"create nan temp", "POST", "/v1/sessions?workload=lj-gas&n=3&temp=NaN", 400},
+		{"create unknown workload", "POST", "/v1/sessions?workload=plasma", 400},
+		{"create missing workload", "POST", "/v1/sessions", 400},
+		// session-id shapes
+		{"malformed id", "GET", "/v1/sessions/not-a-session-id", 400},
+		{"uppercase id", "GET", "/v1/sessions/0123456789ABCDEF", 400},
+		{"short id", "GET", "/v1/sessions/abc", 400},
+		{"unknown id", "GET", "/v1/sessions/" + unknown, 404},
+		{"unknown id step", "POST", "/v1/sessions/" + unknown + "/step", 404},
+		{"unknown id snapshot", "GET", "/v1/sessions/" + unknown + "/snapshot", 404},
+		{"unknown id stream", "GET", "/v1/sessions/" + unknown + "/stream", 404},
+		{"unknown id telemetry", "GET", "/v1/sessions/" + unknown + "/telemetry.json", 404},
+		{"malformed id delete", "DELETE", "/v1/sessions/zz", 400},
+		{"unknown id delete", "DELETE", "/v1/sessions/" + unknown, 404},
+		// service telemetry surface keeps its own contract
+		{"service telemetry garbage events", "GET", "/telemetry.json?events=bogus", 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := doReq(t, ts.Client(), tc.method, ts.URL+tc.path, nil)
+			if code != tc.want {
+				t.Errorf("%s %s = %d (%s), want %d", tc.method, tc.path, code, body, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckModelGeometry pins the upload geometry guard.
+func TestCheckModelGeometry(t *testing.T) {
+	cases := []struct {
+		name       string
+		lx, ly, lz float64
+		ok         bool
+	}{
+		{"sane box", 20, 20, 20, true},
+		{"zero dim", 0, 20, 20, false},
+		{"negative dim", -5, 20, 20, false},
+		{"huge dim", 2e6, 20, 20, false},
+		{"cell-count bomb", 9e5, 9e5, 9e5, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hErr := checkModelGeometry(tc.lx, tc.ly, tc.lz, core.Config{LJCutoff: 6, Skin: 0.5})
+			if tc.ok && hErr != nil {
+				t.Errorf("rejected: %d %s", hErr.code, hErr.msg)
+			}
+			if !tc.ok && hErr == nil {
+				t.Error("accepted, want 400")
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"mw/internal/core"
+)
+
+// TestConcurrentLifecycleAllTopologies hammers one server per queue
+// topology with concurrent create/step/snapshot/close/evict from many
+// goroutines. It asserts no races (run under -race via RACE_PKGS), no
+// panics, and that every response is an expected status — creates and
+// steps may legitimately shed (429) or lose a close race (404/409), but
+// nothing may 500.
+func TestConcurrentLifecycleAllTopologies(t *testing.T) {
+	topologies := []core.QueueTopology{
+		core.SharedQueue, core.PerWorkerQueues, core.WorkStealingQueues,
+	}
+	for _, topo := range topologies {
+		topo := topo
+		t.Run(topo.String(), func(t *testing.T) {
+			s, ts := newTestServer(t, Config{
+				Workers:     2,
+				Queues:      topo,
+				MaxSessions: 64,
+				QueueDepth:  32,
+				IdleTimeout: 1, // everything is instantly stale for EvictIdle
+			})
+			client := ts.Client()
+
+			const goroutines = 6
+			const opsPerG = 8
+			allowed := map[int]bool{
+				http.StatusOK: true, http.StatusCreated: true, http.StatusNoContent: true,
+				http.StatusNotFound: true, http.StatusConflict: true,
+				http.StatusTooManyRequests: true,
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines*opsPerG*4)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for op := 0; op < opsPerG; op++ {
+						code, body := doReq(t, client, http.MethodPost,
+							ts.URL+"/v1/sessions?workload=lj-gas&n=3", nil)
+						if code == http.StatusTooManyRequests {
+							continue
+						}
+						if code != http.StatusCreated {
+							errs <- fmt.Errorf("g%d create: %d %s", g, code, body)
+							continue
+						}
+						var created struct {
+							ID string `json:"id"`
+						}
+						if err := json.Unmarshal(body, &created); err != nil {
+							errs <- fmt.Errorf("g%d create body: %v", g, err)
+							continue
+						}
+						base := ts.URL + "/v1/sessions/" + created.ID
+						for _, req := range [][2]string{
+							{http.MethodPost, base + "/step"},
+							{http.MethodGet, base + "/snapshot"},
+							{http.MethodPost, base + "/step?n=2"},
+						} {
+							if code, body := doReq(t, client, req[0], req[1], nil); !allowed[code] {
+								errs <- fmt.Errorf("g%d %s %s: %d %s", g, req[0], req[1], code, body)
+							}
+						}
+						// Half the sessions close explicitly; the rest are
+						// left for the concurrent evictor.
+						if op%2 == 0 {
+							if code, body := doReq(t, client, http.MethodDelete, base, nil); !allowed[code] {
+								errs <- fmt.Errorf("g%d delete: %d %s", g, code, body)
+							}
+						}
+						if g == 0 {
+							s.EvictIdle()
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			// Everything still alive is evictable; the server must end clean.
+			s.EvictIdle()
+			st := s.StatsNow()
+			if int64(st.ActiveSessions) != st.CreatedTotal-st.ClosedTotal {
+				t.Errorf("session accounting off: active=%d created=%d closed=%d",
+					st.ActiveSessions, st.CreatedTotal, st.ClosedTotal)
+			}
+		})
+	}
+}

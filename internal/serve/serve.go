@@ -1,0 +1,423 @@
+// Package serve is mwserved's engine room: a long-running multi-tenant
+// simulation service that multiplexes thousands of concurrent small
+// simulations (the nanocar/salt/Al-1000 size class) over one shared worker
+// pool from internal/pool.
+//
+// The design transfers the paper's single-process findings to a service:
+// instead of one simulation fanning chunks out to N workers (where the §IV
+// barriers and §II-B queue contention live), the service keeps every tenant
+// simulation serial — a whole sim step is one task — and gets its
+// parallelism across tenants. Many small steps batched through one pool is
+// the hybrid task decomposition of Mangiardi & Meyer (arXiv:1611.00075)
+// applied at the session level, and the pool topology (shared queue,
+// per-worker queues, work stealing) remains selectable so the paper's
+// queue-contention results can be re-measured under service load.
+//
+// The moving parts:
+//
+//   - Session lifecycle: create (named workload or uploaded MML model),
+//     step, snapshot, stream, close, plus idle GC eviction.
+//   - Per-step batching: step requests from all tenants land in one bounded
+//     queue; the batcher drains it and fans the batch out over the pool
+//     behind a latch barrier — exactly pool.RunPhase's shape, with sessions
+//     as chunks.
+//   - Admission control: a full queue sheds load with 429 + Retry-After
+//     instead of queueing unboundedly; session creation is capped the same
+//     way. Shedding is counted, not hidden.
+//   - Telemetry: a service-level telemetry.Recorder (phases admit/step/
+//     snapshot/stream/gc) feeds the existing /telemetry.json + /metrics
+//     surface, and every session carries its own small ring recorder wired
+//     into its engine, so per-tenant engine-phase histograms are one GET
+//     away.
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mw/internal/atom"
+	"mw/internal/core"
+	"mw/internal/pool"
+	"mw/internal/telemetry"
+)
+
+// Service-level recorder phases. At most 7 fit the telemetry event format.
+const (
+	svcAdmit = iota
+	svcStep
+	svcSnapshot
+	svcStream
+	svcGC
+)
+
+// svcPhases is the phase-name table for the service recorder.
+func svcPhases() []string { return []string{"admit", "step", "snapshot", "stream", "gc"} }
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default (explicitly, because PR 3's zero-value sentinel bugs
+// are exactly what an all-int config invites: negative means "disable",
+// zero means "default").
+type Config struct {
+	// Workers is the shared pool size (default GOMAXPROCS).
+	Workers int
+	// Queues selects the pool topology the batch fans out over (default
+	// shared queue).
+	Queues core.QueueTopology
+	// MaxSessions caps concurrently live sessions; creation beyond it is
+	// shed with 429 (default 4096).
+	MaxSessions int
+	// QueueDepth bounds pending step requests; a full queue sheds step
+	// requests with 429 + Retry-After (default 1024).
+	QueueDepth int
+	// MaxBatch caps how many requests one pool pass coalesces (default 512).
+	MaxBatch int
+	// BatchWindow is how long the batcher waits after the first request of a
+	// batch for more to coalesce. 0 (the default) means no artificial wait:
+	// under load batches form naturally while the previous barrier runs.
+	BatchWindow time.Duration
+	// IdleTimeout evicts sessions untouched for this long (default 5m).
+	IdleTimeout time.Duration
+	// GCInterval is the idle-eviction sweep period (default 30s; negative
+	// disables the background sweeper — tests call EvictIdle directly).
+	GCInterval time.Duration
+	// MaxStepsPerRequest clamps the step endpoint's n parameter (default 1000).
+	MaxStepsPerRequest int
+	// MaxFramesPerStream clamps a trajectory stream's frame count (default 10000).
+	MaxFramesPerStream int
+	// MaxStepsPerFrame clamps a stream's steps-between-frames (default 1000).
+	MaxStepsPerFrame int
+	// MaxAtoms caps uploaded model sizes (default 100000).
+	MaxAtoms int
+	// MaxBodyBytes caps upload body sizes (default 8 MiB).
+	MaxBodyBytes int64
+	// TenantRing is the per-session recorder ring capacity (default 256;
+	// small, because there can be thousands of them).
+	TenantRing int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 512
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = 30 * time.Second
+	}
+	if c.MaxStepsPerRequest <= 0 {
+		c.MaxStepsPerRequest = 1000
+	}
+	if c.MaxFramesPerStream <= 0 {
+		c.MaxFramesPerStream = 10000
+	}
+	if c.MaxStepsPerFrame <= 0 {
+		c.MaxStepsPerFrame = 1000
+	}
+	if c.MaxAtoms <= 0 {
+		c.MaxAtoms = 100000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.TenantRing <= 0 {
+		c.TenantRing = 256
+	}
+	return c
+}
+
+// Session is one tenant simulation. Its engine always runs serial
+// (Threads = 1): the service's parallelism is across sessions, so a whole
+// step is one pool task and the trajectory is bitwise-identical to a
+// direct serial core.Simulation run of the same system.
+type Session struct {
+	ID       string
+	Workload string
+	Atoms    int
+
+	// mu serializes all engine access (steps, snapshots, streams, close).
+	mu     sync.Mutex
+	sim    *core.Simulation
+	closed bool
+
+	// rec is the per-tenant ring recorder wired into the engine: the same
+	// telemetry.Recorder the single-process engine uses, sized small.
+	rec *telemetry.Recorder
+	// stepHist records this tenant's step-request service latency
+	// (enqueue → batch completion, queue wait included).
+	stepHist telemetry.Histogram
+
+	created  time.Time
+	lastUsed atomic.Int64 // unix nanos
+	steps    atomic.Int64 // engine steps served
+}
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// IdleFor returns how long the session has gone without a request.
+func (s *Session) IdleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastUsed.Load())
+}
+
+// Server is the multi-tenant simulation service.
+type Server struct {
+	cfg Config
+	rec *telemetry.Recorder // service-level phases: admit/step/snapshot/stream/gc
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	stepQ chan *stepReq
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// Exactly one of the three pool fields is non-nil, mirroring the
+	// engine's topology selection.
+	fixed    *pool.FixedPool
+	pinned   *pool.PinnedPools
+	stealing *pool.StealingPools
+
+	closed atomic.Bool
+
+	start time.Time
+
+	// Counters. stepLat is the service-wide step-request latency histogram
+	// (what the /metrics tail-latency series and /v1/stats percentiles read).
+	created     atomic.Int64
+	evicted     atomic.Int64
+	closedCount atomic.Int64
+	stepsTotal  atomic.Int64
+	stepReqs    atomic.Int64
+	shed        atomic.Int64
+	batches     atomic.Int64
+	batchedReqs atomic.Int64
+	batchSeq    atomic.Int64
+	stepLat     telemetry.Histogram
+}
+
+// NewServer starts the worker pool, the batcher and (unless disabled) the
+// idle-GC sweeper.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		rec:      telemetry.NewRecorder(cfg.Workers, svcPhases()),
+		sessions: make(map[string]*Session),
+		stepQ:    make(chan *stepReq, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	switch cfg.Queues {
+	case core.PerWorkerQueues:
+		s.pinned = pool.NewPinnedPools(cfg.Workers)
+	case core.WorkStealingQueues:
+		s.stealing = pool.NewStealingPools(cfg.Workers)
+	default:
+		s.fixed = pool.NewFixedPool(cfg.Workers)
+	}
+	s.wg.Add(1)
+	go s.batcher()
+	if cfg.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
+	return s
+}
+
+// Close stops accepting work, fails queued requests with 503, shuts the
+// pool down and closes every session. Idempotent.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.quit)
+	s.wg.Wait() // batcher drained the queue; gc loop exited
+	switch {
+	case s.fixed != nil:
+		s.fixed.Shutdown()
+	case s.pinned != nil:
+		s.pinned.Shutdown()
+	case s.stealing != nil:
+		s.stealing.Shutdown()
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.closeSession(id)
+	}
+}
+
+// Workers returns the shared pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Uptime returns how long the server has been running.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+// newSessionID returns a fresh 16-hex-char session ID.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// createSession admits a new tenant around an already-materialized system.
+// The engine is forced serial; parallelism is across sessions. The
+// bootstrap force evaluation happens here, on the caller's goroutine, so
+// the pool never sees non-step work.
+func (s *Server) createSession(name string, sys *atom.System, cfg core.Config) (*Session, *httpError) {
+	if s.closed.Load() {
+		return nil, &httpError{http.StatusServiceUnavailable, "server shutting down"}
+	}
+	if n := s.SessionCount(); n >= s.cfg.MaxSessions {
+		return nil, &httpError{http.StatusTooManyRequests,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+	}
+	t0 := time.Now()
+	rec := telemetry.NewRecorderSize(1, core.PhaseNames(), s.cfg.TenantRing)
+	cfg.Threads = 1
+	cfg.Telemetry = rec
+	sim, err := core.New(sys, cfg)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	sess := &Session{
+		ID:       newSessionID(),
+		Workload: name,
+		Atoms:    sys.N(),
+		sim:      sim,
+		rec:      rec,
+		created:  t0,
+	}
+	sess.touch()
+
+	s.mu.Lock()
+	// Re-check the cap under the lock: the read above was advisory.
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		sim.Close()
+		return nil, &httpError{http.StatusTooManyRequests,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+	}
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+
+	s.created.Add(1)
+	seq := int(s.created.Load())
+	s.rec.PhaseBegin(seq, svcAdmit)
+	s.rec.PhaseEnd(seq, svcAdmit, time.Since(t0), nil)
+	return sess, nil
+}
+
+// lookup returns the live session or nil.
+func (s *Server) lookup(id string) *Session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[id]
+}
+
+// closeSession removes the session from the registry and shuts its engine
+// down. Returns false when the id is unknown (already closed or never
+// existed) — the handler maps that to 404, making double-close clean.
+func (s *Server) closeSession(id string) bool {
+	s.mu.Lock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	sess.mu.Lock()
+	sess.closed = true
+	sess.sim.Close()
+	sess.mu.Unlock()
+	s.closedCount.Add(1)
+	return true
+}
+
+// EvictIdle closes every session idle longer than the configured timeout
+// and returns how many were evicted. The background sweeper calls it each
+// GCInterval; tests and operators can call it directly.
+func (s *Server) EvictIdle() int {
+	t0 := time.Now()
+	s.mu.RLock()
+	var stale []string
+	for id, sess := range s.sessions {
+		if sess.IdleFor() > s.cfg.IdleTimeout {
+			stale = append(stale, id)
+		}
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, id := range stale {
+		if s.closeSession(id) {
+			n++
+		}
+	}
+	if n > 0 {
+		s.evicted.Add(int64(n))
+		seq := int(s.evicted.Load())
+		s.rec.PhaseBegin(seq, svcGC)
+		s.rec.PhaseEnd(seq, svcGC, time.Since(t0), nil)
+	}
+	return n
+}
+
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.EvictIdle()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Serve starts the service's HTTP endpoint on addr (":0" picks a free
+// port) and returns the http.Server and the bound address — the same shape
+// as telemetry.Serve, so callers embed the service the same way they embed
+// the telemetry endpoint.
+func (s *Server) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
