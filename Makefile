@@ -4,7 +4,7 @@ GO ?= go
 # again under the race detector in `make verify`.
 RACE_PKGS := ./internal/core ./internal/pool ./internal/verify ./internal/tracing ./internal/serve
 
-.PHONY: build test vet lint race race-bench telemetry-overhead trace-smoke fuzz serve-smoke verify clean bench-json benchdiff
+.PHONY: build test vet lint lint-codegen race race-bench telemetry-overhead trace-smoke fuzz serve-smoke verify clean bench-json benchdiff
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,27 @@ vet:
 	$(GO) vet ./...
 
 # Static-analysis gate: go vet, the project analyzers (hotalloc, latchcheck,
-# privforce, vecvalue — see internal/analysis) and the escape-budget gate
-# that diffs `-gcflags=-m` hot-loop escapes against the checked-in baseline.
-lint: vet
+# privforce, vecvalue, atomiccheck, hotprop — see internal/analysis), the
+# escape-budget gate that diffs `-gcflags=-m` hot-loop escapes against the
+# checked-in baseline, and the compiler-backed codegen gates (lint-codegen).
+lint: vet lint-codegen
 	$(GO) run ./cmd/mwlint ./...
 	$(GO) run ./cmd/mwlint -escapes
+
+# Codegen gates (amd64-only; mwlint prints a skip notice elsewhere):
+#   -vecasm  parses `go build -gcflags=-S` under GOAMD64=v3 and checks each
+#            //mw:hotpath function's instruction mix (packed FP present in
+#            the LJ kernels, zero runtime calls in hot loops) against
+#            internal/analysis/testdata/vecasm.baseline. The full
+#            per-function census lands in mwlint.vecasm.txt (CI artifact).
+#   -bce     diffs `-gcflags=-d=ssa/check_bce` bounds-check diagnostics in
+#            hot loops against bce.baseline — empty for forces/lj.go, so a
+#            new check in a pair loop fails the build.
+# Regenerate after deliberate kernel changes with `mwlint -vecasm -update`
+# and `mwlint -bce -update`.
+lint-codegen:
+	$(GO) run ./cmd/mwlint -vecasm -report mwlint.vecasm.txt
+	$(GO) run ./cmd/mwlint -bce
 
 test:
 	$(GO) test ./...

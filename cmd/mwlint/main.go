@@ -1,24 +1,41 @@
-// mwlint runs the project's static-analysis suite (internal/analysis): the
-// hotalloc, latchcheck, privforce and vecvalue analyzers over the given
-// package patterns, or — with -escapes — the escape-budget gate that diffs
-// the compiler's `-gcflags=-m` heap-escape diagnostics for //mw:hotpath
-// loops against a checked-in baseline.
+// mwlint runs the project's static-analysis suite (internal/analysis):
+//
+//   - the AST/type analyzers — hotalloc, latchcheck, privforce, vecvalue,
+//     atomiccheck, and the module-level hotprop propagation — over the given
+//     package patterns;
+//   - with -escapes, the escape-budget gate that diffs the compiler's
+//     `-gcflags=-m` heap-escape diagnostics for //mw:hotpath loops against a
+//     checked-in baseline;
+//   - with -vecasm, the codegen gate that parses `go build -gcflags=-S`
+//     output under GOAMD64=v3 and checks the hot kernels' instruction mix
+//     (packed FP present, no runtime calls in hot loops) against
+//     vecasm.baseline;
+//   - with -bce, the bounds-check gate over `-gcflags=-d=ssa/check_bce`
+//     output against bce.baseline.
 //
 // Usage:
 //
-//	mwlint [packages]            run the AST analyzers (default ./...)
+//	mwlint [packages]            run the analyzers (default ./...)
+//	mwlint -json [packages]      same, with machine-readable JSON on stdout
 //	mwlint -escapes              run the escape-budget gate
-//	mwlint -escapes -update      regenerate the escape baseline
+//	mwlint -vecasm [-report f]   run the vectorization/codegen gate
+//	mwlint -bce                  run the bounds-check gate
+//	mwlint <gate> -update        regenerate that gate's baseline
 //
-// mwlint exits 0 on a clean tree, 1 on findings, 2 on operational errors.
+// The codegen gates (-vecasm, -bce) are amd64-specific; on other
+// architectures they print a skip notice and exit 0 so `make lint` stays
+// portable. mwlint exits 0 on a clean tree, 1 on findings, 2 on operational
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -33,8 +50,12 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mwlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	escapes := fs.Bool("escapes", false, "run the escape-budget gate instead of the AST analyzers")
-	update := fs.Bool("update", false, "with -escapes: regenerate the baseline from the current tree")
+	escapes := fs.Bool("escapes", false, "run the escape-budget gate instead of the analyzers")
+	vecasm := fs.Bool("vecasm", false, "run the vectorization/codegen gate (amd64 only)")
+	bce := fs.Bool("bce", false, "run the bounds-check gate (amd64 only)")
+	update := fs.Bool("update", false, "with a gate flag: regenerate its baseline from the current tree")
+	jsonOut := fs.Bool("json", false, "emit findings and per-rule counts as JSON")
+	reportPath := fs.String("report", "", "with -vecasm: write the full per-function instruction census to this file")
 	chdir := fs.String("C", ".", "directory inside the module to run from")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -44,17 +65,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mwlint:", err)
 		return 2
 	}
-	if *escapes {
+	switch {
+	case *escapes:
 		return runEscapes(root, *update, stdout, stderr)
+	case *vecasm:
+		return runVecasm(root, *update, *reportPath, stdout, stderr)
+	case *bce:
+		return runBCE(root, *update, stdout, stderr)
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	return runAnalyzers(root, patterns, stdout, stderr)
+	return runAnalyzers(root, patterns, *jsonOut, stdout, stderr)
 }
 
-func runAnalyzers(root string, patterns []string, stdout, stderr io.Writer) int {
+func runAnalyzers(root string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	pkgs, err := analysis.Load(root, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "mwlint:", err)
@@ -65,21 +91,79 @@ func runAnalyzers(root string, patterns []string, stdout, stderr io.Writer) int 
 		fmt.Fprintln(stderr, "mwlint:", err)
 		return 2
 	}
+	for i := range diags {
+		diags[i].Pos.Filename = relTo(root, diags[i].Pos.Filename)
+	}
+	if jsonOut {
+		if err := writeJSON(stdout, len(pkgs), diags); err != nil {
+			fmt.Fprintln(stderr, "mwlint:", err)
+			return 2
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
 	if len(diags) == 0 {
-		fmt.Fprintf(stdout, "mwlint: %d packages clean\n", len(pkgs))
+		fmt.Fprintf(stdout, "mwlint: %d packages clean (%s)\n", len(pkgs), strings.Join(ruleNames(), ", "))
 		return 0
 	}
 	for _, d := range diags {
-		d.Pos.Filename = relTo(root, d.Pos.Filename)
 		fmt.Fprintln(stdout, d)
 	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, summaryTable(root, diags))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, ruleTable(diags))
 	return 1
 }
 
+// jsonReport is the machine-readable run summary CI uploads as an artifact.
+type jsonReport struct {
+	Packages int            `json:"packages"`
+	Counts   map[string]int `json:"counts"` // per rule, zero included
+	Findings []jsonFinding  `json:"findings"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, pkgs int, diags []analysis.Diagnostic) error {
+	rep := jsonReport{
+		Packages: pkgs,
+		Counts:   map[string]int{},
+		Findings: []jsonFinding{},
+	}
+	for _, name := range ruleNames() {
+		rep.Counts[name] = 0
+	}
+	for _, d := range diags {
+		rep.Counts[d.Rule]++
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func ruleNames() []string {
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
 // summaryTable renders per-file per-rule finding counts with the same table
-// formatting the benchmark harness uses.
+// formatting the benchmark harness uses. Paths are shown relative to root.
 func summaryTable(root string, diags []analysis.Diagnostic) string {
 	type key struct{ file, rule string }
 	counts := map[key]int{}
@@ -99,6 +183,19 @@ func summaryTable(root string, diags []analysis.Diagnostic) string {
 	tb := report.NewTable(fmt.Sprintf("mwlint: %d findings", len(diags)), "file", "rule", "count")
 	for _, k := range keys {
 		tb.AddRow(k.file, k.rule, counts[k])
+	}
+	return tb.String()
+}
+
+// ruleTable renders the per-rule totals, every rule listed even when clean.
+func ruleTable(diags []analysis.Diagnostic) string {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Rule]++
+	}
+	tb := report.NewTable("findings by rule", "rule", "count")
+	for _, name := range ruleNames() {
+		tb.AddRow(name, counts[name])
 	}
 	return tb.String()
 }
@@ -131,6 +228,99 @@ func runEscapes(root string, update bool, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "mwlint: escapes ok, %d in-scope escapes all baselined\n", len(rep.InScope))
+	return 0
+}
+
+// skipNonAMD64 reports (and is the single place that decides) whether the
+// codegen gates apply on this machine: the instruction classifier and the
+// committed baselines are amd64-only.
+func skipNonAMD64(gate string, stdout io.Writer) bool {
+	if runtime.GOARCH == analysis.CodegenArch {
+		return false
+	}
+	fmt.Fprintf(stdout, "mwlint: %s skipped: codegen gate requires GOARCH=%s (running on %s)\n",
+		gate, analysis.CodegenArch, runtime.GOARCH)
+	return true
+}
+
+func runVecasm(root string, update bool, reportPath string, stdout, stderr io.Writer) int {
+	if skipNonAMD64("-vecasm", stdout) {
+		return 0
+	}
+	gate := analysis.DefaultVecasmGate(root)
+	rep, err := gate.Check(update)
+	if err != nil {
+		fmt.Fprintln(stderr, "mwlint:", err)
+		return 2
+	}
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(rep.ReportText()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "mwlint:", err)
+			return 2
+		}
+	}
+	if update {
+		if rep.Failed() {
+			printVecasmFailures(stdout, rep)
+			fmt.Fprintln(stdout, "mwlint: baseline NOT updated: hard kernel invariants failed")
+			return 1
+		}
+		fmt.Fprintf(stdout, "mwlint: vecasm baseline updated, %d hot functions recorded in %s\n",
+			len(rep.Funcs), relTo(root, gate.Baseline))
+		return 0
+	}
+	for _, s := range rep.Stale {
+		fmt.Fprintf(stdout, "  stale: %s (rerun with -vecasm -update)\n", s)
+	}
+	if rep.Failed() {
+		printVecasmFailures(stdout, rep)
+		fmt.Fprintln(stdout, "mwlint: kernel codegen regressed; fix it or update the baseline deliberately")
+		return 1
+	}
+	fmt.Fprintf(stdout, "mwlint: vecasm ok, %d hot functions within baseline (GOAMD64=%s)\n",
+		len(rep.Funcs), analysis.CodegenAMD64Level)
+	return 0
+}
+
+func printVecasmFailures(stdout io.Writer, rep *analysis.VecasmReport) {
+	tb := report.NewTable(fmt.Sprintf("mwlint: %d vecasm failures", len(rep.Failures)), "failure")
+	for _, f := range rep.Failures {
+		tb.AddRow(f)
+	}
+	fmt.Fprint(stdout, tb.String())
+}
+
+func runBCE(root string, update bool, stdout, stderr io.Writer) int {
+	if skipNonAMD64("-bce", stdout) {
+		return 0
+	}
+	gate := analysis.DefaultBCEGate(root)
+	rep, err := gate.Check(update)
+	if err != nil {
+		fmt.Fprintln(stderr, "mwlint:", err)
+		return 2
+	}
+	if update {
+		fmt.Fprintf(stdout, "mwlint: bce baseline updated, %d hot-loop bounds-check entries recorded in %s\n",
+			len(rep.InScope), relTo(root, gate.Baseline))
+		return 0
+	}
+	if len(rep.Stale) > 0 {
+		fmt.Fprintf(stdout, "mwlint: %d stale baseline entries (rerun with -bce -update):\n", len(rep.Stale))
+		for _, k := range rep.Stale {
+			fmt.Fprintf(stdout, "  stale: %s\n", k)
+		}
+	}
+	if rep.Failed() {
+		tb := report.NewTable(fmt.Sprintf("mwlint: %d new hot-loop bounds checks", len(rep.New)), "bounds check")
+		for _, k := range rep.New {
+			tb.AddRow(k)
+		}
+		fmt.Fprint(stdout, tb.String())
+		fmt.Fprintln(stdout, "mwlint: new bounds checks in //mw:hotpath loops; restore the BCE idioms or update the baseline deliberately")
+		return 1
+	}
+	fmt.Fprintf(stdout, "mwlint: bce ok, %d in-scope bounds checks all baselined\n", len(rep.InScope))
 	return 0
 }
 

@@ -30,12 +30,14 @@ import (
 	"strings"
 )
 
-// Analyzer is one named rule: it inspects a type-checked package and reports
-// diagnostics through the pass.
+// Analyzer is one named rule. Most rules inspect one type-checked package at
+// a time through Run; whole-module rules (hotprop's call-graph walk) set
+// RunModule instead and see every loaded package in one pass.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -65,16 +67,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to each package and returns all diagnostics in
-// file/line order.
+// ModulePass couples a module-level analyzer invocation to the full set of
+// loaded packages.
+type ModulePass struct {
+	Pkgs  []*Package
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Pass narrows the module pass to one of its packages, for reporting
+// diagnostics positioned in that package's file set.
+func (p *ModulePass) Pass(pkg *Package) *Pass {
+	return &Pass{Package: pkg, rule: p.rule, diags: p.diags}
+}
+
+// Run applies each analyzer to each package (and each module-level analyzer
+// to the whole package set) and returns all diagnostics in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Package: pkg, rule: a.Name, diags: &diags}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Pkgs: pkgs, rule: a.Name, diags: &diags}
+		if err := a.RunModule(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -95,7 +123,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full analyzer suite in the order mwlint runs it.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, LatchCheck, PrivForce, VecValue}
+	return []*Analyzer{HotAlloc, LatchCheck, PrivForce, VecValue, AtomicCheck, HotProp}
 }
 
 // Directive names used by the analyzers.
@@ -105,6 +133,14 @@ const (
 	// ForceWriterDirective marks a sanctioned reduction entry point that may
 	// touch the shared System.Force array from parallel task bodies.
 	ForceWriterDirective = "//mw:forcewriter"
+	// ColdCallDirective marks a function as a sanctioned slow path: hotprop
+	// allows hot code to call it without requiring //mw:hotpath, and does not
+	// walk through it.
+	ColdCallDirective = "//mw:coldcall"
+	// RingDirectivePrefix marks a struct field as a single-writer ring cursor:
+	// `//mw:ring(writer=push)` permits mutating atomic operations on the field
+	// only inside the named functions (comma-separated list).
+	RingDirectivePrefix = "//mw:ring("
 )
 
 // HasDirective reports whether the comment group carries the directive
@@ -119,6 +155,38 @@ func HasDirective(doc *ast.CommentGroup, directive string) bool {
 		}
 	}
 	return false
+}
+
+// RingWriters extracts the writer list of a `//mw:ring(writer=a,b)` directive
+// from the comment group, reporting ok=false when no ring directive is
+// present and an error string for a malformed one.
+func RingWriters(doc *ast.CommentGroup) (writers []string, ok bool, problem string) {
+	if doc == nil {
+		return nil, false, ""
+	}
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, RingDirectivePrefix) {
+			continue
+		}
+		body, found := strings.CutSuffix(strings.TrimPrefix(c.Text, RingDirectivePrefix), ")")
+		if !found {
+			return nil, true, "missing closing parenthesis"
+		}
+		val, found := strings.CutPrefix(body, "writer=")
+		if !found {
+			return nil, true, "expected writer=<func>[,<func>...]"
+		}
+		for _, w := range strings.Split(val, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				writers = append(writers, w)
+			}
+		}
+		if len(writers) == 0 {
+			return nil, true, "empty writer list"
+		}
+		return writers, true, ""
+	}
+	return nil, false, ""
 }
 
 // FuncsWithDirective returns the file's top-level function declarations

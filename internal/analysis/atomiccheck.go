@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCheck guards the atomics discipline the lock-free layers of the
+// engine rest on. The telemetry rings, the tracing affinity shards, the pool
+// counters and the serve session stats all follow two hand-maintained rules
+// that, like the paper's latch discipline, used to live only in comments:
+//
+//  1. A memory word is either always atomic or never atomic. A field that is
+//     read with sync/atomic in one place and with a plain load somewhere else
+//     is a data race the happens-to-work memory model of one architecture can
+//     hide for years. AtomicCheck records every field (or package-level
+//     variable) whose address is passed to a function-style sync/atomic call
+//     and flags every plain read or write of the same field. Fields of the
+//     typed atomic.Int64/Uint64/... family are immune by construction — the
+//     type system already forbids plain access — which is why the engine
+//     prefers them; the rule exists for the function-style escape hatch.
+//
+//  2. Single-writer ring cursors stay single-writer. The lock-free rings are
+//     correct only because exactly one goroutine advances the write cursor
+//     (telemetry.ring: "single producer: plain load-modify-store ordering").
+//     The `//mw:ring(writer=push)` directive on the cursor field declares the
+//     sanctioned writer set; AtomicCheck flags any mutating atomic operation
+//     (Store/Add/Swap/CompareAndSwap/And/Or, method- or function-style) on
+//     that field from any other function.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "flags mixed atomic/plain field access and ring-cursor writes outside the declared writer",
+	Run:  runAtomicCheck,
+}
+
+// ringField is one //mw:ring-annotated cursor field.
+type ringField struct {
+	writers []string
+	name    string
+}
+
+func runAtomicCheck(pass *Pass) error {
+	rings := collectRingFields(pass)
+
+	// Pass 1: every sync/atomic access. Records which objects are accessed
+	// atomically (for the mixed-access rule), which selector nodes are
+	// sanctioned by being the address argument of an atomic call (so pass 2
+	// does not re-flag them), and checks ring-writer discipline on mutating
+	// operations.
+	atomicAt := map[types.Object]token.Pos{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, arg := funcStyleAtomic(pass, call); op != "" {
+					target := ast.Unparen(arg)
+					sanctioned[target] = true
+					if obj := accessedObject(pass, target); obj != nil {
+						if _, seen := atomicAt[obj]; !seen {
+							atomicAt[obj] = call.Pos()
+						}
+						if rf, ok := rings[obj]; ok && mutatingAtomicOp(op) {
+							checkRingWriter(pass, call.Pos(), rf, fnName)
+						}
+					}
+					return true
+				}
+				if op, recv := methodStyleAtomic(pass, call); op != "" {
+					if obj := accessedObject(pass, ast.Unparen(recv)); obj != nil {
+						if rf, ok := rings[obj]; ok && mutatingAtomicOp(op) {
+							checkRingWriter(pass, call.Pos(), rf, fnName)
+						}
+					}
+					return true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses of the atomically-accessed objects. Write
+	// contexts (assignment targets, ++/--) are collected first so the
+	// diagnostic can say which side of the race this is.
+	for _, f := range pass.Files {
+		writes := map[ast.Node]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writes[ast.Unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				writes[ast.Unparen(n.X)] = true
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					// Taking the address outside an atomic call hands out an
+					// alias the rule cannot follow; flag it as a write.
+					writes[ast.Unparen(n.X)] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok || sanctioned[n] {
+				return true
+			}
+			switch n.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+			default:
+				return true
+			}
+			obj := accessedObject(pass, expr)
+			if obj == nil {
+				return true
+			}
+			at, tracked := atomicAt[obj]
+			if !tracked || obj.Pos() == n.Pos() {
+				return true // not atomic, or this is the declaration itself
+			}
+			if _, ok := n.(*ast.Ident); ok {
+				// A field is reported via its enclosing SelectorExpr; the Sel
+				// identifier inside it must not be flagged a second time. Bare
+				// identifiers only ever denote package-level variables.
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					return true
+				}
+			}
+			kind := "read of"
+			if writes[n] {
+				kind = "write to"
+			}
+			pass.Reportf(n.Pos(), "plain %s %s, which is accessed with sync/atomic at %s",
+				kind, obj.Name(), pass.Fset.Position(at))
+			return true
+		})
+	}
+	return nil
+}
+
+// collectRingFields finds struct fields annotated //mw:ring(writer=...),
+// reporting malformed directives in place.
+func collectRingFields(pass *Pass) map[types.Object]*ringField {
+	rings := map[types.Object]*ringField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					writers, ok, problem := RingWriters(cg)
+					if !ok {
+						continue
+					}
+					if problem != "" {
+						pass.Reportf(field.Pos(), "malformed //mw:ring directive: %s", problem)
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							rings[obj] = &ringField{writers: writers, name: name.Name}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return rings
+}
+
+func checkRingWriter(pass *Pass, pos token.Pos, rf *ringField, fnName string) {
+	for _, w := range rf.writers {
+		if w == fnName {
+			return
+		}
+	}
+	pass.Reportf(pos, "ring cursor %s written in %s, outside its declared writer set (%s)",
+		rf.name, fnName, strings.Join(rf.writers, ", "))
+}
+
+// funcStyleAtomic matches atomic.StoreInt64(&x, v)-style calls, returning
+// the operation name and the address argument.
+func funcStyleAtomic(pass *Pass, call *ast.CallExpr) (op string, addr ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", nil
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", nil
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return "", nil
+	}
+	return sel.Sel.Name, un.X
+}
+
+// methodStyleAtomic matches x.head.Store(v)-style calls on the typed
+// sync/atomic values, returning the method name and the receiver expression.
+func methodStyleAtomic(pass *Pass, call *ast.CallExpr) (op string, recv ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", nil
+	}
+	return fn.Name(), sel.X
+}
+
+// mutatingAtomicOp reports whether the atomic operation writes the word:
+// everything except the pure loads.
+func mutatingAtomicOp(op string) bool {
+	return !strings.HasPrefix(op, "Load")
+}
+
+// accessedObject resolves a selector or identifier to the field or variable
+// object it denotes, or nil for anything else (methods, types, packages).
+func accessedObject(pass *Pass, expr ast.Expr) types.Object {
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok {
+			obj = s.Obj()
+		} else {
+			obj = pass.Info.Uses[e.Sel]
+		}
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+	default:
+		return nil
+	}
+	if v, ok := obj.(*types.Var); ok {
+		return v
+	}
+	return nil
+}

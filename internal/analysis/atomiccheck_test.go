@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicCheck(t *testing.T) {
+	RunFixtureTest(t, AtomicCheck, "testdata/atomiccheck")
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The bce gate is the bounds-check analogue of the escape-budget gate: the
+// compiler's `-d=ssa/check_bce` debug output is the ground truth for which
+// slice accesses still carry an IsInBounds/IsSliceInBounds check after the
+// prove pass ran. A bounds check in the pair loop is a branch plus a panic
+// edge the register allocator must keep alive — MD-Bench attributes a
+// double-digit share of in-core kernel time to exactly this class of
+// overhead — so the LJ kernels were engineered to be check-free (reslice to
+// a common length, one explicit uint guard per pair, hoisted pair-table
+// rows; see forces/lj.go) and `mwlint -bce` keeps them that way.
+//
+// Observed checks inside hot-loop code are diffed against a checked-in
+// baseline keyed by `file: function: kind xN`: the gate fails on any new
+// check (count above baseline or new function), warns on stale entries, and
+// `-update` regenerates the file after a deliberate change. The target state
+// — and the committed baseline — has no forces/lj.go entries at all.
+
+// BCEGate configures one gate run.
+type BCEGate struct {
+	ModuleRoot string
+	Patterns   []string
+	Baseline   string
+}
+
+// DefaultBCEGate gates the same allocation-sensitive packages as the escape
+// gate: the kernel surface plus the lock-free telemetry/tracing paths.
+func DefaultBCEGate(moduleRoot string) *BCEGate {
+	return &BCEGate{
+		ModuleRoot: moduleRoot,
+		Patterns: []string{
+			"./internal/forces", "./internal/cells", "./internal/core", "./internal/pool",
+			"./internal/telemetry", "./internal/atom", "./internal/tracing", "./internal/vec",
+		},
+		Baseline: filepath.Join(moduleRoot, "internal", "analysis", "testdata", "bce.baseline"),
+	}
+}
+
+// BCEDiag is one bounds-check diagnostic from the compiler.
+type BCEDiag struct {
+	File string
+	Line int
+	Kind string // IsInBounds or IsSliceInBounds
+}
+
+var bceLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): Found (IsInBounds|IsSliceInBounds)$`)
+
+// ParseBCEDiags extracts bounds-check findings from raw
+// `go build -gcflags=-d=ssa/check_bce` output.
+func ParseBCEDiags(out string) []BCEDiag {
+	var diags []BCEDiag
+	for _, line := range strings.Split(out, "\n") {
+		m := bceLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		diags = append(diags, BCEDiag{File: m[1], Line: ln, Kind: m[4]})
+	}
+	return diags
+}
+
+// BCEReport is the outcome of a gate run.
+type BCEReport struct {
+	InScope []string // "file: func: kind xN" for every hot-loop check observed
+	New     []string // above baseline — the gate failure
+	Stale   []string // baselined but no longer observed at that count
+}
+
+// Failed reports whether the run found checks not covered by the baseline.
+func (r *BCEReport) Failed() bool { return len(r.New) > 0 }
+
+// bceKey aggregates diagnostics per (file, function, kind). Line numbers are
+// deliberately not part of the identity so unrelated edits do not churn the
+// baseline; the count is, so a new check in an already-listed function still
+// fails.
+type bceKey struct {
+	file, fn, kind string
+}
+
+func (k bceKey) entry(n int) string {
+	return fmt.Sprintf("%s: %s: %s x%d", k.file, k.fn, k.kind, n)
+}
+
+var bceEntryRE = regexp.MustCompile(`^(.*\.go): ([^:]+): (IsInBounds|IsSliceInBounds) x(\d+)$`)
+
+// Check compiles the gated packages with check_bce diagnostics, attributes
+// each finding to hot-loop code (same rule as vecasm: inside a loop of an
+// annotated function, or anywhere in a loop-free annotated leaf), and diffs
+// the aggregated counts against the baseline.
+func (g *BCEGate) Check(update bool) (*BCEReport, error) {
+	ix, err := BuildHotIndex(g.ModuleRoot, g.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := CompilerOutput(g.ModuleRoot, "-d=ssa/check_bce", g.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[bceKey]int{}
+	for _, d := range ParseBCEDiags(out) {
+		hf, ok := ix.FuncAt(d.File, d.Line)
+		if !ok || !inHotLoop(ix, d.File, d.Line) {
+			continue
+		}
+		counts[bceKey{file: hf.File, fn: hf.Name, kind: d.Kind}]++
+	}
+	rep := &BCEReport{}
+	for k, n := range counts {
+		rep.InScope = append(rep.InScope, k.entry(n))
+	}
+	sort.Strings(rep.InScope)
+
+	if update {
+		return rep, writeBaselineLines(g.Baseline, []string{
+			"Bounds-check baseline for //mw:hotpath loops under GOAMD64=" + CodegenAMD64Level + ",",
+			"from `go build -gcflags=-d=ssa/check_bce`. One `file: func: kind xN`",
+			"entry per tolerated check; the forces/lj.go kernels carry none by",
+			"design. Regenerate with `GOAMD64=v3 go run ./cmd/mwlint -bce -update`",
+			"after a deliberate change; `mwlint -bce` fails CI on any check above",
+			"the listed counts.",
+		}, rep.InScope)
+	}
+
+	base := map[bceKey]int{}
+	lines, err := readBaselineLines(g.Baseline, "mwlint -bce -update")
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range lines {
+		m := bceEntryRE.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("bce baseline: malformed entry %q", line)
+		}
+		n, _ := strconv.Atoi(m[4])
+		base[bceKey{file: m[1], fn: m[2], kind: m[3]}] = n
+	}
+	for k, n := range counts {
+		if b := base[k]; n > b {
+			rep.New = append(rep.New, fmt.Sprintf("%s (baseline %d)", k.entry(n), b))
+		}
+	}
+	for k, b := range base {
+		if counts[k] < b {
+			rep.Stale = append(rep.Stale, k.entry(b))
+		}
+	}
+	sort.Strings(rep.New)
+	sort.Strings(rep.Stale)
+	return rep, nil
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParseBCEDiags(t *testing.T) {
+	out := `# mw/internal/forces
+internal/forces/lj.go:100:20: Found IsInBounds
+internal/forces/lj.go:134:26: Found IsSliceInBounds
+internal/cells/rangelist.go:99:21: Found IsSliceInBounds
+internal/forces/lj.go:12:1: inlining call to vec.Vec3.Sub
+not a diagnostic line
+`
+	diags := ParseBCEDiags(out)
+	if len(diags) != 3 {
+		t.Fatalf("parsed %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	want := []BCEDiag{
+		{File: "internal/forces/lj.go", Line: 100, Kind: "IsInBounds"},
+		{File: "internal/forces/lj.go", Line: 134, Kind: "IsSliceInBounds"},
+		{File: "internal/cells/rangelist.go", Line: 99, Kind: "IsSliceInBounds"},
+	}
+	for i, w := range want {
+		if diags[i] != w {
+			t.Errorf("diag[%d] = %+v, want %+v", i, diags[i], w)
+		}
+	}
+}
+
+func TestBCEEntryFormat(t *testing.T) {
+	k := bceKey{file: "internal/forces/lj.go", fn: "AccumulateRange", kind: "IsInBounds"}
+	entry := k.entry(3)
+	m := bceEntryRE.FindStringSubmatch(entry)
+	if m == nil {
+		t.Fatalf("entry %q does not match its own parser", entry)
+	}
+	if m[1] != k.file || m[2] != k.fn || m[3] != k.kind || m[4] != "3" {
+		t.Errorf("round-trip mismatch: %v", m[1:])
+	}
+}
+
+// TestBCEGateAgainstBaseline runs the real gate against the committed
+// baseline, as `make lint-codegen` does. The critical assertion is encoded
+// in the baseline itself: no forces/lj.go entries — the LJ pair loops carry
+// no bounds checks.
+func TestBCEGateAgainstBaseline(t *testing.T) {
+	if runtime.GOARCH != CodegenArch {
+		t.Skipf("bce gate baseline is recorded on %s; running on %s", CodegenArch, runtime.GOARCH)
+	}
+	if testing.Short() {
+		t.Skip("compiles the gated packages; skipped with -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DefaultBCEGate(root).Check(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.New {
+		t.Errorf("bce: new hot-loop bounds check: %s", e)
+	}
+	for _, e := range rep.Stale {
+		t.Errorf("bce: stale baseline entry: %s", e)
+	}
+	for _, e := range rep.InScope {
+		if len(e) >= len("internal/forces/lj.go") && e[:len("internal/forces/lj.go")] == "internal/forces/lj.go" {
+			t.Errorf("bce: LJ kernel loop carries a bounds check: %s", e)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file holds the machinery shared by the two compiler-backed codegen
+// gates (vecasm.go, bce.go): a syntax-only index of //mw:hotpath functions
+// and their loop line ranges, and the `go build` invocation that captures
+// compiler diagnostics or assembly under a pinned GOAMD64 level.
+//
+// Both gates attribute compiler output to source positions, so they share
+// the same notion of "inside a hot loop": a line that falls within a
+// for/range statement of an annotated function. The escape-budget gate
+// (escapes.go) predates this index and keeps its own; the hot sets agree
+// because both are driven by the same directive comments.
+
+// CodegenArch is the only architecture the codegen gates understand: the
+// instruction classifier and the committed baselines are amd64-specific.
+// Callers on other architectures should skip the gates rather than fail.
+const CodegenArch = "amd64"
+
+// CodegenAMD64Level pins the microarchitecture level the gates compile for.
+// v3 (AVX2-class) is what ROADMAP item 1 targets for the cluster-pair kernel
+// work; the committed baselines are only meaningful at this level.
+const CodegenAMD64Level = "v3"
+
+// HotFunc is one annotated function with its source extent and loop spans.
+type HotFunc struct {
+	Name  string // declaration name (receiver not included)
+	File  string // module-root-relative, slash-separated
+	Lo    int    // declaration line span, inclusive
+	Hi    int
+	Loops []LineSpan // for/range statement spans within the body
+}
+
+// LineSpan is an inclusive source line range.
+type LineSpan struct{ Lo, Hi int }
+
+// InLoop reports whether the line falls inside any loop of the function.
+func (h *HotFunc) InLoop(line int) bool {
+	for _, s := range h.Loops {
+		if line >= s.Lo && line <= s.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// HotIndex locates //mw:hotpath functions by file and line.
+type HotIndex struct {
+	byFile map[string][]*HotFunc
+}
+
+// BuildHotIndex parses (syntax only) the packages matching the patterns and
+// records every //mw:hotpath function declaration with its loop spans.
+func BuildHotIndex(moduleRoot string, patterns ...string) (*HotIndex, error) {
+	listed, err := goList(moduleRoot, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	ix := &HotIndex{byFile: map[string][]*HotFunc{}}
+	fset := token.NewFileSet()
+	for _, lp := range listed {
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(moduleRoot, path)
+			if err != nil {
+				rel = path
+			}
+			rel = filepath.ToSlash(rel)
+			for _, fd := range FuncsWithDirective(f, HotPathDirective) {
+				if fd.Body == nil {
+					continue
+				}
+				hf := &HotFunc{
+					Name: fd.Name.Name,
+					File: rel,
+					Lo:   fset.Position(fd.Pos()).Line,
+					Hi:   fset.Position(fd.End()).Line,
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						hf.Loops = append(hf.Loops, LineSpan{
+							Lo: fset.Position(n.Pos()).Line,
+							Hi: fset.Position(n.End()).Line,
+						})
+					}
+					return true
+				})
+				ix.byFile[rel] = append(ix.byFile[rel], hf)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// FuncAt returns the hot function whose declaration spans the line of the
+// (possibly absolute) file path, matching by module-root-relative suffix.
+func (ix *HotIndex) FuncAt(file string, line int) (*HotFunc, bool) {
+	for rel, funcs := range ix.byFile {
+		if !samePath(file, rel) {
+			continue
+		}
+		for _, hf := range funcs {
+			if line >= hf.Lo && line <= hf.Hi {
+				return hf, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Files returns the indexed file names in sorted order.
+func (ix *HotIndex) Files() []string {
+	out := make([]string, 0, len(ix.byFile))
+	for f := range ix.byFile {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// samePath matches a compiler-printed path against a module-relative one:
+// equal, or one is a path suffix of the other.
+func samePath(printed, rel string) bool {
+	printed = filepath.ToSlash(printed)
+	return printed == rel ||
+		strings.HasSuffix(printed, "/"+rel) ||
+		strings.HasSuffix(rel, "/"+printed)
+}
+
+// CompilerOutput runs `go build` with the given gcflags over the patterns
+// and returns the combined compiler output. GOAMD64 is pinned to
+// CodegenAMD64Level so the emitted code (and thus the committed baselines)
+// does not depend on the host's default microarchitecture level. The build
+// cache replays diagnostics for cached compilations, keeping repeat runs
+// fast; because the env differs from the default build, the first run after
+// a toolchain or source change recompiles the gated packages.
+func CompilerOutput(moduleRoot, gcflags string, patterns ...string) (string, error) {
+	args := append([]string{"build", "-gcflags=" + gcflags}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot
+	cmd.Env = append(os.Environ(), "GOAMD64="+CodegenAMD64Level)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("GOAMD64=%s go %s: %v\n%s",
+			CodegenAMD64Level, strings.Join(args, " "), err, buf.String())
+	}
+	return buf.String(), nil
+}
+
+// readBaselineLines returns the non-comment lines of a baseline file.
+func readBaselineLines(path, regenHint string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline (run `%s` to create it): %w", regenHint, err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+// writeBaselineLines writes a baseline file with the given header comment
+// lines (without leading #) and entries.
+func writeBaselineLines(path string, header []string, entries []string) error {
+	var b strings.Builder
+	for _, h := range header {
+		b.WriteString("# " + h + "\n")
+	}
+	for _, e := range entries {
+		b.WriteString(e + "\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// HotProp closes the annotation gap every other rule silently depends on:
+// hotalloc, the escape gate, vecasm and bce all key off //mw:hotpath, so a
+// hot helper that nobody annotated is a hot helper nobody checks. HotProp
+// walks the static call graph from every annotated function and reports each
+// direct callee, declared anywhere in the module, that is neither
+// //mw:hotpath (it is hot-path code and must be gated) nor //mw:coldcall
+// (it is a sanctioned slow path — an error edge, a 1-in-K sampling probe, a
+// park/blocking path — that hot code may call without dragging it into the
+// gates). With the tree clean, the hot set is transitively closed: every
+// function reachable from a hot root by direct calls is itself annotated and
+// therefore inside every gate's scope.
+//
+// Dynamic edges — interface-method calls and invocations of function values
+// — cannot be resolved statically and are not reported; the pool's Task
+// dispatch is the sanctioned example. Calls into other modules (stdlib
+// included) are likewise out of scope: the gates cannot instrument code they
+// do not compile with project flags.
+var HotProp = &Analyzer{
+	Name:      "hotprop",
+	Doc:       "reports unannotated functions reachable from //mw:hotpath roots",
+	RunModule: runHotProp,
+}
+
+// hotDecl is one module function declaration with its annotation state.
+type hotDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	hot  bool
+	cold bool
+}
+
+func runHotProp(pass *ModulePass) error {
+	// Index every function declaration in the module by a stable
+	// package-path-qualified key: a callee resolved through export data in
+	// one package and the same function type-checked from source are
+	// distinct types.Object instances, so object identity cannot be the
+	// cross-package join.
+	decls := map[string]*hotDecl{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[funcKey(fn)] = &hotDecl{
+					pkg:  pkg,
+					decl: fd,
+					hot:  HasDirective(fd.Doc, HotPathDirective),
+					cold: HasDirective(fd.Doc, ColdCallDirective),
+				}
+			}
+		}
+	}
+
+	// Walk each hot root's body and check every statically resolved callee.
+	type edge struct{ caller, callee string }
+	reported := map[edge]bool{}
+	var roots []string
+	for key, d := range decls {
+		if d.hot && d.decl.Body != nil {
+			roots = append(roots, key)
+		}
+	}
+	sort.Strings(roots)
+	for _, caller := range roots {
+		d := decls[caller]
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(d.pkg, call)
+			if callee == nil {
+				return true
+			}
+			key := funcKey(callee)
+			cd, ok := decls[key]
+			if !ok || cd.hot || cd.cold {
+				return true // out of module, or already annotated
+			}
+			e := edge{caller, key}
+			if !reported[e] {
+				reported[e] = true
+				pass.Pass(d.pkg).Reportf(call.Pos(),
+					"hot function %s calls unannotated %s; mark it //mw:hotpath (gated) or //mw:coldcall (sanctioned slow path)",
+					d.decl.Name.Name, calleeName(callee))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcKey is the cross-package identity of a function or method:
+// "pkgpath.Name" or "pkgpath.Recv.Name".
+func funcKey(fn *types.Func) string {
+	key := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			key = n.Obj().Name() + "." + key
+		}
+	}
+	if fn.Pkg() != nil {
+		key = fn.Pkg().Path() + "." + key
+	}
+	return key
+}
+
+// staticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls, conversions, builtins and method calls
+// through interfaces.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return nil // dynamic dispatch: not a static edge
+	}
+	return fn
+}
+
+// calleeName renders a function object with its receiver type, if any.
+func calleeName(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

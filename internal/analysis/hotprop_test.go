@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotProp(t *testing.T) {
+	RunFixtureTest(t, HotProp, "testdata/hotprop")
+}

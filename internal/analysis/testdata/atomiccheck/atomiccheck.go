@@ -1,0 +1,73 @@
+// Fixture for the atomiccheck analyzer: mixed atomic/plain access to the
+// same word, and single-writer ring-cursor discipline via //mw:ring.
+package atomiccheck
+
+import "sync/atomic"
+
+// counters mixes function-style atomics with plain access — the race the
+// mixed-access rule exists for. The typed atomic.Int64 field is immune by
+// construction and never flagged.
+type counters struct {
+	steals int64
+	parks  atomic.Int64
+}
+
+func (c *counters) recordSteal() {
+	atomic.AddInt64(&c.steals, 1) // establishes: steals is an atomic word
+	c.parks.Add(1)                // typed atomic: clean
+}
+
+func (c *counters) report() int64 {
+	n := c.steals // want "plain read of steals, which is accessed with sync/atomic at .*atomiccheck.go:16:2"
+	return n + c.parks.Load()
+}
+
+func (c *counters) reset() {
+	c.steals = 0 // want "plain write to steals, which is accessed with sync/atomic"
+}
+
+func (c *counters) alias() *int64 {
+	return &c.steals // want "plain write to steals, which is accessed with sync/atomic"
+}
+
+// ring is the telemetry-style single-producer ring: exactly one function may
+// advance the cursor.
+type ring struct {
+	//mw:ring(writer=push)
+	head  atomic.Uint64
+	slots []atomic.Uint64
+}
+
+func (r *ring) push(w uint64) {
+	h := r.head.Load()
+	r.slots[int(h)%len(r.slots)].Store(w)
+	r.head.Store(h + 1) // declared writer: clean
+}
+
+func (r *ring) snapshot() uint64 {
+	return r.head.Load() // loads never write: clean
+}
+
+func (r *ring) rewind() {
+	r.head.Store(0) // want "ring cursor head written in rewind, outside its declared writer set \\(push\\)"
+}
+
+// fnRing uses the function-style atomics on its cursor; both rules apply to
+// it at once.
+type fnRing struct {
+	cursor uint64 //mw:ring(writer=advance)
+}
+
+func (r *fnRing) advance() {
+	atomic.AddUint64(&r.cursor, 1) // declared writer: clean
+}
+
+func (r *fnRing) clobber() {
+	atomic.StoreUint64(&r.cursor, 0) // want "ring cursor cursor written in clobber, outside its declared writer set \\(advance\\)"
+}
+
+// broken carries a malformed directive.
+type broken struct {
+	//mw:ring(cursor=bad)
+	bad int64 // want "malformed //mw:ring directive: expected writer=<func>\\[,<func>...\\]"
+}

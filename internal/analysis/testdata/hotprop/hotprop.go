@@ -1,0 +1,56 @@
+// Fixture for the hotprop analyzer: transitive //mw:hotpath propagation.
+// Every function a hot root calls must itself be //mw:hotpath (gated) or
+// //mw:coldcall (sanctioned slow path); dynamic edges and out-of-module
+// calls are exempt.
+package hotprop
+
+import "math"
+
+// Pair is a toy kernel operand.
+type Pair struct{ A, B float64 }
+
+// annotatedLeaf is already inside the gates: calling it is fine.
+//
+//mw:hotpath
+func annotatedLeaf(x float64) float64 { return x * x }
+
+// sanctionedSlow is a declared slow path: calling it is fine too.
+//
+//mw:coldcall
+func sanctionedSlow(x float64) float64 { return math.Exp(x) }
+
+// unannotatedHelper has no annotation, so a hot caller must be flagged.
+func unannotatedHelper(x float64) float64 { return x + 1 }
+
+// scale is an unannotated method; the diagnostic names it with its
+// receiver type.
+func (p Pair) scale(s float64) Pair { return Pair{p.A * s, p.B * s} }
+
+// secondLevel is hot and leaks: the closure requirement is transitive, so
+// hot callees get walked exactly like the roots.
+//
+//mw:hotpath
+func secondLevel(x float64) float64 {
+	return unannotatedHelper(x) // want "hot function secondLevel calls unannotated unannotatedHelper"
+}
+
+// op abstracts a kernel step; interface dispatch is not a static edge.
+type op interface{ apply(float64) float64 }
+
+// kernel is the hot root exercising every edge kind.
+//
+//mw:hotpath
+func kernel(p Pair, o op, fn func(float64) float64) float64 {
+	s := annotatedLeaf(p.A)     // annotated callee: clean
+	s += sanctionedSlow(p.B)    // coldcall callee: clean
+	s += math.Sqrt(s)           // out-of-module callee: clean
+	s += o.apply(s)             // dynamic dispatch: clean
+	s += fn(s)                  // function value: clean
+	s += unannotatedHelper(s)   // want "hot function kernel calls unannotated unannotatedHelper; mark it //mw:hotpath \\(gated\\) or //mw:coldcall \\(sanctioned slow path\\)"
+	q := p.scale(s)             // want "hot function kernel calls unannotated Pair.scale"
+	s += unannotatedHelper(q.A) // repeated edge: deduplicated, no second diagnostic
+	return s + secondLevel(s)
+}
+
+// coldCaller is not annotated at all, so nothing it calls is checked.
+func coldCaller(x float64) float64 { return unannotatedHelper(x) }

@@ -29,6 +29,8 @@ func (b Box) Volume() float64 { return b.L.X * b.L.Y * b.L.Z }
 
 // MinImage returns the minimum-image displacement for d. For non-periodic
 // boxes d is returned unchanged.
+//
+//mw:hotpath
 func (b Box) MinImage(d vec.Vec3) vec.Vec3 {
 	if !b.Periodic {
 		return d
@@ -46,6 +48,8 @@ func (b Box) Displacement(p, q vec.Vec3) vec.Vec3 {
 
 // Wrap maps p into [0, L) per periodic dimension. Non-periodic boxes return
 // p unchanged.
+//
+//mw:hotpath
 func (b Box) Wrap(p vec.Vec3) vec.Vec3 {
 	if !b.Periodic {
 		return p
@@ -60,6 +64,8 @@ func (b Box) Wrap(p vec.Vec3) vec.Vec3 {
 // position has crossed a wall, it is mirrored back inside and the
 // corresponding velocity component flipped. Periodic boxes wrap instead.
 // It returns the corrected position and velocity.
+//
+//mw:hotpath
 func (b Box) Reflect(p, v vec.Vec3) (vec.Vec3, vec.Vec3) {
 	if b.Periodic {
 		return b.Wrap(p), v
@@ -70,6 +76,7 @@ func (b Box) Reflect(p, v vec.Vec3) (vec.Vec3, vec.Vec3) {
 	return p, v
 }
 
+//mw:hotpath
 func reflect1(x, v, l float64) (float64, float64) {
 	// A fast atom can overshoot by more than one box length; fold until
 	// inside. Each fold flips the velocity sign once. Non-finite input

@@ -174,6 +174,8 @@ func (r *Reorderer) permuteAtoms(s *System, order []int32) {
 }
 
 // gatherV3 permutes arr in place through scratch: arr[k] = arr[order[k]].
+//
+//mw:hotpath
 func gatherV3(arr, scratch []vec.Vec3, order []int32) {
 	for k, o := range order {
 		scratch[k] = arr[o]
@@ -182,6 +184,8 @@ func gatherV3(arr, scratch []vec.Vec3, order []int32) {
 }
 
 // gatherF64 is gatherV3 for float64 arrays.
+//
+//mw:hotpath
 func gatherF64(arr, scratch []float64, order []int32) {
 	for k, o := range order {
 		scratch[k] = arr[o]

@@ -49,6 +49,8 @@ func NewSystem(box Box) *System {
 }
 
 // N returns the number of atoms.
+//
+//mw:hotpath
 func (s *System) N() int { return len(s.Pos) }
 
 // AddAtom appends an atom of the given element at position p with velocity v

@@ -26,6 +26,8 @@ type Grid struct {
 
 // NewGrid creates a grid for the box with cells at least r on a side.
 // r must be positive.
+//
+//mw:coldcall
 func NewGrid(box atom.Box, r float64) *Grid {
 	if r <= 0 {
 		panic("cells: non-positive interaction range")
@@ -63,6 +65,8 @@ func (g *Grid) CellIndexOf(p vec.Vec3) int { return g.cellIndex(p) }
 
 // cellIndex maps a position to its flat cell index, clamping non-periodic
 // coordinates to the box.
+//
+//mw:hotpath
 func (g *Grid) cellIndex(p vec.Vec3) int {
 	cx := g.coord(p.X, g.inv.X, g.Dims[0])
 	cy := g.coord(p.Y, g.inv.Y, g.Dims[1])
@@ -70,6 +74,7 @@ func (g *Grid) cellIndex(p vec.Vec3) int {
 	return (cz*g.Dims[1]+cy)*g.Dims[0] + cx
 }
 
+//mw:hotpath
 func (g *Grid) coord(x, inv float64, n int) int {
 	c := int(math.Floor(x * inv))
 	if g.Box.Periodic {
@@ -155,6 +160,8 @@ func (g *Grid) AppendNeighbors(s *atom.System, i int, rng float64, buf []int32) 
 // wrapCoord maps a stencil coordinate into the grid; for non-periodic boxes
 // out-of-range coordinates report ok=false. Dimensions collapsed to a single
 // cell visit that cell exactly once (dz/dy/dx = ±1 are skipped).
+//
+//mw:hotpath
 func (g *Grid) wrapCoord(c, n int) (int, bool) {
 	if n == 1 {
 		if c == 0 {
@@ -248,9 +255,27 @@ func (nl *NeighborList) Valid(s *atom.System) bool {
 }
 
 // Of returns the neighbor slice of atom i. The slice aliases internal
-// storage and is invalidated by the next Build.
+// storage and is invalidated by the next Build. An out-of-range index or a
+// corrupt offset table yields an empty slice; the explicit guards exist so
+// the prove pass eliminates every implicit bounds check from the inlined
+// body (`mwlint -bce` keeps it that way).
+//
+//mw:hotpath
 func (nl *NeighborList) Of(i int) []int32 {
-	return nl.Neighbors[nl.Offsets[i]:nl.Offsets[i+1]]
+	offs := nl.Offsets
+	if i < 0 || i >= len(offs) {
+		return nil
+	}
+	seg := offs[i:]
+	if len(seg) < 2 {
+		return nil
+	}
+	a, b := int(seg[0]), int(seg[1])
+	nb := nl.Neighbors
+	if a < 0 || b < a || b > len(nb) {
+		return nil
+	}
+	return nb[a:b]
 }
 
 // Len returns the total number of stored (half) pairs.

@@ -92,11 +92,29 @@ func (g *Grid) BuildRangeFull(s *atom.System, rng float64, lo, hi int, rl *Range
 }
 
 // Of returns the neighbor slice of atom i, which must lie in [Lo, Hi).
+// An index outside the range, or a corrupt offset table, yields an empty
+// slice. The explicit guards are bounds-check elimination: they hand the
+// prove pass the facts it needs to drop every implicit check, so the inlined
+// body contributes no panic edges to the kernels' pair loops (`mwlint -bce`
+// keeps it that way).
 //
 //mw:hotpath
 func (rl *RangeList) Of(i int) []int32 {
 	k := i - rl.Lo
-	return rl.Neighbors[rl.Offsets[k]:rl.Offsets[k+1]]
+	offs := rl.Offsets
+	if k < 0 || k >= len(offs) {
+		return nil
+	}
+	seg := offs[k:]
+	if len(seg) < 2 {
+		return nil
+	}
+	a, b := int(seg[0]), int(seg[1])
+	nb := rl.Neighbors
+	if a < 0 || b < a || b > len(nb) {
+		return nil
+	}
+	return nb[a:b]
 }
 
 // Len returns the number of stored pairs.

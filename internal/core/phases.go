@@ -20,6 +20,8 @@ var phaseRegion = [NumPhases]string{
 
 // beginPhase emits the telemetry phase-begin event; paired with the
 // phase-end emitted by finishPhase.
+//
+//mw:coldcall
 func (sim *Simulation) beginPhase(ph Phase) {
 	if tele := sim.Cfg.Telemetry; tele != nil {
 		tele.PhaseBegin(sim.step, uint8(ph))
@@ -30,6 +32,8 @@ func (sim *Simulation) beginPhase(ph Phase) {
 // configured partition strategy, with a barrier at the end (the engine's
 // inter-phase synchronization). fn must be safe for concurrent invocation
 // with distinct worker ids; each item is processed exactly once.
+//
+//mw:coldcall
 func (sim *Simulation) schedule(ph Phase, count int, fn func(worker, item int)) {
 	defer trace.StartRegion(context.Background(), phaseRegion[ph]).End()
 	sim.beginPhase(ph)
@@ -177,6 +181,7 @@ func (sim *Simulation) runOnWorkers(tasks []pool.Task) {
 	latch.Await()
 }
 
+//mw:coldcall
 func (sim *Simulation) finishPhase(ph Phase, start time.Time) {
 	wall := time.Since(start)
 	sim.PhaseWall[ph].Add(wall.Seconds())
@@ -292,6 +297,8 @@ func (sim *Simulation) rebuildPhase() {
 // The force phase's item space concatenates all force families so that
 // dynamic strategies balance across them:
 // [LJ chunks | Coulomb chunks | bond chunks | angle chunks | torsion chunks].
+//
+//mw:hotpath
 func (sim *Simulation) forceItemCount() int {
 	return sim.atomChunks.count + sim.coulChunks.count +
 		sim.bondChunks.count + sim.angleChunks.count + sim.torsChunks.count +

@@ -41,6 +41,8 @@ type reorderState struct {
 // before grid.Assign on the rebuild path (it invalidates cell chains) and
 // only between phases, never inside one. Returns whether a permutation was
 // applied.
+//
+//mw:coldcall
 func (sim *Simulation) maybeReorder() bool {
 	if !sim.Cfg.Reorder {
 		return false

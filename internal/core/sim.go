@@ -101,6 +101,7 @@ func newCutChunkSet(cuts []int32) chunkSet {
 	return chunkSet{total: total, count: len(cuts) - 1, cuts: cuts}
 }
 
+//mw:hotpath
 func (c chunkSet) bounds(i int) (lo, hi int) {
 	if c.cuts != nil {
 		return int(c.cuts[i]), int(c.cuts[i+1])

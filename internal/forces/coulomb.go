@@ -85,4 +85,6 @@ func (fl Field) AccumulateRange(s *atom.System, lo, hi int, f []vec.Vec3) {
 }
 
 // IsZero reports whether the field exerts no force.
+//
+//mw:hotpath
 func (fl Field) IsZero() bool { return fl.E == vec.Zero && fl.G == vec.Zero }

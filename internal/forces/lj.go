@@ -79,33 +79,54 @@ func (lj *LJ) AccumulateRange(s *atom.System, nl *cells.NeighborList, lo, hi int
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
 	box := s.Box
+	// BCE preamble (every kernel below repeats it): reslice the per-atom
+	// arrays to the force array's length and hoist the pair tables at a
+	// common length, then guard the range once. Together with the uint
+	// comparisons inside the pair loop this hands the prove pass everything
+	// it needs to delete the implicit bounds checks — and their panic calls —
+	// from the pair loop; `mwlint -bce` holds the loops check-free.
+	n := len(f)
+	pos, elem, fixed := s.Pos[:n], s.Elem[:n], s.Fixed[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	if lo < 0 || hi > n {
+		panic("forces: LJ range outside force array")
+	}
 	for i := lo; i < hi; i++ {
-		pi := s.Pos[i]
-		ei := int(s.Elem[i])
+		pi := pos[i]
+		ei := int(elem[i])
 		fi := f[i]
-		fixedI := s.Fixed[i]
+		fixedI := fixed[i]
 		for _, j := range nl.Of(i) {
-			if fixedI && s.Fixed[j] {
+			jj := int(j)
+			if uint(jj) >= uint(n) {
+				continue // corrupt neighbor entry; valid lists never hit this
+			}
+			if fixedI && fixed[jj] {
 				continue
 			}
 			if s.Excl.Excluded(int32(i), j) {
 				continue
 			}
-			d := box.MinImage(s.Pos[j].Sub(pi))
+			d := box.MinImage(pos[jj].Sub(pi))
 			r2 := d.Norm2()
 			if r2 >= c2 || r2 == 0 {
 				continue
 			}
-			k := ei*lj.nelem + int(s.Elem[j])
-			sr2 := lj.sigma2[k] / r2
+			k := ei*lj.nelem + int(elem[jj])
+			if uint(k) >= uint(m) {
+				continue // element id outside the pair table
+			}
+			sr2 := sig2[k] / r2
 			sr6 := sr2 * sr2 * sr2
 			sr12 := sr6 * sr6
-			eps := lj.eps[k]
-			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			eps := epsT[k]
+			pe += 4*eps*(sr12-sr6) - shiftT[k]
 			// dV/dr · 1/r, applied along d (j-i direction).
 			fs := 24 * eps * (2*sr12 - sr6) / r2
 			fi = fi.AddScaled(-fs, d)
-			f[j] = f[j].AddScaled(fs, d)
+			f[jj] = f[jj].AddScaled(fs, d)
 		}
 		f[i] = fi
 	}
@@ -126,32 +147,48 @@ func (lj *LJ) AccumulateRangeList(s *atom.System, rl *cells.RangeList, f []vec.V
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
 	box := s.Box
-	for i := rl.Lo; i < rl.Hi; i++ {
-		pi := s.Pos[i]
-		ei := int(s.Elem[i])
+	n := len(f)
+	pos, elem, fixed := s.Pos[:n], s.Elem[:n], s.Fixed[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	lo, hi := rl.Lo, rl.Hi
+	if lo < 0 || hi > n {
+		panic("forces: LJ range outside force array")
+	}
+	for i := lo; i < hi; i++ {
+		pi := pos[i]
+		ei := int(elem[i])
 		fi := f[i]
-		fixedI := s.Fixed[i]
+		fixedI := fixed[i]
 		for _, j := range rl.Of(i) {
-			if fixedI && s.Fixed[j] {
+			jj := int(j)
+			if uint(jj) >= uint(n) {
+				continue // corrupt neighbor entry; valid lists never hit this
+			}
+			if fixedI && fixed[jj] {
 				continue
 			}
 			if s.Excl.Excluded(int32(i), j) {
 				continue
 			}
-			d := box.MinImage(s.Pos[j].Sub(pi))
+			d := box.MinImage(pos[jj].Sub(pi))
 			r2 := d.Norm2()
 			if r2 >= c2 || r2 == 0 {
 				continue
 			}
-			k := ei*lj.nelem + int(s.Elem[j])
-			sr2 := lj.sigma2[k] / r2
+			k := ei*lj.nelem + int(elem[jj])
+			if uint(k) >= uint(m) {
+				continue // element id outside the pair table
+			}
+			sr2 := sig2[k] / r2
 			sr6 := sr2 * sr2 * sr2
 			sr12 := sr6 * sr6
-			eps := lj.eps[k]
-			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			eps := epsT[k]
+			pe += 4*eps*(sr12-sr6) - shiftT[k]
 			fs := 24 * eps * (2*sr12 - sr6) / r2
 			fi = fi.AddScaled(-fs, d)
-			f[j] = f[j].AddScaled(fs, d)
+			f[jj] = f[jj].AddScaled(fs, d)
 		}
 		f[i] = fi
 	}
@@ -172,29 +209,45 @@ func (lj *LJ) AccumulateRangeListNoExcl(s *atom.System, rl *cells.RangeList, f [
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
 	box := s.Box
-	for i := rl.Lo; i < rl.Hi; i++ {
-		pi := s.Pos[i]
-		ei := int(s.Elem[i])
+	n := len(f)
+	pos, elem, fixed := s.Pos[:n], s.Elem[:n], s.Fixed[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	lo, hi := rl.Lo, rl.Hi
+	if lo < 0 || hi > n {
+		panic("forces: LJ range outside force array")
+	}
+	for i := lo; i < hi; i++ {
+		pi := pos[i]
+		ei := int(elem[i])
 		fi := f[i]
-		fixedI := s.Fixed[i]
+		fixedI := fixed[i]
 		for _, j := range rl.Of(i) {
-			if fixedI && s.Fixed[j] {
+			jj := int(j)
+			if uint(jj) >= uint(n) {
+				continue // corrupt neighbor entry; valid lists never hit this
+			}
+			if fixedI && fixed[jj] {
 				continue
 			}
-			d := box.MinImage(s.Pos[j].Sub(pi))
+			d := box.MinImage(pos[jj].Sub(pi))
 			r2 := d.Norm2()
 			if r2 >= c2 || r2 == 0 {
 				continue
 			}
-			k := ei*lj.nelem + int(s.Elem[j])
-			sr2 := lj.sigma2[k] / r2
+			k := ei*lj.nelem + int(elem[jj])
+			if uint(k) >= uint(m) {
+				continue // element id outside the pair table
+			}
+			sr2 := sig2[k] / r2
 			sr6 := sr2 * sr2 * sr2
 			sr12 := sr6 * sr6
-			eps := lj.eps[k]
-			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			eps := epsT[k]
+			pe += 4*eps*(sr12-sr6) - shiftT[k]
 			fs := 24 * eps * (2*sr12 - sr6) / r2
 			fi = fi.AddScaled(-fs, d)
-			f[j] = f[j].AddScaled(fs, d)
+			f[jj] = f[jj].AddScaled(fs, d)
 		}
 		f[i] = fi
 	}
@@ -221,12 +274,25 @@ func (lj *LJ) AccumulateRangeListFast(s *atom.System, rl *cells.RangeList, f []v
 	// measurable slice of the whole kernel.
 	periodic := s.Box.Periodic
 	lx, ly, lz := s.Box.L.X, s.Box.L.Y, s.Box.L.Z
-	for i := rl.Lo; i < rl.Hi; i++ {
-		pi := s.Pos[i]
-		ei := int(s.Elem[i])
+	n := len(f)
+	pos, elem := s.Pos[:n], s.Elem[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	lo, hi := rl.Lo, rl.Hi
+	if lo < 0 || hi > n {
+		panic("forces: LJ range outside force array")
+	}
+	for i := lo; i < hi; i++ {
+		pi := pos[i]
+		ei := int(elem[i])
 		fix, fiy, fiz := f[i].X, f[i].Y, f[i].Z
 		for _, j := range rl.Of(i) {
-			q := s.Pos[j]
+			jj := int(j)
+			if uint(jj) >= uint(n) {
+				continue // corrupt neighbor entry; valid lists never hit this
+			}
+			q := pos[jj]
 			dx, dy, dz := q.X-pi.X, q.Y-pi.Y, q.Z-pi.Z
 			if periodic {
 				dx -= lx * math.Round(dx/lx)
@@ -238,19 +304,22 @@ func (lj *LJ) AccumulateRangeListFast(s *atom.System, rl *cells.RangeList, f []v
 				continue
 			}
 			inv := 1 / r2
-			k := ei*lj.nelem + int(s.Elem[j])
-			sr2 := lj.sigma2[k] * inv
+			k := ei*lj.nelem + int(elem[jj])
+			if uint(k) >= uint(m) {
+				continue // element id outside the pair table
+			}
+			sr2 := sig2[k] * inv
 			sr6 := sr2 * sr2 * sr2
 			sr12 := sr6 * sr6
-			eps := lj.eps[k]
-			pe += 4*eps*(sr12-sr6) - lj.shift[k]
+			eps := epsT[k]
+			pe += 4*eps*(sr12-sr6) - shiftT[k]
 			fs := 24 * eps * (2*sr12 - sr6) * inv
 			fix -= fs * dx
 			fiy -= fs * dy
 			fiz -= fs * dz
-			f[j].X += fs * dx
-			f[j].Y += fs * dy
-			f[j].Z += fs * dz
+			f[jj].X += fs * dx
+			f[jj].Y += fs * dy
+			f[jj].Z += fs * dz
 		}
 		f[i] = vec.Vec3{X: fix, Y: fiy, Z: fiz}
 	}
@@ -266,26 +335,42 @@ func (lj *LJ) AccumulateRangeListFullNoExcl(s *atom.System, rl *cells.RangeList,
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
 	box := s.Box
-	for i := rl.Lo; i < rl.Hi; i++ {
-		pi := s.Pos[i]
-		ei := int(s.Elem[i])
+	n := len(f)
+	pos, elem, fixed := s.Pos[:n], s.Elem[:n], s.Fixed[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	lo, hi := rl.Lo, rl.Hi
+	if lo < 0 || hi > n {
+		panic("forces: LJ range outside force array")
+	}
+	for i := lo; i < hi; i++ {
+		pi := pos[i]
+		ei := int(elem[i])
 		fi := f[i]
-		fixedI := s.Fixed[i]
+		fixedI := fixed[i]
 		for _, j := range rl.Of(i) {
-			if fixedI && s.Fixed[j] {
+			jj := int(j)
+			if uint(jj) >= uint(n) {
+				continue // corrupt neighbor entry; valid lists never hit this
+			}
+			if fixedI && fixed[jj] {
 				continue
 			}
-			d := box.MinImage(s.Pos[j].Sub(pi))
+			d := box.MinImage(pos[jj].Sub(pi))
 			r2 := d.Norm2()
 			if r2 >= c2 || r2 == 0 {
 				continue
 			}
-			k := ei*lj.nelem + int(s.Elem[j])
-			sr2 := lj.sigma2[k] / r2
+			k := ei*lj.nelem + int(elem[jj])
+			if uint(k) >= uint(m) {
+				continue // element id outside the pair table
+			}
+			sr2 := sig2[k] / r2
 			sr6 := sr2 * sr2 * sr2
 			sr12 := sr6 * sr6
-			eps := lj.eps[k]
-			pe += 0.5 * (4*eps*(sr12-sr6) - lj.shift[k])
+			eps := epsT[k]
+			pe += 0.5 * (4*eps*(sr12-sr6) - shiftT[k])
 			fs := 24 * eps * (2*sr12 - sr6) / r2
 			fi = fi.AddScaled(-fs, d)
 		}
@@ -306,29 +391,45 @@ func (lj *LJ) AccumulateRangeListFull(s *atom.System, rl *cells.RangeList, f []v
 	var pe float64
 	c2 := lj.Cutoff * lj.Cutoff
 	box := s.Box
-	for i := rl.Lo; i < rl.Hi; i++ {
-		pi := s.Pos[i]
-		ei := int(s.Elem[i])
+	n := len(f)
+	pos, elem, fixed := s.Pos[:n], s.Elem[:n], s.Fixed[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	lo, hi := rl.Lo, rl.Hi
+	if lo < 0 || hi > n {
+		panic("forces: LJ range outside force array")
+	}
+	for i := lo; i < hi; i++ {
+		pi := pos[i]
+		ei := int(elem[i])
 		fi := f[i]
-		fixedI := s.Fixed[i]
+		fixedI := fixed[i]
 		for _, j := range rl.Of(i) {
-			if fixedI && s.Fixed[j] {
+			jj := int(j)
+			if uint(jj) >= uint(n) {
+				continue // corrupt neighbor entry; valid lists never hit this
+			}
+			if fixedI && fixed[jj] {
 				continue
 			}
 			if s.Excl.Excluded(int32(i), j) {
 				continue
 			}
-			d := box.MinImage(s.Pos[j].Sub(pi))
+			d := box.MinImage(pos[jj].Sub(pi))
 			r2 := d.Norm2()
 			if r2 >= c2 || r2 == 0 {
 				continue
 			}
-			k := ei*lj.nelem + int(s.Elem[j])
-			sr2 := lj.sigma2[k] / r2
+			k := ei*lj.nelem + int(elem[jj])
+			if uint(k) >= uint(m) {
+				continue // element id outside the pair table
+			}
+			sr2 := sig2[k] / r2
 			sr6 := sr2 * sr2 * sr2
 			sr12 := sr6 * sr6
-			eps := lj.eps[k]
-			pe += 0.5 * (4*eps*(sr12-sr6) - lj.shift[k])
+			eps := epsT[k]
+			pe += 0.5 * (4*eps*(sr12-sr6) - shiftT[k])
 			fs := 24 * eps * (2*sr12 - sr6) / r2
 			fi = fi.AddScaled(-fs, d)
 		}

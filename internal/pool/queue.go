@@ -46,6 +46,8 @@ func NewQueue() *Queue {
 // TryTake) go through it: maintenance and monitoring paths (Close, Len) use
 // the mutex directly so that polling the queue does not pollute the §II-B
 // contention counter it is trying to observe.
+//
+//mw:coldcall
 func (q *Queue) lock() {
 	if !q.mu.TryLock() {
 		q.contended.Add(1)

@@ -124,7 +124,11 @@ type Event struct {
 // readers see a consistent (if slightly stale) recent-event window without
 // any lock and without perturbing the producer.
 type ring struct {
-	mask  uint64
+	mask uint64
+	// head is the single-producer write cursor; only push advances it, and
+	// atomiccheck enforces that no other function ever will.
+	//
+	//mw:ring(writer=push)
 	head  atomic.Uint64
 	slots []atomic.Uint64
 }
@@ -243,6 +247,7 @@ func (r *Recorder) PhaseNames() []string { return r.phases }
 //mw:hotpath
 func (r *Recorder) nowUS() int64 { return int64(time.Since(r.start) / time.Microsecond) }
 
+//mw:hotpath
 func (r *Recorder) coord() *shard { return &r.shards[len(r.shards)-1] }
 
 // PhaseBegin implements Sink: one event in the coordinator ring, and a

@@ -116,9 +116,13 @@ type affShard struct {
 	chunks     atomic.Int64 // chunk events seen (probe trigger counter)
 	samples    atomic.Int64
 	migrations atomic.Int64
-	lastCPU    atomic.Int32
-	perCPU     []atomic.Int64
-	_          [24]byte
+	// lastCPU is each worker's private migration cursor: initialized to -1 in
+	// New, then advanced only by that worker's own sampleAffinity probes.
+	//
+	//mw:ring(writer=New,sampleAffinity)
+	lastCPU atomic.Int32
+	perCPU  []atomic.Int64
+	_       [24]byte
 }
 
 // Tracer implements telemetry.Sink over an inner Recorder and assembles the
@@ -254,6 +258,8 @@ func (t *Tracer) Chunk(worker int, phase uint8) {
 // sampleAffinity records which CPU the calling worker goroutine is on right
 // now — the engine-native analogue of the paper's §IV-C thread-to-core
 // affinity trace. Runs on the worker, 1-in-K chunks, one getcpu syscall.
+//
+//mw:coldcall
 func (t *Tracer) sampleAffinity(a *affShard) {
 	cpu := currentCPU()
 	if cpu < 0 {

@@ -23,12 +23,18 @@ func New(x, y, z float64) Vec3 { return Vec3{x, y, z} }
 var Zero = Vec3{}
 
 // Add returns v + w.
+//
+//mw:hotpath
 func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
 
 // Sub returns v - w.
+//
+//mw:hotpath
 func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
 
 // Scale returns s*v.
+//
+//mw:hotpath
 func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
 
 // Neg returns -v.
@@ -38,14 +44,20 @@ func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
 func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
 
 // AddScaled returns v + s*w, the fused update used by integrators.
+//
+//mw:hotpath
 func (v Vec3) AddScaled(s float64, w Vec3) Vec3 {
 	return Vec3{v.X + s*w.X, v.Y + s*w.Y, v.Z + s*w.Z}
 }
 
 // Dot returns the inner product of v and w.
+//
+//mw:hotpath
 func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
 
 // Cross returns the cross product v × w.
+//
+//mw:hotpath
 func (v Vec3) Cross(w Vec3) Vec3 {
 	return Vec3{
 		v.Y*w.Z - v.Z*w.Y,
@@ -55,9 +67,13 @@ func (v Vec3) Cross(w Vec3) Vec3 {
 }
 
 // Norm2 returns |v|².
+//
+//mw:hotpath
 func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
 
 // Norm returns |v|.
+//
+//mw:hotpath
 func (v Vec3) Norm() float64 { return math.Sqrt(v.Norm2()) }
 
 // Dist returns |v - w|.
