@@ -73,6 +73,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzSessionPath -fuzztime=30s ./internal/serve
 	$(GO) test -run '^$$' -fuzz=FuzzStepParams -fuzztime=30s ./internal/serve
 	$(GO) test -run '^$$' -fuzz=FuzzCreateModel -fuzztime=30s ./internal/serve
+	$(GO) test -run '^$$' -fuzz=FuzzClusterList -fuzztime=30s ./internal/cells
 
 # Service smoke: boot a real mwserved daemon, drive it with a short mwload
 # sweep (including an oversubscription burst), and fail unless mwload's
@@ -89,15 +90,16 @@ serve-smoke:
 # Benchmark-regression harness (§V-A gate): measures the LJ kernels, whole
 # engine steps, per-phase latency percentiles and the mwserved tail-latency
 # sweep into the next free BENCH_<n>.json. Compare against the committed
-# baseline with `make benchdiff NEW=BENCH_2.json [TOL=0.15]`.
+# baseline with `make benchdiff NEW=BENCH_3.json [TOL=0.15]`.
 bench-json:
 	$(GO) run ./cmd/mwbench bench-json
 
-# BENCH_1.json is the first baseline with serve/* rows (BENCH_0 predates
-# the service and stays as the kernel-history record).
+# BENCH_2.json is the baseline with the cluster-pair rung (kernel/lj-cluster-*
+# rows, step/*/cluster, and the cluster phase section); BENCH_1 was the first
+# with serve/* rows, and BENCH_0 predates the service (kernel-history record).
 TOL ?= 0.15
 benchdiff:
-	$(GO) run ./cmd/mwbench benchdiff -base BENCH_1.json -new $(NEW) -tol $(TOL)
+	$(GO) run ./cmd/mwbench benchdiff -base BENCH_2.json -new $(NEW) -tol $(TOL)
 
 # The full correctness gate — what CI runs. See README.md §Verification.
 verify: lint build test race race-bench telemetry-overhead trace-smoke serve-smoke

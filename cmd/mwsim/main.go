@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		partition = fs.String("partition", "cyclic", "work partition: cyclic, block, guided, dynamic")
 		queues    = fs.String("queues", "shared", "queue topology: shared, per-worker, stealing")
 		reorder   = fs.Bool("reorder", false, "sort atoms into Morton cell order on neighbor-list rebuilds (output stays in file order)")
+		cluster   = fs.Bool("cluster", false, "Verlet cluster-pair (4x4) LJ neighbor format; with -reorder the engine auto-picks the fast or packed-SIMD kernel")
 		halflist  = fs.Bool("halflist", true, "Newton-3 half neighbor lists (false = full lists, no mirrored force writes)")
 		n         = fs.Int("n", 5, "lattice size for -bench lj-gas (n³ atoms)")
 		temp      = fs.Float64("temp", 120, "temperature for -bench lj-gas (K)")
@@ -86,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := b.Cfg
 	cfg.Threads = *threads
 	cfg.Reorder = *reorder
+	cfg.Cluster = *cluster
 	if !*halflist {
 		cfg.PairLists = core.FullLists
 	}

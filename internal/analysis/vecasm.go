@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -68,6 +69,26 @@ func DefaultVecasmGate(moduleRoot string) *VecasmGate {
 				Match:     regexp.MustCompile(`forces\.\(\*LJ\)\.AccumulateRange`),
 				MinScalar: 8,
 				MinPacked: 1,
+				NoRTLoop:  true,
+			},
+			// The cluster-pair ladder: the Go kernels share the half-list
+			// scalar/packed profile; the hand-written packed kernel must stay
+			// genuinely packed (its 4-lane row body plus the i-force
+			// horizontal sums) and call-free.
+			{
+				Match:     regexp.MustCompile(`forces\.\(\*LJ\)\.AccumulateClusterList$`),
+				MinScalar: 8,
+				MinPacked: 1,
+				NoRTLoop:  true,
+			},
+			{
+				Match:     regexp.MustCompile(`forces\.\(\*LJ\)\.AccumulateClusterListFast`),
+				MinScalar: 8,
+				NoRTLoop:  true,
+			},
+			{
+				Match:     regexp.MustCompile(`forces\.ljClusterAVX2`),
+				MinPacked: 40,
 				NoRTLoop:  true,
 			},
 		},
@@ -180,6 +201,92 @@ func ParseVecasm(out string, ix *HotIndex) []*AsmFunc {
 	return funcs
 }
 
+var asmTextRE = regexp.MustCompile(`^TEXT\s+·([A-Za-z_][A-Za-z0-9_]*)\(SB\)`)
+
+// ParseAsmSources censuses hand-written Plan 9 assembly: every *_amd64.s
+// file under the gated package directories contributes one AsmFunc per
+// `TEXT ·name(SB)` block, classified with the same instruction regexes as
+// the compiler listing. The compiler's -S output is empty for a body-less
+// Go stub, so without this pass a hand-written kernel would be invisible to
+// the gate — its packed-FP floor and the no-CALL invariant could silently
+// rot. Macro bodies (`\`-continued #define lines) are counted once at their
+// definition; the census is a static property of the source, not a dynamic
+// instruction count.
+func ParseAsmSources(moduleRoot string, patterns []string) ([]*AsmFunc, error) {
+	mod, err := modulePath(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	var funcs []*AsmFunc
+	for _, pat := range patterns {
+		rel := strings.TrimPrefix(pat, "./")
+		files, err := filepath.Glob(filepath.Join(moduleRoot, rel, "*_amd64.s"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(files)
+		for _, path := range files {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			data := string(raw)
+			var cur *AsmFunc
+			for ln, line := range strings.Split(data, "\n") {
+				line = strings.TrimSuffix(strings.TrimSpace(line), "\\")
+				line = strings.TrimSpace(line)
+				if m := asmTextRE.FindStringSubmatch(line); m != nil {
+					cur = &AsmFunc{
+						Sym:  mod + "/" + rel + "." + m[1],
+						File: path,
+						Line: ln + 1,
+					}
+					funcs = append(funcs, cur)
+					continue
+				}
+				if cur == nil || line == "" || strings.HasPrefix(line, "//") ||
+					strings.HasPrefix(line, "#") || strings.HasPrefix(line, "DATA") ||
+					strings.HasPrefix(line, "GLOBL") {
+					continue
+				}
+				op := line
+				if i := strings.IndexAny(op, " \t"); i >= 0 {
+					op = op[:i]
+				}
+				switch {
+				case op == "CALL":
+					// Any call inside a hand-written kernel is a hot-loop
+					// call: these functions exist only as kernel bodies.
+					cur.Mix.Call++
+					cur.Mix.RTLoop++
+					cur.RTLoop = append(cur.RTLoop, RuntimeCall{Target: line, File: path, Line: ln + 1})
+				case fmaRE.MatchString(op):
+					cur.Mix.FMA++
+				case scalarFPRE.MatchString(op):
+					cur.Mix.Scalar++
+				case packedRE.MatchString(op):
+					cur.Mix.Packed++
+				}
+			}
+		}
+	}
+	return funcs, nil
+}
+
+// modulePath reads the module directive from moduleRoot's go.mod.
+func modulePath(moduleRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", moduleRoot)
+}
+
 // inHotLoop reports whether a source position is hot-loop code: inside a
 // loop of an annotated function, or anywhere inside a loop-free annotated
 // function (leaf helpers like RangeList.Of or Vec3 arithmetic exist only to
@@ -231,7 +338,16 @@ func (g *VecasmGate) Check(update bool) (*VecasmReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &VecasmReport{Funcs: ParseVecasm(out, ix)}
+	funcs := ParseVecasm(out, ix)
+	// Hand-written kernels never appear in the compiler listing (their Go
+	// stubs are body-less); census their .s sources into the same report.
+	asmFuncs, err := ParseAsmSources(g.ModuleRoot, g.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	funcs = append(funcs, asmFuncs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Sym < funcs[j].Sym })
+	rep := &VecasmReport{Funcs: funcs}
 
 	// Hard kernel invariants first: independent of the baseline.
 	for _, f := range rep.Funcs {

@@ -199,11 +199,16 @@ func mortonOrder(g *cells.Grid, s *atom.System) []int32 {
 	return order
 }
 
-// kernelSetup holds one prepared Al-1000 instance for kernel benchmarks.
+// kernelSetup holds one prepared Al-1000 instance for kernel benchmarks:
+// the classic half range list plus the Verlet cluster-pair state (list,
+// packed SoA coordinates, SIMD scratch) over the same atoms.
 type kernelSetup struct {
 	sys *atom.System
 	lj  *forces.LJ
 	rl  cells.RangeList
+	cl  cells.ClusterList
+	cc  cells.ClusterCoords
+	scr forces.ClusterScratch
 	f   []vec.Vec3
 }
 
@@ -226,6 +231,8 @@ func newKernelSetup(morton bool) (*kernelSetup, error) {
 		f:   make([]vec.Vec3, sys.N()),
 	}
 	g.BuildRange(sys, rng, 0, sys.N(), &ks.rl)
+	g.BuildClusterRange(sys, rng, 0, sys.N(), &ks.cl)
+	ks.cc.Pack(sys)
 	return ks, nil
 }
 
@@ -266,7 +273,20 @@ func Run(opts Options) (*Report, error) {
 		measure("kernel/lj-fulllist-noexcl/morton-order", opts.BenchTime, func() {
 			sorted.lj.AccumulateRangeListFullNoExcl(sorted.sys, &sorted.rl, sorted.f)
 		}),
+		measure("kernel/lj-cluster-ref/morton-order", opts.BenchTime, func() {
+			sorted.lj.AccumulateClusterList(sorted.sys, &sorted.cl, sorted.f)
+		}),
+		measure("kernel/lj-cluster-fast/morton-order", opts.BenchTime, func() {
+			sorted.lj.AccumulateClusterListFast(sorted.sys, &sorted.cl, sorted.f)
+		}),
 	)
+	if forces.HaveClusterSIMD && !sorted.sys.Box.Periodic {
+		rep.Benchmarks = append(rep.Benchmarks,
+			measure("kernel/lj-cluster-simd/morton-order", opts.BenchTime, func() {
+				sorted.lj.AccumulateClusterListSIMD(sorted.sys, &sorted.cc, &sorted.cl, &sorted.scr, sorted.f)
+			}),
+		)
+	}
 	// Headline §V-A ratio: the seed kernel over the kernel the engine
 	// actually runs on Al-1000 with the hot path on.
 	rep.KernelSpeedup = rep.Benchmarks[0].NsPerOp / rep.Benchmarks[3].NsPerOp
@@ -283,6 +303,11 @@ func Run(opts Options) (*Report, error) {
 				c.Reorder = true
 				c.Partition = core.PartitionGuided
 			}},
+			{"cluster", func(c *core.Config) {
+				c.Reorder = true
+				c.Partition = core.PartitionGuided
+				c.Cluster = true
+			}},
 		} {
 			cfg := wl.Cfg
 			mode.mut(&cfg)
@@ -296,17 +321,20 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
-	// Phase percentiles from the telemetry histograms, seed vs cell-ordered.
+	// Phase percentiles from the telemetry histograms: seed, cell-ordered,
+	// and the cluster rung layered on top of it.
 	for _, mode := range []struct {
 		name    string
 		reorder bool
-	}{{"seed", false}, {"cell-ordered", true}} {
+		cluster bool
+	}{{"seed", false, false}, {"cell-ordered", true, false}, {"cluster", true, true}} {
 		wl := workload.Al1000()
 		cfg := wl.Cfg
 		if mode.reorder {
 			cfg.Reorder = true
 			cfg.Partition = core.PartitionGuided
 		}
+		cfg.Cluster = mode.cluster
 		rec := telemetry.NewRecorder(cfg.Threads, core.PhaseNames())
 		cfg.Telemetry = rec
 		sim, err := core.New(wl.Sys.Clone(), cfg)

@@ -30,9 +30,11 @@ func TestRunReportStructure(t *testing.T) {
 		"kernel/lj-halflist-noexcl/morton-order",
 		"kernel/lj-halflist-fast/morton-order",
 		"kernel/lj-fulllist-noexcl/morton-order",
-		"step/salt/seed", "step/salt/cell-ordered",
-		"step/Al-1000/seed", "step/Al-1000/cell-ordered",
-		"step/nanocar/seed", "step/nanocar/cell-ordered",
+		"kernel/lj-cluster-ref/morton-order",
+		"kernel/lj-cluster-fast/morton-order",
+		"step/salt/seed", "step/salt/cell-ordered", "step/salt/cluster",
+		"step/Al-1000/seed", "step/Al-1000/cell-ordered", "step/Al-1000/cluster",
+		"step/nanocar/seed", "step/nanocar/cell-ordered", "step/nanocar/cluster",
 		"serve/lj-gas/c2/step", "serve/lj-gas/c2/step-p99",
 	}
 	byName := map[string]Result{}
@@ -52,7 +54,7 @@ func TestRunReportStructure(t *testing.T) {
 	// The acceptance criterion behind the whole harness: the LJ kernels are
 	// allocation-free. (testing.AllocsPerRun-style measurement; an allocation
 	// here is a hot-loop escape, not noise.)
-	for _, name := range want[:5] {
+	for _, name := range want[:7] {
 		if a := byName[name].AllocsPerOp; a >= 0.5 {
 			t.Errorf("%s: %g allocs/op in a kernel, want 0", name, a)
 		}
@@ -60,8 +62,8 @@ func TestRunReportStructure(t *testing.T) {
 	if rep.KernelSpeedup <= 0 {
 		t.Errorf("kernel speedup %g, want positive", rep.KernelSpeedup)
 	}
-	if len(rep.Phases) != 2 {
-		t.Fatalf("got %d phase sections, want 2 (seed, cell-ordered)", len(rep.Phases))
+	if len(rep.Phases) != 3 {
+		t.Fatalf("got %d phase sections, want 3 (seed, cell-ordered, cluster)", len(rep.Phases))
 	}
 	for _, wp := range rep.Phases {
 		if len(wp.Phases) == 0 {

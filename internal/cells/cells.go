@@ -241,13 +241,21 @@ func (nl *NeighborList) Build(s *atom.System) {
 
 // Valid reports whether the list still covers all pairs within the cutoff:
 // no atom may have moved farther than skin/2 from its build-time position.
+// It runs serially on the coordinator every step, so the loop hoists the
+// box and reslices refPos against s.Pos to stay free of per-iteration
+// bounds checks (`mwlint -bce`).
+//
+//mw:hotpath
 func (nl *NeighborList) Valid(s *atom.System) bool {
-	if len(nl.refPos) != s.N() || nl.Offsets == nil {
+	pos := s.Pos
+	if len(nl.refPos) != len(pos) || nl.Offsets == nil {
 		return false
 	}
+	ref := nl.refPos[:len(pos)]
+	box := s.Box
 	limit2 := nl.Skin * nl.Skin / 4
-	for i, p := range s.Pos {
-		if s.Box.MinImage(p.Sub(nl.refPos[i])).Norm2() > limit2 {
+	for i, p := range pos {
+		if box.MinImage(p.Sub(ref[i])).Norm2() > limit2 {
 			return false
 		}
 	}

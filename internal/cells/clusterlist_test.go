@@ -1,0 +1,236 @@
+package cells
+
+import (
+	"math/rand"
+	"testing"
+
+	"mw/internal/atom"
+	"mw/internal/vec"
+)
+
+// clusterTestSystem scatters n atoms of alternating elements (every 7th
+// fixed) in an l³ box.
+func clusterTestSystem(n int, l float64, periodic bool, seed int64) *atom.System {
+	s := atom.NewSystem(atom.CubicBox(l, periodic))
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := vec.New(r.Float64()*l, r.Float64()*l, r.Float64()*l)
+		elem := int16(atom.Ar)
+		if i%3 == 0 {
+			elem = int16(atom.Na)
+		}
+		s.AddAtom(elem, p, vec.Zero, 0, i%7 == 0)
+	}
+	return s
+}
+
+// pairKey packs an (i, j) half pair for set membership.
+func pairKey(i, j int32) int64 { return int64(i)<<32 | int64(j) }
+
+// clusterPairs expands a list's masks into the covered (i, j) half pairs,
+// failing on duplicates or pairs violating j > i.
+func clusterPairs(t *testing.T, cl *ClusterList) map[int64]int {
+	t.Helper()
+	got := map[int64]int{}
+	for ci := cl.CiLo; ci < cl.CiHi; ci++ {
+		seen := map[int32]bool{}
+		for _, e := range cl.EntriesOf(ci) {
+			if seen[e.CJ] {
+				t.Fatalf("cluster %d: duplicate entry for cj=%d", ci, e.CJ)
+			}
+			seen[e.CJ] = true
+			if int(e.CJ) < ci {
+				t.Fatalf("cluster %d: entry cj=%d < ci", ci, e.CJ)
+			}
+			for a := 0; a < ClusterSize; a++ {
+				for b := 0; b < ClusterSize; b++ {
+					if e.Mask&(1<<uint(a*ClusterSize+b)) == 0 {
+						continue
+					}
+					i := int32(ci*ClusterSize + a)
+					j := e.CJ*ClusterSize + int32(b)
+					if j <= i {
+						t.Fatalf("masked pair (%d,%d) violates j > i", i, j)
+					}
+					got[pairKey(i, j)]++
+				}
+			}
+		}
+	}
+	for k, c := range got {
+		if c != 1 {
+			t.Fatalf("pair (%d,%d) covered %d times", k>>32, int32(k), c)
+		}
+	}
+	return got
+}
+
+// expectedPairs filters the brute-force half list the way the builder must:
+// drop excluded and fixed-fixed pairs.
+func expectedPairs(s *atom.System, rng float64) map[int64]bool {
+	want := map[int64]bool{}
+	for _, p := range BruteForcePairs(s, rng) {
+		i, j := p[0], p[1]
+		if s.Fixed[i] && s.Fixed[j] {
+			continue
+		}
+		if s.Excl.Excluded(i, j) {
+			continue
+		}
+		want[pairKey(i, j)] = true
+	}
+	return want
+}
+
+func TestBuildClusterRangeCoversBruteForce(t *testing.T) {
+	const rng = 3.0
+	for _, periodic := range []bool{false, true} {
+		s := clusterTestSystem(153, 12, periodic, 42)
+		// A little topology so exclusions are exercised.
+		s.Bonds = append(s.Bonds, atom.Bond{I: 0, J: 1}, atom.Bond{I: 10, J: 11})
+		s.BuildExclusions()
+		g := NewGrid(s.Box, rng)
+		g.Assign(s)
+		var cl ClusterList
+		g.BuildClusterRange(s, rng, 0, s.N(), &cl)
+
+		got := clusterPairs(t, &cl)
+		want := expectedPairs(s, rng)
+		for k := range want {
+			if got[k] != 1 {
+				t.Errorf("periodic=%v: pair (%d,%d) not covered", periodic, k>>32, int32(k))
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				t.Errorf("periodic=%v: spurious pair (%d,%d)", periodic, k>>32, int32(k))
+			}
+		}
+	}
+}
+
+func TestBuildClusterRangeChunksPartition(t *testing.T) {
+	const rng = 3.0
+	s := clusterTestSystem(101, 10, false, 7)
+	g := NewGrid(s.Box, rng)
+	g.Assign(s)
+
+	var full ClusterList
+	g.BuildClusterRange(s, rng, 0, s.N(), &full)
+	fullPairs := clusterPairs(t, &full)
+
+	// Chunk cuts deliberately not cluster-aligned: boundary clusters appear
+	// in two lists and must split their masks disjointly.
+	cuts := []int{0, 37, 38, 70, s.N()}
+	union := map[int64]int{}
+	for c := 0; c+1 < len(cuts); c++ {
+		var cl ClusterList
+		g.BuildClusterRange(s, rng, cuts[c], cuts[c+1], &cl)
+		for k := range clusterPairs(t, &cl) {
+			union[k]++
+		}
+	}
+	if len(union) != len(fullPairs) {
+		t.Fatalf("chunked union has %d pairs, full list %d", len(union), len(fullPairs))
+	}
+	for k, c := range union {
+		if c != 1 {
+			t.Fatalf("pair (%d,%d) owned by %d chunks", k>>32, int32(k), c)
+		}
+		if fullPairs[k] != 1 {
+			t.Fatalf("chunked pair (%d,%d) missing from full list", k>>32, int32(k))
+		}
+	}
+}
+
+func TestBuildClusterRangeKField(t *testing.T) {
+	s := clusterTestSystem(60, 8, false, 3)
+	const rng = 4.0
+	g := NewGrid(s.Box, rng)
+	g.Assign(s)
+	var cl ClusterList
+	g.BuildClusterRange(s, rng, 0, s.N(), &cl)
+
+	nelem := len(s.Elements)
+	mixed := MixedK(nelem)
+	counted := 0
+	for ci := cl.CiLo; ci < cl.CiHi; ci++ {
+		for _, e := range cl.EntriesOf(ci) {
+			ks := map[uint16]bool{}
+			for a := 0; a < ClusterSize; a++ {
+				for b := 0; b < ClusterSize; b++ {
+					if e.Mask&(1<<uint(a*ClusterSize+b)) == 0 {
+						continue
+					}
+					i := ci*ClusterSize + a
+					j := int(e.CJ)*ClusterSize + b
+					ks[uint16(int(s.Elem[i])*nelem+int(s.Elem[j]))] = true
+				}
+			}
+			switch {
+			case len(ks) == 0:
+				t.Fatalf("cluster %d: entry cj=%d has empty mask", ci, e.CJ)
+			case len(ks) == 1:
+				for k := range ks {
+					if e.K != k {
+						t.Fatalf("uniform entry has K=%d want %d", e.K, k)
+					}
+				}
+			default:
+				if e.K != mixed {
+					t.Fatalf("mixed entry has K=%d want sentinel %d", e.K, mixed)
+				}
+				counted++
+			}
+		}
+	}
+	mixedWant := 0
+	for _, e := range cl.Entries {
+		if e.K == mixed {
+			mixedWant++
+		}
+	}
+	if cl.Mixed != mixedWant || counted != mixedWant {
+		t.Fatalf("Mixed=%d, recount=%d/%d", cl.Mixed, counted, mixedWant)
+	}
+}
+
+func TestBuildClusterRangeReuse(t *testing.T) {
+	const rng = 3.0
+	var cl ClusterList
+	// Rebuilding the same list across different systems must not leak state
+	// (the dedup stamps are reset each build).
+	for seed := int64(0); seed < 4; seed++ {
+		s := clusterTestSystem(90, 9, seed%2 == 0, seed)
+		g := NewGrid(s.Box, rng)
+		g.Assign(s)
+		g.BuildClusterRange(s, rng, 0, s.N(), &cl)
+		got := clusterPairs(t, &cl)
+		want := expectedPairs(s, rng)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d pairs, want %d", seed, len(got), len(want))
+		}
+		if cl.MaxCJ < cl.CiHi-1 || cl.MaxCJ >= (s.N()+ClusterSize-1)/ClusterSize {
+			t.Fatalf("seed %d: MaxCJ=%d outside [%d,%d)", seed, cl.MaxCJ, cl.CiHi-1, (s.N()+ClusterSize-1)/ClusterSize)
+		}
+	}
+}
+
+func TestClusterCoordsPack(t *testing.T) {
+	s := clusterTestSystem(10, 5, false, 1)
+	var cc ClusterCoords
+	cc.Pack(s)
+	if cc.NC != 3 {
+		t.Fatalf("NC=%d want 3", cc.NC)
+	}
+	for i := 0; i < s.N(); i++ {
+		if cc.X[i] != s.Pos[i].X || cc.Y[i] != s.Pos[i].Y || cc.Z[i] != s.Pos[i].Z {
+			t.Fatalf("lane %d mismatch", i)
+		}
+	}
+	for i := s.N(); i < cc.NC*ClusterSize; i++ {
+		if cc.X[i] != clusterPad {
+			t.Fatalf("padding lane %d = %g", i, cc.X[i])
+		}
+	}
+}

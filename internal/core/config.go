@@ -237,6 +237,16 @@ type Config struct {
 	// contiguous blocks of cells in decreasing batches (the hybrid
 	// cell-task scheme of Mangiardi & Meyer, arXiv:1611.00075).
 	Reorder bool
+	// Cluster selects the Verlet cluster-pair (MxN) neighbor format for the
+	// LJ cutoff loop: atoms grouped into clusters of cells.ClusterSize with
+	// per-cluster-pair interaction masks, the GROMACS-style layout that
+	// keeps SIMD lanes full under Al-1000's frequent rebuilds. On its own it
+	// runs the bitwise-deterministic reference cluster kernel; combined with
+	// the opt-in Reorder hot path the engine auto-picks the fast variant and,
+	// on capable amd64 hardware with a non-periodic box, the packed AVX2
+	// kernel. Requires half pair lists (the cluster masks encode Newton-3
+	// half-pair ownership).
+	Cluster bool
 	// Integrator selects the predictor-corrector scheme (default velocity
 	// Verlet).
 	Integrator IntegratorMode

@@ -282,9 +282,12 @@ func (sim *Simulation) rebuildPhase() {
 	rng := sim.Cfg.LJCutoff + sim.Cfg.Skin
 	sim.schedule(PhaseForce, sim.atomChunks.count, func(_, item int) {
 		lo, hi := sim.atomChunks.bounds(item)
-		if sim.Cfg.PairLists == FullLists {
+		switch {
+		case sim.Cfg.Cluster:
+			sim.grid.BuildClusterRange(sim.Sys, rng, lo, hi, &sim.clusterLists[item])
+		case sim.Cfg.PairLists == FullLists:
 			sim.grid.BuildRangeFull(sim.Sys, rng, lo, hi, &sim.ljLists[item])
-		} else {
+		default:
 			sim.grid.BuildRange(sim.Sys, rng, lo, hi, &sim.ljLists[item])
 		}
 	})
@@ -325,6 +328,12 @@ func (sim *Simulation) forcePhase() {
 		// first barrier).
 		sim.grid.Assign(s)
 	}
+	if sim.clCoords != nil {
+		// The packed kernel reads the padded SoA coordinate copy; positions
+		// move every step, so the repack rides every force phase (serial,
+		// O(N) with tiny constants, like Assign above).
+		sim.clCoords.Pack(s)
+	}
 	rng := sim.Cfg.LJCutoff + sim.Cfg.Skin
 	for w := range sim.peWorker {
 		sim.peWorker[w] = 0
@@ -351,7 +360,20 @@ func (sim *Simulation) forcePhase() {
 		case item < ljEnd:
 			lo, hi := sim.atomChunks.bounds(item)
 			rl := &sim.ljLists[item]
-			if sim.Cfg.PairLists == FullLists {
+			if sim.Cfg.Cluster {
+				cl := &sim.clusterLists[item]
+				if rebuild {
+					sim.grid.BuildClusterRange(s, rng, lo, hi, cl)
+				}
+				switch {
+				case sim.clusterSIMD:
+					pe = sim.lj.AccumulateClusterListSIMD(s, sim.clCoords, cl, &sim.clScratch[item], f)
+				case sim.clusterFast:
+					pe = sim.lj.AccumulateClusterListFast(s, cl, f)
+				default:
+					pe = sim.lj.AccumulateClusterList(s, cl, f)
+				}
+			} else if sim.Cfg.PairLists == FullLists {
 				if rebuild {
 					sim.grid.BuildRangeFull(s, rng, lo, hi, rl)
 				}

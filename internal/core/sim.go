@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/trace"
 	"sync"
 	"time"
@@ -37,6 +38,17 @@ type Simulation struct {
 	// atoms) so default-path golden trajectories never move.
 	noExcl bool
 	fastLJ bool
+
+	// Cluster-rung state (Cfg.Cluster): per-chunk cluster-pair lists, and —
+	// when the packed kernel is selected — the shared padded SoA coordinate
+	// copy (repacked serially every step) plus per-chunk SIMD force scratch.
+	// clusterFast/clusterSIMD mirror the fastLJ ladder: reference kernel by
+	// default, fast variants only on the opt-in reorder hot path.
+	clusterLists []cells.ClusterList
+	clCoords     *cells.ClusterCoords
+	clScratch    []forces.ClusterScratch
+	clusterFast  bool
+	clusterSIMD  bool
 
 	// Neighbor-list state: per-atom-chunk range lists plus the reference
 	// positions from the last rebuild (for the phase-2 validity check).
@@ -126,8 +138,14 @@ func New(sys *atom.System, cfg Config) (*Simulation, error) {
 		sys.BuildExclusions()
 	}
 	rng := cfg.LJCutoff + cfg.Skin
-	if sys.Box.L.MaxAbs() < rng && sys.Box.Periodic {
-		return nil, fmt.Errorf("core: periodic box smaller than interaction range %g", rng)
+	// The minimum-image convention needs *every* periodic edge to be at
+	// least the interaction range — a box thin in one dimension would pass a
+	// max-edge check and silently fold neighbors onto the wrong image.
+	if sys.Box.Periodic && sys.Box.L.MinAbs() < rng {
+		return nil, fmt.Errorf("core: periodic box edge smaller than interaction range %g", rng)
+	}
+	if cfg.Cluster && cfg.PairLists == FullLists {
+		return nil, fmt.Errorf("core: cluster pair format requires half pair lists")
 	}
 	sim := &Simulation{
 		Sys:     sys,
@@ -167,6 +185,17 @@ func New(sys *atom.System, cfg Config) (*Simulation, error) {
 	sim.torsChunks = newChunkSet(len(sys.Torsions), cfg.ChunkAtoms)
 	sim.morseChunks = newChunkSet(len(sys.Morses), cfg.ChunkAtoms)
 	sim.ljLists = make([]cells.RangeList, sim.atomChunks.count)
+	if cfg.Cluster {
+		sim.clusterLists = make([]cells.ClusterList, sim.atomChunks.count)
+		if cfg.Reorder {
+			sim.clusterSIMD = forces.HaveClusterSIMD && !sys.Box.Periodic
+			sim.clusterFast = !sim.clusterSIMD
+		}
+		if sim.clusterSIMD {
+			sim.clCoords = &cells.ClusterCoords{}
+			sim.clScratch = make([]forces.ClusterScratch, sim.atomChunks.count)
+		}
+	}
 	sim.refPos = make([]vec.Vec3, n)
 
 	sim.peWorker = make([]float64, w)
@@ -279,8 +308,16 @@ func (sim *Simulation) Run(n int) {
 }
 
 // RunFor advances the simulation by the given simulated duration in fs.
+// The step count rounds to the nearest integer when the division lands
+// within a relative tolerance of it: 10 fs at Dt=0.1 is 100 steps even
+// though 10.0/0.1 evaluates to 99.999… in floating point. Otherwise the
+// fractional tail is truncated as before (only whole steps run).
 func (sim *Simulation) RunFor(fs float64) {
-	steps := int(fs / sim.Cfg.Dt)
+	ratio := fs / sim.Cfg.Dt
+	steps := int(ratio)
+	if nearest := math.Round(ratio); nearest > 0 && math.Abs(ratio-nearest) <= 1e-9*nearest {
+		steps = int(nearest)
+	}
 	sim.Run(steps)
 }
 
@@ -322,9 +359,17 @@ func (sim *Simulation) Steals() []int64 {
 	return sim.stealing.Steals()
 }
 
-// LJPairs returns the number of stored LJ half pairs.
+// LJPairs returns the number of stored LJ half pairs. Under Cfg.Cluster the
+// pairs live in the cluster lists as mask bits rather than in ljLists, so
+// the count comes from there.
 func (sim *Simulation) LJPairs() int {
 	n := 0
+	if sim.Cfg.Cluster {
+		for i := range sim.clusterLists {
+			n += sim.clusterLists[i].Pairs()
+		}
+		return n
+	}
 	for i := range sim.ljLists {
 		n += sim.ljLists[i].Len()
 	}

@@ -34,6 +34,15 @@ type LJ struct {
 	sigma2 []float64 // σ², indexed [a*nelem+b]
 	eps    []float64 // ε
 	shift  []float64 // V_unshifted(cutoff)
+
+	// Cluster-kernel tables (lj_cluster.go). The A/B form of the potential
+	// — A = 4εσ¹², B = 4εσ⁶, u = 1/r⁶ — turns the pair energy into
+	// A·u² − B·u − shift and the force scale into (12A·u − 6B)·u/r²,
+	// replacing one of the two divisions of the σ²/r² form with FMA-friendly
+	// polynomial evaluation.
+	cA, cB     []float64 // A, B per pair index
+	cA12, cB6  []float64 // 12A, 6B per pair index
+	simdParams []float64 // (nelem²+1)×16 block of 4-lane broadcast rows
 }
 
 // NewLJ precomputes the pair table for the element set.
@@ -59,6 +68,32 @@ func NewLJ(elements []atom.Element, cutoff float64) *LJ {
 			sr2 := s2 / c2
 			sr6 := sr2 * sr2 * sr2
 			lj.shift[a*n+b] = 4 * eps * (sr6*sr6 - sr6)
+		}
+	}
+	// Cluster-kernel tables. The SIMD parameter block holds one 128-byte
+	// row per pair index k — four broadcast lanes each of 12A, −6B, B/2 and
+	// shift — plus an all-zero sentinel row at index nelem² for mixed-element
+	// entries: the vector kernel computes exact zeros for those and a scalar
+	// pass recomputes them (see AccumulateClusterListSIMD).
+	nn := n * n
+	lj.cA = make([]float64, nn)
+	lj.cB = make([]float64, nn)
+	lj.cA12 = make([]float64, nn)
+	lj.cB6 = make([]float64, nn)
+	lj.simdParams = make([]float64, (nn+1)*16)
+	for k := 0; k < nn; k++ {
+		s2 := lj.sigma2[k]
+		s6 := s2 * s2 * s2
+		a := 4 * lj.eps[k] * s6 * s6
+		b := 4 * lj.eps[k] * s6
+		lj.cA[k], lj.cB[k] = a, b
+		lj.cA12[k], lj.cB6[k] = 12*a, 6*b
+		row := lj.simdParams[k*16 : k*16+16]
+		for l := 0; l < 4; l++ {
+			row[l] = 12 * a
+			row[4+l] = -6 * b
+			row[8+l] = b / 2
+			row[12+l] = lj.shift[k]
 		}
 	}
 	return lj

@@ -1,0 +1,244 @@
+package forces
+
+import (
+	"math"
+	"math/bits"
+
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/vec"
+)
+
+// ClusterScratch is the per-chunk SoA force scratch of the packed cluster
+// kernel (AccumulateClusterListSIMD). Workers reuse it across steps; the
+// zero/fold cost is bounded by the chunk's dirty window [CiLo, MaxCJ].
+type ClusterScratch struct {
+	fx, fy, fz []float64
+}
+
+// AccumulateClusterList adds LJ forces for every masked pair of a cluster
+// list into f and returns their potential energy. This is the reference
+// cluster variant: the per-pair arithmetic is exactly the expression
+// sequence of AccumulateRange (min-image, σ²/r² powers, two divisions), so
+// any force difference against the half-list ladder comes from summation
+// order alone, and the bit-unpacking loop visits pairs in a fixed order, so
+// the result is bitwise-deterministic for a given list.
+//
+// Exclusions and fixed-fixed pairs are already masked out of the list at
+// build time (cells.BuildClusterRange); the only runtime pair checks are
+// the cutoff and the degenerate r² = 0 guard, same as the list kernels.
+//
+//mw:hotpath
+func (lj *LJ) AccumulateClusterList(s *atom.System, cl *cells.ClusterList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	box := s.Box
+	n := len(f)
+	pos, elem := s.Pos[:n], s.Elem[:n]
+	sig2 := lj.sigma2
+	m := len(sig2)
+	epsT, shiftT := lj.eps[:m], lj.shift[:m]
+	for ci := cl.CiLo; ci < cl.CiHi; ci++ {
+		i0 := ci * cells.ClusterSize
+		for _, e := range cl.EntriesOf(ci) {
+			j0 := int(e.CJ) * cells.ClusterSize
+			for mk := e.Mask; mk != 0; mk &= mk - 1 {
+				t := uint(bits.TrailingZeros16(mk))
+				i := i0 + int((t>>2)&3)
+				jj := j0 + int(t&3)
+				if uint(i) >= uint(n) || uint(jj) >= uint(n) {
+					continue // corrupt mask bit; valid lists never hit this
+				}
+				d := box.MinImage(pos[jj].Sub(pos[i]))
+				r2 := d.Norm2()
+				if r2 >= c2 || r2 == 0 {
+					continue
+				}
+				k := int(elem[i])*lj.nelem + int(elem[jj])
+				if uint(k) >= uint(m) {
+					continue // element id outside the pair table
+				}
+				sr2 := sig2[k] / r2
+				sr6 := sr2 * sr2 * sr2
+				sr12 := sr6 * sr6
+				eps := epsT[k]
+				pe += 4*eps*(sr12-sr6) - shiftT[k]
+				fs := 24 * eps * (2*sr12 - sr6) / r2
+				f[i] = f[i].AddScaled(-fs, d)
+				f[jj] = f[jj].AddScaled(fs, d)
+			}
+		}
+	}
+	return pe
+}
+
+// AccumulateClusterListFast is the opt-in fast cluster variant: A/B-form
+// algebra (one division per pair instead of two), FMA contractions, and
+// MxN-local accumulators that keep the four i-rows and four j-lanes of an
+// entry in registers. Results differ from the reference variant at the
+// rounding level (≲1e-13 relative), which is why the engine selects it only
+// under Cfg.Reorder — the same opt-in that admits AccumulateRangeListFast.
+//
+//mw:hotpath
+func (lj *LJ) AccumulateClusterListFast(s *atom.System, cl *cells.ClusterList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	periodic := s.Box.Periodic
+	lx, ly, lz := s.Box.L.X, s.Box.L.Y, s.Box.L.Z
+	n := len(f)
+	pos, elem := s.Pos[:n], s.Elem[:n]
+	aT := lj.cA
+	m := len(aT)
+	bT, a12T, b6T, shiftT := lj.cB[:m], lj.cA12[:m], lj.cB6[:m], lj.shift[:m]
+	nelem := lj.nelem
+	var xi, yi, zi, fix, fiy, fiz [cells.ClusterSize]float64
+	var fjx, fjy, fjz [cells.ClusterSize]float64
+	for ci := cl.CiLo; ci < cl.CiHi; ci++ {
+		i0 := ci * cells.ClusterSize
+		if uint(i0) >= uint(n) {
+			break
+		}
+		// Row slices give the bounds-check prover a local length to reason
+		// from: rows ≤ len(rowPos) and rows ≤ len(rowF) by construction, so
+		// the gather and the i write-back below are check-free.
+		rowPos, rowF := pos[i0:], f[i0:n]
+		rows := len(rowPos)
+		if rows > cells.ClusterSize {
+			rows = cells.ClusterSize
+		}
+		if rows > len(rowF) {
+			rows = len(rowF)
+		}
+		for a := 0; a < rows; a++ {
+			p := rowPos[a]
+			xi[a], yi[a], zi[a] = p.X, p.Y, p.Z
+			fix[a], fiy[a], fiz[a] = 0, 0, 0
+		}
+		for _, e := range cl.EntriesOf(ci) {
+			j0 := int(e.CJ) * cells.ClusterSize
+			fjx[0], fjx[1], fjx[2], fjx[3] = 0, 0, 0, 0
+			fjy[0], fjy[1], fjy[2], fjy[3] = 0, 0, 0, 0
+			fjz[0], fjz[1], fjz[2], fjz[3] = 0, 0, 0, 0
+			for mk := e.Mask; mk != 0; mk &= mk - 1 {
+				t := uint(bits.TrailingZeros16(mk))
+				a := (t >> 2) & 3
+				b := t & 3
+				jj := j0 + int(b)
+				if uint(jj) >= uint(n) {
+					continue
+				}
+				pj := pos[jj]
+				dx := pj.X - xi[a]
+				dy := pj.Y - yi[a]
+				dz := pj.Z - zi[a]
+				if periodic {
+					dx -= lx * math.Round(dx/lx)
+					dy -= ly * math.Round(dy/ly)
+					dz -= lz * math.Round(dz/lz)
+				}
+				r2 := math.FMA(dx, dx, math.FMA(dy, dy, dz*dz))
+				if r2 >= c2 || r2 == 0 {
+					continue
+				}
+				ii := i0 + int(a)
+				if uint(ii) >= uint(n) {
+					continue
+				}
+				k := int(elem[ii])*nelem + int(elem[jj])
+				if uint(k) >= uint(m) {
+					continue
+				}
+				inv := 1 / r2
+				u := inv * inv * inv
+				pe += math.FMA(u, math.FMA(aT[k], u, -bT[k]), -shiftT[k])
+				fs := math.FMA(a12T[k], u, -b6T[k]) * u * inv
+				fix[a] = math.FMA(-fs, dx, fix[a])
+				fiy[a] = math.FMA(-fs, dy, fiy[a])
+				fiz[a] = math.FMA(-fs, dz, fiz[a])
+				fjx[b] = math.FMA(fs, dx, fjx[b])
+				fjy[b] = math.FMA(fs, dy, fjy[b])
+				fjz[b] = math.FMA(fs, dz, fjz[b])
+			}
+			jhi := j0 + cells.ClusterSize
+			if jhi > n {
+				jhi = n
+			}
+			if j0 < 0 || j0 > jhi {
+				continue
+			}
+			fj := f[j0:jhi]
+			for b := range fj {
+				// b&3 indexes the length-4 lane arrays check-free.
+				fj[b].X += fjx[b&3]
+				fj[b].Y += fjy[b&3]
+				fj[b].Z += fjz[b&3]
+			}
+		}
+		for a := 0; a < rows; a++ {
+			rowF[a].X += fix[a]
+			rowF[a].Y += fiy[a]
+			rowF[a].Z += fiz[a]
+		}
+	}
+	return pe
+}
+
+// clusterMixedPass recomputes the pairs of mixed-element entries (K equal
+// to the sentinel cells.MixedK row) with the fast variant's scalar algebra,
+// adding straight into f. The SIMD kernel routes those entries through its
+// all-zero parameter row, so this pass is the only source of their
+// contribution.
+//
+//mw:hotpath
+func (lj *LJ) clusterMixedPass(s *atom.System, cl *cells.ClusterList, f []vec.Vec3) float64 {
+	var pe float64
+	c2 := lj.Cutoff * lj.Cutoff
+	n := len(f)
+	pos, elem := s.Pos[:n], s.Elem[:n]
+	aT := lj.cA
+	m := len(aT)
+	bT, a12T, b6T, shiftT := lj.cB[:m], lj.cA12[:m], lj.cB6[:m], lj.shift[:m]
+	nelem := lj.nelem
+	mixed := cells.MixedK(nelem)
+	for ci := cl.CiLo; ci < cl.CiHi; ci++ {
+		i0 := ci * cells.ClusterSize
+		for _, e := range cl.EntriesOf(ci) {
+			if e.K != mixed {
+				continue
+			}
+			j0 := int(e.CJ) * cells.ClusterSize
+			for mk := e.Mask; mk != 0; mk &= mk - 1 {
+				t := uint(bits.TrailingZeros16(mk))
+				ii := i0 + int((t>>2)&3)
+				jj := j0 + int(t&3)
+				if uint(ii) >= uint(n) || uint(jj) >= uint(n) {
+					continue
+				}
+				pj := pos[jj]
+				pi := pos[ii]
+				dx := pj.X - pi.X
+				dy := pj.Y - pi.Y
+				dz := pj.Z - pi.Z
+				r2 := math.FMA(dx, dx, math.FMA(dy, dy, dz*dz))
+				if r2 >= c2 || r2 == 0 {
+					continue
+				}
+				k := int(elem[ii])*nelem + int(elem[jj])
+				if uint(k) >= uint(m) {
+					continue
+				}
+				inv := 1 / r2
+				u := inv * inv * inv
+				pe += math.FMA(u, math.FMA(aT[k], u, -bT[k]), -shiftT[k])
+				fs := math.FMA(a12T[k], u, -b6T[k]) * u * inv
+				f[ii].X = math.FMA(-fs, dx, f[ii].X)
+				f[ii].Y = math.FMA(-fs, dy, f[ii].Y)
+				f[ii].Z = math.FMA(-fs, dz, f[ii].Z)
+				f[jj].X = math.FMA(fs, dx, f[jj].X)
+				f[jj].Y = math.FMA(fs, dy, f[jj].Y)
+				f[jj].Z = math.FMA(fs, dz, f[jj].Z)
+			}
+		}
+	}
+	return pe
+}

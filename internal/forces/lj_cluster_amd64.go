@@ -1,0 +1,129 @@
+//go:build amd64
+
+package forces
+
+import (
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/vec"
+)
+
+// clusterArgs is the argument block of ljClusterAVX2. The field offsets are
+// hard-coded in lj_cluster_amd64.s — keep the two in sync.
+type clusterArgs struct {
+	x, y, z    *float64
+	fx, fy, fz *float64
+	entries    *cells.ClusterEntry
+	offs       *int32
+	nc         int64
+	i0         int64 // byte offset of the first i row: CiLo*ClusterSize*8
+	c2         float64
+	params     *float64
+	w, s1, sh  [4]float64
+}
+
+// ljClusterAVX2 is the packed 4x4 cluster-pair kernel in
+// lj_cluster_amd64.s. The stub belongs to the hot-path closure even though
+// its body is assembly; the vecasm gate censuses the .s source directly.
+//
+//mw:hotpath
+//go:noescape
+func ljClusterAVX2(a *clusterArgs)
+
+// cpuid and xgetbv0 are tiny feature probes in lj_cluster_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// HaveClusterSIMD reports whether the packed cluster kernel can run on this
+// CPU: AVX2 and FMA present, and the OS saves ymm state. The build always
+// contains the kernel (plain `go build`, any GOAMD64 level); this flag is
+// what gates executing it.
+var HaveClusterSIMD = hasAVX2FMA()
+
+func hasAVX2FMA() bool {
+	const fma, osxsave, avx = 1 << 12, 1 << 27, 1 << 28
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	if c&fma == 0 || c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1..2: OS manages xmm+ymm state across context switches.
+	lo, _ := xgetbv0()
+	if lo&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// AccumulateClusterListSIMD runs the packed cluster kernel over a chunk's
+// cluster list, accumulating into f and returning the potential energy.
+// Preconditions (the engine enforces them when picking this rung):
+// HaveClusterSIMD, a non-periodic box, and cc packed for the current
+// positions. Mixed-element entries flow through the params sentinel row as
+// exact zeros and are recomputed by the scalar mixed pass.
+//
+// The per-chunk scratch exists because the kernel accumulates j forces with
+// unmasked 4-lane read-modify-writes: lanes outside the chunk's own atom
+// range receive zero contributions, but the writes still race with
+// neighboring chunks if aimed at the shared force array, so each worker
+// gets a private SoA window that is zeroed and folded back here.
+//
+//mw:hotpath
+func (lj *LJ) AccumulateClusterListSIMD(s *atom.System, cc *cells.ClusterCoords, cl *cells.ClusterList, scr *ClusterScratch, f []vec.Vec3) float64 {
+	nc := cl.CiHi - cl.CiLo
+	if nc <= 0 || len(cl.Entries) == 0 {
+		return 0
+	}
+	np := cc.NC * cells.ClusterSize
+	if cap(scr.fx) < np {
+		scr.fx = make([]float64, np)
+		scr.fy = make([]float64, np)
+		scr.fz = make([]float64, np)
+	}
+	fx, fy, fz := scr.fx[:np], scr.fy[:np], scr.fz[:np]
+	scr.fx, scr.fy, scr.fz = fx, fy, fz
+	winLo := cl.CiLo * cells.ClusterSize
+	winHi := (cl.MaxCJ + 1) * cells.ClusterSize
+	if winHi > np {
+		winHi = np
+	}
+	if winLo < 0 || winLo > winHi {
+		return 0
+	}
+	wx, wy, wz := fx[winLo:winHi], fy[winLo:winHi], fz[winLo:winHi]
+	for i := range wx {
+		wx[i], wy[i], wz[i] = 0, 0, 0
+	}
+
+	a := clusterArgs{
+		x: &cc.X[0], y: &cc.Y[0], z: &cc.Z[0],
+		fx: &fx[0], fy: &fy[0], fz: &fz[0],
+		entries: &cl.Entries[0], offs: &cl.Offsets[0],
+		nc: int64(nc), i0: int64(winLo * 8),
+		c2: lj.Cutoff * lj.Cutoff, params: &lj.simdParams[0],
+	}
+	ljClusterAVX2(&a)
+	pe := (a.w[0]+a.w[1]+a.w[2]+a.w[3])/12 -
+		(a.s1[0] + a.s1[1] + a.s1[2] + a.s1[3]) -
+		(a.sh[0] + a.sh[1] + a.sh[2] + a.sh[3])
+
+	hi := winHi
+	if hi > len(f) {
+		hi = len(f)
+	}
+	ff := f[winLo:hi]
+	ux, uy, uz := fx[winLo:hi], fy[winLo:hi], fz[winLo:hi]
+	for i := range ff {
+		ff[i].X += ux[i]
+		ff[i].Y += uy[i]
+		ff[i].Z += uz[i]
+	}
+	if cl.Mixed > 0 {
+		pe += lj.clusterMixedPass(s, cl, f)
+	}
+	return pe
+}

@@ -1,0 +1,327 @@
+#include "textflag.h"
+
+// 16 x 4-lane interaction masks: entry rm has lane b = all-ones iff bit b of rm.
+DATA masklut<>+0x000(SB)/8, $0x0000000000000000
+DATA masklut<>+0x008(SB)/8, $0x0000000000000000
+DATA masklut<>+0x010(SB)/8, $0x0000000000000000
+DATA masklut<>+0x018(SB)/8, $0x0000000000000000
+DATA masklut<>+0x020(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x028(SB)/8, $0x0000000000000000
+DATA masklut<>+0x030(SB)/8, $0x0000000000000000
+DATA masklut<>+0x038(SB)/8, $0x0000000000000000
+DATA masklut<>+0x040(SB)/8, $0x0000000000000000
+DATA masklut<>+0x048(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x050(SB)/8, $0x0000000000000000
+DATA masklut<>+0x058(SB)/8, $0x0000000000000000
+DATA masklut<>+0x060(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x068(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x070(SB)/8, $0x0000000000000000
+DATA masklut<>+0x078(SB)/8, $0x0000000000000000
+DATA masklut<>+0x080(SB)/8, $0x0000000000000000
+DATA masklut<>+0x088(SB)/8, $0x0000000000000000
+DATA masklut<>+0x090(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x098(SB)/8, $0x0000000000000000
+DATA masklut<>+0x0a0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0a8(SB)/8, $0x0000000000000000
+DATA masklut<>+0x0b0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0b8(SB)/8, $0x0000000000000000
+DATA masklut<>+0x0c0(SB)/8, $0x0000000000000000
+DATA masklut<>+0x0c8(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0d0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0d8(SB)/8, $0x0000000000000000
+DATA masklut<>+0x0e0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0e8(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0f0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x0f8(SB)/8, $0x0000000000000000
+DATA masklut<>+0x100(SB)/8, $0x0000000000000000
+DATA masklut<>+0x108(SB)/8, $0x0000000000000000
+DATA masklut<>+0x110(SB)/8, $0x0000000000000000
+DATA masklut<>+0x118(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x120(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x128(SB)/8, $0x0000000000000000
+DATA masklut<>+0x130(SB)/8, $0x0000000000000000
+DATA masklut<>+0x138(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x140(SB)/8, $0x0000000000000000
+DATA masklut<>+0x148(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x150(SB)/8, $0x0000000000000000
+DATA masklut<>+0x158(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x160(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x168(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x170(SB)/8, $0x0000000000000000
+DATA masklut<>+0x178(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x180(SB)/8, $0x0000000000000000
+DATA masklut<>+0x188(SB)/8, $0x0000000000000000
+DATA masklut<>+0x190(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x198(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1a0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1a8(SB)/8, $0x0000000000000000
+DATA masklut<>+0x1b0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1b8(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1c0(SB)/8, $0x0000000000000000
+DATA masklut<>+0x1c8(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1d0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1d8(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1e0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1e8(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1f0(SB)/8, $0xffffffffffffffff
+DATA masklut<>+0x1f8(SB)/8, $0xffffffffffffffff
+GLOBL masklut<>(SB), RODATA, $512
+
+DATA ones<>+0x00(SB)/8, $0x3ff0000000000000
+DATA ones<>+0x08(SB)/8, $0x3ff0000000000000
+DATA ones<>+0x10(SB)/8, $0x3ff0000000000000
+DATA ones<>+0x18(SB)/8, $0x3ff0000000000000
+GLOBL ones<>(SB), RODATA, $32
+
+// func ljClusterAVX2(a *clusterArgs)
+//
+// The 4x4 cluster-pair LJ kernel: for each i-cluster row a (broadcast) it
+// computes all four j-lane interactions of an entry at once, masks them by
+// the entry's interaction bits and the cutoff, and accumulates forces into
+// SoA scratch plus three 4-lane energy sums (W = Σ(12A·u−6B)·u,
+// S1 = Σ(B/2)·u, SH = Σshift) from which the wrapper assembles the
+// potential energy as W/12 − S1 − SH.
+//
+// Per-entry element-pair parameters come from a 128-byte row of the params
+// block selected by the entry's K field (bits 48..63 of the packed entry
+// word); mixed-element entries point at an all-zero sentinel row, so the
+// kernel contributes exact zeros and the Go wrapper's scalar pass supplies
+// those pairs.
+//
+// clusterArgs layout (offsets, see lj_cluster_amd64.go):
+//   0  x, 8 y, 16 z          *float64 packed SoA (padded, finite pad)
+//   24 fx, 32 fy, 40 fz      *float64 SoA force scratch (zeroed window)
+//   48 entries               *ClusterEntry (8-byte words: cj|mask<<32|k<<48)
+//   56 offs                  *int32   (nc+1 chunk-local entry offsets)
+//   64 nc                    int64    (chunk-local cluster count)
+//   72 i0                    int64    (CiLo*32: byte offset of first i row)
+//   80 c2                    float64
+//   88 params                *float64 (16 doubles per k: 12A,−6B,B/2,shift ×4)
+//   96 w, 128 s1, 160 sh     [4]float64 out
+//
+// frame: xi/yi/zi copies (96), i-acc 12 ymm (384), inv spill (32),
+//        offs cursor (8), offs end (8), entry hi (8), params base (8),
+//        entry param row (8)
+#define FR_XI 0
+#define FR_YI 32
+#define FR_ZI 64
+#define FR_FIX 96
+#define FR_FIY 224
+#define FR_FIZ 352
+#define FR_INV 480
+#define FR_OFFS 512
+#define FR_OEND 520
+#define FR_EHI 528
+#define FR_PBASE 536
+#define FR_PAR 544
+
+TEXT ·ljClusterAVX2(SB), NOSPLIT, $552-8
+	MOVQ a+0(FP), DI
+	MOVQ 0(DI), R8           // x
+	MOVQ 8(DI), R9           // y
+	MOVQ 16(DI), R10         // z
+	MOVQ 24(DI), R11         // fx
+	MOVQ 32(DI), R12         // fy
+	MOVQ 40(DI), R13         // fz
+	LEAQ masklut<>(SB), R14
+	VBROADCASTSD 80(DI), Y15 // c2
+	VMOVUPD ones<>(SB), Y12  // 1.0 lanes
+	VXORPS Y11, Y11, Y11     // S1 = Σ(B/2)·um
+	VXORPS Y10, Y10, Y10     // W  = Σ(12A·um−6B)·um
+	VXORPS Y9, Y9, Y9        // SH = Σ shift (masked)
+	MOVQ 88(DI), AX          // params base
+	MOVQ AX, FR_PBASE(SP)
+	MOVQ 56(DI), AX          // offs
+	MOVQ AX, FR_OFFS(SP)
+	MOVQ 64(DI), BX          // nc
+	LEAQ (AX)(BX*4), AX
+	MOVQ AX, FR_OEND(SP)
+	MOVQ 72(DI), R15         // i0*8 byte cursor into the SoA rows
+
+ciloop:
+	MOVQ FR_OFFS(SP), AX
+	CMPQ AX, FR_OEND(SP)
+	JAE done
+	// entry range [lo, hi)
+	MOVLQSX 0(AX), SI
+	MOVLQSX 4(AX), BX
+	ADDQ $4, AX
+	MOVQ AX, FR_OFFS(SP)
+	MOVQ 48(DI), AX          // entries base
+	LEAQ (AX)(BX*8), BX
+	MOVQ BX, FR_EHI(SP)
+	LEAQ (AX)(SI*8), SI      // entry cursor
+	// copy xi/yi/zi rows to the frame
+	VMOVUPD (R8)(R15*1), Y0
+	VMOVUPD Y0, FR_XI(SP)
+	VMOVUPD (R9)(R15*1), Y0
+	VMOVUPD Y0, FR_YI(SP)
+	VMOVUPD (R10)(R15*1), Y0
+	VMOVUPD Y0, FR_ZI(SP)
+	// zero the 12 i-acc slots
+	VXORPS Y0, Y0, Y0
+	VMOVUPD Y0, FR_FIX+0(SP)
+	VMOVUPD Y0, FR_FIX+32(SP)
+	VMOVUPD Y0, FR_FIX+64(SP)
+	VMOVUPD Y0, FR_FIX+96(SP)
+	VMOVUPD Y0, FR_FIY+0(SP)
+	VMOVUPD Y0, FR_FIY+32(SP)
+	VMOVUPD Y0, FR_FIY+64(SP)
+	VMOVUPD Y0, FR_FIY+96(SP)
+	VMOVUPD Y0, FR_FIZ+0(SP)
+	VMOVUPD Y0, FR_FIZ+32(SP)
+	VMOVUPD Y0, FR_FIZ+64(SP)
+	VMOVUPD Y0, FR_FIZ+96(SP)
+
+entryloop:
+	CMPQ SI, FR_EHI(SP)
+	JAE cidone
+	MOVQ (SI), CX            // packed entry: cj | mask<<32 | k<<48
+	ADDQ $8, SI
+	MOVL CX, DX              // cj (zero-extended)
+	SHLQ $2, DX              // j0 = cj*4
+	SHRQ $32, CX             // CX = mask | k<<16
+	MOVQ CX, BX
+	SHRQ $16, BX             // k
+	SHLQ $7, BX              // k*128
+	ADDQ FR_PBASE(SP), BX
+	MOVQ BX, FR_PAR(SP)      // this entry's parameter row
+	VXORPS Y0, Y0, Y0        // fjx
+	VXORPS Y1, Y1, Y1        // fjy
+	VXORPS Y2, Y2, Y2        // fjz
+	XORQ AX, AX              // row a = 0
+
+rowloop:
+	MOVQ CX, BX
+	ANDQ $15, BX
+	JZ rownext
+	SHLQ $5, BX              // rm*32 -> lut offset
+	// dx = xj - xi[a]
+	VBROADCASTSD FR_XI(SP)(AX*8), Y3
+	VMOVUPD (R8)(DX*8), Y6
+	VSUBPD Y3, Y6, Y3
+	VBROADCASTSD FR_YI(SP)(AX*8), Y4
+	VMOVUPD (R9)(DX*8), Y6
+	VSUBPD Y4, Y6, Y4
+	VBROADCASTSD FR_ZI(SP)(AX*8), Y5
+	VMOVUPD (R10)(DX*8), Y6
+	VSUBPD Y5, Y6, Y5
+	// r2
+	VMULPD Y3, Y3, Y6
+	VFMADD231PD Y4, Y4, Y6
+	VFMADD231PD Y5, Y5, Y6
+	// m = (r2 < c2) & (r2 != 0) & lanemask, kept live in Y13 through the
+	// fs computation: masked lanes may carry r2 == 0 (the self-cluster
+	// diagonal) whose inv is +Inf, and fs must be re-masked *bitwise* after
+	// the inv multiply — 0·Inf is NaN, but NaN & 0 is +0.
+	VCMPPD $1, Y15, Y6, Y7
+	VANDPD (R14)(BX*1), Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VCMPPD $4, Y8, Y6, Y8
+	VANDPD Y8, Y7, Y13
+	// inv = 1/r2 ; u = inv^3
+	VDIVPD Y6, Y12, Y6
+	VMOVUPD Y6, FR_INV(SP)
+	VMULPD Y6, Y6, Y6
+	VMULPD FR_INV(SP), Y6, Y6
+	// um = u & m
+	VANDPD Y6, Y13, Y8
+	// energy sums: SH += shift&m ; S1 += (B/2)*um
+	MOVQ FR_PAR(SP), BX
+	VANDPD 96(BX), Y13, Y6
+	VADDPD Y6, Y9, Y9
+	VFMADD231PD 64(BX), Y8, Y11
+	// w = (12A*um - 6B)*um ; W += w ; fs = (w*inv) & m
+	VMOVUPD 32(BX), Y7
+	VFMADD231PD 0(BX), Y8, Y7
+	VMULPD Y8, Y7, Y7
+	VADDPD Y7, Y10, Y10
+	VMULPD FR_INV(SP), Y7, Y7
+	VANDPD Y13, Y7, Y7
+	// j forces += fs*d
+	VFMADD231PD Y7, Y3, Y0
+	VFMADD231PD Y7, Y4, Y1
+	VFMADD231PD Y7, Y5, Y2
+	// i forces -= fs*d  (frame accumulators)
+	MOVQ AX, BX
+	SHLQ $5, BX
+	LEAQ FR_FIX(SP)(BX*1), BX
+	VMOVUPD (BX), Y8
+	VFNMADD231PD Y7, Y3, Y8
+	VMOVUPD Y8, (BX)
+	VMOVUPD 128(BX), Y8
+	VFNMADD231PD Y7, Y4, Y8
+	VMOVUPD Y8, 128(BX)
+	VMOVUPD 256(BX), Y8
+	VFNMADD231PD Y7, Y5, Y8
+	VMOVUPD Y8, 256(BX)
+
+rownext:
+	SHRQ $4, CX
+	INCQ AX
+	CMPQ AX, $4
+	JB rowloop
+
+	// fx[j0..j0+3] += fj
+	VMOVUPD (R11)(DX*8), Y3
+	VADDPD Y0, Y3, Y3
+	VMOVUPD Y3, (R11)(DX*8)
+	VMOVUPD (R12)(DX*8), Y3
+	VADDPD Y1, Y3, Y3
+	VMOVUPD Y3, (R12)(DX*8)
+	VMOVUPD (R13)(DX*8), Y3
+	VADDPD Y2, Y3, Y3
+	VMOVUPD Y3, (R13)(DX*8)
+	JMP entryloop
+
+cidone:
+	// horizontal-sum the 12 i-acc vectors into fx/fy/fz[i0+a]
+#define HSUM(off, dst, disp) \
+	VMOVUPD off(SP), Y3 \
+	VEXTRACTF128 $1, Y3, X4 \
+	VADDPD X4, X3, X3 \
+	VHADDPD X3, X3, X3 \
+	VADDSD disp(dst)(R15*1), X3, X3 \
+	VMOVSD X3, disp(dst)(R15*1)
+
+	HSUM(FR_FIX+0, R11, 0)
+	HSUM(FR_FIX+32, R11, 8)
+	HSUM(FR_FIX+64, R11, 16)
+	HSUM(FR_FIX+96, R11, 24)
+	HSUM(FR_FIY+0, R12, 0)
+	HSUM(FR_FIY+32, R12, 8)
+	HSUM(FR_FIY+64, R12, 16)
+	HSUM(FR_FIY+96, R12, 24)
+	HSUM(FR_FIZ+0, R13, 0)
+	HSUM(FR_FIZ+32, R13, 8)
+	HSUM(FR_FIZ+64, R13, 16)
+	HSUM(FR_FIZ+96, R13, 24)
+
+	ADDQ $32, R15
+	JMP ciloop
+
+done:
+	VMOVUPD Y10, 96(DI)      // W
+	VMOVUPD Y11, 128(DI)     // S1
+	VMOVUPD Y9, 160(DI)      // SH
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

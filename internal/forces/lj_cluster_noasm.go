@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package forces
+
+import (
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/vec"
+)
+
+// HaveClusterSIMD is false off amd64: there is no packed cluster kernel, so
+// the engine's cluster rung tops out at AccumulateClusterListFast.
+const HaveClusterSIMD = false
+
+// AccumulateClusterListSIMD falls back to the fast scalar cluster variant
+// on platforms without the packed kernel, keeping call sites portable.
+func (lj *LJ) AccumulateClusterListSIMD(s *atom.System, cc *cells.ClusterCoords, cl *cells.ClusterList, scr *ClusterScratch, f []vec.Vec3) float64 {
+	_, _ = cc, scr
+	return lj.AccumulateClusterListFast(s, cl, f)
+}

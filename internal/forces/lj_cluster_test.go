@@ -1,0 +1,271 @@
+package forces_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mw/internal/atom"
+	"mw/internal/cells"
+	"mw/internal/forces"
+	"mw/internal/vec"
+	"mw/internal/workload"
+)
+
+// clusterFixture builds a full-range cluster list plus the half-list
+// RangeList reference over the same grid.
+type clusterFixture struct {
+	s   *atom.System
+	lj  *forces.LJ
+	cl  cells.ClusterList
+	rl  cells.RangeList
+	cc  cells.ClusterCoords
+	rng float64
+}
+
+func newClusterFixture(t *testing.T, s *atom.System, cutoff, skin float64) *clusterFixture {
+	t.Helper()
+	fx := &clusterFixture{s: s, rng: cutoff + skin}
+	fx.lj = forces.NewLJ(s.Elements, cutoff)
+	g := cells.NewGrid(s.Box, fx.rng)
+	g.Assign(s)
+	g.BuildClusterRange(s, fx.rng, 0, s.N(), &fx.cl)
+	g.BuildRange(s, fx.rng, 0, s.N(), &fx.rl)
+	fx.cc.Pack(s)
+	return fx
+}
+
+// maxForceDev returns the worst component-wise deviation, treating any
+// non-finite value as infinitely bad: a NaN-poisoned force array must fail
+// the comparison, not sail through because NaN compares false.
+func maxForceDev(a, b []vec.Vec3) float64 {
+	var worst float64
+	for i := range a {
+		if !a[i].IsFinite() || !b[i].IsFinite() {
+			return math.Inf(1)
+		}
+		if d := a[i].Sub(b[i]).MaxAbs(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func relDev(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return math.Inf(1)
+	}
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+func clusterWorkloads(t *testing.T) map[string]*atom.System {
+	t.Helper()
+	reorder := func(b *workload.Benchmark) *atom.System {
+		// Morton-order like the engine does under Reorder, so cluster
+		// occupancy resembles production.
+		g := cells.NewGrid(b.Sys.Box, b.Cfg.LJCutoff+b.Cfg.Skin)
+		ranks := g.MortonRanks()
+		s := b.Sys
+		order := make([]int32, s.N())
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return ranks[g.CellIndexOf(s.Pos[order[a]])] < ranks[g.CellIndexOf(s.Pos[order[b]])]
+		})
+		var r atom.Reorderer
+		if err := r.Apply(s, order); err != nil {
+			t.Fatalf("reorder: %v", err)
+		}
+		return s
+	}
+	return map[string]*atom.System{
+		"al1000":        workload.Al1000().Sys,
+		"al1000-morton": reorder(workload.Al1000()),
+		"salt":          workload.Salt().Sys,
+		"nanocar":       workload.Nanocar().Sys,
+		"ljgas-pbc":     workload.LJGas(4, 120, true).Sys,
+	}
+}
+
+// TestClusterReferenceMatchesHalfList is the cluster-vs-half-list
+// differential: the reference cluster kernel repeats the half-list kernel's
+// per-pair arithmetic, so forces agree to summation-order noise (≤1e-12)
+// on every workload family, including multi-element and periodic ones.
+func TestClusterReferenceMatchesHalfList(t *testing.T) {
+	for name, s := range clusterWorkloads(t) {
+		fx := newClusterFixture(t, s, 8, 0.8)
+		n := s.N()
+		fRef := make([]vec.Vec3, n)
+		fCl := make([]vec.Vec3, n)
+		peRef := fx.lj.AccumulateRangeList(s, &fx.rl, fRef)
+		peCl := fx.lj.AccumulateClusterList(s, &fx.cl, fCl)
+		if d := maxForceDev(fRef, fCl); d > 1e-12 {
+			t.Errorf("%s: max force deviation %.3e > 1e-12", name, d)
+		}
+		if d := relDev(peRef, peCl); d > 1e-12 {
+			t.Errorf("%s: pe deviation %.3e (ref %.12g cluster %.12g)", name, d, peRef, peCl)
+		}
+	}
+}
+
+// TestClusterReferenceBitwiseDeterministic: same list, same bits — the
+// reference variant's fixed mask-unpacking order makes reruns exact.
+func TestClusterReferenceBitwiseDeterministic(t *testing.T) {
+	s := workload.Al1000().Sys
+	fx := newClusterFixture(t, s, 8, 0.8)
+	n := s.N()
+	f1 := make([]vec.Vec3, n)
+	f2 := make([]vec.Vec3, n)
+	pe1 := fx.lj.AccumulateClusterList(s, &fx.cl, f1)
+	pe2 := fx.lj.AccumulateClusterList(s, &fx.cl, f2)
+	if pe1 != pe2 {
+		t.Fatalf("pe not bitwise stable: %x vs %x", math.Float64bits(pe1), math.Float64bits(pe2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("force %d not bitwise stable", i)
+		}
+	}
+}
+
+// TestClusterFastMatchesReference bounds the rounding drift of the A/B-form
+// fast variant against the reference variant.
+func TestClusterFastMatchesReference(t *testing.T) {
+	for name, s := range clusterWorkloads(t) {
+		fx := newClusterFixture(t, s, 8, 0.8)
+		n := s.N()
+		fRef := make([]vec.Vec3, n)
+		fFast := make([]vec.Vec3, n)
+		peRef := fx.lj.AccumulateClusterList(s, &fx.cl, fRef)
+		peFast := fx.lj.AccumulateClusterListFast(s, &fx.cl, fFast)
+		if d := maxForceDev(fRef, fFast); d > 1e-10 {
+			t.Errorf("%s: max force deviation %.3e > 1e-10", name, d)
+		}
+		if d := relDev(peRef, peFast); d > 1e-10 {
+			t.Errorf("%s: pe deviation %.3e", name, d)
+		}
+	}
+}
+
+// TestClusterSIMDMatchesFast checks the packed kernel (where available)
+// against the fast variant on non-periodic workloads, including salt whose
+// alternating Na/Cl lattice routes most entries through the mixed-element
+// scalar pass.
+func TestClusterSIMDMatchesFast(t *testing.T) {
+	if !forces.HaveClusterSIMD {
+		t.Skip("no packed cluster kernel on this CPU")
+	}
+	for name, s := range clusterWorkloads(t) {
+		if s.Box.Periodic {
+			continue // the packed kernel is non-periodic only
+		}
+		fx := newClusterFixture(t, s, 8, 0.8)
+		n := s.N()
+		fFast := make([]vec.Vec3, n)
+		fSIMD := make([]vec.Vec3, n)
+		peFast := fx.lj.AccumulateClusterListFast(s, &fx.cl, fFast)
+		var scr forces.ClusterScratch
+		peSIMD := fx.lj.AccumulateClusterListSIMD(s, &fx.cc, &fx.cl, &scr, fSIMD)
+		if d := maxForceDev(fFast, fSIMD); d > 1e-10 {
+			t.Errorf("%s: max force deviation %.3e > 1e-10", name, d)
+		}
+		if d := relDev(peFast, peSIMD); d > 1e-10 {
+			t.Errorf("%s: pe deviation %.3e (fast %.12g simd %.12g)", name, d, peFast, peSIMD)
+		}
+	}
+}
+
+// TestClusterSIMDChunked runs the packed kernel over several chunk-local
+// lists and checks the folded result equals the single full-range run.
+func TestClusterSIMDChunked(t *testing.T) {
+	if !forces.HaveClusterSIMD {
+		t.Skip("no packed cluster kernel on this CPU")
+	}
+	s := workload.Al1000().Sys
+	rng := 8.8
+	lj := forces.NewLJ(s.Elements, 8)
+	g := cells.NewGrid(s.Box, rng)
+	g.Assign(s)
+	var cc cells.ClusterCoords
+	cc.Pack(s)
+
+	var full cells.ClusterList
+	g.BuildClusterRange(s, rng, 0, s.N(), &full)
+	fFull := make([]vec.Vec3, s.N())
+	var scr forces.ClusterScratch
+	peFull := lj.AccumulateClusterListSIMD(s, &cc, &full, &scr, fFull)
+
+	cuts := []int{0, 251, 252, 600, s.N()}
+	fSum := make([]vec.Vec3, s.N())
+	var peSum float64
+	for c := 0; c+1 < len(cuts); c++ {
+		var cl cells.ClusterList
+		g.BuildClusterRange(s, rng, cuts[c], cuts[c+1], &cl)
+		var scrC forces.ClusterScratch
+		peSum += lj.AccumulateClusterListSIMD(s, &cc, &cl, &scrC, fSum)
+	}
+	if d := maxForceDev(fFull, fSum); d > 1e-10 {
+		t.Errorf("chunked max force deviation %.3e", d)
+	}
+	if d := relDev(peFull, peSum); d > 1e-10 {
+		t.Errorf("chunked pe deviation %.3e", d)
+	}
+}
+
+// metamorphic exactness checks: a system whose only in-range pair is
+// masked out (excluded, or fixed-fixed) must produce exactly zero energy
+// and forces, and a single live pair must be bitwise-equal to the
+// half-list kernel (one pair ⇒ no summation-order freedom).
+func TestClusterMaskedPairsExact(t *testing.T) {
+	mk := func(fixed bool, bonded bool) *atom.System {
+		s := atom.NewSystem(atom.CubicBox(40, false))
+		s.AddAtom(atom.Ar, vec.New(10, 10, 10), vec.Zero, 0, fixed)
+		s.AddAtom(atom.Ar, vec.New(13, 10, 10), vec.Zero, 0, fixed)
+		if bonded {
+			s.Bonds = append(s.Bonds, atom.Bond{I: 0, J: 1})
+			s.BuildExclusions()
+		}
+		return s
+	}
+
+	t.Run("live pair bitwise vs half-list", func(t *testing.T) {
+		s := mk(false, false)
+		fx := newClusterFixture(t, s, 8, 0.8)
+		fRef := make([]vec.Vec3, 2)
+		fCl := make([]vec.Vec3, 2)
+		peRef := fx.lj.AccumulateRangeList(s, &fx.rl, fRef)
+		peCl := fx.lj.AccumulateClusterList(s, &fx.cl, fCl)
+		if peRef != peCl || fRef[0] != fCl[0] || fRef[1] != fCl[1] {
+			t.Fatalf("single pair not bitwise equal: pe %x vs %x", math.Float64bits(peRef), math.Float64bits(peCl))
+		}
+		if peCl == 0 {
+			t.Fatal("expected nonzero pair energy")
+		}
+	})
+	t.Run("excluded pair exactly zero", func(t *testing.T) {
+		s := mk(false, true)
+		fx := newClusterFixture(t, s, 8, 0.8)
+		for _, run := range []func([]vec.Vec3) float64{
+			func(f []vec.Vec3) float64 { return fx.lj.AccumulateClusterList(s, &fx.cl, f) },
+			func(f []vec.Vec3) float64 { return fx.lj.AccumulateClusterListFast(s, &fx.cl, f) },
+		} {
+			f := make([]vec.Vec3, 2)
+			if pe := run(f); pe != 0 || f[0] != (vec.Vec3{}) || f[1] != (vec.Vec3{}) {
+				t.Fatal("excluded pair leaked force or energy")
+			}
+		}
+	})
+	t.Run("fixed-fixed pair exactly zero", func(t *testing.T) {
+		s := mk(true, false)
+		fx := newClusterFixture(t, s, 8, 0.8)
+		f := make([]vec.Vec3, 2)
+		if pe := fx.lj.AccumulateClusterList(s, &fx.cl, f); pe != 0 || f[0] != (vec.Vec3{}) || f[1] != (vec.Vec3{}) {
+			t.Fatal("fixed-fixed pair leaked force or energy")
+		}
+	})
+}

@@ -127,6 +127,19 @@ func (v Vec3) MaxAbs() float64 {
 	return m
 }
 
+// MinAbs returns the smallest absolute component of v — e.g. the thinnest
+// edge of a box extent, which is what bounds the minimum-image convention.
+func (v Vec3) MinAbs() float64 {
+	m := math.Abs(v.X)
+	if a := math.Abs(v.Y); a < m {
+		m = a
+	}
+	if a := math.Abs(v.Z); a < m {
+		m = a
+	}
+	return m
+}
+
 // IsFinite reports whether every component is finite (not NaN or ±Inf).
 func (v Vec3) IsFinite() bool {
 	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&

@@ -14,17 +14,18 @@ const testThreads = 4
 // topology (serial, shared queue, per-worker queues, work stealing) must be
 // crossed with every reduction mode (privatized, shared mutex), and the
 // cell-ordered hot path (reorder + guided) must cover all four topologies
-// plus a full-list variant.
+// plus a full-list variant, and the cluster-pair rung must cover the serial
+// reference kernel plus layered reorder variants.
 func TestCombosCoverMatrix(t *testing.T) {
 	combos := Combos(testThreads)
-	if len(combos) != 14 {
-		t.Fatalf("got %d combos, want 14 (4 topologies × 2 reduce modes + 4 reorder + 1 reorder/full-lists + 1 reorder/tracing)", len(combos))
+	if len(combos) != 17 {
+		t.Fatalf("got %d combos, want 17 (4 topologies × 2 reduce modes + 4 reorder + 1 reorder/full-lists + 3 cluster + 1 reorder/tracing)", len(combos))
 	}
 	seen := map[string]bool{}
 	for _, c := range combos {
 		seen[c.Name] = true
 		if c.Name != "serial/privatized" && c.Name != "serial/shared-mutex" &&
-			c.Name != "serial/reorder+guided" && c.Threads < 2 {
+			c.Name != "serial/reorder+guided" && c.Name != "serial/cluster" && c.Threads < 2 {
 			t.Errorf("parallel combo %s has %d threads", c.Name, c.Threads)
 		}
 	}
@@ -43,6 +44,14 @@ func TestCombosCoverMatrix(t *testing.T) {
 	}
 	if !seen["shared-queue/reorder+guided+tracing"] {
 		t.Error("matrix missing the reorder + tracing variant")
+	}
+	if !seen["serial/cluster"] {
+		t.Error("matrix missing the serial cluster-reference combo")
+	}
+	for _, q := range []string{"shared-queue", "work-stealing"} {
+		if !seen[q+"/cluster+reorder+guided"] {
+			t.Errorf("matrix missing %s/cluster+reorder+guided", q)
+		}
 	}
 	for _, c := range combos {
 		if c.Reorder && c.Partition != core.PartitionGuided {

@@ -42,6 +42,7 @@ type Combo struct {
 	Partition core.Partition
 	PairLists core.PairListMode
 	Reorder   bool
+	Cluster   bool
 	Tracing   bool
 }
 
@@ -53,6 +54,7 @@ func (c Combo) Apply(cfg core.Config) core.Config {
 	cfg.Partition = c.Partition
 	cfg.PairLists = c.PairLists
 	cfg.Reorder = c.Reorder
+	cfg.Cluster = c.Cluster
 	if c.Tracing {
 		// The full tracer stack on small rings: spans, straggler
 		// attribution, drain, anomaly detection. The differential run then
@@ -121,6 +123,25 @@ func Combos(threads int) []Combo {
 		PairLists: core.FullLists,
 		Reorder:   true,
 	})
+	// Cluster-pair rungs: the reference cluster kernel serially (bitwise
+	// path), then layered with reorder+guided so the engine auto-picks the
+	// fast variant — or, on capable amd64 with a non-periodic box, the
+	// packed AVX2 kernel — across the parallel topologies.
+	out = append(out, Combo{
+		Name:    "serial/cluster",
+		Threads: 1,
+		Cluster: true,
+	})
+	for _, q := range []core.QueueTopology{core.SharedQueue, core.WorkStealingQueues} {
+		out = append(out, Combo{
+			Name:      fmt.Sprintf("%s/cluster+reorder+guided", q),
+			Threads:   threads,
+			Queues:    q,
+			Partition: core.PartitionGuided,
+			Reorder:   true,
+			Cluster:   true,
+		})
+	}
 	// The tracing combo: the hardest layered configuration with the
 	// structured tracer installed, proving the trace timeline observes the
 	// physics without changing it.
