@@ -4,7 +4,7 @@ GO ?= go
 # again under the race detector in `make verify`.
 RACE_PKGS := ./internal/core ./internal/pool ./internal/verify ./internal/tracing ./internal/serve
 
-.PHONY: build test vet lint lint-codegen race race-bench telemetry-overhead trace-smoke fuzz serve-smoke verify clean bench-json benchdiff
+.PHONY: build test vet lint lint-codegen race race-bench telemetry-overhead trace-smoke fuzz serve-smoke serve-obs-smoke verify clean bench-json benchdiff
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,14 @@ race-bench:
 		-bench 'BenchmarkStep|BenchmarkQueueTopology|BenchmarkForceReduction' \
 		-benchtime 1x .
 
-# Observer-effect regression gate: the live telemetry layer must stay under
-# a 2% overhead on every paper workload (§IV-A methodology applied to
-# internal/telemetry itself). Fails the build on a breach.
+# Observer-effect regression gates: the live telemetry layer must stay
+# under a 2% overhead on every paper workload, and the serving layer's
+# production-sampled request tracing (TraceSample=64) must stay under the
+# same budget against an untraced server (§IV-A methodology applied to
+# internal/telemetry and internal/serve). Fails the build on a breach.
 telemetry-overhead:
 	$(GO) run ./cmd/mwbench observer-native -gate
+	$(GO) run ./cmd/mwbench observer-serve -gate
 
 # Trace-timeline smoke: a short traced Al-1000 run whose exported Chrome
 # trace JSON must pass structural validation (record validates what it
@@ -70,6 +73,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoadSystem -fuzztime=30s ./internal/mml
 	$(GO) test -fuzz=FuzzReadFrames -fuzztime=30s ./internal/xyz
 	$(GO) test -fuzz=FuzzReorderTopology -fuzztime=30s ./internal/atom
+	$(GO) test -run '^$$' -fuzz=FuzzTraceparent -fuzztime=30s ./internal/serve
 	$(GO) test -run '^$$' -fuzz=FuzzSessionPath -fuzztime=30s ./internal/serve
 	$(GO) test -run '^$$' -fuzz=FuzzStepParams -fuzztime=30s ./internal/serve
 	$(GO) test -run '^$$' -fuzz=FuzzCreateModel -fuzztime=30s ./internal/serve
@@ -87,6 +91,30 @@ serve-smoke:
 	status=$$?; kill $$pid 2>/dev/null; rm -f mwserved.smoke; \
 	exit $$status
 
+# Serving-observability smoke: boot mwserved with every request traced,
+# drive a short attributed mwload sweep (fails unless the report validates
+# and the components decompose p99), pull the request-trace artifact
+# through `mwtrace serve` (which structurally validates the span trees),
+# and snapshot the SLO error-budget view. CI uploads mwload.obs.json and
+# serve.trace.json.
+serve-obs-smoke:
+	$(GO) build -o mwserved.obs ./cmd/mwserved
+	./mwserved.obs -addr 127.0.0.1:7978 -trace-sample 1 -slo-target 250ms & pid=$$!; \
+	$(GO) run ./cmd/mwload -addr http://127.0.0.1:7978 -wait 15s \
+		-workload Al-1000 -sessions 24 -steps 1 -nruns 2 \
+		-concurrency 4,8 -retries 8 -attr -json > mwload.obs.json; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		$(GO) run ./cmd/mwtrace serve -addr http://127.0.0.1:7978 -o serve.trace.json; \
+		status=$$?; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+		$(GO) run ./cmd/mwtop -addr 127.0.0.1:7978 -slo -once; \
+		status=$$?; \
+	fi; \
+	kill $$pid 2>/dev/null; rm -f mwserved.obs; \
+	exit $$status
+
 # Benchmark-regression harness (§V-A gate): measures the LJ kernels, whole
 # engine steps, per-phase latency percentiles and the mwserved tail-latency
 # sweep into the next free BENCH_<n>.json. Compare against the committed
@@ -94,15 +122,17 @@ serve-smoke:
 bench-json:
 	$(GO) run ./cmd/mwbench bench-json
 
-# BENCH_2.json is the baseline with the cluster-pair rung (kernel/lj-cluster-*
-# rows, step/*/cluster, and the cluster phase section); BENCH_1 was the first
-# with serve/* rows, and BENCH_0 predates the service (kernel-history record).
+# BENCH_3.json is the baseline with the serve attribution-overhead rows
+# (serve/*/attr-{off,on}/step) and oversub retry-after; BENCH_2 added the
+# cluster-pair rung (kernel/lj-cluster-* rows, step/*/cluster, the cluster
+# phase section), BENCH_1 was the first with serve/* rows, and BENCH_0
+# predates the service (kernel-history record).
 TOL ?= 0.15
 benchdiff:
-	$(GO) run ./cmd/mwbench benchdiff -base BENCH_2.json -new $(NEW) -tol $(TOL)
+	$(GO) run ./cmd/mwbench benchdiff -base BENCH_3.json -new $(NEW) -tol $(TOL)
 
 # The full correctness gate — what CI runs. See README.md §Verification.
-verify: lint build test race race-bench telemetry-overhead trace-smoke serve-smoke
+verify: lint build test race race-bench telemetry-overhead trace-smoke serve-smoke serve-obs-smoke
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,8 @@
 //	observer            §IV-A     monitor observer effect
 //	observer-native     §IV-A     live telemetry layer's own observer effect
 //	                              (-gate enforces the overhead budget)
+//	observer-serve      §IV-A     serving layer's request-tracing observer
+//	                              effect (-gate enforces the overhead budget)
 //	sampling            §IV-B     sampler granularity vs ground truth
 //	threadview          §IV-C     per-thread view, truth vs sampled display
 //	imbalance           §IV       force-phase load balance per partition
@@ -101,6 +103,28 @@ func observerNative(args []string) (string, error) {
 		return "", errBadFlags
 	}
 	r, err := experiments.ObserverNative(*steps, *trials, *budget)
+	if err != nil {
+		return "", err
+	}
+	if *gate {
+		if err := r.Gate(); err != nil {
+			return r.Report, err
+		}
+	}
+	return r.Report, nil
+}
+
+// observerServe runs the serving-layer request-tracing observer-effect
+// experiment; with -gate the overhead budget becomes a hard failure.
+func observerServe(args []string) (string, error) {
+	fs := flag.NewFlagSet("observer-serve", flag.ContinueOnError)
+	trials := fs.Int("trials", 0, "paired trials (0 = default)")
+	budget := fs.Float64("budget", 0, "request-tracing overhead budget in percent (0 = 2%)")
+	gate := fs.Bool("gate", false, "exit non-zero if request tracing breaches the budget")
+	if err := fs.Parse(args); err != nil {
+		return "", errBadFlags
+	}
+	r, err := experiments.ObserverServe(*trials, *budget)
 	if err != nil {
 		return "", err
 	}
@@ -207,6 +231,8 @@ func experiment(name string, args []string) (string, error) {
 		return r.Report, nil
 	case "observer-native":
 		return observerNative(args)
+	case "observer-serve":
+		return observerServe(args)
 	case "sampling":
 		return experiments.Sampling(0).Report, nil
 	case "threadview":
@@ -263,6 +289,6 @@ func experiment(name string, args []string) (string, error) {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: mwbench <experiment>
 experiments: table1 table2 table3 fig1 fig1-native fig2 observer
-             observer-native sampling threadview imbalance packing pollution
-             scaling pme ablation bench-json benchdiff all`)
+             observer-native observer-serve sampling threadview imbalance
+             packing pollution scaling pme ablation bench-json benchdiff all`)
 }

@@ -8,13 +8,19 @@
 //
 //	mwload [-addr http://127.0.0.1:7977] [-wait 10s] [-workload Al-1000]
 //	       [-sessions 1000] [-steps 1] [-nruns 2] [-concurrency 16,64,256]
-//	       [-retries 8] [-json] [-oversub N]
+//	       [-retries 8] [-attr] [-json] [-oversub N]
 //
 // With -addr "" an in-process server is booted (flags -workers/-queues/
 // -queue-depth configure it), which makes the command self-contained for
-// smoke tests. -oversub N additionally fires an N-client burst with no
-// retries at a fresh fleet and reports how many requests were shed with
-// 429 — the admission-control check.
+// smoke tests. -attr decomposes each level's latency into ingress (client
+// e2e minus server wall: socket, HTTP stack and scheduler admission wait),
+// queue-wait, batch-wait, and compute using the server's per-request
+// attribution fields, including the exact split of the p99-rank request
+// and the residual the four components cannot see (in-server done-channel
+// wake + serialize). -oversub N
+// additionally fires an N-client burst with no retries at a fresh fleet
+// and reports how many requests were shed with 429 and which Retry-After
+// hints they carried — the admission-control check.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +54,9 @@ type oversubReport struct {
 	Burst   int   `json:"burst"`
 	Shed429 int64 `json:"shed_429"`
 	Healthy bool  `json:"healthy"`
+	// RetryAfter tallies the Retry-After values the 429s carried — the
+	// backoff hints the probe used to drop on the floor.
+	RetryAfter map[string]int64 `json:"retry_after_seen,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -61,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nruns       = fs.Int("nruns", 2, "runs per concurrency level")
 		concurrency = fs.String("concurrency", "1,8,64", "comma-separated client concurrency levels")
 		retries     = fs.Int("retries", 8, "retries after a 429")
+		attr        = fs.Bool("attr", false, "decompose latency into queue-wait/batch-wait/compute per level")
 		jsonOut     = fs.Bool("json", false, "emit the report as JSON")
 		oversub     = fs.Int("oversub", 0, "also fire an N-client no-retry burst and report 429 shedding")
 		workers     = fs.Int("workers", 0, "in-process server: pool workers (0 = GOMAXPROCS)")
@@ -123,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		NRuns:       *nruns,
 		Concurrency: levels,
 		Retries:     *retries,
+		Attr:        *attr,
 	}
 	rep, err := serve.RunSweep(base, opts)
 	if err != nil {
@@ -134,12 +146,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *oversub > 0 {
 		probeOpts := opts
 		probeOpts.Sessions = min(*sessions, 64)
-		shed, healthy, err := serve.OversubscribeProbe(base, probeOpts, *oversub)
+		shed, retryAfter, healthy, err := serve.OversubscribeProbe(base, probeOpts, *oversub)
 		if err != nil && shed == 0 {
 			fmt.Fprintf(stderr, "mwload: oversubscribe probe: %v\n", err)
 			return 1
 		}
-		out.Oversub = &oversubReport{Burst: *oversub, Shed429: shed, Healthy: healthy}
+		out.Oversub = &oversubReport{Burst: *oversub, Shed429: shed, Healthy: healthy, RetryAfter: retryAfter}
 	}
 
 	if err := rep.Validate(); err != nil {
@@ -190,6 +202,31 @@ func printReport(w io.Writer, rep *loadReport) {
 			r.Concurrency, r.Requests, r.Shed429, r.ReqPerSec, r.StepsPerSec,
 			r.P50us, r.P99us, r.P999us)
 	}
+	if attributed(s.Rows) {
+		fmt.Fprintf(w, "\nattribution (µs): ingress / queue-wait / batch-wait / compute, then the p99-rank request decomposed\n")
+		fmt.Fprintf(w, "%8s %10s %10s %10s %10s %10s | %10s %35s %8s\n",
+			"clients", "ing p99", "qw p99", "bw p99", "comp p99", "p99 e2e", "p99 sum", "ing+qw+bw+comp", "resid%")
+		for _, r := range s.Rows {
+			a := r.Attr
+			if a == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%8d %10.0f %10.0f %10.0f %10.0f %10.0f | %10.0f %8.0f+%8.0f+%8.0f+%7.0f %7.1f%%\n",
+				r.Concurrency, a.IngressP99us, a.QueueWaitP99us, a.BatchWaitP99us, a.ComputeP99us,
+				a.P99E2Eus, a.P99SumUs, a.P99IngressUs, a.P99QueueUs, a.P99BatchUs, a.P99ComputeUs,
+				a.ResidualPct)
+			if a.P99TraceID != "" {
+				fmt.Fprintf(w, "%8s p99 trace: %s\n", "", a.P99TraceID)
+			}
+		}
+	}
+	if len(s.RetryAfter) > 0 {
+		fmt.Fprintf(w, "\nretry-after seen during sweep:")
+		for _, v := range sortedKeys(s.RetryAfter) {
+			fmt.Fprintf(w, " %s×%d", v, s.RetryAfter[v])
+		}
+		fmt.Fprintln(w)
+	}
 	if rep.Oversub != nil {
 		verdict := "survived"
 		if !rep.Oversub.Healthy {
@@ -197,5 +234,30 @@ func printReport(w io.Writer, rep *loadReport) {
 		}
 		fmt.Fprintf(w, "\noversubscribe: burst=%d shed(429)=%d server %s\n",
 			rep.Oversub.Burst, rep.Oversub.Shed429, verdict)
+		if len(rep.Oversub.RetryAfter) > 0 {
+			fmt.Fprintf(w, "oversubscribe retry-after:")
+			for _, v := range sortedKeys(rep.Oversub.RetryAfter) {
+				fmt.Fprintf(w, " %s×%d", v, rep.Oversub.RetryAfter[v])
+			}
+			fmt.Fprintln(w)
+		}
 	}
+}
+
+func attributed(rows []serve.SweepRow) bool {
+	for _, r := range rows {
+		if r.Attr != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

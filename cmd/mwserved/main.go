@@ -9,7 +9,7 @@
 //	mwserved [-addr :7977] [-workers N] [-queues shared|per-worker|stealing]
 //	         [-max-sessions N] [-queue-depth N] [-max-batch N]
 //	         [-batch-window D] [-idle-timeout D] [-gc-interval D]
-//	         [-max-step N]
+//	         [-max-step N] [-trace-sample K] [-trace-ring N] [-slo-target D]
 //
 // The daemon runs until SIGINT/SIGTERM, then drains and closes every
 // session.
@@ -56,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer, started func(addr string), sto
 		idleTimeout = fs.Duration("idle-timeout", 5*time.Minute, "evict sessions idle longer than this")
 		gcInterval  = fs.Duration("gc-interval", 30*time.Second, "idle-GC sweep interval (<0 disables)")
 		maxStep     = fs.Int("max-step", 1000, "max steps per step request")
+		traceSample = fs.Int("trace-sample", 64, "trace 1-in-K unheaded step requests (1 = all, <0 disables)")
+		traceRing   = fs.Int("trace-ring", 512, "completed request traces retained for /v1/trace")
+		sloTarget   = fs.Duration("slo-target", 250*time.Millisecond, "per-tenant p99 step-latency SLO target")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer, started func(addr string), sto
 		IdleTimeout:        *idleTimeout,
 		GCInterval:         *gcInterval,
 		MaxStepsPerRequest: *maxStep,
+		TraceSample:        *traceSample,
+		TraceRing:          *traceRing,
+		SLOTargetP99:       *sloTarget,
 	})
 	httpSrv, bound, err := srv.Serve(*addr)
 	if err != nil {

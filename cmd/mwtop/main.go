@@ -11,6 +11,11 @@
 //	mwsim -bench salt -threads 4 -ps 50 -telemetry-addr :8077 &
 //	mwtop -addr localhost:8077
 //	mwtop -addr localhost:8077 -once -json
+//	mwtop -addr localhost:7977 -slo
+//
+// With -slo the target is a running mwserved and mwtop polls /v1/slo
+// instead: the service-wide error budget plus the worst-burning tenants
+// (bad-request fraction over the fast and slow burn windows).
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"mw/internal/report"
+	"mw/internal/serve"
 	"mw/internal/telemetry"
 )
 
@@ -39,9 +45,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		once     = fs.Bool("once", false, "print one snapshot and exit")
 		asJSON   = fs.Bool("json", false, "emit the raw snapshot JSON instead of tables")
 		events   = fs.Int("events", 10, "recent events to show (0 = none)")
+		slo      = fs.Bool("slo", false, "poll an mwserved's /v1/slo instead of engine telemetry")
+		tenants  = fs.Int("tenants", 20, "worst-burning tenants to show in -slo mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *slo {
+		return runSLO(*addr, *interval, *once, *asJSON, *tenants, stdout, stderr)
 	}
 
 	for {
@@ -65,6 +77,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// runSLO is the -slo loop: poll /v1/slo and render the error-budget view.
+func runSLO(addr string, interval time.Duration, once, asJSON bool, tenants int, stdout, stderr io.Writer) int {
+	for {
+		rep, err := fetchSLO(addr, tenants)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		} else {
+			renderSLO(stdout, rep, !once)
+		}
+		if once {
+			return 0
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fetchSLO pulls one SLO report from a running mwserved.
+func fetchSLO(addr string, tenants int) (*serve.SLOReport, error) {
+	url := fmt.Sprintf("http://%s/v1/slo?limit=%d", addr, tenants)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("mwtop: %w (is mwserved running?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mwtop: %s returned %s", url, resp.Status)
+	}
+	var rep serve.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("mwtop: decoding SLO report: %w", err)
+	}
+	return &rep, nil
+}
+
+// renderSLO writes the SLO report as tables. Burn rate 1.0 means the tenant
+// is consuming its error budget exactly as fast as the budget allows; the
+// multi-window convention flags sustained burn (slow) vs spikes (fast).
+func renderSLO(w io.Writer, rep *serve.SLOReport, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(w, "mwtop — SLO: p99 ≤ %.0f ms, budget %.1f%% (windows %.0fs/%.0fs)\n",
+		rep.TargetP99Ms, rep.BudgetPct, rep.FastWindowSecs, rep.SlowWindowSecs)
+
+	st := report.NewTable("Service",
+		"Requests", "Bad", "Bad %", "Fast burn", "Slow burn")
+	st.AddRow(float64(rep.Service.Requests), float64(rep.Service.Bad),
+		rep.Service.BadPct, rep.Service.FastBurn, rep.Service.SlowBurn)
+	fmt.Fprint(w, st.String())
+
+	tt := report.NewTable("Worst-burning tenants",
+		"Session", "Workload", "Requests", "Bad", "Bad %", "Fast burn", "Slow burn")
+	for _, t := range rep.Tenants {
+		tt.AddRow(t.Session, t.Workload, float64(t.Requests), float64(t.Bad),
+			t.BadPct, t.FastBurn, t.SlowBurn)
+	}
+	fmt.Fprint(w, tt.String())
 }
 
 // fetch pulls one snapshot from the telemetry endpoint.

@@ -8,14 +8,20 @@
 //
 //	mwtrace record -bench Al-1000 -threads 4 -steps 200 -o al.trace.json
 //	mwtrace export -in al.trace.json
+//	mwtrace serve -addr http://127.0.0.1:7977 -o serve.trace.json
 //	mwtrace top-stragglers -bench salt -threads 4 -steps 200
 //	mwtrace affinity -bench Al-1000 -threads 4 -steps 200 -markdown
+//
+// The serve subcommand fetches a running mwserved's request-trace timeline
+// (/v1/trace — sampled request span trees stitched onto the batcher track),
+// validates it, and writes the Perfetto-loadable artifact.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -40,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdRecord(args[1:], stdout, stderr)
 	case "export":
 		return cmdExport(args[1:], stdout, stderr)
+	case "serve":
+		return cmdServe(args[1:], stdout, stderr)
 	case "top-stragglers":
 		return cmdStragglers(args[1:], stdout, stderr)
 	case "affinity":
@@ -59,6 +67,8 @@ func usage(w io.Writer) {
   record          run a benchmark with tracing and export a Perfetto-loadable
                   Chrome trace JSON timeline
   export          validate and summarize an existing trace JSON file
+  serve           fetch a running mwserved's request-trace timeline
+                  (/v1/trace), validate it, and write the artifact
   top-stragglers  run a benchmark and report per-worker barrier blame
   affinity        run a benchmark and report the goroutine→CPU placement
                   matrix (the engine-native §IV-C trace)
@@ -254,6 +264,58 @@ func cmdExport(args []string, stdout, stderr io.Writer) int {
 		t.AddRow(fmt.Sprintf("%d", tid), st.TrackNames[tid], float64(n))
 	}
 	fmt.Fprint(stdout, t.String())
+	return 0
+}
+
+// cmdServe pulls the request-scoped trace timeline off a live mwserved,
+// proves it loads (same validator as the engine traces), and writes the
+// artifact — the serve-side counterpart of record's re-read-and-validate.
+func cmdServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwtrace serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:7977", "mwserved base URL")
+	out := fs.String("o", "serve.trace.json", "output trace JSON path")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*addr + "/v1/trace")
+	if err != nil {
+		fmt.Fprintf(stderr, "mwtrace: fetching %s/v1/trace: %v\n", *addr, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "mwtrace: %s/v1/trace: %s\n", *addr, resp.Status)
+		return 1
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwtrace: reading trace body: %v\n", err)
+		return 1
+	}
+	st, err := tracing.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwtrace: served trace failed validation: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d events, %d spans, %d tracks, %.1f ms timeline\n",
+		*out, st.Events, st.Spans, st.Tracks, float64(st.LastUS-st.FirstUS)/1e3)
+	t := report.NewTable("Tracks", "Tid", "Name", "Events")
+	for tid := 0; tid < len(st.PerTrack)+8; tid++ {
+		n, ok := st.PerTrack[tid]
+		if !ok {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", tid), st.TrackNames[tid], float64(n))
+	}
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintf(stdout, "open in ui.perfetto.dev (or chrome://tracing)\n")
 	return 0
 }
 

@@ -28,6 +28,17 @@ type ServeSection struct {
 	OversubBurst   int   `json:"oversub_burst"`
 	OversubShed429 int64 `json:"oversub_shed_429"`
 	OversubHealthy bool  `json:"oversub_healthy"`
+	// OversubRetryAfter tallies the Retry-After hints the shed burst saw
+	// (header value → count) — evidence the 429s carry usable backoff.
+	OversubRetryAfter map[string]int64 `json:"oversub_retry_after,omitempty"`
+
+	// Attribution-overhead pair: mean step time with tracing off vs every
+	// request traced (TraceSample=1), at the sweep's top concurrency. The
+	// pair lands in Report.Benchmarks as serve/<wl>/attr-{off,on}/step rows
+	// so benchdiff gates attribution cost like any other regression.
+	AttrOffNsPerOp  float64 `json:"attr_off_ns_per_op"`
+	AttrOnNsPerOp   float64 `json:"attr_on_ns_per_op"`
+	AttrOverheadPct float64 `json:"attr_overhead_pct"`
 }
 
 // serveWorkloadQuery returns extra create parameters for workloads that
@@ -63,12 +74,26 @@ func runServe(opts Options, rep *Report) error {
 		NRuns:         opts.ServeNRuns,
 		Concurrency:   opts.ServeConcurrency,
 		Retries:       16,
+		Attr:          true,
 	})
 	if err != nil {
 		return err
 	}
 	if err := sweep.Validate(); err != nil {
 		return fmt.Errorf("sweep report invalid: %w", err)
+	}
+	// The attribution acceptance gate: the four measured components
+	// (ingress + queue-wait + batch-wait + compute) must explain the
+	// p99-rank request's end-to-end latency to within 5%. A growing
+	// residual means a latency source appeared that the attribution layer
+	// does not see.
+	for _, row := range sweep.Rows {
+		if a := row.Attr; a != nil && (a.ResidualPct > 5 || a.ResidualPct < -5) {
+			return fmt.Errorf(
+				"c=%d: attribution residual %.1f%% of p99 e2e (budget 5%%): e2e=%.0fµs sum=%.0fµs (ingress=%.0f qw=%.0f bw=%.0f comp=%.0f)",
+				row.Concurrency, a.ResidualPct, a.P99E2Eus, a.P99SumUs,
+				a.P99IngressUs, a.P99QueueUs, a.P99BatchUs, a.P99ComputeUs)
+		}
 	}
 
 	sect := &ServeSection{
@@ -111,7 +136,7 @@ func runServe(opts Options, rep *Report) error {
 	if burst < 64 {
 		burst = 64
 	}
-	shed, healthy, err := serve.OversubscribeProbe("http://"+probeAddr, serve.SweepOptions{
+	shed, probeRetryAfter, healthy, err := serve.OversubscribeProbe("http://"+probeAddr, serve.SweepOptions{
 		Workload:      opts.ServeWorkload,
 		WorkloadQuery: serveWorkloadQuery(opts.ServeWorkload),
 		Sessions:      16,
@@ -123,6 +148,72 @@ func runServe(opts Options, rep *Report) error {
 	sect.OversubBurst = burst
 	sect.OversubShed429 = shed
 	sect.OversubHealthy = healthy
+	sect.OversubRetryAfter = probeRetryAfter
+
+	if err := runAttrOverhead(opts, rep, sect); err != nil {
+		return err
+	}
 	rep.Serve = sect
+	return nil
+}
+
+// runAttrOverhead measures what request tracing + attribution cost the
+// service: the same single-level sweep against a tracing-off server and a
+// trace-everything server (TraceSample=1, the worst case — production
+// samples 1-in-64). The resulting rows ride the ordinary benchdiff gate,
+// and the observer-native experiment (mwbench observer-native) gates the
+// same pair against the <2% budget with confidence intervals.
+func runAttrOverhead(opts Options, rep *Report, sect *ServeSection) error {
+	level := opts.ServeConcurrency[len(opts.ServeConcurrency)-1]
+	run := func(sample int) (float64, error) {
+		srv := serve.NewServer(serve.Config{
+			MaxSessions: opts.ServeSessions + 64,
+			GCInterval:  -1,
+			TraceSample: sample,
+		})
+		defer srv.Close()
+		httpSrv, addr, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer httpSrv.Close()
+		sweep, err := serve.RunSweep("http://"+addr, serve.SweepOptions{
+			Workload:      opts.ServeWorkload,
+			WorkloadQuery: serveWorkloadQuery(opts.ServeWorkload),
+			Sessions:      opts.ServeSessions,
+			StepsPerReq:   opts.ServeStepsPerReq,
+			NRuns:         opts.ServeNRuns,
+			Concurrency:   []int{level},
+			Retries:       16,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return 1e9 / sweep.Rows[0].ReqPerSec, nil
+	}
+	// ABBA order, best-of-two per mode: a single pass each is at the mercy
+	// of whatever else the host runs during it, and these rows sit under
+	// the benchdiff gate where a one-off stall reads as a regression.
+	var off, on float64
+	for i, sample := range []int{-1, 1, 1, -1} {
+		d, err := run(sample)
+		if err != nil {
+			return fmt.Errorf("attr-overhead (trace-sample %d): %w", sample, err)
+		}
+		switch {
+		case sample == -1 && (i == 0 || d < off):
+			off = d
+		case sample == 1 && (i == 1 || d < on):
+			on = d
+		}
+	}
+	sect.AttrOffNsPerOp = off
+	sect.AttrOnNsPerOp = on
+	sect.AttrOverheadPct = 100 * (on - off) / off
+	prefix := fmt.Sprintf("serve/%s/c%d", opts.ServeWorkload, level)
+	rep.Benchmarks = append(rep.Benchmarks,
+		Result{Name: prefix + "/attr-off/step", NsPerOp: off},
+		Result{Name: prefix + "/attr-on/step", NsPerOp: on},
+	)
 	return nil
 }

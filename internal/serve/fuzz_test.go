@@ -63,6 +63,43 @@ func serveRaw(h http.Handler, method, target string, body []byte) (int, []byte, 
 	return rec.Code, rec.Body.Bytes(), true
 }
 
+// FuzzTraceparent holds the traceparent parser to "classify, never panic":
+// any input either parses — in which case it must be the canonical
+// rendering of the parsed context (strict round-trip) — or is cleanly
+// rejected. The parser sits on an untrusted HTTP header, so this is the
+// fuzz surface the request-tracing tentpole adds.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("00-00000000000000000000000000000000-b7ad6b7169203331-01")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01")
+	f.Add("")
+	f.Add("traceparent")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, ok := ParseTraceparent(h)
+		if !ok {
+			if tc.Sampled {
+				t.Fatalf("rejected header %q left Sampled set", h)
+			}
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("parser accepted %q but ids are zero", h)
+		}
+		// flags other than the sampled bit are legal in version 00, so the
+		// canonical re-rendering must match everywhere except the flag byte.
+		rendered := tc.Traceparent()
+		if rendered[:53] != h[:53] {
+			t.Fatalf("round trip mangled %q -> %q", h, rendered)
+		}
+		if got, ok2 := ParseTraceparent(rendered); !ok2 || got != tc {
+			t.Fatalf("canonical rendering %q does not re-parse to the same context", rendered)
+		}
+	})
+}
+
 // FuzzSessionPath throws arbitrary session ids at every {id} route. The
 // contract: never panic, never 5xx, and only the one live id may answer
 // 2xx.

@@ -124,13 +124,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	GET    /v1/sessions/{id}/snapshot.xyz  one XYZ frame
 //	GET    /v1/sessions/{id}/stream      chunked XYZ trajectory (frames × every)
 //	GET    /v1/sessions/{id}/telemetry.json  per-tenant engine-phase recorder
+//	                                     + latency attribution w/ exemplars
 //	DELETE /v1/sessions/{id}             close (double-close: 404)
 //	GET    /v1/stats                     service counters + latency percentiles
+//	GET    /v1/slo                       per-tenant SLO state + burn rates
+//	GET    /v1/trace                     retained request span trees
+//	                                     (Chrome/Perfetto trace JSON)
 //	GET    /healthz                      liveness
 //	GET    /telemetry.json, /metrics, /debug/pprof/   the existing telemetry
 //	                                     surface over the service recorder,
-//	                                     with serve_* series prepended to
-//	                                     /metrics
+//	                                     with serve_* + slo_* series
+//	                                     prepended to /metrics and the
+//	                                     attribution section (exemplars
+//	                                     resolving in /v1/trace) appended
+//	                                     to /telemetry.json
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	tele := telemetry.Handler(s.rec)
@@ -148,7 +155,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/telemetry.json", s.handleSessionTelemetry)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.Handle("GET /telemetry.json", tele)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /telemetry.json", s.handleTelemetry)
 	mux.Handle("GET /debug/pprof/", tele)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -353,20 +362,78 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		hErr.write(w)
 		return
 	}
+	startUS := s.rec.NowMicros()
+	tc, sampled := s.sampleTrace(r)
 	rq := &stepReq{sess: sess, n: n, t0: time.Now(), done: make(chan stepResult, 1)}
+	var rt *RequestTrace
+	if sampled {
+		rt = &RequestTrace{
+			TraceID:  tc.TraceIDString(),
+			SpanID:   tc.SpanIDString(),
+			Session:  sess.ID,
+			Workload: sess.Workload,
+			Steps:    n,
+			StartUS:  startUS,
+			log:      s.reqTraces,
+		}
+		rt.pending.Store(2) // handler + batch side both fill the record
+		rq.rt = rt
+		// Echo the context so the client learns the id /v1/trace resolves.
+		w.Header().Set("traceparent", tc.Traceparent())
+	}
+	// Stamp before the queue send: the far side reads these stamps after
+	// synchronizing handoffs, so they must be written before admission.
+	rq.enqueueUS = s.rec.NowMicros()
+	if rt != nil {
+		rt.EnqueueUS = rq.enqueueUS
+	}
 	if hErr := s.enqueue(rq, false); hErr != nil {
+		if hErr.code == http.StatusTooManyRequests {
+			// A shed request burns the tenant's error budget like a missed
+			// latency target — load you turned away is latency the client ate.
+			sess.slo.record(0, true)
+			s.slo.record(0, true)
+		}
+		if rt != nil {
+			rt.Status = hErr.code
+			rt.DoneUS = s.rec.NowMicros()
+			rt.pending.Store(1) // no batch side will ever run
+			rt.finishWriter()
+		}
 		hErr.write(w)
 		return
 	}
 	select {
 	case res := <-rq.done:
 		if res.err != nil {
+			if rt != nil {
+				rt.Status = res.err.code
+				rt.DoneUS = s.rec.NowMicros()
+				rt.finishWriter()
+			}
 			res.err.write(w)
 			return
 		}
+		replyUS := s.rec.NowMicros()
 		writeJSON(w, http.StatusOK, res)
+		doneUS := s.rec.NowMicros()
+		ser := time.Duration(clampUS(doneUS-replyUS)) * time.Microsecond
+		s.svcAttr.observe(attrSerialize, ser, res.TraceID, doneUS)
+		sess.attr.observe(attrSerialize, ser, res.TraceID, doneUS)
+		if rt != nil {
+			rt.Status = http.StatusOK
+			rt.ReplyUS = replyUS
+			rt.DoneUS = doneUS
+			rt.SerializeUS = clampUS(doneUS - replyUS)
+			rt.finishWriter()
+		}
 	case <-r.Context().Done():
 		// Client gone; the batch still runs (done is buffered).
+		if rt != nil {
+			rt.Status = 499 // client closed request
+			rt.DoneUS = s.rec.NowMicros()
+			rt.finishWriter()
+		}
 	}
 }
 
@@ -512,8 +579,35 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.rec.PhaseEnd(frames, svcStream, time.Since(t0), nil)
 }
 
+// telemetryBody is a recorder snapshot with the latency-attribution section
+// appended — the serve-flavored /telemetry.json schema. Every exemplar
+// trace id in the attribution section resolves to a span tree in /v1/trace:
+// exemplars are filtered against the live request-trace ring at export
+// time, so the invariant holds by construction (and a regression test
+// holds it to that).
+type telemetryBody struct {
+	telemetry.Snapshot
+	Attribution []AttrComponent `json:"attribution"`
+}
+
+// handleTelemetry is the service-level /telemetry.json: the service
+// recorder snapshot plus the service-wide attribution histograms.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	events, hErr := intParam(r.URL.Query(), "events", 0, 0, s.rec.EventCapacity())
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	ids := s.reqTraces.ids()
+	writeJSON(w, http.StatusOK, telemetryBody{
+		Snapshot:    s.rec.Snapshot(events),
+		Attribution: s.svcAttr.snapshot(func(id string) bool { return ids[id] }),
+	})
+}
+
 // handleSessionTelemetry exposes the tenant's own ring recorder — engine
-// phase histograms for just this session, same schema as /telemetry.json.
+// phase histograms and decomposed latency attribution for just this
+// session, same schema as /telemetry.json.
 func (s *Server) handleSessionTelemetry(w http.ResponseWriter, r *http.Request) {
 	sess, hErr := s.session(r)
 	if hErr != nil {
@@ -525,7 +619,29 @@ func (s *Server) handleSessionTelemetry(w http.ResponseWriter, r *http.Request) 
 		hErr.write(w)
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.rec.Snapshot(events))
+	ids := s.reqTraces.ids()
+	writeJSON(w, http.StatusOK, telemetryBody{
+		Snapshot:    sess.rec.Snapshot(events),
+		Attribution: sess.attr.snapshot(func(id string) bool { return ids[id] }),
+	})
+}
+
+// handleSLO is /v1/slo: the service SLO state plus the worst-burning
+// tenants (limit rows, default 100).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	limit, hErr := intParam(r.URL.Query(), "limit", 100, 1, 100000)
+	if hErr != nil {
+		hErr.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SLONow(limit))
+}
+
+// handleTrace is /v1/trace: the retained request span trees as Chrome
+// trace-event JSON, loadable in ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.WriteRequestTrace(w)
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
@@ -642,4 +758,26 @@ func (s *Server) writeServeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "serve_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "serve_step_latency_seconds_sum %g\n", s.stepLat.Sum().Seconds())
 	fmt.Fprintf(w, "serve_step_latency_seconds_count %d\n", s.stepLat.Count())
+
+	// SLO series: service-level target, totals and multi-window burn rates
+	// (per-tenant burn lives in /v1/slo — a per-session Prometheus label
+	// would be a cardinality bomb at MaxSessions=4096).
+	slo := s.slo.status()
+	fmt.Fprintf(w, "# TYPE slo_target_seconds gauge\nslo_target_seconds %g\n",
+		s.cfg.SLOTargetP99.Seconds())
+	fmt.Fprintf(w, "# TYPE slo_requests_total counter\nslo_requests_total %d\n", slo.Requests)
+	fmt.Fprintf(w, "# TYPE slo_bad_total counter\nslo_bad_total %d\n", slo.Bad)
+	fmt.Fprintf(w, "# TYPE slo_burn_rate gauge\n")
+	fmt.Fprintf(w, "slo_burn_rate{window=\"fast\"} %g\n", slo.FastBurn)
+	fmt.Fprintf(w, "slo_burn_rate{window=\"slow\"} %g\n", slo.SlowBurn)
+
+	// Attribution component latency sums/counts (exemplars are JSON-only).
+	fmt.Fprintf(w, "# TYPE serve_attr_latency_seconds summary\n")
+	for c := 0; c < attrComponents; c++ {
+		h := &s.svcAttr.h[c].Hist
+		fmt.Fprintf(w, "serve_attr_latency_seconds_sum{component=%q} %g\n",
+			attrNames[c], h.Sum().Seconds())
+		fmt.Fprintf(w, "serve_attr_latency_seconds_count{component=%q} %d\n",
+			attrNames[c], h.Count())
+	}
 }

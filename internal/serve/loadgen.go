@@ -32,6 +32,11 @@ type SweepOptions struct {
 	Retries           int          // per-request retries after a 429
 	Client            *http.Client // default: dedicated client, 60 s timeout
 	KeepSessions      bool         // leave sessions live after the sweep
+	// Attr adds the latency-attribution columns to every row: the server-
+	// reported queue-wait vs batch-wait vs compute split per concurrency
+	// level, and the decomposition of the p99-rank request against its own
+	// end-to-end latency (the "where did p99 go" answer).
+	Attr bool
 }
 
 func (o *SweepOptions) withDefaults() {
@@ -70,6 +75,40 @@ type SweepRow struct {
 	P50us       float64 `json:"p50_us"`
 	P99us       float64 `json:"p99_us"`
 	P999us      float64 `json:"p999_us"`
+	// Attr is the latency-attribution split (SweepOptions.Attr).
+	Attr *AttrSplit `json:"attr,omitempty"`
+}
+
+// AttrSplit decomposes one concurrency level's latency into four measured
+// components: ingress (client e2e minus the server's own wall — socket,
+// HTTP stack and scheduler admission wait plus the response hop), then the
+// server-stamped queue-wait, batch-wait and compute. Percentiles are
+// per-component across all requests, plus the exact decomposition of the
+// p99-rank request. ResidualPct is what none of the four explain — the
+// in-server unattributed time (done-channel wake, serialize, stamp gaps)
+// as a share of the measured e2e — and is the sanity bound gated at 5% by
+// the bench acceptance run: if it grows, a new latency source appeared
+// that the attribution layer does not see.
+type AttrSplit struct {
+	IngressP50us   float64 `json:"ingress_p50_us"`
+	IngressP99us   float64 `json:"ingress_p99_us"`
+	QueueWaitP50us float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99us float64 `json:"queue_wait_p99_us"`
+	BatchWaitP50us float64 `json:"batch_wait_p50_us"`
+	BatchWaitP99us float64 `json:"batch_wait_p99_us"`
+	ComputeP50us   float64 `json:"compute_p50_us"`
+	ComputeP99us   float64 `json:"compute_p99_us"`
+
+	// The p99-rank request, decomposed. TraceID is set when that request
+	// happened to be sampled server-side.
+	P99TraceID   string  `json:"p99_trace_id,omitempty"`
+	P99E2Eus     float64 `json:"p99_e2e_us"`
+	P99IngressUs float64 `json:"p99_ingress_us"`
+	P99QueueUs   float64 `json:"p99_queue_wait_us"`
+	P99BatchUs   float64 `json:"p99_batch_wait_us"`
+	P99ComputeUs float64 `json:"p99_compute_us"`
+	P99SumUs     float64 `json:"p99_sum_us"`
+	ResidualPct  float64 `json:"p99_residual_pct"`
 }
 
 // SweepReport is the full result of one sweep.
@@ -79,6 +118,47 @@ type SweepReport struct {
 	StepsPerReq int        `json:"steps_per_req"`
 	NRuns       int        `json:"nruns"`
 	Rows        []SweepRow `json:"rows"`
+	// RetryAfter counts the distinct Retry-After header values seen on 429
+	// responses during the sweep's retry loops (value → occurrences).
+	RetryAfter map[string]int64 `json:"retry_after_seen,omitempty"`
+}
+
+// retryAfterCount tallies Retry-After header values across goroutines. A
+// nil counter ignores notes, so callers opt in by allocating one.
+type retryAfterCount struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (c *retryAfterCount) note(v string) {
+	if c == nil {
+		return
+	}
+	if v == "" {
+		v = "(absent)"
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]int64{}
+	}
+	c.m[v]++
+	c.mu.Unlock()
+}
+
+func (c *retryAfterCount) snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
 }
 
 // Validate sanity-checks a report: the sweep ran, every row completed its
@@ -157,16 +237,18 @@ func RunSweep(base string, o SweepOptions) (*SweepReport, error) {
 		StepsPerReq: o.StepsPerReq,
 		NRuns:       o.NRuns,
 	}
+	ra := &retryAfterCount{}
 	for _, c := range o.Concurrency {
 		if c <= 0 {
 			return nil, fmt.Errorf("concurrency must be positive, got %d", c)
 		}
-		row, err := runLevel(base, &o, ids, c)
+		row, err := runLevel(base, &o, ids, c, ra)
 		if err != nil {
 			return nil, err
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+	rep.RetryAfter = ra.snapshot()
 	return rep, nil
 }
 
@@ -248,31 +330,107 @@ func closeSessions(base string, client *http.Client, ids []string) {
 	}
 }
 
+// stepSample is one successful request's client-side latency plus the
+// server's per-request attribution fields from the response body.
+type stepSample struct {
+	E2EUs     float64
+	WallUs    float64 // server-side wall: handler entry → response ready
+	QueueUs   float64
+	BatchUs   float64
+	ComputeUs float64
+	TraceID   string
+}
+
+// IngressUs is the admission wait: client-measured end-to-end minus the
+// server's own wall — socket buffers, the HTTP stack, and scheduler delay
+// before the handler's first stamp, plus the response's network hop. On a
+// saturated host this is where most of a request's life goes (the handler
+// goroutine cannot even run while a batch holds the cores), which is why a
+// decomposition built from server-side stamps alone cannot explain the
+// client's p99.
+func (s stepSample) IngressUs() float64 {
+	if d := s.E2EUs - s.WallUs; d > 0 {
+		return d
+	}
+	return 0
+}
+
 // runLevel drives all sessions through c client goroutines for o.NRuns
 // runs and aggregates the row.
-func runLevel(base string, o *SweepOptions, ids []string, c int) (SweepRow, error) {
+func runLevel(base string, o *SweepOptions, ids []string, c int, ra *retryAfterCount) (SweepRow, error) {
 	row := SweepRow{Concurrency: c}
-	var all []float64
+	var all []stepSample
 	for run := 0; run < o.NRuns; run++ {
-		lats, shed, errs, wall, err := runOnce(base, o, ids, c)
+		samples, shed, errs, wall, err := runOnce(base, o, ids, c, ra)
 		if err != nil {
 			return row, err
 		}
-		row.Requests += int64(len(lats))
+		row.Requests += int64(len(samples))
 		row.Shed429 += shed
 		row.Errors += errs
 		row.WallSeconds += wall.Seconds()
-		all = append(all, lats...)
+		all = append(all, samples...)
 	}
 	if row.WallSeconds > 0 {
 		row.ReqPerSec = float64(row.Requests) / row.WallSeconds
 		row.StepsPerSec = float64(row.Requests) * float64(o.StepsPerReq) / row.WallSeconds
 	}
-	sort.Float64s(all)
-	row.P50us = pct(all, 0.50)
-	row.P99us = pct(all, 0.99)
-	row.P999us = pct(all, 0.999)
+	sort.Slice(all, func(i, j int) bool { return all[i].E2EUs < all[j].E2EUs })
+	lats := make([]float64, len(all))
+	for i, s := range all {
+		lats[i] = s.E2EUs
+	}
+	row.P50us = pct(lats, 0.50)
+	row.P99us = pct(lats, 0.99)
+	row.P999us = pct(lats, 0.999)
+	if o.Attr && len(all) > 0 {
+		row.Attr = attrSplit(all)
+	}
 	return row, nil
+}
+
+// attrSplit aggregates the attribution columns for one level. samples must
+// be sorted by E2EUs (runLevel's percentile order) so the p99-rank request
+// is just an index.
+func attrSplit(samples []stepSample) *AttrSplit {
+	col := func(get func(stepSample) float64) []float64 {
+		vs := make([]float64, len(samples))
+		for i, s := range samples {
+			vs[i] = get(s)
+		}
+		sort.Float64s(vs)
+		return vs
+	}
+	ingress := col(stepSample.IngressUs)
+	queue := col(func(s stepSample) float64 { return s.QueueUs })
+	batch := col(func(s stepSample) float64 { return s.BatchUs })
+	compute := col(func(s stepSample) float64 { return s.ComputeUs })
+	a := &AttrSplit{
+		IngressP50us:   pct(ingress, 0.50),
+		IngressP99us:   pct(ingress, 0.99),
+		QueueWaitP50us: pct(queue, 0.50),
+		QueueWaitP99us: pct(queue, 0.99),
+		BatchWaitP50us: pct(batch, 0.50),
+		BatchWaitP99us: pct(batch, 0.99),
+		ComputeP50us:   pct(compute, 0.50),
+		ComputeP99us:   pct(compute, 0.99),
+	}
+	i := int(0.99 * float64(len(samples)))
+	if i >= len(samples) {
+		i = len(samples) - 1
+	}
+	p99 := samples[i]
+	a.P99TraceID = p99.TraceID
+	a.P99E2Eus = p99.E2EUs
+	a.P99IngressUs = p99.IngressUs()
+	a.P99QueueUs = p99.QueueUs
+	a.P99BatchUs = p99.BatchUs
+	a.P99ComputeUs = p99.ComputeUs
+	a.P99SumUs = a.P99IngressUs + p99.QueueUs + p99.BatchUs + p99.ComputeUs
+	if p99.E2EUs > 0 {
+		a.ResidualPct = 100 * (p99.E2EUs - a.P99SumUs) / p99.E2EUs
+	}
+	return a
 }
 
 // pct returns the q-th percentile of sorted microsecond samples (nearest-
@@ -288,12 +446,12 @@ func pct(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-func runOnce(base string, o *SweepOptions, ids []string, c int) (lats []float64, shed, errs int64, wall time.Duration, err error) {
+func runOnce(base string, o *SweepOptions, ids []string, c int, ra *retryAfterCount) (samples []stepSample, shed, errs int64, wall time.Duration, err error) {
 	type clientResult struct {
-		lats []float64
-		shed int64
-		errs int64
-		err  error
+		samples []stepSample
+		shed    int64
+		errs    int64
+		err     error
 	}
 	results := make([]clientResult, c)
 	var (
@@ -311,7 +469,7 @@ func runOnce(base string, o *SweepOptions, ids []string, c int) (lats []float64,
 				if i >= len(ids) {
 					return
 				}
-				lat, s, e := stepOnce(o, base, ids[i])
+				sample, s, e := stepOnce(o, base, ids[i], ra)
 				res.shed += s
 				if e != nil {
 					res.errs++
@@ -320,14 +478,14 @@ func runOnce(base string, o *SweepOptions, ids []string, c int) (lats []float64,
 					}
 					continue
 				}
-				res.lats = append(res.lats, lat)
+				res.samples = append(res.samples, sample)
 			}
 		}(w)
 	}
 	wg.Wait()
 	wall = time.Since(t0)
 	for i := range results {
-		lats = append(lats, results[i].lats...)
+		samples = append(samples, results[i].samples...)
 		shed += results[i].shed
 		errs += results[i].errs
 		if err == nil {
@@ -343,50 +501,69 @@ func runOnce(base string, o *SweepOptions, ids []string, c int) (lats []float64,
 			break
 		}
 	}
-	return lats, shed, errs, wall, err
+	return samples, shed, errs, wall, err
 }
 
 // stepOnce issues one step request, honoring 429 shedding with up to
 // o.Retries retries. The reported latency is the successful attempt's
-// round trip; shed counts every 429 seen along the way.
-func stepOnce(o *SweepOptions, base, id string) (latUs float64, shed int64, err error) {
+// round trip; shed counts every 429 seen along the way, and each 429's
+// Retry-After value is tallied into ra (nil = don't care).
+func stepOnce(o *SweepOptions, base, id string, ra *retryAfterCount) (sample stepSample, shed int64, err error) {
 	stepURL := fmt.Sprintf("%s/v1/sessions/%s/step?n=%d", base, id, o.StepsPerReq)
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
 		resp, err := o.Client.Post(stepURL, "application/json", nil)
 		if err != nil {
-			return 0, shed, err
+			return sample, shed, err
 		}
 		lat := time.Since(t0)
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
-			return float64(lat) / float64(time.Microsecond), shed, nil
+			sample.E2EUs = float64(lat) / float64(time.Microsecond)
+			var attr struct {
+				WallUS      float64 `json:"wall_us"`
+				QueueWaitUS float64 `json:"queue_wait_us"`
+				BatchWaitUS float64 `json:"batch_wait_us"`
+				ComputeUS   float64 `json:"compute_us"`
+				TraceID     string  `json:"trace_id"`
+			}
+			if json.Unmarshal(body, &attr) == nil {
+				sample.WallUs = attr.WallUS
+				sample.QueueUs = attr.QueueWaitUS
+				sample.BatchUs = attr.BatchWaitUS
+				sample.ComputeUs = attr.ComputeUS
+				sample.TraceID = attr.TraceID
+			}
+			return sample, shed, nil
 		case http.StatusTooManyRequests:
 			shed++
+			ra.note(resp.Header.Get("Retry-After"))
 			if attempt >= o.Retries {
-				return 0, shed, fmt.Errorf("step %s: shed %d times, retries exhausted", id, shed)
+				return sample, shed, fmt.Errorf("step %s: shed %d times, retries exhausted", id, shed)
 			}
 			// The server's Retry-After has 1 s resolution; at sweep scale a
 			// short bounded backoff drains faster without hammering.
 			time.Sleep(time.Duration(10*(attempt+1)) * time.Millisecond)
 		default:
-			return 0, shed, fmt.Errorf("step %s: %s: %s", id, resp.Status, body)
+			return sample, shed, fmt.Errorf("step %s: %s: %s", id, resp.Status, body)
 		}
 	}
 }
 
 // OversubscribeProbe slams base with burst one-shot step requests (no
-// retries) against sess sessions and reports how many were shed with 429
-// and whether the server still answers /healthz afterwards — the
-// "sheds load instead of collapsing" acceptance check.
-func OversubscribeProbe(base string, o SweepOptions, burst int) (shed int64, healthy bool, err error) {
+// retries) against sess sessions and reports how many were shed with 429,
+// the Retry-After values those 429s carried (the backoff hints an honest
+// load shedder must provide — previously counted but dropped), and whether
+// the server still answers /healthz afterwards — the "sheds load instead
+// of collapsing" acceptance check.
+func OversubscribeProbe(base string, o SweepOptions, burst int) (shed int64, retryAfter map[string]int64, healthy bool, err error) {
 	o.withDefaults()
 	o.Retries = 0
 	ids, err := createSessions(base, &o)
 	if err != nil {
-		return 0, false, err
+		return 0, nil, false, err
 	}
 	defer closeSessions(base, o.Client, ids)
 	var (
@@ -394,11 +571,12 @@ func OversubscribeProbe(base string, o SweepOptions, burst int) (shed int64, hea
 		shedN    atomic.Int64
 		hardErrs atomic.Int64
 	)
+	ra := &retryAfterCount{}
 	for w := 0; w < burst; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			_, s, e := stepOnce(&o, base, ids[w%len(ids)])
+			_, s, e := stepOnce(&o, base, ids[w%len(ids)], ra)
 			shedN.Add(s)
 			if e != nil && s == 0 {
 				hardErrs.Add(1)
@@ -408,7 +586,8 @@ func OversubscribeProbe(base string, o SweepOptions, burst int) (shed int64, hea
 	wg.Wait()
 	healthErr := WaitHealthy(base, 10*time.Second)
 	if hardErrs.Load() > 0 {
-		return shedN.Load(), healthErr == nil, fmt.Errorf("%d non-429 failures during burst", hardErrs.Load())
+		return shedN.Load(), ra.snapshot(), healthErr == nil,
+			fmt.Errorf("%d non-429 failures during burst", hardErrs.Load())
 	}
-	return shedN.Load(), healthErr == nil, healthErr
+	return shedN.Load(), ra.snapshot(), healthErr == nil, healthErr
 }

@@ -40,6 +40,45 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+// TestAttrSplit pins the attribution decomposition on synthetic samples:
+// ingress is the client-side e2e minus the server wall (clamped at zero),
+// the p99-rank sum is exactly ingress+queue+batch+compute, and the
+// residual is the in-server slack as a share of e2e.
+func TestAttrSplit(t *testing.T) {
+	// Sorted by E2EUs, as runLevel guarantees. The last (p99-rank at n=4)
+	// sample: e2e 1000, wall 900 → ingress 100; components 50+30+700=780;
+	// sum 880; residual (1000−880)/1000 = 12%.
+	samples := []stepSample{
+		{E2EUs: 100, WallUs: 90, QueueUs: 5, BatchUs: 2, ComputeUs: 80},
+		{E2EUs: 200, WallUs: 210, QueueUs: 8, BatchUs: 3, ComputeUs: 150}, // wall > e2e → ingress 0
+		{E2EUs: 500, WallUs: 450, QueueUs: 20, BatchUs: 10, ComputeUs: 400, TraceID: "aa"},
+		{E2EUs: 1000, WallUs: 900, QueueUs: 50, BatchUs: 30, ComputeUs: 700, TraceID: "bb"},
+	}
+	a := attrSplit(samples)
+	if a.P99TraceID != "bb" || a.P99E2Eus != 1000 {
+		t.Fatalf("p99-rank sample = %q/%g, want bb/1000", a.P99TraceID, a.P99E2Eus)
+	}
+	if a.P99IngressUs != 100 {
+		t.Errorf("P99IngressUs = %g, want 100 (e2e − wall)", a.P99IngressUs)
+	}
+	if want := 100.0 + 50 + 30 + 700; a.P99SumUs != want {
+		t.Errorf("P99SumUs = %g, want %g (ingress+qw+bw+comp)", a.P99SumUs, want)
+	}
+	if want := 12.0; a.ResidualPct != want {
+		t.Errorf("ResidualPct = %g, want %g", a.ResidualPct, want)
+	}
+	if (stepSample{E2EUs: 200, WallUs: 210}).IngressUs() != 0 {
+		t.Error("ingress not clamped at zero when wall exceeds e2e")
+	}
+	if a.IngressP50us > a.IngressP99us || a.QueueWaitP50us > a.QueueWaitP99us ||
+		a.BatchWaitP50us > a.BatchWaitP99us || a.ComputeP50us > a.ComputeP99us {
+		t.Errorf("component percentiles out of order: %+v", a)
+	}
+	if a.ComputeP99us != 700 || a.QueueWaitP99us != 50 {
+		t.Errorf("component p99s = comp %g qw %g, want 700/50", a.ComputeP99us, a.QueueWaitP99us)
+	}
+}
+
 // TestSweepValidateCatchesBadReports pins Validate's checks.
 func TestSweepValidateCatchesBadReports(t *testing.T) {
 	good := SweepReport{
@@ -73,7 +112,7 @@ func TestOversubscribeProbe(t *testing.T) {
 	})
 	// 50 steps per request keeps each batch on the pool for a few
 	// milliseconds, so the burst reliably finds the 1-deep queue full.
-	shed, healthy, err := OversubscribeProbe(ts.URL, SweepOptions{
+	shed, retryAfter, healthy, err := OversubscribeProbe(ts.URL, SweepOptions{
 		Workload:      "lj-gas",
 		WorkloadQuery: url.Values{"n": {"3"}},
 		Sessions:      4,
@@ -88,6 +127,14 @@ func TestOversubscribeProbe(t *testing.T) {
 	}
 	if shed == 0 {
 		t.Error("no requests shed despite queue depth 1 under a 24-client burst")
+	}
+	if shed > 0 && len(retryAfter) == 0 {
+		t.Error("shed requests recorded no Retry-After values")
+	}
+	for v, n := range retryAfter {
+		if v == "(absent)" {
+			t.Errorf("%d shed responses carried no Retry-After header", n)
+		}
 	}
 }
 

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"mw/internal/telemetry"
+	"mw/internal/tracing"
+)
+
+// traceIDSet parses a Chrome trace JSON body and collects every trace_id
+// argument — the set of requests that have a span tree in the artifact.
+func traceIDSet(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				TraceID string `json:"trace_id"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("parsing trace JSON: %v", err)
+	}
+	ids := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Args.TraceID != "" {
+			ids[ev.Args.TraceID] = true
+		}
+	}
+	return ids
+}
+
+// TestRequestTraceEndToEnd drives traced steps through the full stack and
+// checks the whole observability story: traceparent response headers, the
+// trace id echoed in the step body, a valid /v1/trace span-tree artifact
+// containing those ids, and attribution components on /telemetry.json.
+func TestRequestTraceEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, TraceSample: 1})
+	id := createTestSession(t, ts)
+	base := ts.URL + "/v1/sessions/" + id
+
+	upstream := newTraceContext()
+	seen := map[string]bool{}
+	const nSteps = 6
+	for i := 0; i < nSteps; i++ {
+		req, err := http.NewRequest(http.MethodPost, base+"/step", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// First request arrives with an upstream trace context; the
+			// service must keep its trace id.
+			req.Header.Set("traceparent", upstream.Traceparent())
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		var res struct {
+			TraceID     string  `json:"trace_id"`
+			WallMicros  float64 `json:"wall_us"`
+			QueueWaitUS float64 `json:"queue_wait_us"`
+			BatchWaitUS float64 `json:"batch_wait_us"`
+			ComputeUS   float64 `json:"compute_us"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatalf("step %d response: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, resp.StatusCode)
+		}
+		h := resp.Header.Get("traceparent")
+		tc, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("step %d: malformed response traceparent %q", i, h)
+		}
+		if res.TraceID != tc.TraceIDString() {
+			t.Errorf("step %d: body trace_id %q != header trace id %q", i, res.TraceID, tc.TraceIDString())
+		}
+		if i == 0 && res.TraceID != upstream.TraceIDString() {
+			t.Errorf("inbound trace id %q not propagated (got %q)", upstream.TraceIDString(), res.TraceID)
+		}
+		if res.ComputeUS <= 0 {
+			t.Errorf("step %d: compute component %.0f µs, want > 0", i, res.ComputeUS)
+		}
+		sum := res.QueueWaitUS + res.BatchWaitUS + res.ComputeUS
+		if sum > res.WallMicros*1.01+1 {
+			t.Errorf("step %d: components sum %.0f µs exceeds e2e %.0f µs", i, sum, res.WallMicros)
+		}
+		seen[res.TraceID] = true
+	}
+
+	// The trace artifact must validate and hold a span tree for every id
+	// the step responses named.
+	code, body := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/trace", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/trace: status %d", code)
+	}
+	if _, err := tracing.ValidateChromeTrace(body); err != nil {
+		t.Fatalf("/v1/trace failed validation: %v", err)
+	}
+	inTrace := traceIDSet(t, body)
+	for id := range seen {
+		if !inTrace[id] {
+			t.Errorf("trace id %s from a step response has no span tree in /v1/trace", id)
+		}
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &trace); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "B" {
+			names[ev.Name]++
+		}
+	}
+	for _, want := range []string{"request:step", "compute", "serialize", "batch"} {
+		if names[want] == 0 {
+			t.Errorf("/v1/trace has no %q spans (have %v)", want, names)
+		}
+	}
+	// The engine phases drained from the tenant recorder nest inside
+	// compute; lj-gas always runs a force phase.
+	if names["force"] == 0 {
+		t.Errorf("/v1/trace has no tenant engine phase spans (have %v)", names)
+	}
+
+	// Exemplar correctness: every exemplar trace id exported by the
+	// service and session telemetry bodies resolves in the artifact.
+	for _, path := range []string{ts.URL + "/telemetry.json", base + "/telemetry.json"} {
+		code, teleBody := doReq(t, ts.Client(), http.MethodGet, path, nil)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, code)
+		}
+		var tele struct {
+			Attribution []AttrComponent `json:"attribution"`
+		}
+		if err := json.Unmarshal(teleBody, &tele); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(tele.Attribution) != attrComponents {
+			t.Fatalf("%s: %d attribution components, want %d", path, len(tele.Attribution), attrComponents)
+		}
+		exemplars := 0
+		for _, ac := range tele.Attribution {
+			if ac.Latency.Count == 0 && ac.Component != "straggler_share" && ac.Component != "serialize" {
+				t.Errorf("%s: component %s observed nothing", path, ac.Component)
+			}
+			for _, ex := range ac.Exemplars {
+				exemplars++
+				if !inTrace[ex.TraceID] {
+					t.Errorf("%s: exemplar %s (%s) does not resolve in /v1/trace",
+						path, ex.TraceID, ac.Component)
+				}
+			}
+		}
+		if exemplars == 0 {
+			t.Errorf("%s: no exemplars despite TraceSample=1", path)
+		}
+	}
+}
+
+// TestSLOEndpoint checks /v1/slo: an impossible target makes every request
+// bad, so the burn rate must saturate at 1/budget for the service and the
+// tenant, and the shed path must count against the budget too.
+func TestSLOEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SLOTargetP99: time.Nanosecond})
+	id := createTestSession(t, ts)
+	for i := 0; i < 4; i++ {
+		code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/sessions/"+id+"/step", nil)
+		if code != http.StatusOK {
+			t.Fatalf("step %d: status %d", i, code)
+		}
+	}
+	code, body := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/slo?limit=5", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/slo: status %d", code)
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BudgetPct != 1 {
+		t.Errorf("budget %.2f%%, want 1%%", rep.BudgetPct)
+	}
+	if rep.Service.Requests != 4 || rep.Service.Bad != 4 {
+		t.Errorf("service counted %d/%d bad, want 4/4", rep.Service.Bad, rep.Service.Requests)
+	}
+	if rep.Service.FastBurn != 1/sloBudget {
+		t.Errorf("service fast burn %.1f, want %.1f", rep.Service.FastBurn, 1/sloBudget)
+	}
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Session != id {
+		t.Fatalf("tenants = %+v, want just %s", rep.Tenants, id)
+	}
+	if rep.Tenants[0].Bad != 4 {
+		t.Errorf("tenant counted %d bad, want 4", rep.Tenants[0].Bad)
+	}
+
+	// The SLO gauges must be on /metrics.
+	code, metrics := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{"slo_burn_rate{window=\"fast\"}", "slo_bad_total 4", "serve_attr_latency_seconds_count{component=\"compute\"}"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTelemetryRingLeak is the per-tenant ring leak regression: every
+// session creation takes a ring recorder, and every exit path — explicit
+// close, idle-GC eviction, failed creation — must release it.
+func TestTelemetryRingLeak(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxSessions: 4, IdleTimeout: time.Millisecond})
+	baseline := telemetry.LiveRings()
+
+	ids := make([]string, 3)
+	for i := range ids {
+		ids[i] = createTestSession(t, ts)
+	}
+	if got := telemetry.LiveRings(); got != baseline+3 {
+		t.Fatalf("LiveRings = %d after 3 creates, want %d", got, baseline+3)
+	}
+
+	// A creation rejected at the MaxSessions gate must not leak a ring.
+	createTestSession(t, ts)
+	if code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/sessions?workload=lj-gas&n=3", nil); code != http.StatusTooManyRequests {
+		t.Fatalf("5th create: status %d, want 429", code)
+	}
+	// Nor may one rejected by parameter validation.
+	if code, _ := doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/sessions/"+ids[0], nil); code != http.StatusNoContent {
+		t.Fatalf("close: status %d", code)
+	}
+	if code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/sessions?workload=lj-gas&n=abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("n=abc create: status %d, want 400", code)
+	}
+	if got := telemetry.LiveRings(); got != baseline+3 {
+		t.Fatalf("LiveRings = %d after failed creates + 1 close, want %d", got, baseline+3)
+	}
+
+	// Idle-GC eviction releases the rest.
+	time.Sleep(5 * time.Millisecond)
+	if n := s.EvictIdle(); n != 3 {
+		t.Fatalf("EvictIdle evicted %d sessions, want 3", n)
+	}
+	if got := telemetry.LiveRings(); got != baseline {
+		t.Fatalf("LiveRings = %d after eviction, want baseline %d — a tenant ring leaked", got, baseline)
+	}
+}

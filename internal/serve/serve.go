@@ -100,6 +100,22 @@ type Config struct {
 	// TenantRing is the per-session recorder ring capacity (default 256;
 	// small, because there can be thousands of them).
 	TenantRing int
+	// TraceSample samples every K-th unheaded step request for request-
+	// scoped tracing (default 64; negative disables tracing entirely).
+	// Requests arriving with a sampled W3C traceparent header are always
+	// traced while tracing is enabled, whatever K says.
+	TraceSample int
+	// TraceRing caps how many completed request traces /v1/trace retains
+	// (default 512).
+	TraceRing int
+	// SLOTargetP99 is the per-tenant latency target a step request is
+	// scored against: >target (or shed) burns the 1% error budget
+	// (default 250ms).
+	SLOTargetP99 time.Duration
+	// SLOFastWindow / SLOSlowWindow are the two burn-rate windows
+	// (defaults 5m and 1h).
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +158,21 @@ func (c Config) withDefaults() Config {
 	if c.TenantRing <= 0 {
 		c.TenantRing = 256
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 64
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 512
+	}
+	if c.SLOTargetP99 <= 0 {
+		c.SLOTargetP99 = 250 * time.Millisecond
+	}
+	if c.SLOFastWindow <= 0 {
+		c.SLOFastWindow = 5 * time.Minute
+	}
+	if c.SLOSlowWindow <= 0 {
+		c.SLOSlowWindow = time.Hour
+	}
 	return c
 }
 
@@ -161,10 +192,19 @@ type Session struct {
 
 	// rec is the per-tenant ring recorder wired into the engine: the same
 	// telemetry.Recorder the single-process engine uses, sized small.
+	// Released (for the LiveRings leak ledger) when the session closes.
 	rec *telemetry.Recorder
+	// cursor is the drain position request tracing resumes from when it
+	// collects this tenant's engine-phase spans; guarded by mu.
+	cursor telemetry.DrainCursor
 	// stepHist records this tenant's step-request service latency
 	// (enqueue → batch completion, queue wait included).
 	stepHist telemetry.Histogram
+	// attr decomposes this tenant's step latency into queue_wait /
+	// batch_wait / compute / straggler_share / serialize exemplar
+	// histograms; slo scores it against the service's p99 target.
+	attr attrSet
+	slo  *sloTracker
 
 	created  time.Time
 	lastUsed atomic.Int64 // unix nanos
@@ -212,6 +252,16 @@ type Server struct {
 	batchedReqs atomic.Int64
 	batchSeq    atomic.Int64
 	stepLat     telemetry.Histogram
+
+	// Request-scoped observability: the 1-in-K sampling counter, the ring
+	// of completed request traces behind /v1/trace, the batch-span track
+	// they are stitched against, the service-wide attribution histograms
+	// and the service-wide SLO tracker.
+	traceSeq   atomic.Int64
+	reqTraces  *traceLog
+	batchSpans *batchLog
+	svcAttr    attrSet
+	slo        *sloTracker
 }
 
 // NewServer starts the worker pool, the batcher and (unless disabled) the
@@ -219,12 +269,15 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		rec:      telemetry.NewRecorder(cfg.Workers, svcPhases()),
-		sessions: make(map[string]*Session),
-		stepQ:    make(chan *stepReq, cfg.QueueDepth),
-		quit:     make(chan struct{}),
-		start:    time.Now(),
+		cfg:        cfg,
+		rec:        telemetry.NewRecorder(cfg.Workers, svcPhases()),
+		sessions:   make(map[string]*Session),
+		stepQ:      make(chan *stepReq, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		start:      time.Now(),
+		reqTraces:  newTraceLog(cfg.TraceRing),
+		batchSpans: newBatchLog(1024),
+		slo:        newSLOTracker(cfg.SLOTargetP99, cfg.SLOFastWindow, cfg.SLOSlowWindow),
 	}
 	switch cfg.Queues {
 	case core.PerWorkerQueues:
@@ -310,6 +363,9 @@ func (s *Server) createSession(name string, sys *atom.System, cfg core.Config) (
 	cfg.Telemetry = rec
 	sim, err := core.New(sys, cfg)
 	if err != nil {
+		// The recorder was minted for an engine that never existed; retire
+		// its rings or the LiveRings ledger leaks one entry per bad model.
+		rec.Release()
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
 	}
 	sess := &Session{
@@ -318,6 +374,7 @@ func (s *Server) createSession(name string, sys *atom.System, cfg core.Config) (
 		Atoms:    sys.N(),
 		sim:      sim,
 		rec:      rec,
+		slo:      newSLOTracker(s.cfg.SLOTargetP99, s.cfg.SLOFastWindow, s.cfg.SLOSlowWindow),
 		created:  t0,
 	}
 	sess.touch()
@@ -327,6 +384,7 @@ func (s *Server) createSession(name string, sys *atom.System, cfg core.Config) (
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		sim.Close()
+		rec.Release()
 		return nil, &httpError{http.StatusTooManyRequests,
 			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
 	}
@@ -361,6 +419,10 @@ func (s *Server) closeSession(id string) bool {
 	sess.mu.Lock()
 	sess.closed = true
 	sess.sim.Close()
+	// Retire the tenant's ring recorder with the session: eviction must
+	// return the LiveRings ledger to baseline (the per-tenant-ring leak
+	// regression test drives exactly this path through EvictIdle).
+	sess.rec.Release()
 	sess.mu.Unlock()
 	s.closedCount.Add(1)
 	return true

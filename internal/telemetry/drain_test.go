@@ -46,6 +46,46 @@ func TestDrainCursorSeesEachEventOnce(t *testing.T) {
 	}
 }
 
+func TestSeekSkipsBacklogWithoutDecoding(t *testing.T) {
+	r := NewRecorderSize(2, []string{"forces"}, 64)
+	var c DrainCursor
+
+	// Backlog a seeking consumer never wants to see.
+	for i := 0; i < 10; i++ {
+		r.Chunk(0, 0)
+	}
+	r.PhaseBegin(1, 0)
+	r.PhaseEnd(1, 0, time.Millisecond, []time.Duration{time.Millisecond, time.Millisecond})
+
+	r.Seek(&c)
+	n := 0
+	r.Drain(&c, func(int, Event) { n++ })
+	if n != 0 {
+		t.Fatalf("drain after seek returned %d backlog events, want 0", n)
+	}
+
+	// Events recorded after the seek drain normally, exactly once.
+	r.PhaseBegin(2, 0)
+	r.Steal(1)
+	kinds := map[string]int{}
+	r.Drain(&c, func(owner int, e Event) { kinds[e.Kind]++ })
+	if kinds["phase-begin"] != 1 || kinds["steal"] != 1 || len(kinds) != 2 {
+		t.Fatalf("post-seek drain kinds = %v, want one phase-begin and one steal", kinds)
+	}
+	if c.Lost != 0 {
+		t.Errorf("Lost = %d, want 0 (seek is a skip, not a loss)", c.Lost)
+	}
+
+	// Seek on a fresh (nil-heads) cursor also lands at the head.
+	var c2 DrainCursor
+	r.Seek(&c2)
+	n = 0
+	r.Drain(&c2, func(int, Event) { n++ })
+	if n != 0 {
+		t.Fatalf("fresh-cursor seek still drained %d events, want 0", n)
+	}
+}
+
 func TestDrainCountsOverwrittenEventsAsLost(t *testing.T) {
 	r := NewRecorderSize(1, []string{"forces"}, 8)
 	var c DrainCursor

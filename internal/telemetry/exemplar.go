@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Exemplar links one histogram bucket to a recent traced observation — the
+// OpenMetrics exemplar idea applied to the log₂ histograms: a percentile
+// bucket is only actionable if it can name a concrete request to go look at.
+type Exemplar struct {
+	// TraceID is the W3C trace id (32 lowercase hex chars) of the traced
+	// request whose observation landed in this bucket.
+	TraceID string `json:"trace_id"`
+	// ValueUS is the observed duration in microseconds.
+	ValueUS int64 `json:"value_us"`
+	// AtUS is when the observation was recorded, in the owning recorder's
+	// µs-since-start timebase.
+	AtUS int64 `json:"at_us"`
+}
+
+// ExemplarHistogram is a Histogram with one exemplar slot per log₂ bucket.
+// Untraced observations cost exactly a Histogram.Observe; traced ones add a
+// single atomic pointer store, so the type is safe on request hot paths and
+// for concurrent readers.
+type ExemplarHistogram struct {
+	Hist Histogram
+	ex   [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Observe records an untraced observation.
+func (h *ExemplarHistogram) Observe(d time.Duration) { h.Hist.Observe(d) }
+
+// ObserveTraced records an observation carrying a trace id: the bucket the
+// duration lands in remembers this trace as its most recent exemplar. atUS
+// is the caller's recorder timebase stamp.
+func (h *ExemplarHistogram) ObserveTraced(d time.Duration, traceID string, atUS int64) {
+	h.Hist.Observe(d)
+	if traceID == "" {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.ex[bucketIndex(d)].Store(&Exemplar{
+		TraceID: traceID,
+		ValueUS: int64(d / time.Microsecond),
+		AtUS:    atUS,
+	})
+}
+
+// Exemplars returns the non-empty exemplar slots, lowest bucket first. The
+// result is a snapshot: concurrent ObserveTraced calls may replace slots
+// while it is built, but every returned exemplar is internally consistent
+// (slots are swapped whole, never mutated).
+func (h *ExemplarHistogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for b := range h.ex {
+		if e := h.ex[b].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExemplarHistogram pins the exemplar contract: traced observations
+// land one exemplar in exactly the bucket the duration hashes to, later
+// traced observations in the same bucket replace it, and untraced
+// observations never touch the slots.
+func TestExemplarHistogram(t *testing.T) {
+	var h ExemplarHistogram
+
+	h.Observe(100 * time.Microsecond)
+	if got := h.Exemplars(); len(got) != 0 {
+		t.Fatalf("untraced Observe produced exemplars: %+v", got)
+	}
+
+	h.ObserveTraced(100*time.Microsecond, "aaaa", 10)
+	h.ObserveTraced(100*time.Millisecond, "bbbb", 20)
+	got := h.Exemplars()
+	if len(got) != 2 {
+		t.Fatalf("got %d exemplars, want 2: %+v", len(got), got)
+	}
+	if got[0].TraceID != "aaaa" || got[1].TraceID != "bbbb" {
+		t.Errorf("exemplars out of bucket order: %+v", got)
+	}
+	if got[0].ValueUS != 100 || got[0].AtUS != 10 {
+		t.Errorf("exemplar 0 = %+v, want value 100 µs at 10", got[0])
+	}
+
+	// Same bucket (identical duration): last trace wins.
+	h.ObserveTraced(100*time.Microsecond, "cccc", 30)
+	got = h.Exemplars()
+	if len(got) != 2 || got[0].TraceID != "cccc" {
+		t.Errorf("replacement exemplar = %+v, want cccc first", got)
+	}
+
+	// Empty trace ids observe without claiming a slot.
+	h.ObserveTraced(time.Second, "", 40)
+	if got := h.Exemplars(); len(got) != 2 {
+		t.Errorf("empty trace id claimed an exemplar slot: %+v", got)
+	}
+	if n := h.Hist.Count(); n != 5 {
+		t.Errorf("histogram counted %d observations, want 5", n)
+	}
+
+	// The exemplar's bucket must agree with the histogram's indexing.
+	var idx ExemplarHistogram
+	for _, d := range []time.Duration{0, time.Nanosecond, time.Microsecond, time.Second, 42 * time.Minute} {
+		idx.ObserveTraced(d, "t", 1)
+		counts := idx.Hist.Buckets()
+		if counts[bucketIndex(d)] == 0 {
+			t.Errorf("duration %v: bucket %d empty after ObserveTraced", d, bucketIndex(d))
+		}
+	}
+}

@@ -21,16 +21,28 @@ type Histogram struct {
 	n      atomic.Int64
 }
 
-// Observe records one duration.
+// bucketIndex maps a duration to its log₂ bucket — the indexing contract
+// shared by Observe and the exemplar slots in ExemplarHistogram.
 //
 //mw:hotpath
-func (h *Histogram) Observe(d time.Duration) {
+func bucketIndex(d time.Duration) int {
 	if d < 0 {
 		d = 0
 	}
 	b := bits.Len64(uint64(d))
 	if b >= histBuckets {
 		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+//
+//mw:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	b := bucketIndex(d)
+	if d < 0 {
+		d = 0
 	}
 	h.counts[b].Add(1)
 	h.sum.Add(int64(d))

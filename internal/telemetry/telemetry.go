@@ -207,7 +207,19 @@ type Recorder struct {
 	// straggler attribution; preallocated so the attribution never touches
 	// the heap on the record path.
 	busyScratch []time.Duration
+	released    atomic.Bool
 }
+
+// liveRings counts recorders created and not yet released. Ring storage is
+// ordinary GC-managed memory, so this is a liveness ledger, not an
+// allocator: a server that creates a recorder per tenant must Release each
+// one on eviction, and a leak regression test can assert the count returns
+// to baseline after a GC sweep (the per-tenant-ring satellite of the
+// serve-observability work).
+var liveRings atomic.Int64
+
+// LiveRings returns how many recorders exist that have not been Released.
+func LiveRings() int64 { return liveRings.Load() }
 
 // NewRecorder creates a recorder for the given worker count and phase-name
 // table (phase codes index into it; at most 7 phases fit the event format).
@@ -235,7 +247,20 @@ func NewRecorderSize(workers int, phases []string, ringCap int) *Recorder {
 		r.shards[i].hist = make([]Histogram, len(phases))
 		r.shards[i].blame = make([]atomic.Int64, len(phases))
 	}
+	liveRings.Add(1)
 	return r
+}
+
+// Release marks the recorder's rings dead in the LiveRings ledger.
+// Idempotent. It deliberately does not nil out the ring storage — snapshot
+// readers and late producers may still hold the recorder, and the memory is
+// reclaimed by the GC once the last reference drops; Release exists so that
+// owners (one recorder per tenant session in internal/serve) account for
+// that drop explicitly and tests can catch eviction paths that forget to.
+func (r *Recorder) Release() {
+	if r.released.CompareAndSwap(false, true) {
+		liveRings.Add(-1)
+	}
 }
 
 // Workers returns the worker count the recorder was sized for.
@@ -423,6 +448,21 @@ func (r *Recorder) Drain(c *DrainCursor, emit func(owner int, e Event)) {
 			}
 		}
 		c.heads[i] = h
+	}
+}
+
+// Seek advances the cursor to every ring's current head without decoding
+// the skipped events — O(shards), not O(backlog). The serve layer uses it
+// to open a traced request's drain window: whatever untraced requests left
+// in the rings is skipped in constant time instead of being walked and
+// filtered out, which matters because the skip runs inside the traced
+// request's compute window (the observer-overhead gate watches it).
+func (r *Recorder) Seek(c *DrainCursor) {
+	if c.heads == nil {
+		c.heads = make([]uint64, len(r.shards))
+	}
+	for i := range r.shards {
+		c.heads[i] = r.shards[i].ring.head.Load()
 	}
 }
 

@@ -1,0 +1,112 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file generalizes the Chrome-trace writer: where chrometrace.go lays
+// out engine StepRecords, WriteSpans accepts arbitrary caller-built span
+// trees (internal/serve uses it to export per-request span trees stitched
+// next to the batcher track). The emitted JSON passes ValidateChromeTrace's
+// structural invariants as long as the caller's spans obey the one rule a
+// B/E timeline imposes: spans sharing a track must be properly nested or
+// disjoint — partial overlap on one track is unrepresentable.
+
+// Track declares one tid's metadata in an exported trace.
+type Track struct {
+	Tid  int
+	Name string
+	// SortIndex orders tracks in the viewer (lower = higher). Zero is fine.
+	SortIndex int
+}
+
+// Span is one B/E interval on a track. EndUS < BeginUS is clamped to a
+// zero-length span rather than rejected — truncated requests still render.
+type Span struct {
+	Name    string
+	Cat     string
+	Tid     int
+	BeginUS int64
+	EndUS   int64
+	Args    map[string]any
+}
+
+// Instant is one "i" mark on a track.
+type Instant struct {
+	Name string
+	Cat  string
+	Tid  int
+	AtUS int64
+	Args map[string]any
+}
+
+// WriteSpans exports the spans and instants as Chrome trace-event JSON for
+// the named process. Spans on one track must be properly nested or
+// disjoint; within that contract the emission order (parents' B before
+// children's, children's E before parents') and the per-track timestamp
+// monotonicity demanded by ValidateChromeTrace hold by construction.
+func WriteSpans(w io.Writer, process string, tracks []Track, spans []Span, instants []Instant) error {
+	events := make([]chromeEvent, 0, len(tracks)+2*len(spans)+len(instants)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+		Args: map[string]any{"name": process},
+	})
+	for _, t := range tracks {
+		events = append(events,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: t.Tid,
+				Args: map[string]any{"name": t.Name}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: tracePid, Tid: t.Tid,
+				Args: map[string]any{"sort_index": t.SortIndex}})
+	}
+
+	// Per-track emission: sort (begin asc, end desc) so parents precede
+	// their children, then close spans with a stack as later begins pass
+	// their ends. The resulting per-track sequence is timestamp
+	// non-decreasing, so one global stable sort by TS interleaves tracks
+	// without breaking any track's order.
+	byTid := map[int][]Span{}
+	for _, sp := range spans {
+		if sp.EndUS < sp.BeginUS {
+			sp.EndUS = sp.BeginUS
+		}
+		byTid[sp.Tid] = append(byTid[sp.Tid], sp)
+	}
+	var data []chromeEvent
+	for _, tspans := range byTid {
+		sort.SliceStable(tspans, func(i, j int) bool {
+			if tspans[i].BeginUS != tspans[j].BeginUS {
+				return tspans[i].BeginUS < tspans[j].BeginUS
+			}
+			return tspans[i].EndUS > tspans[j].EndUS
+		})
+		var stack []Span
+		closePast := func(ts int64) {
+			for len(stack) > 0 && stack[len(stack)-1].EndUS <= ts {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				data = append(data, chromeEvent{
+					Name: top.Name, Cat: top.Cat, Ph: "E",
+					TS: top.EndUS, Pid: tracePid, Tid: top.Tid})
+			}
+		}
+		for _, sp := range tspans {
+			closePast(sp.BeginUS)
+			data = append(data, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "B",
+				TS: sp.BeginUS, Pid: tracePid, Tid: sp.Tid, Args: sp.Args})
+			stack = append(stack, sp)
+		}
+		closePast(int64(1)<<62 - 1)
+	}
+	for _, in := range instants {
+		data = append(data, chromeEvent{
+			Name: in.Name, Cat: in.Cat, Ph: "i", S: "t",
+			TS: in.AtUS, Pid: tracePid, Tid: in.Tid, Args: in.Args})
+	}
+	sort.SliceStable(data, func(i, j int) bool { return data[i].TS < data[j].TS })
+	events = append(events, data...)
+
+	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,65 @@
+package tracing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteSpansValid checks WriteSpans' core promise: properly nested or
+// disjoint spans per track come out as a trace that ValidateChromeTrace
+// accepts, across multiple tracks, nesting, zero-length and clamped spans.
+func TestWriteSpansValid(t *testing.T) {
+	tracks := []Track{
+		{Tid: 0, Name: "batcher", SortIndex: -1},
+		{Tid: 1, Name: "lane 0"},
+		{Tid: 2, Name: "lane 1"},
+	}
+	spans := []Span{
+		// Disjoint batches on track 0.
+		{Name: "batch", Tid: 0, BeginUS: 10, EndUS: 50},
+		{Name: "batch", Tid: 0, BeginUS: 60, EndUS: 90},
+		// A nested request tree on track 1 (same begin as parent, shorter).
+		{Name: "request", Tid: 1, BeginUS: 10, EndUS: 100, Args: map[string]any{"trace_id": "t1"}},
+		{Name: "queue-wait", Tid: 1, BeginUS: 10, EndUS: 40},
+		{Name: "compute", Tid: 1, BeginUS: 40, EndUS: 95},
+		{Name: "phase", Tid: 1, BeginUS: 41, EndUS: 41}, // zero length
+		// Track 2 overlaps track 1 in time — lanes exist for exactly this.
+		{Name: "request", Tid: 2, BeginUS: 5, EndUS: 80},
+		// End before begin: clamped, not rejected.
+		{Name: "truncated", Tid: 2, BeginUS: 90, EndUS: 30},
+	}
+	instants := []Instant{{Name: "mark", Tid: 0, AtUS: 55}}
+
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, "test", tracks, spans, instants); err != nil {
+		t.Fatalf("WriteSpans: %v", err)
+	}
+	st, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("emitted trace fails validation: %v\n%s", err, buf.Bytes())
+	}
+	if st.Spans != len(spans) {
+		t.Errorf("validator counted %d spans, want %d", st.Spans, len(spans))
+	}
+	if st.Instants != 1 {
+		t.Errorf("validator counted %d instants, want 1", st.Instants)
+	}
+	if st.Tracks != 3 {
+		t.Errorf("validator counted %d tracks, want 3", st.Tracks)
+	}
+	if st.TrackNames[0] != "batcher" || st.TrackNames[2] != "lane 1" {
+		t.Errorf("track names = %v", st.TrackNames)
+	}
+}
+
+// TestWriteSpansEmpty: no spans at all must still be a valid (metadata-only)
+// trace — the /v1/trace body of a freshly booted server.
+func TestWriteSpansEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, "empty", []Track{{Tid: 0, Name: "batcher"}}, nil, nil); err != nil {
+		t.Fatalf("WriteSpans: %v", err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("empty trace fails validation: %v", err)
+	}
+}
